@@ -1,0 +1,86 @@
+"""[E8] §2.2: consumer-side filtering at the gateway.
+
+Paper: "the netstat sensor may output the value of the TCP
+retransmission counter every second, but most consumers only want to be
+notified when the counter changes, and not every second.  A consumer
+can also request that an event be sent only if it's value crosses a
+certain threshold.  Examples ... CPU load becomes greater than 50%, or
+if load changes by more than 20%."
+"""
+
+from repro.core import (AndAll, Delta, EventNames, JAMMConfig,
+                        JAMMDeployment, OnChange, Threshold)
+
+from .conftest import matisse_topology, report
+
+RUN = 60.0
+
+
+def run_scenario():
+    world, hosts = matisse_topology(seed=801)
+    producer = hosts["servers"][0]
+    jamm = JAMMDeployment(world)
+    gw = jamm.add_gateway("gw0", host=hosts["gateway_host"])
+    config = JAMMConfig()
+    config.add_sensor("netstat", "netstat", period=1.0)
+    config.add_sensor("cpu", "cpu", period=1.0)
+    jamm.add_manager(producer, config=config, gateway=gw)
+    world.run(until=0.5)
+
+    unfiltered = jamm.collector(host=hosts["client"])
+    unfiltered.subscribe_all("(sensortype=netstat)")
+
+    changes_only = jamm.collector(host=hosts["client"])
+    changes_only.subscribe_all(
+        "(sensortype=netstat)",
+        event_filter=AndAll([EventNames(["NETSTAT_RETRANSMITS"]),
+                             OnChange("VALUE")]))
+
+    threshold = jamm.collector(host=hosts["client"])
+    threshold.subscribe_all(
+        "(sensortype=cpu)",
+        event_filter=Threshold("CPU.USER", ">", 50.0))
+
+    delta = jamm.collector(host=hosts["client"])
+    delta.subscribe_all("(sensortype=cpu)",
+                        event_filter=Delta("CPU.USER", 20.0))
+
+    # drive the signals: a few retransmission bursts (the counter the
+    # netstat sensor samples lives on the *sending* host, the producer)
+    # + a CPU excursion
+    flow = world.tcp_flow(producer, hosts["client"], dst_port=9000,
+                          burst_loss_prob=0.02)
+    flow.run_for(30.0)
+    token = [None]
+    world.sim.call_in(40.0, lambda: token.__setitem__(
+        0, producer.cpu.add_load(user=1.6)))  # 80% user
+    world.sim.call_in(50.0, lambda: producer.cpu.remove_load(token[0]))
+    world.run(until=RUN)
+    return {
+        "unfiltered": unfiltered.received,
+        "changes": changes_only.received,
+        "threshold": threshold.received,
+        "delta": delta.received,
+        "retransmits": producer.tcp_counters["retransmits"],
+    }
+
+
+def test_gateway_filters_cut_consumer_traffic(once):
+    r = once(run_scenario)
+    reduction = 1 - r["changes"] / r["unfiltered"]
+    report("E8", "§2.2 — gateway filtering (change / threshold / delta)", [
+        ("unfiltered netstat deliveries", "~1/second", f"{r['unfiltered']}"),
+        ("change-only deliveries", "only when counter moves",
+         f"{r['changes']} (-{reduction:.0%})"),
+        ("threshold crossings (CPU>50%)", "1 (one excursion)",
+         f"{r['threshold']}"),
+        ("delta >20% deliveries", "a handful", f"{r['delta']}"),
+    ])
+    # the sensor output every second; the consumer saw each change once
+    assert r["unfiltered"] >= 100  # 2 events/s for ~60 s
+    assert r["changes"] < 0.3 * r["unfiltered"]
+    assert r["changes"] >= 2  # baseline + at least one burst
+    # exactly one upward crossing of the 50% threshold
+    assert r["threshold"] == 1
+    # delta: baseline, the jump up, the jump down (idle wiggle tolerated)
+    assert 2 <= r["delta"] <= 6

@@ -1,0 +1,61 @@
+"""[E11] §2.2: gateway-computed summary data.
+
+Paper: "The event gateway can also be configured to compute summary
+data.  For example, it can compute 1, 10, and 60 minute averages of CPU
+usage, and make this information available to consumers."
+"""
+
+from repro.core import JAMMConfig, JAMMDeployment
+
+from .conftest import matisse_topology, report
+
+
+def run_scenario():
+    world, hosts = matisse_topology(seed=1101)
+    producer = hosts["servers"][0]
+    jamm = JAMMDeployment(world)
+    gw = jamm.add_gateway("gw0", host=hosts["gateway_host"])
+    config = JAMMConfig()
+    config.add_sensor("cpu", "cpu", period=1.0)
+    jamm.add_manager(producer, config=config, gateway=gw)
+    world.run(until=0.5)
+    sensor_key = jamm.managers[producer.name].sensors["cpu"].name
+    gw.summarize(sensor_key, ("CPU.USER",))
+
+    # a 90%-user burst during minute 9-10 of an 11-minute run: gone from
+    # the 1-minute window, prominent in the 10-minute one
+    token = [None]
+    world.sim.call_in(540.0, lambda: token.__setitem__(
+        0, producer.cpu.add_load(user=1.8)))
+    world.sim.call_in(600.0, lambda: producer.cpu.remove_load(token[0]))
+    world.run(until=660.0)  # 11 minutes
+
+    snap = gw.summary(sensor_key, "CPU.USER")
+    # publish to the directory for off-site/summary-only consumers
+    published = gw.summaries.publish(host_name="gw0", now=world.now)
+    client = jamm.directory_client()
+    entries = client.search("ou=summaries,o=grid", "(objectclass=summary)")
+    return snap, published, entries
+
+
+def test_gateway_summary_windows(once):
+    snap, published, entries = once(run_scenario)
+    report("E11", "§2.2 — 1/10/60-minute CPU averages at the gateway", [
+        ("last sample (after idle)", "~0%", f"{snap['last']:.1f}%"),
+        ("1-minute average", "~0% (burst expired)", f"{snap['avg1m']:.1f}%"),
+        ("10-minute average", "~9% (1 busy min of 10)",
+         f"{snap['avg10m']:.1f}%"),
+        ("60-minute average", "~9% over 11 min of data",
+         f"{snap['avg60m']:.1f}%"),
+        ("summary entries published", ">=1", f"{published}"),
+        ("visible in the directory", "yes", f"{len(entries)}"),
+    ])
+    assert snap["last"] < 1.0
+    # the burst has left the 1-minute window (bar the boundary sample)
+    assert snap["avg1m"] < 2.0
+    # 60 busy seconds of 600 ≈ 9% (the burst is 90% user for 1 min)
+    assert 6.0 <= snap["avg10m"] <= 12.0
+    assert published >= 1
+    assert len(entries) >= 1
+    assert float(entries.entries[0].first("avg10m")) == \
+        round(snap["avg10m"], 6)

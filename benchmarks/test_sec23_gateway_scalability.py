@@ -1,0 +1,110 @@
+"""[E6] §2.3: gateways keep the monitored host's cost flat.
+
+Paper: "In the case where many consumers are requesting the same event
+data, the use of an event gateway reduces the amount of work on and the
+amount of network traffic from the host being monitored. ... In the
+JAMM architecture, event data is not sent anywhere unless it is
+requested by a consumer."
+
+We measure messages leaving the monitored host as the consumer count
+grows, with the gateway on a separate host (JAMM) versus the
+no-gateway alternative (every consumer subscribes at the producer).
+"""
+
+from repro.core import EventGateway, JAMMConfig, JAMMDeployment
+
+from .conftest import matisse_topology, report
+
+RUN = 20.0
+CONSUMER_COUNTS = (1, 4, 16, 64)
+
+
+def with_gateway(n_consumers, seed):
+    world, hosts = matisse_topology(seed=seed)
+    producer = hosts["servers"][0]
+    jamm = JAMMDeployment(world)
+    gw = jamm.add_gateway("gw0", host=hosts["gateway_host"])
+    config = JAMMConfig()
+    config.add_sensor("vmstat", "vmstat", period=1.0)
+    jamm.add_manager(producer, config=config, gateway=gw)
+    world.run(until=0.5)
+    for i in range(n_consumers):
+        consumer = jamm.collector(host=hosts["client"] if i % 2 else hosts["viz"])
+        consumer.subscribe_all("(sensortype=vmstat)")
+    base = world.transport.per_host_sent.get(producer.name, 0)
+    t0 = world.now
+    world.run(until=t0 + RUN)
+    return world.transport.per_host_sent.get(producer.name, 0) - base
+
+
+def without_gateway(n_consumers, seed):
+    """The gateway runs *on the monitored host*, so every delivery is
+    traffic from the producer."""
+    world, hosts = matisse_topology(seed=seed)
+    producer = hosts["servers"][0]
+    jamm = JAMMDeployment(world)
+    gw = jamm.add_gateway("gw0", host=producer)
+    config = JAMMConfig()
+    config.add_sensor("vmstat", "vmstat", period=1.0)
+    jamm.add_manager(producer, config=config, gateway=gw)
+    world.run(until=0.5)
+    for i in range(n_consumers):
+        consumer = jamm.collector(host=hosts["client"] if i % 2 else hosts["viz"])
+        consumer.subscribe_all("(sensortype=vmstat)")
+    base = world.transport.per_host_sent.get(producer.name, 0)
+    t0 = world.now
+    world.run(until=t0 + RUN)
+    return world.transport.per_host_sent.get(producer.name, 0) - base
+
+
+def test_gateway_offloads_monitored_host(once):
+    def scenario():
+        rows = []
+        for i, n in enumerate(CONSUMER_COUNTS):
+            rows.append((n, with_gateway(n, seed=601 + i),
+                         without_gateway(n, seed=651 + i)))
+        return rows
+
+    rows = once(scenario)
+    table = []
+    for n, gw_cost, direct_cost in rows:
+        table.append((f"{n:>2} consumers: producer msgs (gateway)",
+                      "flat in consumers", f"{gw_cost}"))
+        table.append((f"{n:>2} consumers: producer msgs (no gateway)",
+                      "grows with consumers", f"{direct_cost}"))
+    report("E6", "§2.3 — event gateway scalability", table)
+
+    gw_costs = [g for _, g, _ in rows]
+    direct_costs = [d for _, _, d in rows]
+    # with a gateway, producer cost is flat: 64 consumers cost the same
+    # as 1 (each event leaves the host exactly once)
+    assert max(gw_costs) <= 1.1 * min(gw_costs) + 2
+    # without one, cost scales with the consumer count
+    assert direct_costs[-1] > 30 * direct_costs[0] / CONSUMER_COUNTS[-1] * 10
+    assert direct_costs[-1] > 10 * gw_costs[-1]
+
+
+def test_no_consumers_no_traffic(once):
+    """§2.3: nothing leaves the host for unsubscribed sensors."""
+    def scenario():
+        world, hosts = matisse_topology(seed=699)
+        producer = hosts["servers"][0]
+        jamm = JAMMDeployment(world)
+        gw = jamm.add_gateway("gw0", host=hosts["gateway_host"])
+        config = JAMMConfig()
+        config.add_sensor("vmstat", "vmstat", period=1.0)
+        jamm.add_manager(producer, config=config, gateway=gw)
+        world.run(until=0.5)
+        base = world.transport.per_host_sent.get(producer.name, 0)
+        world.run(until=30.0)
+        sensor = jamm.managers[producer.name].sensors["vmstat"]
+        return (world.transport.per_host_sent.get(producer.name, 0) - base,
+                sensor.events_dropped)
+
+    sent, dropped = once(scenario)
+    report("E6b", "§2.3 — no consumer, no event traffic", [
+        ("messages from monitored host", "0", f"{sent}"),
+        ("events dropped at source", ">0 (sensor ran)", f"{dropped}"),
+    ])
+    assert sent == 0
+    assert dropped > 0

@@ -1,0 +1,87 @@
+"""[E15] §3.0: the RMI agent lifecycle JAMM relies on.
+
+Paper: "Activatable RMI objects can be loaded and run simply by
+invoking one of their methods, and will unload themselves automatically
+after a period of inactivity.  RMI objects can be dynamically
+downloaded from an HTTP server every time the RMI daemon is restarted,
+making software updates trivial."
+"""
+
+from repro.simgrid import (ActivationSpec, GridWorld, HTTPServer, RMIDaemon)
+
+from .conftest import report
+
+
+class AgentV1:
+    VERSION_TAG = "v1"
+
+    def __init__(self):
+        self.calls = 0
+
+    def ping(self):
+        self.calls += 1
+        return self.VERSION_TAG
+
+
+class AgentV2(AgentV1):
+    VERSION_TAG = "v2"
+
+
+def run_scenario():
+    world = GridWorld(seed=1501)
+    host = world.add_host("agents.lbl.gov")
+    client = world.add_host("ops.lbl.gov")
+    world.lan([host, client], switch="sw")
+    codebase = HTTPServer(world.sim, host, world.transport)
+    codebase.put("/classes/Agent", {"factory": lambda d: AgentV1()})
+    daemon = RMIDaemon(world.sim, host, world.transport,
+                       codebase_server=codebase, sweep_interval=10.0)
+    daemon.bind_activatable(ActivationSpec(
+        name="sensor-manager", class_name="Agent", idle_timeout=60.0))
+
+    trace = {}
+    trace["inactive_initially"] = not daemon.is_active("sensor-manager")
+    # activation on first call
+    trace["first_call"] = daemon.invoke_local("sensor-manager", "ping")
+    trace["active_after_call"] = daemon.is_active("sensor-manager")
+    trace["version_1"] = daemon.loaded_version("sensor-manager")
+    # remote invocation from another host
+    ref = daemon.lookup_ref(client, "sensor-manager")
+    flag = ref.invoke("ping")
+    world.run(until=1.0)
+    trace["remote_call"] = flag.value
+    # idle unload
+    world.run(until=120.0)
+    trace["unloaded_after_idle"] = not daemon.is_active("sensor-manager")
+    # software update: publish v2, restart the daemon, re-invoke
+    codebase.put("/classes/Agent", {"factory": lambda d: AgentV2()})
+    trace["still_v1_before_restart"] = daemon.loaded_version("sensor-manager")
+    daemon.restart()
+    trace["call_after_restart"] = daemon.invoke_local("sensor-manager", "ping")
+    trace["version_2"] = daemon.loaded_version("sensor-manager")
+    trace["activations"] = daemon.export("sensor-manager").activations
+    return trace
+
+
+def test_activatable_agent_lifecycle(once):
+    t = once(run_scenario)
+    report("E15", "§3.0 — activatable RMI agents + codebase updates", [
+        ("inactive before first call", "yes", f"{t['inactive_initially']}"),
+        ("activated by invocation", "yes", f"{t['active_after_call']}"),
+        ("remote invocation result", "v1", f"{t['remote_call']}"),
+        ("unloads after inactivity", "yes", f"{t['unloaded_after_idle']}"),
+        ("code version before restart", "1 (old code)",
+         f"{t['still_v1_before_restart']}"),
+        ("result after restart", "v2 (trivial software update)",
+         f"{t['call_after_restart']}"),
+        ("total activations", "2", f"{t['activations']}"),
+    ])
+    assert t["inactive_initially"]
+    assert t["first_call"] == "v1"
+    assert t["active_after_call"]
+    assert t["remote_call"] == "v1"
+    assert t["unloaded_after_idle"]
+    assert t["version_1"] == 1
+    assert t["call_after_restart"] == "v2"
+    assert t["version_2"] == 2
+    assert t["activations"] == 2

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This repo is installed with ``pip install -e .`` in an offline
+environment without the ``wheel`` package, so the PEP 517 editable
+build is unavailable; pip uses this file's ``setup.py develop`` path
+instead.  All metadata lives in pyproject.toml's ``[project]`` table —
+setuptools >= 61 reads it from there.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""repro — reproduction of "A Monitoring Sensor Management System for
+Grid Environments" (Tierney et al., HPDC 2000): the JAMM monitoring
+system, the NetLogger Toolkit, and the simulated Grid substrate they
+run on.
+
+Packages
+--------
+``repro.simgrid``
+    Discrete-event grid substrate: hosts, network, TCP, clocks, SNMP,
+    RMI-style remote objects, HTTP.
+``repro.ulm``
+    The Universal Logger Message format (ASCII, binary, XML).
+``repro.netlogger``
+    NetLogger Toolkit: client API, collection tools, lifelines, nlv.
+``repro.core``
+    JAMM itself: sensors, managers, port monitor, gateways, directory,
+    consumers, archives, security.
+``repro.apps``
+    Workloads driving the paper's evaluation: DPSS, Matisse, iperf,
+    FTP, the network-aware client.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,23 @@
+"""apps — the workloads driving the paper's evaluation (§6, §7.0).
+
+DPSS storage cluster, the Matisse MEMS-video pipeline, iperf-style
+throughput tests, FTP sessions (port-monitor trigger food), and the
+network-aware client that tunes its TCP buffer from published
+summaries.
+"""
+
+from .dpss import BLOCK_SIZE, DPSS_BASE_PORT, DPSSCluster, DPSSSession
+from .ftp import FTP_CONTROL_PORT, FTP_DATA_PORT, FTPServer, ftp_transfer
+from .iperf import IPERF_PORT, IperfResult, run_iperf
+from .matisse import FRAME_BYTES, MatisseViewer
+from .netaware import (DEFAULT_BUFFER, NetworkAwareClient,
+                       publish_path_summary)
+from .pipeline import MatissePipeline
+
+__all__ = [
+    "BLOCK_SIZE", "DEFAULT_BUFFER", "DPSS_BASE_PORT", "DPSSCluster",
+    "DPSSSession", "FRAME_BYTES", "FTP_CONTROL_PORT", "FTP_DATA_PORT",
+    "FTPServer", "IPERF_PORT", "IperfResult", "MatissePipeline", "MatisseViewer",
+    "NetworkAwareClient", "ftp_transfer", "publish_path_summary",
+    "run_iperf",
+]

@@ -1,0 +1,183 @@
+"""DPSS — the Distributed Parallel Storage System model (paper §6, [23]).
+
+The Matisse data "was stored on a Distributed Parallel Storage System
+(DPSS) at LBNL": a block-oriented storage cluster whose servers stripe
+a data set and stream blocks to clients over parallel TCP connections.
+"The client was reading data from four DPSS servers" — the four-socket
+configuration at the heart of the §6 anomaly — and the fix was "using
+a single DPSS server instead of four servers, (and thus one data
+socket instead of four)".
+
+The model keeps the pieces that matter to JAMM's sensors:
+
+* per-server persistent TCP data sockets (so the multi-socket receive
+  path and its retransmissions appear at the client NIC);
+* striped reads (each read is split across the session's servers);
+* read() syscall-size modelling at the client (Fig. 3's bimodal
+  scatter): each TCP round's arrival drains through a fixed-size
+  socket buffer, so read() returns cluster at the buffer size with a
+  tail of small remainder reads;
+* NetLogger instrumentation hooks (DPSS_START_READ / DPSS_END_READ)
+  and server-side I/O accounting for iostat sensors.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional, Sequence
+
+from ..simgrid.host import Host
+from ..simgrid.kernel import AllOf, EventFlag
+from ..simgrid.world import GridWorld
+
+__all__ = ["DPSSCluster", "DPSSSession", "DPSS_BASE_PORT", "BLOCK_SIZE"]
+
+DPSS_BASE_PORT = 7000
+#: DPSS's native block size (64 KB in the real system)
+BLOCK_SIZE = 64 * 1024
+
+_session_ids = itertools.count(1)
+
+
+class DPSSCluster:
+    """The server side: a set of hosts acting as DPSS block servers."""
+
+    def __init__(self, world: GridWorld, servers: Sequence[Host], *,
+                 block_size: int = BLOCK_SIZE):
+        if not servers:
+            raise ValueError("DPSS needs at least one server host")
+        self.world = world
+        self.servers = list(servers)
+        self.block_size = block_size
+        self.sessions: list["DPSSSession"] = []
+
+    def open_session(self, client: Host, *, n_servers: Optional[int] = None,
+                     rwnd_bytes: int = 1 << 20,
+                     read_buffer: int = BLOCK_SIZE,
+                     netlogger: Any = None,
+                     burst_loss_prob: float = 0.0) -> "DPSSSession":
+        """Open data sockets from ``n_servers`` servers to the client.
+
+        ``n_servers=1`` vs ``4`` is exactly the paper's §6 experiment.
+        """
+        use = self.servers[:n_servers] if n_servers else self.servers
+        session = DPSSSession(self, client, use, rwnd_bytes=rwnd_bytes,
+                              read_buffer=read_buffer, netlogger=netlogger,
+                              burst_loss_prob=burst_loss_prob)
+        self.sessions.append(session)
+        return session
+
+
+class DPSSSession:
+    """One client's striped-read session."""
+
+    #: bytes available per kernel wakeup when draining a partial buffer
+    WAKEUP_BYTES = 8 * 1460
+
+    def __init__(self, cluster: DPSSCluster, client: Host,
+                 servers: Sequence[Host], *, rwnd_bytes: int,
+                 read_buffer: int, netlogger: Any = None,
+                 burst_loss_prob: float = 0.0):
+        self.cluster = cluster
+        self.client = client
+        self.servers = list(servers)
+        self.session_id = next(_session_ids)
+        self.read_buffer = read_buffer
+        self.netlogger = netlogger
+        self.sim = cluster.world.sim
+        #: sizes returned by each modelled client read() syscall (Fig. 3)
+        self.read_sizes: list[tuple[float, int]] = []
+        self.reads_issued = 0
+        self.bytes_read = 0
+        self._residual = 0  # bytes sitting in the socket buffer
+        self.flows = []
+        for i, server in enumerate(self.servers):
+            flow = cluster.world.tcp_flow(
+                server, client, dst_port=DPSS_BASE_PORT + i,
+                rng_name=f"dpss:{self.session_id}:{i}",
+                rwnd_bytes=rwnd_bytes, burst_loss_prob=burst_loss_prob)
+            flow.on_progress(self._on_arrival)
+            flow.open_persistent()
+            self.flows.append(flow)
+
+    # -- read()-size modelling (Fig. 3) ------------------------------------------
+
+    def _on_arrival(self, _flow, nbytes: int) -> None:
+        """Drain one TCP round's arrival through the socket buffer.
+
+        Full-buffer drains return exactly ``read_buffer`` bytes; the
+        leftover returns as one smaller read when the stream pauses —
+        producing the two distinct clusters the paper observed.
+        """
+        self._residual += nbytes
+        now = self.sim.now
+        while self._residual >= self.read_buffer:
+            self.read_sizes.append((now, self.read_buffer))
+            self._residual -= self.read_buffer
+        # The remainder drains in kernel-wakeup-sized chunks (a few MSS
+        # per wakeup), so small reads cluster near WAKEUP_BYTES — giving
+        # the two distinct clusters of Fig. 3 (full buffer + small read).
+        while self._residual >= self.WAKEUP_BYTES:
+            self.read_sizes.append((now, self.WAKEUP_BYTES))
+            self._residual -= self.WAKEUP_BYTES
+        if self._residual > 0:
+            self.read_sizes.append((now, self._residual))
+            self._residual = 0
+
+    # -- striped reads -----------------------------------------------------------------
+
+    def read(self, nbytes: int) -> EventFlag:
+        """Striped read of ``nbytes``; the flag triggers when every
+        stripe has arrived."""
+        if nbytes <= 0:
+            raise ValueError("read size must be positive")
+        self.reads_issued += 1
+        self.bytes_read += nbytes
+        if self.netlogger is not None:
+            self.netlogger.write("DPSS_START_READ", DPSS_SZ=nbytes,
+                                 DPSS_SESS=self.session_id)
+        block = self.cluster.block_size
+        nblocks = max(1, (nbytes + block - 1) // block)
+        per_server = [0] * len(self.flows)
+        for b in range(nblocks):
+            size = min(block, nbytes - b * block)
+            per_server[b % len(self.flows)] += size
+        flags = []
+        for flow, server, share in zip(self.flows, self.servers, per_server):
+            if share <= 0:
+                continue
+            server.io_counters["reads"] += (share + block - 1) // block
+            server.io_counters["read_bytes"] += share
+            flags.append(flow.request(share))
+        done = EventFlag(self.sim, name=f"dpss-read{self.reads_issued}")
+
+        def finish(_values) -> None:
+            if self.netlogger is not None:
+                self.netlogger.write("DPSS_END_READ", DPSS_SZ=nbytes,
+                                     DPSS_SESS=self.session_id)
+            done.trigger(nbytes)
+
+        gather = self.sim.spawn(self._gather(flags, finish),
+                                name=f"dpss-gather{self.reads_issued}")
+        return done
+
+    @staticmethod
+    def _gather(flags, finish):
+        values = yield AllOf(flags)
+        finish(values)
+
+    # -- stats / teardown --------------------------------------------------------------------
+
+    def total_retransmits(self) -> int:
+        return sum(f.stats.retransmits for f in self.flows)
+
+    def aggregate_throughput_bps(self, t0: float, t1: float) -> float:
+        return sum(f.stats.throughput_bps(t0, t1) for f in self.flows)
+
+    def close(self) -> None:
+        for flow in self.flows:
+            flow.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<DPSSSession #{self.session_id} servers={len(self.servers)} "
+                f"reads={self.reads_issued}>")

@@ -1,0 +1,102 @@
+"""Network-aware client (paper §7.0, [23]).
+
+"network sensors publish summary throughput and latency data in the
+directory service, which is used by a 'network-aware' client to
+optimally set its TCP buffer size."
+
+The client reads the published path summary (or queries a gateway's
+summary service), computes the bandwidth-delay product, sizes its TCP
+receive window accordingly, and runs its transfer.  Experiment E12
+compares it against a default-64KB-buffer client on the WAN.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..simgrid.host import Host
+from ..simgrid.kernel import WaitEvent
+from ..simgrid.world import GridWorld
+
+__all__ = ["NetworkAwareClient", "publish_path_summary", "DEFAULT_BUFFER"]
+
+#: the era's default TCP socket buffer
+DEFAULT_BUFFER = 64 * 1024
+
+
+def publish_path_summary(directory: Any, *, src: str, dst: str,
+                         throughput_bps: float, latency_s: float,
+                         suffix: str = "o=grid") -> None:
+    """Publish a network summary entry for the (src, dst) path —
+    what the summary data service in Fig. 6 exposes."""
+    dn = f"path={src}--{dst},ou=netsummary,{suffix}"
+    directory.publish(dn, {
+        "objectclass": "netsummary",
+        "src": src, "dst": dst,
+        "throughput": f"{throughput_bps:.0f}",
+        "latency": f"{latency_s:.6f}"})
+
+
+class NetworkAwareClient:
+    """Sizes its receive buffer from published path summaries."""
+
+    def __init__(self, world: GridWorld, host: Host, *,
+                 directory: Any = None, suffix: str = "o=grid",
+                 safety_factor: float = 1.2,
+                 max_buffer: int = 4 << 20):
+        self.world = world
+        self.host = host
+        self.directory = directory
+        self.suffix = suffix
+        self.safety_factor = safety_factor
+        self.max_buffer = max_buffer
+        self.last_buffer: Optional[int] = None
+
+    # -- buffer sizing -------------------------------------------------------
+
+    def lookup_path_summary(self, src: str, dst: str) -> Optional[dict]:
+        if self.directory is None:
+            return None
+        result = self.directory.search(
+            f"ou=netsummary,{self.suffix}",
+            f"(&(objectclass=netsummary)(src={src})(dst={dst}))")
+        if not result.entries:
+            return None
+        entry = result.entries[0]
+        return {"throughput": float(entry.first("throughput", "0")),
+                "latency": float(entry.first("latency", "0"))}
+
+    def optimal_buffer(self, src: str, dst: str) -> int:
+        """Bandwidth-delay product (with safety margin), or the default
+        when no summary is available."""
+        summary = self.lookup_path_summary(src, dst)
+        if summary is None or summary["throughput"] <= 0:
+            return DEFAULT_BUFFER
+        bdp = summary["throughput"] * (2.0 * summary["latency"]) / 8.0
+        sized = int(bdp * self.safety_factor)
+        return max(DEFAULT_BUFFER, min(self.max_buffer, sized))
+
+    # -- transfers ------------------------------------------------------------------
+
+    def fetch(self, server: Host, *, nbytes: int, dst_port: int = 7500,
+              tuned: bool = True):
+        """Pull ``nbytes`` from ``server``; returns the kernel process.
+
+        ``tuned=False`` is the baseline (default buffer) arm of E12.
+        The process return value is the flow's stats.
+        """
+        if tuned:
+            buffer = self.optimal_buffer(server.name, self.host.name)
+        else:
+            buffer = DEFAULT_BUFFER
+        self.last_buffer = buffer
+        flow = self.world.tcp_flow(server, self.host, dst_port=dst_port,
+                                   rng_name=f"netaware:{dst_port}:{tuned}",
+                                   rwnd_bytes=buffer)
+
+        def run():
+            flow.transfer(nbytes)
+            stats = yield WaitEvent(flow.done)
+            return stats
+
+        return self.world.sim.spawn(run(), name=f"netaware[{self.host.name}]")

@@ -1,0 +1,47 @@
+"""core — JAMM: Java Agents for Monitoring and Management (paper §2).
+
+The paper's primary contribution: sensors, sensor managers, the port
+monitor agent, event gateways (filters + summaries + access control),
+the sensor directory service, the four consumer types, event archives,
+and the security layer.  :class:`repro.core.jamm.JAMMDeployment` wires
+a complete system over a simulated grid.
+"""
+
+from .archive import ArchiveQuery, EventArchive, SamplingPolicy
+from .config import (ConfigError, JAMMConfig, MODES, PortMonitorConfig,
+                     SensorConfig)
+from .consumers import (ArchiverAgent, AutoCollector, Consumer, EventCollector,
+                        OverviewMonitor, OverviewRule,
+                        ProcessMonitorConsumer, all_hosts_down)
+from .filters import (AllEvents, AndAll, Delta, EventFilter, EventNames,
+                      FilterSpecError, OnChange, RateLimit, Threshold,
+                      filter_from_dict)
+from .forecast import Forecast, Forecaster, forecast_archive_series
+from .gateway import EventGateway, GATEWAY_PORT, GatewayError, INTAKE_PORT
+from .history import (EventTypeStats, PeriodDelta, PeriodSummary,
+                      compare_periods, find_change_points, summarize_period)
+from .gui import (PortMonitorGUI, SensorControlGUI, SensorDataGUI,
+                  ascii_bar_chart, render_table)
+from .jamm import JAMMDeployment
+from .manager import ManagerError, SensorManager
+from .portmon import PortMonitorAgent
+from .summaries import (DEFAULT_WINDOWS, SummaryService, SummarySet,
+                        SummaryWindow)
+
+__all__ = [
+    "AllEvents", "AndAll", "ArchiveQuery", "ArchiverAgent", "AutoCollector",
+    "ConfigError",
+    "Consumer", "DEFAULT_WINDOWS", "Delta", "EventArchive", "EventCollector",
+    "EventFilter", "EventGateway", "EventNames", "EventTypeStats",
+    "FilterSpecError", "Forecast", "Forecaster", "PeriodDelta",
+    "PeriodSummary", "compare_periods", "find_change_points",
+    "forecast_archive_series", "summarize_period",
+    "GATEWAY_PORT", "GatewayError", "INTAKE_PORT", "JAMMConfig",
+    "JAMMDeployment", "MODES", "ManagerError", "OnChange",
+    "OverviewMonitor", "OverviewRule", "PortMonitorAgent",
+    "PortMonitorConfig", "PortMonitorGUI", "ProcessMonitorConsumer", "RateLimit",
+    "SensorControlGUI", "SensorDataGUI", "ascii_bar_chart", "render_table",
+    "SamplingPolicy", "SensorConfig", "SensorManager", "SummaryService",
+    "SummarySet", "SummaryWindow", "Threshold", "all_hosts_down",
+    "filter_from_dict",
+]

@@ -1,0 +1,136 @@
+"""Event archives (paper §2.2).
+
+"It is important to archive event data in order to provide the ability
+to do historical analysis of system performance ... While it may not be
+desirable to archive all monitoring data, it is necessary to archive a
+good sampling of both 'normal' and 'abnormal' system operation."
+
+:class:`SamplingPolicy` implements that: abnormal events (by LVL, or by
+event-name patterns) are always kept; normal events are kept at a
+configurable sampling fraction.  The archive itself is "just another
+consumer" — see :class:`repro.core.consumers.archiver.ArchiverAgent`.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..ulm import ULMMessage
+
+__all__ = ["EventArchive", "SamplingPolicy", "ArchiveQuery"]
+
+ABNORMAL_LEVELS = frozenset({"Emergency", "Alert", "Error", "Warning",
+                             "Security"})
+
+
+@dataclass
+class SamplingPolicy:
+    """What gets archived.
+
+    ``normal_fraction`` = 1.0 archives everything; 0.1 keeps every 10th
+    normal event (deterministic stride, so runs reproduce).  Events with
+    an abnormal LVL, or whose name matches ``always_keep`` globs, bypass
+    sampling.
+    """
+
+    normal_fraction: float = 1.0
+    always_keep: tuple = ("*ERROR*", "*CRASH*", "PROC_EXIT", "TCPD_*")
+    abnormal_levels: frozenset = ABNORMAL_LEVELS
+    _counter: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.normal_fraction <= 1.0):
+            raise ValueError("normal_fraction must be in [0, 1]")
+
+    def admits(self, msg: ULMMessage) -> bool:
+        if msg.lvl in self.abnormal_levels:
+            return True
+        name = msg.event or ""
+        if any(fnmatch.fnmatchcase(name, pat) for pat in self.always_keep):
+            return True
+        if self.normal_fraction >= 1.0:
+            return True
+        if self.normal_fraction <= 0.0:
+            return False
+        self._counter += 1
+        stride = round(1.0 / self.normal_fraction)
+        return (self._counter % stride) == 0
+
+
+@dataclass(frozen=True)
+class ArchiveQuery:
+    """Historical query parameters."""
+
+    t0: float = float("-inf")
+    t1: float = float("inf")
+    host: Optional[str] = None
+    event: Optional[str] = None
+    lvl: Optional[str] = None
+
+    def matches(self, msg: ULMMessage) -> bool:
+        if not (self.t0 <= msg.date <= self.t1):
+            return False
+        if self.host is not None and msg.host != self.host:
+            return False
+        if self.event is not None and msg.event != self.event:
+            return False
+        if self.lvl is not None and msg.lvl != self.lvl:
+            return False
+        return True
+
+
+class EventArchive:
+    """Append-only archived event store with simple indexes."""
+
+    def __init__(self, name: str = "archive0",
+                 policy: Optional[SamplingPolicy] = None):
+        self.name = name
+        self.policy = policy if policy is not None else SamplingPolicy()
+        self.messages: list[ULMMessage] = []
+        self.rejected = 0
+        self._by_host: dict[str, list[int]] = {}
+        self._by_event: dict[str, list[int]] = {}
+
+    def append(self, msg: ULMMessage) -> bool:
+        """Offer one event; returns True if archived (policy admits)."""
+        if not self.policy.admits(msg):
+            self.rejected += 1
+            return False
+        idx = len(self.messages)
+        self.messages.append(msg)
+        self._by_host.setdefault(msg.host, []).append(idx)
+        if msg.event:
+            self._by_event.setdefault(msg.event, []).append(idx)
+        return True
+
+    def extend(self, messages: Iterable[ULMMessage]) -> int:
+        return sum(1 for m in messages if self.append(m))
+
+    def query(self, query: Optional[ArchiveQuery] = None, **kwargs) -> list[ULMMessage]:
+        """Historical search; use the narrowest index available."""
+        q = query if query is not None else ArchiveQuery(**kwargs)
+        candidates: Iterable[ULMMessage]
+        if q.event is not None and q.event in self._by_event:
+            candidates = (self.messages[i] for i in self._by_event[q.event])
+        elif q.host is not None and q.host in self._by_host:
+            candidates = (self.messages[i] for i in self._by_host[q.host])
+        else:
+            candidates = self.messages
+        return [m for m in candidates if q.matches(m)]
+
+    def hosts(self) -> list[str]:
+        return sorted(self._by_host)
+
+    def event_names(self) -> list[str]:
+        return sorted(self._by_event)
+
+    def time_span(self) -> tuple[float, float]:
+        if not self.messages:
+            return (0.0, 0.0)
+        dates = [m.date for m in self.messages]
+        return (min(dates), max(dates))
+
+    def __len__(self) -> int:
+        return len(self.messages)

@@ -1,0 +1,204 @@
+"""Sensor configuration files (paper §2.2 "sensor manager").
+
+"Sensors to be run are specified by a configuration file, which may be
+local or on a remote HTTP server.  Sensors can be configured to run
+always, when requested by a sensor manager GUI, or when requested by
+the port monitor agent."
+
+Text format (INI-like)::
+
+    [sensor cpu]
+    type = cpu
+    mode = always
+    period = 1.0
+
+    [sensor netmon]
+    type = netstat
+    mode = on-demand
+    ports = 2049, 7000
+    period = 1.0
+
+    [portmon]
+    poll = 1.0
+    idle-timeout = 30.0
+
+Modes: ``always`` (started at config load), ``on-demand`` (started by
+the port monitor when one of ``ports`` shows traffic), ``manual``
+(started only by explicit request, e.g. the Sensor Control GUI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["SensorConfig", "PortMonitorConfig", "JAMMConfig", "ConfigError",
+           "MODES"]
+
+MODES = ("always", "on-demand", "manual")
+
+
+class ConfigError(ValueError):
+    pass
+
+
+@dataclass
+class SensorConfig:
+    """One ``[sensor NAME]`` stanza."""
+
+    name: str
+    sensor_type: str
+    mode: str = "always"
+    period: Optional[float] = None
+    ports: tuple = ()
+    args: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ConfigError(f"sensor {self.name!r}: bad mode {self.mode!r}")
+        if self.mode == "on-demand" and not self.ports:
+            raise ConfigError(
+                f"sensor {self.name!r}: on-demand mode needs ports=")
+        if self.period is not None and self.period <= 0:
+            raise ConfigError(f"sensor {self.name!r}: period must be positive")
+
+
+@dataclass
+class PortMonitorConfig:
+    """The ``[portmon]`` stanza."""
+
+    poll: float = 1.0
+    idle_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.poll <= 0 or self.idle_timeout <= 0:
+            raise ConfigError("portmon intervals must be positive")
+
+
+@dataclass
+class JAMMConfig:
+    """A parsed configuration file."""
+
+    sensors: dict = field(default_factory=dict)      # name -> SensorConfig
+    portmon: Optional[PortMonitorConfig] = None
+
+    # -- parsing ---------------------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text: str) -> "JAMMConfig":
+        config = cls()
+        section: Optional[str] = None
+        pending: dict = {}
+
+        def finish() -> None:
+            nonlocal pending, section
+            if section is None:
+                return
+            if section == "portmon":
+                config.portmon = PortMonitorConfig(
+                    poll=float(pending.get("poll", 1.0)),
+                    idle_timeout=float(pending.get("idle-timeout", 30.0)))
+            else:
+                config.sensors[section] = _sensor_from_pairs(section, pending)
+            pending = {}
+
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if line.startswith("["):
+                if not line.endswith("]"):
+                    raise ConfigError(f"line {lineno}: unterminated section")
+                finish()
+                header = line[1:-1].strip()
+                if header == "portmon":
+                    section = "portmon"
+                elif header.startswith("sensor "):
+                    section = header[len("sensor "):].strip()
+                    if not section:
+                        raise ConfigError(f"line {lineno}: empty sensor name")
+                    if section in config.sensors:
+                        raise ConfigError(
+                            f"line {lineno}: duplicate sensor {section!r}")
+                else:
+                    raise ConfigError(f"line {lineno}: bad section {header!r}")
+                continue
+            if section is None:
+                raise ConfigError(f"line {lineno}: key outside a section")
+            key, sep, value = line.partition("=")
+            if not sep:
+                raise ConfigError(f"line {lineno}: expected key = value")
+            pending[key.strip().lower()] = value.strip()
+        finish()
+        return config
+
+    def to_text(self) -> str:
+        lines = []
+        for name in sorted(self.sensors):
+            sensor = self.sensors[name]
+            lines.append(f"[sensor {name}]")
+            lines.append(f"type = {sensor.sensor_type}")
+            lines.append(f"mode = {sensor.mode}")
+            if sensor.period is not None:
+                lines.append(f"period = {sensor.period}")
+            if sensor.ports:
+                lines.append("ports = " + ", ".join(map(str, sensor.ports)))
+            for key, value in sorted(sensor.args.items()):
+                lines.append(f"{key} = {value}")
+            lines.append("")
+        if self.portmon is not None:
+            lines.append("[portmon]")
+            lines.append(f"poll = {self.portmon.poll}")
+            lines.append(f"idle-timeout = {self.portmon.idle_timeout}")
+            lines.append("")
+        return "\n".join(lines)
+
+    # -- construction helpers ----------------------------------------------------
+
+    def add_sensor(self, name: str, sensor_type: str, *, mode: str = "always",
+                   period: Optional[float] = None, ports: tuple = (),
+                   **args) -> SensorConfig:
+        if name in self.sensors:
+            raise ConfigError(f"duplicate sensor {name!r}")
+        sensor = SensorConfig(name=name, sensor_type=sensor_type, mode=mode,
+                              period=period, ports=tuple(ports), args=args)
+        self.sensors[name] = sensor
+        return sensor
+
+    def enable_portmon(self, *, poll: float = 1.0,
+                       idle_timeout: float = 30.0) -> PortMonitorConfig:
+        self.portmon = PortMonitorConfig(poll=poll, idle_timeout=idle_timeout)
+        return self.portmon
+
+    def on_demand_ports(self) -> dict:
+        """port -> [sensor names] trigger map for the port monitor."""
+        rules: dict[int, list[str]] = {}
+        for sensor in self.sensors.values():
+            if sensor.mode != "on-demand":
+                continue
+            for port in sensor.ports:
+                rules.setdefault(int(port), []).append(sensor.name)
+        return rules
+
+
+def _sensor_from_pairs(name: str, pairs: dict) -> SensorConfig:
+    known = {"type", "mode", "period", "ports"}
+    if "type" not in pairs:
+        raise ConfigError(f"sensor {name!r}: missing type")
+    ports: tuple = ()
+    if "ports" in pairs:
+        try:
+            ports = tuple(int(p.strip()) for p in pairs["ports"].split(",")
+                          if p.strip())
+        except ValueError as exc:
+            raise ConfigError(f"sensor {name!r}: bad ports list") from exc
+    period = None
+    if "period" in pairs:
+        try:
+            period = float(pairs["period"])
+        except ValueError as exc:
+            raise ConfigError(f"sensor {name!r}: bad period") from exc
+    args = {k: v for k, v in pairs.items() if k not in known}
+    return SensorConfig(name=name, sensor_type=pairs["type"],
+                        mode=pairs.get("mode", "always"), period=period,
+                        ports=ports, args=args)

@@ -1,0 +1,21 @@
+"""consumers — the four JAMM event-consumer types (paper §2.2).
+
+Event collector (feeds nlv/NetLogger), archiver agent, process monitor
+(restart/email/page actions), and overview monitor (multi-host
+decisions).
+"""
+
+from .archiver import ArchiverAgent
+from .autocollector import AutoCollector
+from .base import Consumer, ConsumerError
+from .collector import EventCollector
+from .overview import OverviewMonitor, OverviewRule, all_hosts_down
+from .procmon import (ActionRecord, EmailAction, PagerAction,
+                      ProcessMonitorConsumer, RestartAction)
+
+__all__ = [
+    "ActionRecord", "ArchiverAgent", "AutoCollector", "Consumer", "ConsumerError",
+    "EmailAction", "EventCollector", "OverviewMonitor", "OverviewRule",
+    "PagerAction", "ProcessMonitorConsumer", "RestartAction",
+    "all_hosts_down",
+]

@@ -1,0 +1,88 @@
+"""The archiver agent (paper §2.2).
+
+"This consumer is used to collect data for an archive service.  It
+subscribes to the logging agents, collects the event data, and places
+it in the archive.  It also creates an archive directory service entry
+indicating the contents of the archive."
+
+"The JAMM architecture provides a flexible method for selecting what
+gets archived, because the archive is just another consumer."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ...ulm import ULMMessage
+from ..archive import EventArchive, SamplingPolicy
+from .base import Consumer
+
+__all__ = ["ArchiverAgent"]
+
+
+class ArchiverAgent(Consumer):
+    """Subscribes like any consumer; stores admitted events in an archive."""
+
+    consumer_type = "archiver"
+
+    def __init__(self, sim, *, archive: Optional[EventArchive] = None,
+                 policy: Optional[SamplingPolicy] = None,
+                 publish_interval: float = 60.0, **kwargs):
+        super().__init__(sim, **kwargs)
+        self.archive = archive if archive is not None else \
+            EventArchive(name=f"{self.name}.store", policy=policy)
+        self.publish_interval = publish_interval
+        self.archived = 0
+        self._dirty = False
+        self._publisher = None
+
+    def subscribe_all(self, filter_text: str = "(objectclass=sensor)", *,
+                      event_filter: Any = None, mode: str = "stream",
+                      fmt: str = "ulm", base: Optional[str] = None) -> int:
+        opened = super().subscribe_all(filter_text, event_filter=event_filter,
+                                       mode=mode, fmt=fmt, base=base)
+        if self.directory is not None and self._publisher is None:
+            self._publisher = self.sim.spawn(self._publish_loop(),
+                                             name=f"archiver-pub[{self.name}]")
+        self.publish_catalog()
+        return opened
+
+    def on_event(self, event: ULMMessage) -> None:
+        if self.archive.append(event):
+            self.archived += 1
+            self._dirty = True
+
+    # -- archive directory entry ---------------------------------------------------
+
+    def catalog_dn(self) -> str:
+        return f"archive={self.archive.name},ou=archives,{self.suffix}"
+
+    def publish_catalog(self) -> None:
+        """Upsert the directory entry describing the archive contents."""
+        if self.directory is None:
+            return
+        t0, t1 = self.archive.time_span()
+        attrs = {"objectclass": "archive",
+                 "events": self.archive.event_names() or ["none"],
+                 "hosts": self.archive.hosts() or ["none"],
+                 "count": len(self.archive),
+                 "tstart": f"{t0:.6f}", "tend": f"{t1:.6f}"}
+        try:
+            self.directory.publish(self.catalog_dn(), attrs)
+        except Exception:
+            pass  # catalog refresh retries next interval
+
+    def _publish_loop(self):
+        from ...simgrid.kernel import Timeout
+        while True:
+            yield Timeout(self.publish_interval)
+            if self._dirty:
+                self._dirty = False
+                self.publish_catalog()
+
+    def close(self) -> None:
+        super().close()
+        if self._publisher is not None and self._publisher.alive:
+            self._publisher.kill()
+            self._publisher = None
+        self.publish_catalog()

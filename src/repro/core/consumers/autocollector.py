@@ -1,0 +1,85 @@
+"""Auto-subscribing collector driven by LDAPv3 persistent search.
+
+Paper §2.2: "We are also interested in exploring the 'event
+notification' service of LDAPv3 as soon as it is available.  This
+service lets a client register interest in an entry (i.e., sensor
+running) with the LDAP server, and LDAP will notify the client when
+that entry becomes available or is updated."
+
+The :class:`AutoCollector` registers a persistent search on the sensor
+subtree; when a matching sensor entry appears (or flips to
+``status=running``) it subscribes immediately — no polling loop, no
+missed sensors.  This is the paper's "future work" feature, built.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .collector import EventCollector
+
+__all__ = ["AutoCollector"]
+
+
+class AutoCollector(EventCollector):
+    """An event collector that follows directory notifications."""
+
+    consumer_type = "autocollector"
+
+    def __init__(self, sim, **kwargs):
+        super().__init__(sim, **kwargs)
+        self._watch_filter: Optional[str] = None
+        self._event_filter_proto: Any = None
+        self._psearch_id: Optional[int] = None
+        self._subscribed_keys: set[str] = set()
+        self.notifications = 0
+
+    def watch(self, filter_text: str = "(objectclass=sensor)", *,
+              event_filter: Any = None,
+              base: Optional[str] = None) -> int:
+        """Subscribe to current matches and to every future one.
+
+        Returns the number of *immediate* subscriptions; later arrivals
+        are handled by the persistent-search notification.
+        """
+        self._watch_filter = filter_text
+        self._event_filter_proto = event_filter
+        base = base or f"ou=sensors,{self.suffix}"
+        opened = 0
+        for entry in self.discover(filter_text, base=base):
+            opened += self._maybe_subscribe(entry)
+        self._psearch_id = self.directory.persistent_search(
+            base, filter_text, self._on_notification)
+        return opened
+
+    def _maybe_subscribe(self, entry) -> int:
+        key = entry.first("sensorkey") or str(entry.dn)
+        if key in self._subscribed_keys:
+            return 0
+        if entry.first("status") == "stopped":
+            return 0
+        flt = (self._event_filter_proto.clone()
+               if self._event_filter_proto is not None else None)
+        try:
+            self.subscribe_entry(entry, event_filter=flt)
+        except Exception:
+            return 0  # gateway unknown / not yet reachable: next update
+        self._subscribed_keys.add(key)
+        return 1
+
+    def _on_notification(self, op: str, entry) -> None:
+        """LDAP tells us a sensor entry appeared or changed."""
+        self.notifications += 1
+        if op in ("add", "modify"):
+            self._maybe_subscribe(entry)
+
+    def close(self) -> None:
+        if self._psearch_id is not None and self.directory is not None:
+            try:
+                # cancel on whichever server holds the registration
+                for server in getattr(self.directory, "servers", []):
+                    server.cancel_psearch(self._psearch_id)
+            except Exception:
+                pass
+            self._psearch_id = None
+        super().close()

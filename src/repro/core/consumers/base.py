@@ -1,0 +1,165 @@
+"""Event consumer base (paper §2.2).
+
+"An event consumer is any program that requests data from a sensor."
+The flow every consumer follows: look sensors up in the directory
+("checks the directory service to see what data is available"),
+subscribe via each sensor's event gateway, and receive the event
+stream.
+
+Delivery paths:
+
+* in-process callback, when the gateway has no network identity;
+* a bound receive port on the consumer's host, when both sides are on
+  the simulated network — the gateway pushes rendered events (ULM /
+  XML / binary) which the consumer decodes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from ...ulm import ULMMessage, decode as ulm_decode, from_xml, parse as parse_ulm
+
+__all__ = ["Consumer", "ConsumerError"]
+
+_recv_ports = itertools.count(20000)
+
+
+class ConsumerError(RuntimeError):
+    pass
+
+
+class Consumer:
+    """Base class for the four JAMM consumer types."""
+
+    consumer_type = "consumer"
+
+    def __init__(self, sim, *, name: str = "", host: Any = None,
+                 directory: Any = None, resolve_gateway: Optional[Callable] = None,
+                 principal: Any = None, suffix: str = "o=grid"):
+        self.sim = sim
+        self.name = name or f"{self.consumer_type}{next(_recv_ports)}"
+        self.host = host
+        self.directory = directory
+        self.resolve_gateway = resolve_gateway
+        self.principal = principal
+        self.suffix = suffix
+        self.received = 0
+        self.decode_errors = 0
+        #: (gateway, sub_id) pairs for teardown
+        self.subscriptions: list[tuple] = []
+        self._recv_port: Optional[int] = None
+        self._extra_handlers: list[Callable[[ULMMessage], None]] = []
+
+    # -- discovery -----------------------------------------------------------
+
+    def discover(self, filter_text: str = "(objectclass=sensor)", *,
+                 base: Optional[str] = None) -> list:
+        """Directory lookup: which sensors exist, and via which gateway."""
+        if self.directory is None:
+            raise ConsumerError(f"{self.name}: no directory client")
+        base = base or f"ou=sensors,{self.suffix}"
+        return self.directory.search(base, filter_text).entries
+
+    # -- subscription -------------------------------------------------------------
+
+    def _gateway_for(self, entry) -> Any:
+        if self.resolve_gateway is None:
+            raise ConsumerError(f"{self.name}: no gateway resolver")
+        gateway = self.resolve_gateway(entry.first("gateway"),
+                                       entry.first("gatewayhost"))
+        if gateway is None:
+            raise ConsumerError(
+                f"{self.name}: unknown gateway {entry.first('gateway')!r}")
+        return gateway
+
+    def _ensure_recv_port(self) -> int:
+        if self._recv_port is None:
+            self._recv_port = next(_recv_ports)
+            self.host.ports.bind(self._recv_port, self._handle_delivery)
+        return self._recv_port
+
+    def subscribe_entry(self, entry, *, event_filter: Any = None,
+                        mode: str = "stream", fmt: str = "ulm") -> int:
+        """Subscribe to the sensor a directory entry describes."""
+        gateway = self._gateway_for(entry)
+        sensor_name = (entry.first("sensorkey") or entry.first("sensor")
+                       or entry.dn.rdn[1])
+        return self.subscribe(gateway, sensor_name, event_filter=event_filter,
+                              mode=mode, fmt=fmt)
+
+    def subscribe_all(self, filter_text: str = "(objectclass=sensor)", *,
+                      event_filter: Any = None, mode: str = "stream",
+                      fmt: str = "ulm", base: Optional[str] = None) -> int:
+        """Discover matching sensors and subscribe to each.
+
+        Stateful filters are cloned per subscription so change/threshold
+        detection stays independent per sensor.  Returns the number of
+        subscriptions opened.
+        """
+        entries = self.discover(filter_text, base=base)
+        for entry in entries:
+            flt = event_filter.clone() if event_filter is not None else None
+            self.subscribe_entry(entry, event_filter=flt, mode=mode, fmt=fmt)
+        return len(entries)
+
+    def subscribe(self, gateway, sensor_name: str, *, event_filter: Any = None,
+                  mode: str = "stream", fmt: str = "ulm") -> int:
+        use_network = (self.host is not None and gateway.host is not None
+                       and gateway.host is not self.host
+                       and gateway.transport is not None)
+        if use_network:
+            sub_id = gateway.subscribe(
+                sensor_name, mode=mode, event_filter=event_filter, fmt=fmt,
+                remote=(self.host, self._ensure_recv_port()),
+                principal=self.principal)
+        else:
+            sub_id = gateway.subscribe(
+                sensor_name, mode=mode, event_filter=event_filter, fmt=fmt,
+                callback=self._accept, principal=self.principal)
+        self.subscriptions.append((gateway, sub_id))
+        return sub_id
+
+    def unsubscribe_all(self) -> None:
+        for gateway, sub_id in self.subscriptions:
+            gateway.unsubscribe(sub_id)
+        self.subscriptions.clear()
+
+    # -- delivery ---------------------------------------------------------------------
+
+    def _handle_delivery(self, msg, _transport) -> None:
+        payload = msg.payload
+        fmt = payload.get("fmt", "ulm")
+        wire = payload.get("wire")
+        try:
+            if fmt == "ulm":
+                event = parse_ulm(wire)
+            elif fmt == "xml":
+                event = from_xml(wire)
+            elif fmt == "binary":
+                event = ulm_decode(wire)
+            else:
+                raise ValueError(f"unknown format {fmt!r}")
+        except Exception:
+            self.decode_errors += 1
+            return
+        self._accept(event)
+
+    def _accept(self, event: ULMMessage) -> None:
+        self.received += 1
+        self.on_event(event)
+        for handler in self._extra_handlers:
+            handler(event)
+
+    def add_handler(self, handler: Callable[[ULMMessage], None]) -> None:
+        self._extra_handlers.append(handler)
+
+    def on_event(self, event: ULMMessage) -> None:
+        """Subclass hook."""
+
+    def close(self) -> None:
+        self.unsubscribe_all()
+        if self._recv_port is not None and self.host is not None:
+            self.host.ports.unbind(self._recv_port)
+            self._recv_port = None

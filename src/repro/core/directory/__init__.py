@@ -1,0 +1,26 @@
+"""directory — the JAMM sensor directory service (paper §2.2).
+
+LDAP-style hierarchical entries, RFC-2254-subset search filters, a
+queued server with read- vs write-optimized backends, referrals,
+master–replica replication, persistent search, and a failover client.
+"""
+
+from .client import DirectoryClient
+from .entry import DN, DNError, Entry
+from .filterlang import (AndFilter, CompareFilter, EqualityFilter,
+                         FilterSyntaxError, NotFilter, OrFilter,
+                         PresenceFilter, SearchFilter, SubstringFilter,
+                         parse_filter)
+from .replication import ReplicatedDirectory, deploy_replicated_directory
+from .server import (Backend, DirectoryError, DirectoryServer, LDAP_PORT,
+                     LDAPBackend, MDSBackend, PersistentSearch, Referral,
+                     SearchResult)
+
+__all__ = [
+    "AndFilter", "Backend", "CompareFilter", "DirectoryClient",
+    "DirectoryError", "DirectoryServer", "DN", "DNError", "EqualityFilter",
+    "Entry", "FilterSyntaxError", "LDAP_PORT", "LDAPBackend", "MDSBackend",
+    "NotFilter", "OrFilter", "PersistentSearch", "PresenceFilter",
+    "Referral", "ReplicatedDirectory", "SearchFilter", "SearchResult",
+    "SubstringFilter", "deploy_replicated_directory", "parse_filter",
+]

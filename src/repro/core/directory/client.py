@@ -1,0 +1,139 @@
+"""Directory client: lookup/publish with replica failover and referrals.
+
+"LDAP also supports the notion of replicated servers, providing fault
+tolerance.  Replication is critical to JAMM" (§2.2).  The client holds
+an ordered server list: writes go to the first *writable* (master)
+server; reads prefer the first *up* server and fail over down the list.
+Referral chasing is supported one level deep (site directories under a
+root, per the paper's hierarchical-LDAP description).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from ...simgrid.kernel import EventFlag
+from .entry import DN, Entry
+from .server import (DirectoryError, DirectoryServer, LDAP_PORT, Referral,
+                     SearchResult)
+
+__all__ = ["DirectoryClient"]
+
+
+class DirectoryClient:
+    """In-process client used by managers, gateways, and consumers.
+
+    Operations are synchronous against the server objects (the
+    networked, queued path is exercised through
+    :meth:`search_remote` / :meth:`write_remote`, which benchmarks use
+    to measure service latency under load).
+    """
+
+    def __init__(self, servers: Iterable[DirectoryServer], *,
+                 host: Any = None, transport: Any = None,
+                 principal: Any = None,
+                 all_servers: Optional[dict] = None):
+        self.servers = list(servers)
+        if not self.servers:
+            raise ValueError("need at least one directory server")
+        self.host = host
+        self.transport = transport
+        self.principal = principal
+        #: name -> server, for referral chasing
+        self.all_servers = dict(all_servers or {})
+        for server in self.servers:
+            self.all_servers.setdefault(server.name, server)
+        self.failovers = 0
+
+    # -- server selection ---------------------------------------------------
+
+    def _read_server(self) -> DirectoryServer:
+        for i, server in enumerate(self.servers):
+            if server.up:
+                if i > 0:
+                    self.failovers += 1
+                return server
+        raise DirectoryError("no directory server is up")
+
+    def _write_server(self) -> DirectoryServer:
+        for server in self.servers:
+            if server.up and not server.is_replica:
+                return server
+        raise DirectoryError("no writable directory server is up")
+
+    # -- synchronous API -------------------------------------------------------
+
+    def search(self, base: str, filter_text: str = "(objectclass=*)", *,
+               scope: str = "sub", chase_referrals: bool = True) -> SearchResult:
+        server = self._read_server()
+        result = server.search_now(base, filter_text, scope=scope,
+                                   principal=self.principal)
+        if chase_referrals and result.referrals:
+            for ref in result.referrals:
+                target = self.all_servers.get(ref.server)
+                if target is None or not target.up:
+                    continue
+                sub = target.search_now(base, filter_text, scope=scope,
+                                        principal=self.principal)
+                known = {str(e.dn) for e in result.entries}
+                result.entries.extend(e for e in sub.entries
+                                      if str(e.dn) not in known)
+        return result
+
+    def get(self, dn: str) -> Optional[Entry]:
+        result = self.search(dn, "(objectclass=*)", scope="base",
+                             chase_referrals=False)
+        return result.entries[0] if result.entries else None
+
+    def add(self, dn: str, attributes: Optional[dict] = None) -> Entry:
+        return self._write_server().add_now(dn, attributes,
+                                            principal=self.principal)
+
+    def modify(self, dn: str, changes: dict, *, upsert: bool = False) -> Entry:
+        return self._write_server().modify_now(dn, changes, upsert=upsert,
+                                               principal=self.principal)
+
+    def publish(self, dn: str, attributes: dict) -> Entry:
+        """Upsert convenience used by sensor managers."""
+        return self.modify(dn, attributes, upsert=True)
+
+    def delete(self, dn: str) -> bool:
+        return self._write_server().delete_now(dn, principal=self.principal)
+
+    def persistent_search(self, base: str, filter_text: str, callback) -> int:
+        """Register an LDAPv3-style persistent search on the read server."""
+        return self._read_server().persistent_search(base, filter_text,
+                                                     callback=callback)
+
+    # -- networked API (measured path) --------------------------------------------
+
+    def _require_net(self) -> None:
+        if self.host is None or self.transport is None:
+            raise DirectoryError("networked ops need host= and transport=")
+
+    def search_remote(self, base: str, filter_text: str = "(objectclass=*)",
+                      *, scope: str = "sub",
+                      timeout: float = 10.0) -> EventFlag:
+        """Send a search over the wire; flag triggers with the response
+        dict (or an exception instance on failure)."""
+        self._require_net()
+        server = self._read_server()
+        return self.transport.request(
+            self.host, server.host, LDAP_PORT,
+            {"op": "search", "base": base, "filter": filter_text,
+             "scope": scope, "principal": self.principal},
+            size_bytes=300, timeout=timeout)
+
+    def write_remote(self, op: str, dn: str, payload: Optional[dict] = None,
+                     *, timeout: float = 10.0) -> EventFlag:
+        """Send add/modify/delete over the wire to the master."""
+        self._require_net()
+        server = self._write_server()
+        request = {"op": op, "dn": dn, "principal": self.principal}
+        if op == "add":
+            request["attributes"] = payload
+        elif op == "modify":
+            request["changes"] = payload or {}
+            request["upsert"] = True
+        return self.transport.request(self.host, server.host, LDAP_PORT,
+                                      request, size_bytes=300, timeout=timeout)

@@ -1,0 +1,171 @@
+"""Directory entries and distinguished names.
+
+The sensor directory "is used to publish the location of all sensors
+and their associated gateway" (paper §2.2).  We model an LDAP-style
+hierarchical namespace: a DN is a comma-separated sequence of
+``attr=value`` RDNs, most-specific first, e.g.::
+
+    sensor=cpu,host=dpss1.lbl.gov,ou=sensors,o=grid
+
+Entries carry multi-valued attributes (as LDAP does).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable, Mapping, Optional
+
+__all__ = ["DN", "Entry", "DNError"]
+
+_RDN_RE = re.compile(r"^\s*([A-Za-z][A-Za-z0-9.\-]*)\s*=\s*([^,]+?)\s*$")
+
+
+class DNError(ValueError):
+    """Malformed distinguished name."""
+
+
+class DN:
+    """A distinguished name: a tuple of (attr, value) RDNs."""
+
+    __slots__ = ("rdns",)
+
+    def __init__(self, rdns: Iterable[tuple[str, str]]):
+        self.rdns: tuple[tuple[str, str], ...] = tuple(
+            (a.lower(), v) for a, v in rdns)
+        if not self.rdns:
+            raise DNError("empty DN")
+
+    @classmethod
+    def parse(cls, text: str) -> "DN":
+        if not text or not text.strip():
+            raise DNError("empty DN")
+        rdns = []
+        for part in text.split(","):
+            m = _RDN_RE.match(part)
+            if not m:
+                raise DNError(f"malformed RDN {part!r} in {text!r}")
+            rdns.append((m.group(1), m.group(2)))
+        return cls(rdns)
+
+    @classmethod
+    def of(cls, value: "DN | str") -> "DN":
+        return value if isinstance(value, DN) else cls.parse(value)
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def rdn(self) -> tuple[str, str]:
+        """The most specific component."""
+        return self.rdns[0]
+
+    def parent(self) -> Optional["DN"]:
+        if len(self.rdns) == 1:
+            return None
+        return DN(self.rdns[1:])
+
+    def child(self, attr: str, value: str) -> "DN":
+        return DN(((attr, value),) + self.rdns)
+
+    def is_under(self, base: "DN") -> bool:
+        """True if this DN equals ``base`` or lies in its subtree."""
+        n = len(base.rdns)
+        if len(self.rdns) < n:
+            return False
+        return self.rdns[len(self.rdns) - n:] == base.rdns
+
+    def depth_below(self, base: "DN") -> int:
+        if not self.is_under(base):
+            raise DNError(f"{self} not under {base}")
+        return len(self.rdns) - len(base.rdns)
+
+    # -- identity ------------------------------------------------------------
+
+    def __str__(self) -> str:
+        return ",".join(f"{a}={v}" for a, v in self.rdns)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DN({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DN):
+            return NotImplemented
+        return self.rdns == other.rdns
+
+    def __hash__(self) -> int:
+        return hash(self.rdns)
+
+
+class Entry:
+    """One directory entry: a DN plus multi-valued attributes."""
+
+    __slots__ = ("dn", "attributes", "created_at", "modified_at", "_version")
+
+    def __init__(self, dn: DN | str, attributes: Optional[Mapping[str, Any]] = None,
+                 *, timestamp: float = 0.0):
+        self.dn = DN.of(dn)
+        self.attributes: dict[str, list[str]] = {}
+        self.created_at = timestamp
+        self.modified_at = timestamp
+        self._version = 1
+        # every DN component is implicitly present as an attribute (a
+        # JAMM-friendly superset of LDAP, where only the RDN is): this
+        # lets consumers filter on (host=dpss1.lbl.gov) directly
+        for attr, value in self.dn.rdns:
+            self._set(attr, value)
+        if attributes:
+            for name, value in attributes.items():
+                self._set(name, value)
+        # LDAP entries always carry an object class; default to "top"
+        if "objectclass" not in self.attributes:
+            self._set("objectclass", "top")
+
+    def _set(self, name: str, value: Any) -> None:
+        name = name.lower()
+        if isinstance(value, (list, tuple, set)):
+            self.attributes[name] = [str(v) for v in value]
+        else:
+            self.attributes[name] = [str(value)]
+
+    # -- access ----------------------------------------------------------------
+
+    def get(self, name: str) -> list[str]:
+        return list(self.attributes.get(name.lower(), []))
+
+    def first(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        values = self.attributes.get(name.lower())
+        return values[0] if values else default
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self.attributes
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    # -- mutation (server-internal; goes through DirectoryServer.modify) --------
+
+    def apply_changes(self, changes: Mapping[str, Any], *, timestamp: float) -> None:
+        """Replace-style modify: value None deletes the attribute."""
+        for name, value in changes.items():
+            key = name.lower()
+            if value is None:
+                self.attributes.pop(key, None)
+            else:
+                self._set(key, value)
+        self.modified_at = timestamp
+        self._version += 1
+
+    def copy(self) -> "Entry":
+        dup = Entry(self.dn, timestamp=self.created_at)
+        dup.attributes = {k: list(v) for k, v in self.attributes.items()}
+        dup.modified_at = self.modified_at
+        dup._version = self._version
+        return dup
+
+    def to_dict(self) -> dict:
+        return {"dn": str(self.dn),
+                "attributes": {k: list(v) for k, v in self.attributes.items()},
+                "version": self._version}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Entry {self.dn}>"

@@ -1,0 +1,104 @@
+"""Replicated directory deployment helpers.
+
+"Replication is critical to JAMM.  Otherwise, failure of the sensor
+directory server could take down the entire system" (§2.2).  These
+helpers stand up a master plus N replicas on given hosts and build
+failover-aware clients.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from .client import DirectoryClient
+from .server import Backend, DirectoryServer, LDAPBackend
+
+__all__ = ["ReplicatedDirectory", "deploy_replicated_directory"]
+
+
+class ReplicatedDirectory:
+    """A master + replicas group with client-construction helpers."""
+
+    def __init__(self, master: DirectoryServer,
+                 replicas: Sequence[DirectoryServer]):
+        self.master = master
+        self.replicas = list(replicas)
+
+    @property
+    def servers(self) -> list[DirectoryServer]:
+        return [self.master, *self.replicas]
+
+    def client(self, *, host: Any = None, transport: Any = None,
+               principal: Any = None, prefer_replica: bool = False) -> DirectoryClient:
+        """A failover client.  ``prefer_replica`` orders a replica first
+        for reads (load spreading); writes always reach the master."""
+        order = self.servers
+        if prefer_replica and self.replicas:
+            order = [*self.replicas, self.master]
+        return DirectoryClient(order, host=host, transport=transport,
+                               principal=principal,
+                               all_servers={s.name: s for s in self.servers})
+
+    def fail_master(self) -> None:
+        self.master.fail()
+
+    def recover_master(self) -> None:
+        self.master.recover()
+        self.resync()
+
+    def resync(self) -> None:
+        """Full resync of every up replica from the master's tree (the
+        out-of-band catch-up real slapd replication performs)."""
+        for replica in self.replicas:
+            if not replica.up:
+                continue
+            replica.backend.entries.clear()
+            for entry in self.master.backend.entries.values():
+                replica.backend.put(entry.copy())
+
+    def promote_replica(self) -> Optional[DirectoryServer]:
+        """Promote the first up replica to master (manual failover)."""
+        for replica in self.replicas:
+            if replica.up:
+                replica.is_replica = False
+                replica.replicas = [s for s in self.servers
+                                    if s is not replica and s.up and s.is_replica]
+                self.replicas = [s for s in self.replicas if s is not replica]
+                old_master = self.master
+                self.master = replica
+                if old_master.up:
+                    old_master.is_replica = True
+                    self.replicas.append(old_master)
+                return replica
+        return None
+
+
+def deploy_replicated_directory(sim, *, hosts: Iterable[Any] = (),
+                                transport: Any = None,
+                                n_replicas: int = 1,
+                                backend_factory=LDAPBackend,
+                                suffix: str = "o=grid",
+                                replication_delay: float = 0.05,
+                                authz: Any = None) -> ReplicatedDirectory:
+    """Create a master + ``n_replicas`` group.
+
+    When ``hosts`` are supplied (master first), servers bind the LDAP
+    port on them and serve networked requests; otherwise they are
+    in-process only.
+    """
+    host_list = list(hosts)
+
+    def make(i: int, is_replica: bool) -> DirectoryServer:
+        host = host_list[i] if i < len(host_list) else None
+        return DirectoryServer(
+            sim, name=f"ldap{i}", suffix=suffix,
+            backend=backend_factory(), host=host,
+            transport=transport if host is not None else None,
+            is_replica=is_replica, replication_delay=replication_delay,
+            authz=authz)
+
+    master = make(0, False)
+    replicas = [make(i + 1, True) for i in range(n_replicas)]
+    for replica in replicas:
+        master.add_replica(replica)
+    return ReplicatedDirectory(master, replicas)

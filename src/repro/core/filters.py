@@ -1,0 +1,229 @@
+"""Consumer-requested event filters, applied at the event gateway.
+
+Paper §2.2 ("event gateway"): "The consumer may request all event data,
+or only to be notified of certain types of events. ... most consumers
+only want to be notified when the counter changes, and not every
+second. ... A consumer can also request that an event be sent only if
+it's value crosses a certain threshold.  Examples of such a threshold
+would be if CPU load becomes greater than 50%, or if load changes by
+more than 20%."
+
+Filters are *stateful per subscription* (change/crossing detection), so
+each subscription clones its own instances.  Every filter serializes to
+a plain dict so consumers can ship specs over the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from ..ulm import ULMMessage
+
+__all__ = ["EventFilter", "AllEvents", "EventNames", "OnChange",
+           "Threshold", "Delta", "RateLimit", "AndAll", "filter_from_dict",
+           "FilterSpecError"]
+
+
+class FilterSpecError(ValueError):
+    pass
+
+
+class EventFilter:
+    """Base class.  ``accept(msg)`` may mutate internal state."""
+
+    kind = "base"
+
+    def accept(self, msg: ULMMessage) -> bool:
+        raise NotImplementedError
+
+    def clone(self) -> "EventFilter":
+        return filter_from_dict(self.to_dict())
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind}
+
+
+class AllEvents(EventFilter):
+    """Pass everything (the default subscription)."""
+
+    kind = "all"
+
+    def accept(self, msg: ULMMessage) -> bool:
+        return True
+
+
+class EventNames(EventFilter):
+    """Only events whose NL.EVNT is in the requested set."""
+
+    kind = "names"
+
+    def __init__(self, names: Sequence[str]):
+        if not names:
+            raise FilterSpecError("names filter needs at least one name")
+        self.names = frozenset(names)
+
+    def accept(self, msg: ULMMessage) -> bool:
+        return msg.event in self.names
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "names": sorted(self.names)}
+
+
+class OnChange(EventFilter):
+    """Notify only when ``field``'s value differs from the last one
+    delivered — the netstat retransmission-counter example."""
+
+    kind = "on-change"
+
+    def __init__(self, field: str):
+        self.field = field
+        self._last: Optional[str] = None
+        self._seen_any = False
+
+    def accept(self, msg: ULMMessage) -> bool:
+        value = msg.fields.get(self.field)
+        if value is None:
+            return False
+        if not self._seen_any:
+            self._seen_any = True
+            self._last = value
+            return True  # first observation establishes the baseline
+        if value != self._last:
+            self._last = value
+            return True
+        return False
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "field": self.field}
+
+
+_OPS = {">": lambda a, b: a > b, ">=": lambda a, b: a >= b,
+        "<": lambda a, b: a < b, "<=": lambda a, b: a <= b}
+
+
+class Threshold(EventFilter):
+    """Notify when the value *crosses* the threshold (edge-triggered):
+    "if CPU load becomes greater than 50%"."""
+
+    kind = "threshold"
+
+    def __init__(self, field: str, op: str, limit: float):
+        if op not in _OPS:
+            raise FilterSpecError(f"op must be one of {sorted(_OPS)}")
+        self.field = field
+        self.op = op
+        self.limit = float(limit)
+        self._satisfied: Optional[bool] = None
+
+    def accept(self, msg: ULMMessage) -> bool:
+        raw = msg.fields.get(self.field)
+        if raw is None:
+            return False
+        try:
+            value = float(raw)
+        except ValueError:
+            return False
+        satisfied = _OPS[self.op](value, self.limit)
+        crossed = satisfied and self._satisfied is not True
+        self._satisfied = satisfied
+        return crossed
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "field": self.field, "op": self.op,
+                "limit": self.limit}
+
+
+class Delta(EventFilter):
+    """Notify when the value moved by more than ``percent`` % relative
+    to the last *delivered* value: "load changes by more than 20%"."""
+
+    kind = "delta"
+
+    def __init__(self, field: str, percent: float):
+        if percent <= 0:
+            raise FilterSpecError("percent must be positive")
+        self.field = field
+        self.percent = float(percent)
+        self._last: Optional[float] = None
+
+    def accept(self, msg: ULMMessage) -> bool:
+        raw = msg.fields.get(self.field)
+        if raw is None:
+            return False
+        try:
+            value = float(raw)
+        except ValueError:
+            return False
+        if self._last is None:
+            self._last = value
+            return True
+        base = abs(self._last) if self._last != 0 else 1e-12
+        if abs(value - self._last) / base * 100.0 > self.percent:
+            self._last = value
+            return True
+        return False
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "field": self.field,
+                "percent": self.percent}
+
+
+class RateLimit(EventFilter):
+    """At most one delivery per ``min_interval`` (wall) seconds."""
+
+    kind = "rate-limit"
+
+    def __init__(self, min_interval: float):
+        if min_interval <= 0:
+            raise FilterSpecError("min_interval must be positive")
+        self.min_interval = float(min_interval)
+        self._last_sent: Optional[float] = None
+
+    def accept(self, msg: ULMMessage) -> bool:
+        if self._last_sent is not None and \
+                msg.date - self._last_sent < self.min_interval:
+            return False
+        self._last_sent = msg.date
+        return True
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "min_interval": self.min_interval}
+
+
+class AndAll(EventFilter):
+    """Conjunction of filters (e.g. names + threshold)."""
+
+    kind = "and"
+
+    def __init__(self, parts: Sequence[EventFilter]):
+        if not parts:
+            raise FilterSpecError("and filter needs parts")
+        self.parts = list(parts)
+
+    def accept(self, msg: ULMMessage) -> bool:
+        # short-circuiting keeps stateful parts from consuming events
+        # that earlier parts already rejected
+        return all(p.accept(msg) for p in self.parts)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "parts": [p.to_dict() for p in self.parts]}
+
+
+_KINDS: dict[str, Any] = {
+    "all": lambda d: AllEvents(),
+    "names": lambda d: EventNames(d["names"]),
+    "on-change": lambda d: OnChange(d["field"]),
+    "threshold": lambda d: Threshold(d["field"], d["op"], d["limit"]),
+    "delta": lambda d: Delta(d["field"], d["percent"]),
+    "rate-limit": lambda d: RateLimit(d["min_interval"]),
+    "and": lambda d: AndAll([filter_from_dict(p) for p in d["parts"]]),
+}
+
+
+def filter_from_dict(spec: dict) -> EventFilter:
+    """Rebuild a fresh (state-reset) filter from its wire form."""
+    kind = spec.get("kind")
+    maker = _KINDS.get(kind)
+    if maker is None:
+        raise FilterSpecError(f"unknown filter kind {kind!r}")
+    return maker(spec)

@@ -1,0 +1,343 @@
+"""The JAMM event gateway (paper §2.2).
+
+"Event gateways are responsible for listening for requests from event
+consumers.  Event gateways can service 'streaming' or 'query' requests
+from consumers.  In streaming mode the consumer opens an event channel
+and the events are returned in a stream.  In query mode the consumer
+does not open an event channel, but only requests the most recent
+event."
+
+The gateway also:
+
+* applies consumer-requested filters (all / change-only / threshold /
+  delta — :mod:`repro.core.filters`);
+* computes summary data (1/10/60-minute averages —
+  :mod:`repro.core.summaries`);
+* enforces access control ("The event gateways can also be used to
+  provide access control to the sensors, allowing different access to
+  different classes of users", e.g. full streams on-site,
+  summary-only off-site);
+* relays sensor-start requests to sensor managers ("Starting new
+  sensors is done by a request to a gateway, which then contacts a
+  sensor manager", §7.1), so consumers never talk to managers directly;
+* keeps the producer's cost flat in the number of consumers: one event
+  crosses from the monitored host to the gateway once, and the gateway
+  fans out (§2.3) — and nothing at all flows for sensors nobody
+  subscribed to.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..simgrid.kernel import Simulator
+from ..ulm import ULMMessage, encode, serialize, to_xml
+from .filters import AllEvents, EventFilter, filter_from_dict
+from .summaries import SummaryService
+
+__all__ = ["EventGateway", "Subscription", "GatewayError", "GATEWAY_PORT"]
+
+GATEWAY_PORT = 14840
+#: port on which gateways accept forwarded events from remote sensor hosts
+INTAKE_PORT = 14841
+_sub_ids = itertools.count(1)
+
+
+class GatewayError(RuntimeError):
+    pass
+
+
+def _render(msg: ULMMessage, fmt: str):
+    if fmt == "ulm":
+        return serialize(msg)
+    if fmt == "xml":
+        return to_xml(msg)
+    if fmt == "binary":
+        return encode(msg)
+    raise GatewayError(f"unknown event format {fmt!r}")
+
+
+@dataclass
+class Subscription:
+    """One consumer's event channel (or query registration)."""
+
+    sub_id: int
+    sensor_name: str
+    mode: str                      # "stream" | "query"
+    event_filter: EventFilter
+    fmt: str = "ulm"
+    callback: Optional[Callable] = None      # in-process delivery
+    remote: Optional[tuple] = None           # (host, port) delivery
+    principal: Any = None
+    delivered: int = 0
+    filtered: int = 0
+
+
+@dataclass
+class _SensorHandle:
+    sensor: Any
+    manager: Any = None
+    subscriptions: list = field(default_factory=list)
+    last_event: Optional[ULMMessage] = None
+    events_in: int = 0
+
+
+class EventGateway:
+    """One gateway instance (usually on its own host, §2.3)."""
+
+    def __init__(self, sim: Simulator, *, name: str = "gw0",
+                 host: Any = None, transport: Any = None,
+                 directory: Any = None, authz: Any = None,
+                 summary_spans=None):
+        self.sim = sim
+        self.name = name
+        self.host = host
+        self.transport = transport
+        self.directory = directory
+        self.authz = authz
+        self._handles: dict[str, _SensorHandle] = {}
+        self._subs: dict[int, Subscription] = {}
+        self._summary_specs: dict[str, tuple] = {}  # sensor -> fields
+        self.summaries = SummaryService(
+            spans=summary_spans or (60.0, 600.0, 3600.0),
+            directory=directory)
+        self.events_in = 0
+        self.events_delivered = 0
+        self.events_filtered = 0
+        if host is not None and transport is not None:
+            host.ports.bind(GATEWAY_PORT, self._handle_request)
+            host.ports.bind(INTAKE_PORT, self._handle_intake)
+            host.register_service("gateway", self)
+
+    # -- access control ---------------------------------------------------------
+
+    def _authorize(self, principal: Any, action: str) -> None:
+        if self.authz is not None:
+            self.authz.require(principal, resource=f"gateway:{self.name}",
+                               action=action)
+
+    # -- sensor registration (called by sensor managers) ---------------------------
+
+    def register_sensor(self, sensor: Any, *, manager: Any = None) -> None:
+        if sensor.name in self._handles:
+            raise GatewayError(f"sensor {sensor.name!r} already registered")
+        self._handles[sensor.name] = _SensorHandle(sensor=sensor,
+                                                   manager=manager)
+
+    def unregister_sensor(self, sensor_name: str) -> None:
+        handle = self._handles.pop(sensor_name, None)
+        if handle is None:
+            return
+        for sub in list(handle.subscriptions):
+            self._subs.pop(sub.sub_id, None)
+        self._set_forwarding(handle, False)
+
+    def sensors(self) -> list[str]:
+        return sorted(self._handles)
+
+    def _set_forwarding(self, handle: _SensorHandle, enabled: bool) -> None:
+        """Turn the sensor→gateway data path on/off.  'Event data is not
+        sent anywhere unless it is requested by a consumer' (§2.3)."""
+        sensor = handle.sensor
+        if enabled:
+            if handle.manager is not None:
+                handle.manager.enable_forwarding(sensor.name, self)
+            else:
+                sensor.sink = self.make_intake(sensor.name)
+        else:
+            if handle.manager is not None:
+                handle.manager.disable_forwarding(sensor.name)
+            else:
+                sensor.sink = None
+
+    def make_intake(self, sensor_name: str) -> Callable[[ULMMessage], None]:
+        """The sink callable installed on a sensor (directly or via its
+        manager's forwarding relay)."""
+        def intake(msg: ULMMessage) -> None:
+            self.ingest(sensor_name, msg)
+        return intake
+
+    # -- event path ---------------------------------------------------------------
+
+    def ingest(self, sensor_name: str, msg: ULMMessage) -> None:
+        """One event arrives from a sensor."""
+        handle = self._handles.get(sensor_name)
+        if handle is None:
+            return
+        self.events_in += 1
+        handle.events_in += 1
+        handle.last_event = msg
+        spec = self._summary_specs.get(sensor_name)
+        if spec is not None:
+            self.summaries.ingest_event(sensor_name, msg, spec)
+        for sub in handle.subscriptions:
+            if sub.mode != "stream":
+                continue
+            if not sub.event_filter.accept(msg):
+                sub.filtered += 1
+                self.events_filtered += 1
+                continue
+            self._deliver(sub, msg)
+
+    def _deliver(self, sub: Subscription, msg: ULMMessage) -> None:
+        sub.delivered += 1
+        self.events_delivered += 1
+        if sub.callback is not None:
+            self.sim.call_in(0.0, sub.callback, msg)
+        elif sub.remote is not None and self.transport is not None \
+                and self.host is not None:
+            dst_host, dst_port = sub.remote
+            wire = _render(msg, sub.fmt)
+            size = len(wire) if isinstance(wire, (str, bytes)) else 256
+            self.transport.send(self.host, dst_host, dst_port,
+                                {"sub": sub.sub_id, "fmt": sub.fmt,
+                                 "wire": wire},
+                                size_bytes=size,
+                                on_fail=lambda exc: None)
+
+    # -- subscription API ------------------------------------------------------------
+
+    def subscribe(self, sensor_name: str, *, mode: str = "stream",
+                  event_filter: Optional[EventFilter] = None,
+                  fmt: str = "ulm",
+                  callback: Optional[Callable] = None,
+                  remote: Optional[tuple] = None,
+                  principal: Any = None) -> int:
+        """Open a channel (stream) or register interest (query).
+
+        Returns the subscription id.  Exactly one of ``callback`` /
+        ``remote`` must be given for streaming subscriptions.
+        """
+        self._authorize(principal, "events.stream" if mode == "stream"
+                        else "events.query")
+        if mode not in ("stream", "query"):
+            raise GatewayError(f"bad mode {mode!r}")
+        if fmt not in ("ulm", "xml", "binary"):
+            raise GatewayError(f"unknown event format {fmt!r}")
+        if mode == "stream" and callback is None and remote is None:
+            raise GatewayError("streaming subscription needs a delivery path")
+        handle = self._handles.get(sensor_name)
+        if handle is None:
+            raise GatewayError(f"gateway {self.name} fronts no sensor "
+                               f"{sensor_name!r}")
+        sub = Subscription(sub_id=next(_sub_ids), sensor_name=sensor_name,
+                           mode=mode,
+                           event_filter=event_filter or AllEvents(),
+                           fmt=fmt, callback=callback, remote=remote,
+                           principal=principal)
+        was_empty = not handle.subscriptions
+        handle.subscriptions.append(sub)
+        handle.sensor.consumer_count = len(handle.subscriptions)
+        self._subs[sub.sub_id] = sub
+        if was_empty:
+            self._set_forwarding(handle, True)
+        return sub.sub_id
+
+    def unsubscribe(self, sub_id: int) -> bool:
+        sub = self._subs.pop(sub_id, None)
+        if sub is None:
+            return False
+        handle = self._handles.get(sub.sensor_name)
+        if handle is not None:
+            handle.subscriptions = [s for s in handle.subscriptions
+                                    if s.sub_id != sub_id]
+            handle.sensor.consumer_count = len(handle.subscriptions)
+            if not handle.subscriptions:
+                self._set_forwarding(handle, False)
+        return True
+
+    def query(self, sensor_name: str, *, principal: Any = None) -> Optional[ULMMessage]:
+        """Query mode: the most recent event (no channel)."""
+        self._authorize(principal, "events.query")
+        handle = self._handles.get(sensor_name)
+        if handle is None:
+            raise GatewayError(f"no such sensor {sensor_name!r}")
+        return handle.last_event
+
+    # -- summaries ----------------------------------------------------------------------
+
+    def summarize(self, sensor_name: str, fields: tuple) -> None:
+        """Enable summary computation over ``fields`` of a sensor; turns
+        on forwarding so the windows actually fill."""
+        self._summary_specs[sensor_name] = tuple(fields)
+        handle = self._handles.get(sensor_name)
+        if handle is not None and not handle.subscriptions:
+            self._set_forwarding(handle, True)
+
+    def summary(self, sensor_name: str, field_name: str, *,
+                principal: Any = None) -> Optional[dict]:
+        """Read the 1/10/60-minute summary snapshot for one series.
+
+        Off-site users whose policy denies ``events.stream`` may still
+        be allowed ``summary.read`` — the §2.2 policy example.
+        """
+        self._authorize(principal, "summary.read")
+        return self.summaries.snapshot(sensor_name, field_name,
+                                       now=self.sim.now)
+
+    # -- manager control relay --------------------------------------------------------------
+
+    def request_sensor_start(self, manager: Any, sensor_name: str, *,
+                             principal: Any = None) -> bool:
+        """Consumer-initiated sensor start, via the gateway (§7.1)."""
+        self._authorize(principal, "sensors.control")
+        return manager.start_sensor(sensor_name, requested_by=f"gateway:{self.name}")
+
+    def _handle_intake(self, msg, _transport) -> None:
+        """Events forwarded from a remote sensor host (one message per
+        event, regardless of consumer count — §2.3)."""
+        from ..ulm import parse as parse_ulm
+        payload = msg.payload
+        try:
+            event = parse_ulm(payload["wire"])
+        except Exception:
+            return
+        self.ingest(payload["sensor"], event)
+
+    # -- networked request handling ------------------------------------------------------------
+
+    def _handle_request(self, msg, transport) -> None:
+        req = msg.payload
+        op = req.get("op")
+        try:
+            if op == "subscribe":
+                flt = (filter_from_dict(req["filter"])
+                       if req.get("filter") else None)
+                sub_id = self.subscribe(
+                    req["sensor"], mode=req.get("mode", "stream"),
+                    event_filter=flt, fmt=req.get("fmt", "ulm"),
+                    remote=(msg.src_host, req["port"]) if "port" in req else None,
+                    principal=req.get("principal"))
+                transport.reply(msg, {"ok": True, "sub_id": sub_id})
+            elif op == "unsubscribe":
+                transport.reply(msg, {"ok": self.unsubscribe(req["sub_id"])})
+            elif op == "query":
+                event = self.query(req["sensor"],
+                                   principal=req.get("principal"))
+                transport.reply(msg, {"ok": True,
+                                      "event": serialize(event) if event else None})
+            elif op == "summary":
+                snap = self.summary(req["sensor"], req["field"],
+                                    principal=req.get("principal"))
+                transport.reply(msg, {"ok": True, "summary": snap})
+            else:
+                transport.reply(msg, {"ok": False,
+                                      "error": f"unknown op {op!r}"})
+        except Exception as exc:  # noqa: BLE001 - marshalled to consumer
+            transport.reply(msg, {"ok": False,
+                                  "error": f"{type(exc).__name__}: {exc}"})
+
+    # -- diagnostics ---------------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {"name": self.name,
+                "sensors": len(self._handles),
+                "subscriptions": len(self._subs),
+                "events_in": self.events_in,
+                "events_delivered": self.events_delivered,
+                "events_filtered": self.events_filtered}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<EventGateway {self.name} sensors={len(self._handles)}>"

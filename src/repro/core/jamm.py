@@ -1,0 +1,206 @@
+"""JAMMDeployment — wire a full JAMM system over a GridWorld.
+
+The paper's Fig. 1 topology in a few lines::
+
+    world = GridWorld(seed=7)
+    ...hosts, LANs, WAN...
+    jamm = JAMMDeployment(world)
+    gw = jamm.add_gateway("gw-lbl", host=world.host("gw.lbl.gov"))
+    config = jamm.standard_config(vmstat=True, netstat=True)
+    jamm.add_manager(world.host("dpss1.lbl.gov"), config=config, gateway=gw)
+    collector = jamm.collector(host=world.host("mems.cairn.net"))
+    collector.subscribe_all("(sensortype=vmstat)")
+    world.run(until=60)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..simgrid.world import GridWorld
+from .config import JAMMConfig
+from .consumers import (ArchiverAgent, AutoCollector, EventCollector,
+                        OverviewMonitor, ProcessMonitorConsumer)
+from .directory import (DirectoryClient, LDAPBackend,
+                        deploy_replicated_directory)
+from .gateway import EventGateway
+from .manager import SensorManager
+
+__all__ = ["JAMMDeployment"]
+
+
+class JAMMDeployment:
+    """One JAMM instance: directory group + gateways + sensor managers."""
+
+    def __init__(self, world: GridWorld, *, suffix: str = "o=grid",
+                 n_directory_replicas: int = 1,
+                 directory_hosts: tuple = (),
+                 backend_factory=LDAPBackend,
+                 replication_delay: float = 0.05,
+                 authz: Any = None):
+        self.world = world
+        self.sim = world.sim
+        self.suffix = suffix
+        self.authz = authz
+        self.directory = deploy_replicated_directory(
+            world.sim, hosts=directory_hosts, transport=world.transport,
+            n_replicas=n_directory_replicas, backend_factory=backend_factory,
+            suffix=suffix, replication_delay=replication_delay, authz=authz)
+        self.gateways: dict[str, EventGateway] = {}
+        self.managers: dict[str, SensorManager] = {}
+        self.consumers: list = []
+
+    # -- directory ------------------------------------------------------------
+
+    def directory_client(self, *, host: Any = None, principal: Any = None,
+                         prefer_replica: bool = False) -> DirectoryClient:
+        return self.directory.client(host=host, transport=self.world.transport,
+                                     principal=principal,
+                                     prefer_replica=prefer_replica)
+
+    # -- gateways ---------------------------------------------------------------
+
+    def add_gateway(self, name: str, *, host: Any = None,
+                    authz: Any = "inherit") -> EventGateway:
+        if name in self.gateways:
+            raise ValueError(f"duplicate gateway {name!r}")
+        gateway = EventGateway(
+            self.sim, name=name, host=host,
+            transport=self.world.transport if host is not None else None,
+            directory=self.directory_client(host=host),
+            authz=self.authz if authz == "inherit" else authz)
+        self.gateways[name] = gateway
+        return gateway
+
+    def resolve_gateway(self, name: Optional[str],
+                        hostname: Optional[str] = None) -> Optional[EventGateway]:
+        if name and name in self.gateways:
+            return self.gateways[name]
+        if hostname:
+            host = self.world.hosts.get(hostname)
+            if host is not None:
+                service = host.service("gateway")
+                if service is not None:
+                    return service
+        return None
+
+    # -- sensor managers ------------------------------------------------------------
+
+    def default_sensor_context(self) -> dict:
+        """Extra constructor kwargs per sensor type (e.g. the SNMP
+        manager network sensors poll through)."""
+        return {"snmp": {"snmp": self.world.snmp},
+                "router-errors": {"snmp": self.world.snmp},
+                "remote-host": {"snmp": self.world.snmp}}
+
+    def add_manager(self, host: Any, *, config: Optional[JAMMConfig] = None,
+                    gateway: Any = None, config_http: Optional[tuple] = None,
+                    refresh_interval: float = 120.0,
+                    principal: Any = None,
+                    start: bool = True) -> SensorManager:
+        if isinstance(gateway, str):
+            gateway = self.gateways[gateway]
+        if gateway is None:
+            if not self.gateways:
+                gateway = self.add_gateway(f"gw-{host.name}")
+            else:
+                gateway = next(iter(self.gateways.values()))
+        manager = SensorManager(
+            self.sim, host, gateway=gateway,
+            directory=self.directory_client(host=host, principal=principal),
+            transport=self.world.transport,
+            config=config, config_http=config_http,
+            refresh_interval=refresh_interval,
+            sensor_context=self.default_sensor_context(),
+            suffix=self.suffix)
+        self.managers[host.name] = manager
+        if start:
+            manager.start()
+        return manager
+
+    @staticmethod
+    def standard_config(*, cpu: bool = False, memory: bool = False,
+                        vmstat: bool = True, netstat: bool = True,
+                        iostat: bool = False, tcpdump: bool = True,
+                        process_pattern: Optional[str] = None,
+                        period: float = 1.0) -> JAMMConfig:
+        """The paper's §6 host-sensor set: CPU and memory sensors on
+        every host, process monitors, TCP monitors."""
+        config = JAMMConfig()
+        if cpu:
+            config.add_sensor("cpu", "cpu", period=period)
+        if memory:
+            config.add_sensor("memory", "memory", period=5 * period)
+        if vmstat:
+            config.add_sensor("vmstat", "vmstat", period=period)
+        if netstat:
+            config.add_sensor("netstat", "netstat", period=period)
+        if iostat:
+            config.add_sensor("iostat", "iostat", period=5 * period)
+        if tcpdump:
+            config.add_sensor("tcpdump", "tcpdump")
+        if process_pattern is not None:
+            config.add_sensor("procs", "process", pattern=process_pattern)
+        return config
+
+    # -- consumers ---------------------------------------------------------------------
+
+    def _consumer_kwargs(self, host: Any, principal: Any) -> dict:
+        return {"host": host,
+                "directory": self.directory_client(host=host,
+                                                   prefer_replica=True),
+                "resolve_gateway": self.resolve_gateway,
+                "principal": principal,
+                "suffix": self.suffix}
+
+    def collector(self, *, host: Any = None, principal: Any = None,
+                  **kwargs) -> EventCollector:
+        consumer = EventCollector(self.sim,
+                                  **self._consumer_kwargs(host, principal),
+                                  **kwargs)
+        self.consumers.append(consumer)
+        return consumer
+
+    def auto_collector(self, *, host: Any = None, principal: Any = None,
+                       **kwargs) -> AutoCollector:
+        consumer = AutoCollector(self.sim,
+                                 **self._consumer_kwargs(host, principal),
+                                 **kwargs)
+        self.consumers.append(consumer)
+        return consumer
+
+    def archiver(self, *, host: Any = None, principal: Any = None,
+                 **kwargs) -> ArchiverAgent:
+        consumer = ArchiverAgent(self.sim,
+                                 **self._consumer_kwargs(host, principal),
+                                 **kwargs)
+        self.consumers.append(consumer)
+        return consumer
+
+    def process_monitor(self, *, host: Any = None, principal: Any = None,
+                        **kwargs) -> ProcessMonitorConsumer:
+        consumer = ProcessMonitorConsumer(
+            self.sim, **self._consumer_kwargs(host, principal), **kwargs)
+        self.consumers.append(consumer)
+        return consumer
+
+    def overview_monitor(self, *, host: Any = None, principal: Any = None,
+                         **kwargs) -> OverviewMonitor:
+        consumer = OverviewMonitor(self.sim,
+                                   **self._consumer_kwargs(host, principal),
+                                   **kwargs)
+        self.consumers.append(consumer)
+        return consumer
+
+    # -- introspection ----------------------------------------------------------------------
+
+    def sensor_entries(self, filter_text: str = "(objectclass=sensor)") -> list:
+        client = self.directory_client()
+        return client.search(f"ou=sensors,{self.suffix}", filter_text).entries
+
+    def stats(self) -> dict:
+        return {
+            "gateways": {n: g.stats() for n, g in self.gateways.items()},
+            "managers": {n: len(m.sensors) for n, m in self.managers.items()},
+            "directory_entries": self.directory.master.entry_count(),
+        }

@@ -1,0 +1,285 @@
+"""The JAMM sensor manager agent (paper §2.2).
+
+"The sensor manager agent is responsible for starting and stopping the
+sensors, and keeping the sensor directory up to date.  Sensors to be
+run are specified by a configuration file, which may be local or on a
+remote HTTP server. ... There is typically one sensor manager per
+host."
+
+And §5.0: "Every few minutes the sensor managers check for updates to
+the configuration file, and activate new sensors if necessary,
+publishing them in the sensor directory."
+
+The manager also owns the sensor→gateway forwarding switches: data
+leaves the monitored host only while the gateway reports at least one
+interested consumer (§2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..simgrid.kernel import Timeout, WaitEvent
+from ..ulm import serialize
+from .config import ConfigError, JAMMConfig
+from .gateway import EventGateway, INTAKE_PORT
+from .portmon import PortMonitorAgent
+from .sensors.registry import create_sensor
+
+__all__ = ["SensorManager", "ManagerError"]
+
+
+class ManagerError(RuntimeError):
+    pass
+
+
+class SensorManager:
+    """One per host; config-driven sensor lifecycle + directory upkeep."""
+
+    def __init__(self, sim, host, *, gateway: EventGateway,
+                 directory: Any = None, transport: Any = None,
+                 config: Optional[JAMMConfig] = None,
+                 config_http: Optional[tuple] = None,
+                 refresh_interval: float = 120.0,
+                 sensor_context: Optional[dict] = None,
+                 suffix: str = "o=grid"):
+        self.sim = sim
+        self.host = host
+        self.gateway = gateway
+        self.directory = directory
+        self.transport = transport
+        self.config = config if config is not None else JAMMConfig()
+        #: (HTTPServer, path) for remote configuration, or None for local
+        self.config_http = config_http
+        self.refresh_interval = refresh_interval
+        #: per-sensor-type extra constructor kwargs (e.g. snmp manager)
+        self.sensor_context = dict(sensor_context or {})
+        self.suffix = suffix
+        self.sensors: dict[str, Any] = {}
+        self.port_monitor: Optional[PortMonitorAgent] = None
+        self.running = False
+        self.config_version: Optional[str] = None
+        self.config_reloads = 0
+        self.start_requests: list[tuple] = []
+        self._refresher = None
+        host.register_service("sensor-manager", self)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        if self.config_http is not None:
+            self._fetch_config_now()
+        self._apply_config(initial=True)
+        if self.config_http is not None:
+            self._refresher = self.sim.spawn(
+                self._refresh_loop(), name=f"mgr-refresh[{self.host.name}]")
+
+    def stop(self) -> None:
+        self.running = False
+        if self._refresher is not None and self._refresher.alive:
+            self._refresher.kill()
+        if self.port_monitor is not None:
+            self.port_monitor.stop()
+        for name in list(self.sensors):
+            self.stop_sensor(name)
+
+    # -- configuration -------------------------------------------------------------
+
+    def _fetch_config_now(self) -> bool:
+        """Synchronously load the HTTP config document (local-fetch
+        semantics; the periodic loop uses the networked path)."""
+        server, path = self.config_http
+        try:
+            doc = server.get_local(path)
+        except Exception:
+            return False
+        return self._ingest_config_doc(doc.body, f"v{doc.version}")
+
+    def _ingest_config_doc(self, body: Any, version: str) -> bool:
+        if version == self.config_version:
+            return False
+        try:
+            new_config = (body if isinstance(body, JAMMConfig)
+                          else JAMMConfig.from_text(str(body)))
+        except ConfigError:
+            return False  # bad config pushes are ignored, not fatal
+        self.config = new_config
+        self.config_version = version
+        self.config_reloads += 1
+        return True
+
+    def _refresh_loop(self):
+        server, path = self.config_http
+        while self.running:
+            yield Timeout(self.refresh_interval)
+            try:
+                doc = server.get_local(path)
+            except Exception:
+                continue
+            if self._ingest_config_doc(doc.body, f"v{doc.version}"):
+                self._apply_config()
+
+    def _apply_config(self, *, initial: bool = False) -> None:
+        wanted = self.config.sensors
+        # stop and retire sensors that left the config
+        for name in [n for n in self.sensors if n not in wanted]:
+            self.stop_sensor(name)
+            self.gateway.unregister_sensor(self.sensors[name].name)
+            self._directory_delete(name)
+            del self.sensors[name]
+        # create newly-configured sensors
+        for name, spec in wanted.items():
+            if name not in self.sensors:
+                self._create_sensor(name, spec)
+            if spec.mode == "always":
+                self.start_sensor(name, requested_by="config")
+        # port monitor
+        rules = self.config.on_demand_ports()
+        if self.config.portmon is not None or rules:
+            pm_conf = self.config.portmon
+            if self.port_monitor is None:
+                self.port_monitor = PortMonitorAgent(
+                    self.sim, self.host, manager=self,
+                    poll=pm_conf.poll if pm_conf else 1.0,
+                    idle_timeout=pm_conf.idle_timeout if pm_conf else 30.0)
+            self.port_monitor.set_rules(rules)
+            self.port_monitor.start()
+        elif self.port_monitor is not None:
+            self.port_monitor.stop()
+
+    def _create_sensor(self, name: str, spec) -> Any:
+        kwargs = dict(spec.args)
+        kwargs.update(self.sensor_context.get(spec.sensor_type, {}))
+        if spec.period is not None:
+            kwargs["period"] = spec.period
+        # the gateway may front sensors from many hosts, so its key (the
+        # sensor's full name) is host-qualified; the manager and the
+        # directory DN keep the short config name
+        sensor = create_sensor(spec.sensor_type, self.host,
+                               name=f"{name}@{self.host.name}", **kwargs)
+        self.sensors[name] = sensor
+        self.gateway.register_sensor(sensor, manager=self)
+        self._directory_publish(name, sensor, status="stopped")
+        return sensor
+
+    # -- sensor control (GUI / gateway / port monitor entry points) ------------------
+
+    def _resolve_name(self, name: str) -> Optional[str]:
+        """Accept either the short config name or the host-qualified
+        gateway key."""
+        if name in self.sensors:
+            return name
+        suffix = f"@{self.host.name}"
+        if name.endswith(suffix):
+            short = name[:-len(suffix)]
+            if short in self.sensors:
+                return short
+        return None
+
+    def start_sensor(self, name: str, *, requested_by: str = "manual") -> bool:
+        key = self._resolve_name(name)
+        if key is None:
+            raise ManagerError(f"no sensor {name!r} on {self.host.name}")
+        sensor = self.sensors[key]
+        self.start_requests.append((self.sim.now, key, requested_by))
+        if sensor.running:
+            return False
+        sensor.start()
+        self._directory_publish(key, sensor, status="running")
+        return True
+
+    def stop_sensor(self, name: str, *, requested_by: str = "manual") -> bool:
+        key = self._resolve_name(name)
+        if key is None:
+            return False
+        sensor = self.sensors[key]
+        if not sensor.running:
+            return False
+        sensor.stop()
+        self._directory_publish(key, sensor, status="stopped")
+        return True
+
+    def reinit_sensor(self, name: str) -> bool:
+        """Sensor Control GUI 're-initialization' (§5.0)."""
+        if self.stop_sensor(name, requested_by="reinit"):
+            return self.start_sensor(name, requested_by="reinit")
+        return self.start_sensor(name, requested_by="reinit")
+
+    def list_sensors(self) -> list:
+        """Sensor Data GUI surface: status of every managed sensor."""
+        return [self.sensors[name].info() for name in sorted(self.sensors)]
+
+    # -- forwarding switches (called by the gateway) ------------------------------------
+
+    def enable_forwarding(self, sensor_name: str, gateway: EventGateway) -> None:
+        key = self._resolve_name(sensor_name)
+        if key is None:
+            return
+        sensor = self.sensors[key]
+        if (gateway.host is None or self.transport is None
+                or gateway.host is self.host):
+            sensor.sink = gateway.make_intake(sensor.name)
+        else:
+            sensor.sink = self._remote_relay(sensor.name, gateway)
+
+    def disable_forwarding(self, sensor_name: str) -> None:
+        key = self._resolve_name(sensor_name)
+        if key is not None:
+            self.sensors[key].sink = None
+
+    def _remote_relay(self, sensor_name: str, gateway: EventGateway):
+        transport = self.transport
+        src = self.host
+        dst = gateway.host
+
+        def relay(msg) -> None:
+            wire = serialize(msg)
+            transport.send(src, dst, INTAKE_PORT,
+                           {"sensor": sensor_name, "wire": wire},
+                           size_bytes=len(wire), on_fail=lambda exc: None)
+        return relay
+
+    # -- directory upkeep -------------------------------------------------------------------
+
+    def _sensor_dn(self, name: str) -> str:
+        return f"sensor={name},host={self.host.name},ou=sensors,{self.suffix}"
+
+    def _directory_publish(self, name: str, sensor, *, status: str) -> None:
+        if self.directory is None:
+            return
+        attrs = {"objectclass": "sensor",
+                 "sensorkey": sensor.name,  # the gateway subscription key
+                 "sensortype": sensor.sensor_type,
+                 "hostname": self.host.name,
+                 "status": status,
+                 "frequency": f"{1.0 / sensor.period:.6f}",
+                 "gateway": self.gateway.name}
+        if self.gateway.host is not None:
+            attrs["gatewayhost"] = self.gateway.host.name
+        try:
+            self.directory.publish(self._sensor_dn(name), attrs)
+        except Exception:
+            pass  # directory outage must not take sensors down (§2.2)
+
+    def _directory_delete(self, name: str) -> None:
+        if self.directory is None:
+            return
+        try:
+            self.directory.delete(self._sensor_dn(name))
+        except Exception:
+            pass
+
+    # -- RMI export ----------------------------------------------------------------------------
+
+    def bind_rmi(self, daemon, *, name: Optional[str] = None) -> str:
+        """Expose the manager's control surface as an RMI object."""
+        bound = name or f"sensor-manager/{self.host.name}"
+        daemon.bind(bound, self)
+        return bound
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<SensorManager {self.host.name} sensors={len(self.sensors)} "
+                f"{'running' if self.running else 'stopped'}>")

@@ -1,0 +1,20 @@
+"""security — credential-based access control for JAMM (paper §7.1).
+
+Toy X.509-style certificates and CAs, GSI-style proxies and gridmap,
+SSL-style channel authentication, Akenti-style use-condition policy,
+and the single :class:`AuthorizationService` interface that the LDAP
+wrapper and the event gateways both call.
+"""
+
+from .akenti import AkentiEngine, UseCondition
+from .authz import AuthorizationError, AuthorizationService
+from .certs import CertError, Certificate, CertificateAuthority, TrustStore
+from .gridmap import GridMap
+from .ssl import AuthenticatedPeer, SecureChannelContext, SSLHandshakeError
+
+__all__ = [
+    "AkentiEngine", "AuthenticatedPeer", "AuthorizationError",
+    "AuthorizationService", "CertError", "Certificate",
+    "CertificateAuthority", "GridMap", "SSLHandshakeError",
+    "SecureChannelContext", "TrustStore", "UseCondition",
+]

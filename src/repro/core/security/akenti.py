@@ -1,0 +1,84 @@
+"""Akenti-style policy engine (paper §7.1, [22]).
+
+"Akenti provides a way for the resource stakeholders to remotely
+determine the authorization for resource use based on components of
+the users distinguished name or attribute certificates."
+
+A :class:`UseCondition` grants actions on a resource to users matched
+by subject-DN components and/or required attribute-certificate
+attributes.  The :class:`AkentiEngine` collects the use conditions the
+stakeholders published and answers "which actions may this identity
+perform on this resource?".
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from .certs import Certificate
+
+__all__ = ["UseCondition", "AkentiEngine"]
+
+
+@dataclass
+class UseCondition:
+    """One stakeholder-issued grant.
+
+    * ``resource`` — resource name or glob (``gateway:*``);
+    * ``actions`` — actions granted;
+    * ``subject_pattern`` — glob over the user's effective identity
+      ("components of the users distinguished name");
+    * ``required_attributes`` — attribute-certificate attributes that
+      must all be present with the given values (empty = none needed).
+    """
+
+    resource: str
+    actions: tuple
+    subject_pattern: str = "*"
+    required_attributes: dict = field(default_factory=dict)
+    issuer: str = "stakeholder"
+
+    def applies_to_resource(self, resource: str) -> bool:
+        return fnmatch.fnmatchcase(resource, self.resource)
+
+    def matches(self, identity: str,
+                attribute_certs: Sequence[Certificate] = ()) -> bool:
+        if not fnmatch.fnmatchcase(identity, self.subject_pattern):
+            return False
+        if self.required_attributes:
+            merged: dict = {}
+            for cert in attribute_certs:
+                merged.update(cert.attributes)
+            for key, value in self.required_attributes.items():
+                if merged.get(key) != value:
+                    return False
+        return True
+
+
+class AkentiEngine:
+    """Evaluates use conditions for (identity, resource) pairs."""
+
+    def __init__(self, conditions: Optional[Iterable[UseCondition]] = None):
+        self.conditions: list[UseCondition] = list(conditions or [])
+        self.decisions = 0
+
+    def add_condition(self, condition: UseCondition) -> None:
+        self.conditions.append(condition)
+
+    def allowed_actions(self, identity: str, resource: str,
+                        attribute_certs: Sequence[Certificate] = ()) -> set:
+        """Union of actions granted by all matching use conditions.
+
+        Akenti's decision returns "a list of allowed actions, or simply
+        deny access if the user is unauthorized" — an empty set is the
+        deny."""
+        self.decisions += 1
+        granted: set = set()
+        for condition in self.conditions:
+            if not condition.applies_to_resource(resource):
+                continue
+            if condition.matches(identity, attribute_certs):
+                granted.update(condition.actions)
+        return granted

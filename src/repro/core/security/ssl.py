@@ -1,0 +1,68 @@
+"""SSL-style authenticated channel establishment (paper §7.1).
+
+"When the certificate is presented through a secure protocol such as
+SSL ..., the server side can be assured that the connection is indeed
+to the legitimate user named in the certificate."
+
+:class:`SecureChannelContext` is what a gateway or wrapped LDAP server
+holds: a trust store plus handshake bookkeeping.  A successful
+handshake yields an authenticated peer identity string; failures raise
+:class:`SSLHandshakeError`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .certs import CertError, Certificate, TrustStore
+
+__all__ = ["SecureChannelContext", "SSLHandshakeError", "AuthenticatedPeer"]
+
+
+class SSLHandshakeError(RuntimeError):
+    pass
+
+
+class AuthenticatedPeer:
+    """The result of a successful handshake."""
+
+    __slots__ = ("identity", "certificate", "established_at")
+
+    def __init__(self, identity: str, certificate: Certificate,
+                 established_at: float):
+        self.identity = identity
+        self.certificate = certificate
+        self.established_at = established_at
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<AuthenticatedPeer {self.identity!r}>"
+
+
+class SecureChannelContext:
+    """Server-side SSL context: verify client certificates on handshake."""
+
+    def __init__(self, trust: TrustStore, *, require_cert: bool = True):
+        self.trust = trust
+        self.require_cert = require_cert
+        self.handshakes_ok = 0
+        self.handshakes_failed = 0
+
+    def handshake(self, cert: Optional[Certificate], *,
+                  when: float) -> Optional[AuthenticatedPeer]:
+        """Authenticate a client certificate.
+
+        Returns None for anonymous clients when ``require_cert`` is
+        False; raises :class:`SSLHandshakeError` otherwise.
+        """
+        if cert is None:
+            if self.require_cert:
+                self.handshakes_failed += 1
+                raise SSLHandshakeError("client certificate required")
+            return None
+        try:
+            identity = self.trust.verify(cert, when=when)
+        except CertError as exc:
+            self.handshakes_failed += 1
+            raise SSLHandshakeError(str(exc)) from exc
+        self.handshakes_ok += 1
+        return AuthenticatedPeer(identity, cert, when)

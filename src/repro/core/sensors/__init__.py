@@ -1,0 +1,25 @@
+"""sensors — JAMM sensor implementations (paper §2.2).
+
+Host sensors (CPU, memory, vmstat, netstat, iostat, tcpdump), SNMP
+network sensors, process sensors, application sensors, and the type
+registry sensor managers instantiate from configuration entries.
+"""
+
+from .application import ApplicationSensor, StaticThreshold
+from .base import Sensor, SensorError
+from .host import (CPUSensor, IostatSensor, MemorySensor, NetstatSensor,
+                   TcpdumpSensor, VmstatSensor)
+from .network import RouterErrorSensor, SNMPSensor
+from .process import DynamicThresholdSensor, ProcessSensor
+from .registry import (UnknownSensorType, create_sensor, register_sensor,
+                       sensor_types)
+from .remote import HR_OIDS, RemoteHostSensor, install_host_snmp
+
+__all__ = [
+    "ApplicationSensor", "CPUSensor", "DynamicThresholdSensor",
+    "IostatSensor", "MemorySensor", "NetstatSensor", "ProcessSensor",
+    "RouterErrorSensor", "SNMPSensor", "Sensor", "SensorError",
+    "StaticThreshold", "TcpdumpSensor", "UnknownSensorType", "VmstatSensor",
+    "HR_OIDS", "RemoteHostSensor", "install_host_snmp",
+    "create_sensor", "register_sensor", "sensor_types",
+]

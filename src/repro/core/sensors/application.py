@@ -1,0 +1,119 @@
+"""Application sensors (paper §2.2).
+
+"Autonomous sensors can also be embedded inside of applications.
+These sensors might generate events if a static threshold is reached
+(for example, if the number of locks taken exceeds a threshold), upon
+user connect/disconnect or change of password, upon receipt of a UNIX
+signal, or upon any other user-defined event. ... These types of
+sensors would not be directly under JAMM control, but could still feed
+their results to the JAMM system."
+
+Accordingly, an :class:`ApplicationSensor` has no sampling loop; the
+instrumented application pushes events through it, and static-threshold
+watchers fire as values flow past.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+from .base import Sensor
+from .registry import register_sensor
+
+__all__ = ["ApplicationSensor", "StaticThreshold"]
+
+_OPS: dict[str, Callable[[float, float], bool]] = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+@dataclass
+class StaticThreshold:
+    field: str
+    op: str
+    limit: float
+    armed: bool = True  # re-arms when the value returns to the safe side
+
+
+@register_sensor
+class ApplicationSensor(Sensor):
+    """In-application event source.
+
+    The app calls :meth:`log_event` at its instrumentation points
+    (NetLogger-style), :meth:`signal` on UNIX-signal-ish conditions, and
+    :meth:`user_connect` / :meth:`user_disconnect` on session changes.
+    Watchers added with :meth:`watch` emit ``APP_THRESHOLD`` when a
+    logged field crosses a static limit.
+    """
+
+    sensor_type = "application"
+    default_period = 3600.0  # no periodic sampling; loop is a keepalive
+
+    def __init__(self, host: Any, *, app_name: str = "app",
+                 name: Optional[str] = None, period: Optional[float] = None,
+                 lvl: str = "Usage"):
+        super().__init__(host, name=name or f"app:{app_name}@{host.name}",
+                         period=period, lvl=lvl)
+        self.app_name = app_name
+        self.watchers: list[StaticThreshold] = []
+        self.sessions = 0
+
+    # -- instrumentation API -----------------------------------------------------
+
+    def log_event(self, event_name: str, **fields: Any):
+        """User-defined event; ``_`` in keyword names becomes ``.``."""
+        translated = {k.replace("_", "."): v for k, v in fields.items()}
+        msg = self.emit(event_name, translated)
+        self._check_watchers(translated)
+        return msg
+
+    def watch(self, field: str, op: str, limit: float) -> StaticThreshold:
+        if op not in _OPS:
+            raise ValueError(f"op must be one of {sorted(_OPS)}")
+        watcher = StaticThreshold(field=field, op=op, limit=float(limit))
+        self.watchers.append(watcher)
+        return watcher
+
+    def _check_watchers(self, fields: dict) -> None:
+        for watcher in self.watchers:
+            raw = fields.get(watcher.field)
+            if raw is None:
+                continue
+            try:
+                value = float(raw)
+            except (TypeError, ValueError):
+                continue
+            crossed = _OPS[watcher.op](value, watcher.limit)
+            if crossed and watcher.armed:
+                watcher.armed = False
+                self.emit("APP_THRESHOLD", {"FIELD": watcher.field,
+                                            "OP": watcher.op,
+                                            "LIMIT": watcher.limit,
+                                            "VALUE": raw,
+                                            "APP": self.app_name})
+            elif not crossed:
+                watcher.armed = True
+
+    def signal(self, signame: str) -> None:
+        """Report receipt of a UNIX signal."""
+        self.emit("APP_SIGNAL", {"SIGNAL": signame, "APP": self.app_name})
+
+    def user_connect(self, user: str) -> None:
+        self.sessions += 1
+        self.emit("APP_USER_CONNECT", {"USER": user, "APP": self.app_name,
+                                       "SESSIONS": self.sessions})
+
+    def user_disconnect(self, user: str) -> None:
+        self.sessions = max(0, self.sessions - 1)
+        self.emit("APP_USER_DISCONNECT", {"USER": user, "APP": self.app_name,
+                                          "SESSIONS": self.sessions})
+
+    def password_change(self, user: str) -> None:
+        self.emit("APP_PASSWD_CHANGE", {"USER": user, "APP": self.app_name})
+
+    def sample(self) -> Iterable[tuple[str, dict]]:
+        return ()

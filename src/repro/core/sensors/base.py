@@ -1,0 +1,146 @@
+"""Sensor base class.
+
+"A sensor is any program that generates a time-stamped performance
+monitoring event" (paper §2.2).  A :class:`Sensor` runs a periodic
+sampling loop on its host; each sample yields zero or more
+``(event_name, fields)`` pairs that are stamped with the host's (maybe
+skewed) clock and handed to the sensor's *sink* — normally the event
+gateway intake installed by the sensor manager.
+
+The status surface (:meth:`info`) mirrors what the JAMM Sensor Data GUI
+lists (§5.0): "frequency, duration, startup time, current number of
+consumers, and last message".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from ...simgrid.kernel import Timeout
+from ...ulm import ULMMessage
+
+__all__ = ["Sensor", "SensorError"]
+
+
+class SensorError(RuntimeError):
+    pass
+
+
+class Sensor:
+    """Base class for periodic sensors.
+
+    Subclasses implement :meth:`sample` returning an iterable of
+    ``(event_name, fields_dict)``.  Event-driven sensors (process,
+    application, tcpdump) may instead call :meth:`emit` directly and
+    return nothing from :meth:`sample`.
+    """
+
+    #: subclasses set a type tag used in directory entries & config files
+    sensor_type = "generic"
+    #: default sampling period (seconds)
+    default_period = 1.0
+
+    def __init__(self, host: Any, *, name: Optional[str] = None,
+                 period: Optional[float] = None, lvl: str = "Usage"):
+        self.host = host
+        self.sim = host.sim
+        self.name = name or f"{self.sensor_type}@{host.name}"
+        self.period = period if period is not None else self.default_period
+        if self.period <= 0:
+            raise SensorError(f"period must be positive, got {self.period}")
+        self.lvl = lvl
+        self.sink: Optional[Callable[[ULMMessage], None]] = None
+        self.running = False
+        self.started_at: Optional[float] = None
+        self.stopped_at: Optional[float] = None
+        self.events_emitted = 0
+        self.events_dropped = 0
+        self.last_message: Optional[ULMMessage] = None
+        self.consumer_count = 0  # maintained by the gateway
+        self._proc = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self.started_at = self.sim.now
+        self.stopped_at = None
+        self.on_start()
+        self._proc = self.sim.spawn(self._loop(), name=f"sensor[{self.name}]")
+
+    def stop(self) -> None:
+        if not self.running:
+            return
+        self.running = False
+        self.stopped_at = self.sim.now
+        self.on_stop()
+        if self._proc is not None and self._proc.alive:
+            self._proc.kill()
+            self._proc = None
+
+    def on_start(self) -> None:
+        """Subclass hook (attach to host structures)."""
+
+    def on_stop(self) -> None:
+        """Subclass hook (detach from host structures)."""
+
+    def _loop(self):
+        while self.running:
+            for event_name, fields in self.sample() or ():
+                self.emit(event_name, fields)
+            yield Timeout(self.period)
+
+    # -- data path -----------------------------------------------------------------
+
+    def sample(self) -> Iterable[tuple[str, dict]]:
+        """One sampling pass; override in periodic sensors."""
+        return ()
+
+    def emit(self, event_name: str, fields: Optional[dict] = None) -> Optional[ULMMessage]:
+        """Stamp and deliver one event to the sink.
+
+        Events emitted with no sink attached are counted as dropped —
+        "event data is not sent anywhere unless it is requested by a
+        consumer" (§2.3).
+        """
+        msg = ULMMessage(date=self.host.timestamp(), host=self.host.name,
+                         prog=self.name, lvl=self.lvl, event=event_name)
+        if fields:
+            for key, value in fields.items():
+                msg.set(key, value)
+        self.last_message = msg
+        if self.sink is None:
+            self.events_dropped += 1
+            return msg
+        self.events_emitted += 1
+        self.sink(msg)
+        return msg
+
+    # -- status (Sensor Data GUI surface) -----------------------------------------------
+
+    def uptime(self) -> float:
+        if self.started_at is None:
+            return 0.0
+        end = self.stopped_at if self.stopped_at is not None else self.sim.now
+        return end - self.started_at
+
+    def info(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.sensor_type,
+            "host": self.host.name,
+            "status": "running" if self.running else "stopped",
+            "frequency_hz": (1.0 / self.period) if self.period else 0.0,
+            "duration_s": self.uptime(),
+            "startup_time": self.started_at,
+            "consumers": self.consumer_count,
+            "events_emitted": self.events_emitted,
+            "last_message": (self.last_message and
+                             str(self.last_message.event)),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "running" if self.running else "stopped"
+        return f"<{type(self).__name__} {self.name!r} {state}>"

@@ -1,0 +1,141 @@
+"""Host sensors (paper §2.2): CPU, memory, vmstat, netstat, iostat, tcpdump.
+
+These emit the event streams visible in Fig. 7: ``VMSTAT_USER_TIME``,
+``VMSTAT_SYS_TIME``, ``VMSTAT_FREE_MEMORY``, ``TCPD_RETRANSMITS`` (the
+modified-tcpdump TCP sensor [21]), plus netstat counter samples that
+motivate the gateway's change-only filtering ("the netstat sensor may
+output the value of the TCP retransmission counter every second, but
+most consumers only want to be notified when the counter changes").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from .base import Sensor
+from .registry import register_sensor
+
+__all__ = ["CPUSensor", "MemorySensor", "VmstatSensor", "NetstatSensor",
+           "IostatSensor", "TcpdumpSensor"]
+
+
+@register_sensor
+class CPUSensor(Sensor):
+    """Aggregate CPU utilization: one CPU_USAGE event per sample."""
+
+    sensor_type = "cpu"
+    default_period = 1.0
+
+    def sample(self) -> Iterable[tuple[str, dict]]:
+        snap = self.host.cpu.sample()
+        yield ("CPU_USAGE", {"CPU.USER": f"{snap.user:.1f}",
+                             "CPU.SYS": f"{snap.system:.1f}",
+                             "CPU.IDLE": f"{snap.idle:.1f}",
+                             "CPU.LOAD": f"{snap.load:.3f}"})
+
+
+@register_sensor
+class MemorySensor(Sensor):
+    """Free/used memory: one MEM_USAGE event per sample."""
+
+    sensor_type = "memory"
+    default_period = 5.0
+
+    def sample(self) -> Iterable[tuple[str, dict]]:
+        snap = self.host.memory.sample()
+        yield ("MEM_USAGE", {"MEM.FREE": snap.free_kb,
+                             "MEM.USED": snap.used_kb,
+                             "MEM.TOTAL": snap.total_kb})
+
+
+@register_sensor
+class VmstatSensor(Sensor):
+    """vmstat-style stream: separate scalar events per quantity, the
+    exact series plotted as loadlines in Fig. 7."""
+
+    sensor_type = "vmstat"
+    default_period = 1.0
+
+    def sample(self) -> Iterable[tuple[str, dict]]:
+        cpu = self.host.cpu.sample()
+        mem = self.host.memory.sample()
+        yield ("VMSTAT_USER_TIME", {"VALUE": f"{cpu.user:.1f}"})
+        yield ("VMSTAT_SYS_TIME", {"VALUE": f"{cpu.system:.1f}"})
+        yield ("VMSTAT_FREE_MEMORY", {"VALUE": mem.free_kb})
+
+
+@register_sensor
+class NetstatSensor(Sensor):
+    """Samples the host TCP counters every period, unconditionally —
+    the filtering belongs to the gateway, not the sensor."""
+
+    sensor_type = "netstat"
+    default_period = 1.0
+
+    def sample(self) -> Iterable[tuple[str, dict]]:
+        counters = self.host.tcp_counters
+        yield ("NETSTAT_RETRANSMITS", {"VALUE": counters["retransmits"]})
+        yield ("NETSTAT_WINDOW_CHANGES", {"VALUE": counters["window_changes"]})
+
+
+@register_sensor
+class IostatSensor(Sensor):
+    """Block-I/O counters (apps bump ``host.io_counters``)."""
+
+    sensor_type = "iostat"
+    default_period = 5.0
+
+    def sample(self) -> Iterable[tuple[str, dict]]:
+        io = self.host.io_counters
+        yield ("IOSTAT", {"IO.READS": io["reads"], "IO.WRITES": io["writes"],
+                          "IO.RBYTES": io["read_bytes"],
+                          "IO.WBYTES": io["write_bytes"]})
+
+
+@register_sensor
+class TcpdumpSensor(Sensor):
+    """Event-driven TCP sensor: "a version of tcpdump modified to
+    generate NetLogger events when it detects a TCP retransmission or a
+    change in window size" (§6).
+
+    Requires superuser on a real host; here it attaches to
+    :class:`~repro.simgrid.tcp.TCPFlow` hooks.  It registers itself as
+    the host service ``"tcpdump"`` so flow factories can auto-attach
+    new flows touching this host.
+    """
+
+    sensor_type = "tcpdump"
+    default_period = 3600.0  # event-driven; the loop is only a keepalive
+
+    def __init__(self, host: Any, *, name: Optional[str] = None,
+                 period: Optional[float] = None, lvl: str = "Usage"):
+        super().__init__(host, name=name, period=period, lvl=lvl)
+        self._watched: set = set()
+
+    def on_start(self) -> None:
+        self.host.register_service("tcpdump", self)
+
+    def on_stop(self) -> None:
+        if self.host.service("tcpdump") is self:
+            self.host.services.pop("tcpdump", None)
+        self._watched.clear()
+
+    def attach(self, flow: Any) -> None:
+        """Watch one flow (both retransmits and window changes)."""
+        if flow in self._watched or not self.running:
+            return
+        self._watched.add(flow)
+        flow.on_retransmit(self._on_retransmit)
+        flow.on_window_change(self._on_window)
+
+    def _on_retransmit(self, flow: Any, count: int) -> None:
+        if self.running:
+            self.emit("TCPD_RETRANSMITS", {"COUNT": count,
+                                           "FLOW": flow.name,
+                                           "DST.PORT": flow.dst_port})
+
+    def _on_window(self, flow: Any, old: int, new: int) -> None:
+        if self.running:
+            self.emit("TCPD_WINDOW_SIZE", {"SIZE": new * flow.mss,
+                                           "OLD": old * flow.mss,
+                                           "FLOW": flow.name})

@@ -1,0 +1,117 @@
+"""Network sensors: SNMP polls of routers/switches (paper §2.2).
+
+"These sensors perform SNMP queries to a network device, typically a
+router or switch."  The sensor emits counter values and deltas each
+poll, plus a distinct ``SNMP_ERRORS`` event whenever error counters
+(CRC errors, discards) increase — the signal §6 checked and found
+clean ("no errors were reported").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from ...simgrid.snmp import OID
+from .base import Sensor, SensorError
+from .registry import register_sensor
+
+__all__ = ["SNMPSensor", "RouterErrorSensor"]
+
+DEFAULT_OIDS = (OID.IF_IN_OCTETS, OID.IF_OUT_OCTETS, OID.IF_IN_UCAST,
+                OID.IF_OUT_UCAST)
+ERROR_OIDS = (OID.IF_IN_ERRORS, OID.IF_CRC_ERRORS, OID.IF_IN_DISCARDS)
+
+
+@register_sensor
+class SNMPSensor(Sensor):
+    """Polls one device's MIB through the world's SNMP manager.
+
+    Host sensors "may be layered on top of SNMP-based tools, and
+    therefore run remotely from the host being monitored" — the sensor
+    runs on ``host`` while monitoring ``device``.
+    """
+
+    sensor_type = "snmp"
+    default_period = 10.0
+
+    def __init__(self, host: Any, *, device: str, snmp: Any = None,
+                 oids: Sequence[str] = DEFAULT_OIDS,
+                 community: str = "public", name: Optional[str] = None,
+                 period: Optional[float] = None, lvl: str = "Usage"):
+        super().__init__(host, name=name or f"snmp:{device}@{host.name}",
+                         period=period, lvl=lvl)
+        if snmp is None:
+            raise SensorError("SNMPSensor needs the world's SNMPManager (snmp=)")
+        self.device = device
+        self.snmp = snmp
+        self.oids = tuple(oids)
+        self.community = community
+        self._last: dict[str, float] = {}
+
+    def sample(self) -> Iterable[tuple[str, dict]]:
+        try:
+            mib = self.snmp.walk(self.device, community=self.community)
+        except Exception as exc:
+            yield ("SNMP_UNREACHABLE", {"DEVICE": self.device,
+                                        "ERROR": type(exc).__name__})
+            return
+        fields: dict = {"DEVICE": self.device}
+        for oid in self.oids:
+            value = float(mib.get(oid, 0))
+            fields[oid.upper()] = int(value)
+            fields[f"{oid.upper()}.DELTA"] = int(value - self._last.get(oid, value))
+            self._last[oid] = value
+        yield ("SNMP_STATS", fields)
+        # error counters: emit a separate event only on increase
+        err_fields: dict = {"DEVICE": self.device}
+        errors_grew = False
+        for oid in ERROR_OIDS:
+            value = float(mib.get(oid, 0))
+            delta = value - self._last.get(oid, 0.0)
+            self._last[oid] = value
+            if delta > 0:
+                errors_grew = True
+                err_fields[oid.upper()] = int(value)
+                err_fields[f"{oid.upper()}.DELTA"] = int(delta)
+        if errors_grew:
+            yield ("SNMP_ERRORS", err_fields)
+
+
+@register_sensor
+class RouterErrorSensor(Sensor):
+    """Error-only variant: silent unless CRC/error/discard counters move.
+
+    Used for "error conditions, such as ... CRC errors on a router"
+    (§2.2) without the full stats stream.
+    """
+
+    sensor_type = "router-errors"
+    default_period = 10.0
+
+    def __init__(self, host: Any, *, device: str, snmp: Any = None,
+                 community: str = "public", name: Optional[str] = None,
+                 period: Optional[float] = None, lvl: str = "Error"):
+        super().__init__(host, name=name or f"rtrerr:{device}@{host.name}",
+                         period=period, lvl=lvl)
+        if snmp is None:
+            raise SensorError("RouterErrorSensor needs snmp=")
+        self.device = device
+        self.snmp = snmp
+        self.community = community
+        self._last: dict[str, float] = {}
+
+    def sample(self) -> Iterable[tuple[str, dict]]:
+        try:
+            mib = self.snmp.walk(self.device, community=self.community)
+        except Exception as exc:
+            yield ("SNMP_UNREACHABLE", {"DEVICE": self.device,
+                                        "ERROR": type(exc).__name__})
+            return
+        for oid in ERROR_OIDS:
+            value = float(mib.get(oid, 0))
+            delta = value - self._last.get(oid, 0.0)
+            self._last[oid] = value
+            if delta > 0:
+                yield ("ROUTER_ERRORS", {"DEVICE": self.device,
+                                         "OID": oid, "DELTA": int(delta),
+                                         "VALUE": int(value)})

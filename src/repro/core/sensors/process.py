@@ -1,0 +1,134 @@
+"""Process sensors (paper §2.2).
+
+"Process sensors generate events when there is a change in process
+status (for example, when it starts, dies normally, or dies
+abnormally).  They might also generate an event if some dynamic
+threshold is reached (for example, if the average number of users over
+a certain time period exceeds a given threshold)."
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from collections import deque
+from typing import Any, Callable, Iterable, Optional
+
+from ...simgrid.processes import OSProcess, ProcState
+from .base import Sensor
+from .registry import register_sensor
+
+__all__ = ["ProcessSensor", "DynamicThresholdSensor"]
+
+
+@register_sensor
+class ProcessSensor(Sensor):
+    """Watches a host's process table for status changes.
+
+    ``pattern`` is an fnmatch glob on process names (default: all).
+    Emits PROC_START / PROC_EXIT / PROC_CRASH / PROC_STOP / PROC_RESUME,
+    plus a periodic PROC_STATUS census.
+    """
+
+    sensor_type = "process"
+    default_period = 10.0
+
+    def __init__(self, host: Any, *, pattern: str = "*",
+                 name: Optional[str] = None, period: Optional[float] = None,
+                 lvl: str = "Usage"):
+        super().__init__(host, name=name or f"process:{pattern}@{host.name}",
+                         period=period, lvl=lvl)
+        self.pattern = pattern
+        self._hooked: set[int] = set()
+
+    def _matches(self, proc: OSProcess) -> bool:
+        return fnmatch.fnmatchcase(proc.name, self.pattern)
+
+    def on_start(self) -> None:
+        self.host.processes.on_spawn(self._on_spawn)
+        for proc in self.host.processes.all():
+            self._hook(proc)
+            if proc.alive and self._matches(proc):
+                self.emit("PROC_START", self._fields(proc))
+
+    def _on_spawn(self, proc: OSProcess) -> None:
+        if not self.running:
+            return
+        self._hook(proc)
+        if self._matches(proc):
+            self.emit("PROC_START", self._fields(proc))
+
+    def _hook(self, proc: OSProcess) -> None:
+        if proc.pid in self._hooked:
+            return
+        self._hooked.add(proc.pid)
+        proc.status_changed.on_trigger(self._on_status)
+
+    _EVENTS = {ProcState.EXITED: "PROC_EXIT",
+               ProcState.CRASHED: "PROC_CRASH",
+               ProcState.STOPPED: "PROC_STOP",
+               ProcState.RUNNING: "PROC_RESUME"}
+
+    def _on_status(self, change) -> None:
+        proc, _old, new = change
+        if not self.running or not self._matches(proc):
+            return
+        event = self._EVENTS.get(new)
+        if event:
+            fields = self._fields(proc)
+            if proc.exit_code is not None:
+                fields["EXIT.CODE"] = proc.exit_code
+            self.emit(event, fields)
+
+    @staticmethod
+    def _fields(proc: OSProcess) -> dict:
+        return {"PROC.NAME": proc.name, "PID": proc.pid,
+                "STATE": proc.state.value}
+
+    def sample(self) -> Iterable[tuple[str, dict]]:
+        procs = [p for p in self.host.processes.all() if self._matches(p)]
+        living = sum(1 for p in procs if p.alive)
+        yield ("PROC_STATUS", {"PROC.PATTERN": self.pattern,
+                               "LIVING": living,
+                               "TOTAL": len(procs)})
+
+
+@register_sensor
+class DynamicThresholdSensor(Sensor):
+    """Windowed-average threshold watcher.
+
+    Samples ``metric()`` each period, keeps a sliding window, and emits
+    THRESHOLD_EXCEEDED when the window average crosses ``threshold``
+    (and THRESHOLD_CLEARED when it drops back), e.g. "if the average
+    number of users over a certain time period exceeds a given
+    threshold".
+    """
+
+    sensor_type = "threshold"
+    default_period = 5.0
+
+    def __init__(self, host: Any, *, metric: Callable[[], float],
+                 threshold: float, window: int = 12,
+                 metric_name: str = "metric",
+                 name: Optional[str] = None, period: Optional[float] = None,
+                 lvl: str = "Warning"):
+        super().__init__(host, name=name or f"threshold:{metric_name}@{host.name}",
+                         period=period, lvl=lvl)
+        self.metric = metric
+        self.threshold = threshold
+        self.metric_name = metric_name
+        self._window: deque = deque(maxlen=max(1, window))
+        self._exceeded = False
+
+    def sample(self) -> Iterable[tuple[str, dict]]:
+        self._window.append(float(self.metric()))
+        avg = sum(self._window) / len(self._window)
+        if avg > self.threshold and not self._exceeded:
+            self._exceeded = True
+            yield ("THRESHOLD_EXCEEDED", {"METRIC": self.metric_name,
+                                          "AVG": f"{avg:.3f}",
+                                          "THRESHOLD": self.threshold})
+        elif avg <= self.threshold and self._exceeded:
+            self._exceeded = False
+            yield ("THRESHOLD_CLEARED", {"METRIC": self.metric_name,
+                                         "AVG": f"{avg:.3f}",
+                                         "THRESHOLD": self.threshold})

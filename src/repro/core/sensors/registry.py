@@ -1,0 +1,41 @@
+"""Sensor type registry.
+
+"Adding new sensors to JAMM is quite simple" (§5.0): new sensor
+classes register under their ``sensor_type`` tag; sensor managers
+instantiate them from configuration-file entries by tag.  This is the
+Python analogue of dropping a Java class into the HTTP codebase.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+__all__ = ["register_sensor", "create_sensor", "sensor_types", "UnknownSensorType"]
+
+_REGISTRY: dict[str, type] = {}
+
+
+class UnknownSensorType(KeyError):
+    pass
+
+
+def register_sensor(cls: Type) -> Type:
+    """Class decorator: register ``cls`` under its ``sensor_type``."""
+    tag = getattr(cls, "sensor_type", None)
+    if not tag or tag == "generic":
+        raise ValueError(f"{cls.__name__} must define a unique sensor_type")
+    _REGISTRY[tag] = cls
+    return cls
+
+
+def sensor_types() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def create_sensor(sensor_type: str, host: Any, **kwargs) -> Any:
+    """Instantiate a registered sensor type on ``host``."""
+    cls = _REGISTRY.get(sensor_type)
+    if cls is None:
+        raise UnknownSensorType(
+            f"unknown sensor type {sensor_type!r}; known: {sensor_types()}")
+    return cls(host, **kwargs)

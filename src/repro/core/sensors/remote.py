@@ -1,0 +1,98 @@
+"""SNMP-layered remote host sensors (paper §2.2).
+
+"Host sensors may be layered on top of SNMP-based tools, and therefore
+run remotely from the host being monitored."
+
+Two pieces:
+
+* :func:`install_host_snmp` — puts a Host-Resources-style SNMP agent
+  on a host, exposing CPU utilization, load, and memory through MIB
+  variables (hrProcessorLoad / hrMemoryFree / ...);
+* :class:`RemoteHostSensor` — a sensor running on *another* host that
+  polls those variables and emits the same CPU/MEM event stream the
+  local sensors produce, so consumers cannot tell the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from ...simgrid.snmp import SNMPAgent
+from .base import Sensor, SensorError
+from .registry import register_sensor
+
+__all__ = ["install_host_snmp", "RemoteHostSensor", "HR_OIDS"]
+
+#: Host-Resources-MIB-flavoured variable names
+HR_OIDS = ("hrProcessorUser", "hrProcessorSystem", "hrProcessorLoad",
+           "hrMemoryFreeKB", "hrMemoryUsedKB", "hrTcpRetransmits")
+
+
+def install_host_snmp(world: Any, host: Any, *,
+                      community: str = "public") -> SNMPAgent:
+    """Expose a host's resources through SNMP (idempotent)."""
+    agent = world.snmp.agent(host.name)
+    if agent is None:
+        agent = SNMPAgent(world.sim, host.node, community=community)
+        world.snmp.register(agent)
+    agent.register_variable("hrProcessorUser",
+                            lambda: round(host.cpu.sample().user, 3))
+    agent.register_variable("hrProcessorSystem",
+                            lambda: round(host.cpu.sample().system, 3))
+    agent.register_variable("hrProcessorLoad",
+                            lambda: round(host.cpu.sample().load, 4))
+    agent.register_variable("hrMemoryFreeKB",
+                            lambda: host.memory.sample().free_kb)
+    agent.register_variable("hrMemoryUsedKB",
+                            lambda: host.memory.sample().used_kb)
+    agent.register_variable("hrTcpRetransmits",
+                            lambda: host.tcp_counters["retransmits"])
+    return agent
+
+
+@register_sensor
+class RemoteHostSensor(Sensor):
+    """Polls another host's resources over SNMP.
+
+    ``device`` is the *monitored* host's name; the sensor itself lives
+    on ``host`` (often the gateway host), needing no account on the
+    monitored machine — the deployment advantage §2.2 describes.
+    """
+
+    sensor_type = "remote-host"
+    default_period = 5.0
+
+    def __init__(self, host: Any, *, device: str, snmp: Any = None,
+                 community: str = "public", name: Optional[str] = None,
+                 period: Optional[float] = None, lvl: str = "Usage"):
+        super().__init__(host, name=name or f"rhost:{device}@{host.name}",
+                         period=period, lvl=lvl)
+        if snmp is None:
+            raise SensorError("RemoteHostSensor needs the SNMP manager (snmp=)")
+        self.device = device
+        self.snmp = snmp
+        self.community = community
+
+    def sample(self) -> Iterable[tuple[str, dict]]:
+        try:
+            user = self.snmp.get(self.device, "hrProcessorUser",
+                                 community=self.community)
+            system = self.snmp.get(self.device, "hrProcessorSystem",
+                                   community=self.community)
+            load = self.snmp.get(self.device, "hrProcessorLoad",
+                                 community=self.community)
+            free = self.snmp.get(self.device, "hrMemoryFreeKB",
+                                 community=self.community)
+            used = self.snmp.get(self.device, "hrMemoryUsedKB",
+                                 community=self.community)
+        except Exception as exc:
+            yield ("SNMP_UNREACHABLE", {"DEVICE": self.device,
+                                        "ERROR": type(exc).__name__})
+            return
+        yield ("CPU_USAGE", {"CPU.USER": f"{user:.1f}",
+                             "CPU.SYS": f"{system:.1f}",
+                             "CPU.LOAD": f"{load:.3f}",
+                             "VIA": "snmp",
+                             "TARGET": self.device})
+        yield ("MEM_USAGE", {"MEM.FREE": free, "MEM.USED": used,
+                             "VIA": "snmp", "TARGET": self.device})

@@ -1,0 +1,30 @@
+"""netlogger — the NetLogger Toolkit (paper §4).
+
+Client instrumentation API, log collection/merge tools, object-ID
+lifeline correlation, the nlv visualization data model, and the
+analysis routines used to read Fig. 7 (gaps, correlation, latency
+breakdowns).
+"""
+
+from .analysis import (Gap, LatencyStats, bottleneck_stage,
+                       clock_skew_estimate, event_correlation, find_gaps,
+                       stage_latency_report)
+from .api import (NETLOGD_PORT, Destination, FileDestination, HostDestination,
+                  MemoryDestination, NetLogger, NetLoggerError,
+                  SyslogDestination)
+from .collect import LogWindow, NetLogDaemon, merge_logs, sort_log
+from .lifeline import (Lifeline, Segment, correlate_lifelines,
+                       lifeline_latencies)
+from .nlv import (LoadlineSeries, NLVConfig, NLVDataSet, PointSeries,
+                  Primitive, render_ascii)
+
+__all__ = [
+    "Destination", "FileDestination", "Gap", "HostDestination",
+    "LatencyStats", "Lifeline", "LoadlineSeries", "LogWindow",
+    "MemoryDestination", "NETLOGD_PORT", "NLVConfig", "NLVDataSet",
+    "NetLogDaemon", "NetLogger", "NetLoggerError", "PointSeries",
+    "Primitive", "Segment", "SyslogDestination", "bottleneck_stage",
+    "clock_skew_estimate", "correlate_lifelines", "event_correlation",
+    "find_gaps", "lifeline_latencies", "merge_logs", "render_ascii",
+    "sort_log", "stage_latency_report",
+]

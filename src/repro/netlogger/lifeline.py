@@ -1,0 +1,124 @@
+"""Object lifelines (paper §4.5).
+
+"The most important of these primitives is the lifeline, which
+represents the 'life' of an object (datum or computation) as it travels
+through a distributed system."  Events sharing an *object ID* — "a
+unique combination of values in one or more of its ULM fields" — are
+correlated into one :class:`Lifeline`; the slope between consecutive
+events is the latency of that processing stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..ulm import ULMMessage
+
+__all__ = ["Lifeline", "Segment", "correlate_lifelines", "lifeline_latencies"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One hop of a lifeline: from one event to the next."""
+
+    from_event: str
+    to_event: str
+    from_time: float
+    to_time: float
+    from_host: str
+    to_host: str
+
+    @property
+    def latency(self) -> float:
+        return self.to_time - self.from_time
+
+
+class Lifeline:
+    """All events for one object ID, in event-path order."""
+
+    def __init__(self, object_id: tuple, events: list[ULMMessage],
+                 event_order: Optional[Sequence[str]] = None):
+        self.object_id = object_id
+        if event_order:
+            rank = {name: i for i, name in enumerate(event_order)}
+            events = sorted(events,
+                            key=lambda m: (rank.get(m.event, len(rank)), m.date))
+        else:
+            events = sorted(events, key=lambda m: m.sort_key())
+        self.events = events
+
+    @property
+    def start_time(self) -> float:
+        return self.events[0].date if self.events else 0.0
+
+    @property
+    def end_time(self) -> float:
+        return self.events[-1].date if self.events else 0.0
+
+    @property
+    def total_latency(self) -> float:
+        return self.end_time - self.start_time
+
+    def segments(self) -> list[Segment]:
+        out = []
+        for a, b in zip(self.events[:-1], self.events[1:]):
+            out.append(Segment(from_event=a.event or "?", to_event=b.event or "?",
+                               from_time=a.date, to_time=b.date,
+                               from_host=a.host, to_host=b.host))
+        return out
+
+    def is_monotonic(self) -> bool:
+        """False when clock skew makes the lifeline run backwards —
+        the tell-tale of unsynchronized clocks (§4.3)."""
+        return all(seg.latency >= 0 for seg in self.segments())
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Lifeline id={self.object_id} events={len(self.events)} "
+                f"latency={self.total_latency * 1e3:.3f}ms>")
+
+
+def correlate_lifelines(messages: Iterable[ULMMessage], id_fields: Sequence[str],
+                        *, event_order: Optional[Sequence[str]] = None,
+                        require_all_ids: bool = True) -> list[Lifeline]:
+    """Group events into lifelines by the values of ``id_fields``.
+
+    Events missing any of the id fields are skipped when
+    ``require_all_ids`` (they belong to no object).  Returns lifelines
+    ordered by start time.
+    """
+    groups: dict[tuple, list[ULMMessage]] = {}
+    for msg in messages:
+        key_parts = []
+        missing = False
+        for field in id_fields:
+            value = msg.fields.get(field)
+            if value is None:
+                missing = True
+                break
+            key_parts.append(value)
+        if missing:
+            if require_all_ids:
+                continue
+            key_parts = ["?"] * len(id_fields)
+        groups.setdefault(tuple(key_parts), []).append(msg)
+    lifelines = [Lifeline(key, events, event_order=event_order)
+                 for key, events in groups.items()]
+    lifelines.sort(key=lambda l: l.start_time)
+    return lifelines
+
+
+def lifeline_latencies(lifelines: Iterable[Lifeline]) -> dict[tuple, list[float]]:
+    """Per-stage latency samples across many lifelines.
+
+    Keys are ``(from_event, to_event)`` pairs; values the latency
+    samples, ready for the analysis layer to summarize.
+    """
+    out: dict[tuple, list[float]] = {}
+    for line in lifelines:
+        for seg in line.segments():
+            out.setdefault((seg.from_event, seg.to_event), []).append(seg.latency)
+    return out

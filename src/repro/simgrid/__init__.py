@@ -1,0 +1,42 @@
+"""simgrid — the simulated Grid substrate.
+
+A deterministic discrete-event simulation of the environment JAMM
+monitors: hosts (CPU, memory, processes, clocks, NICs, ports), a
+routed network with SNMP-instrumented devices, a congestion-controlled
+TCP model, a control-plane message transport, an HTTP document server,
+and an RMI-like activatable remote-object layer.
+
+Entry point for most users: :class:`repro.simgrid.world.GridWorld`.
+"""
+
+from .clocks import HostClock, NTPDaemon, NTPServer
+from .host import Host, NICModel, PortActivity, PortTable
+from .httpd import HTTPClient, HTTPError, HTTPServer
+from .kernel import (AllOf, AnyOf, EventFlag, Interrupt, Process,
+                     ScheduledCall, SimulationError, Simulator, Timeout,
+                     WaitEvent)
+from .network import (InterfaceCounters, Link, NetNode, Network, NoRouteError,
+                      Path, RouterNode, SwitchNode)
+from .processes import OSProcess, ProcessTable, ProcState
+from .randomness import RandomStreams
+from .resources import CPUModel, CPUSample, MemoryModel, MemorySample
+from .rmi import (RMI_PORT, ActivationSpec, RemoteRef, RMIDaemon, RMIError,
+                  exported_methods)
+from .snmp import OID, SNMPAgent, SNMPManager
+from .sockets import DeliveryError, Message, MessageTransport
+from .tcp import TCPFlow, TCPStats, TokenBucket, poisson_draw
+from .world import GridWorld
+
+__all__ = [
+    "AllOf", "AnyOf", "ActivationSpec", "CPUModel", "CPUSample",
+    "DeliveryError", "EventFlag", "GridWorld", "Host", "HostClock",
+    "HTTPClient", "HTTPError", "HTTPServer", "InterfaceCounters",
+    "Interrupt", "Link", "Message", "MessageTransport", "MemoryModel",
+    "MemorySample", "NetNode", "Network", "NICModel", "NoRouteError",
+    "NTPDaemon", "NTPServer", "OID", "OSProcess", "Path", "PortActivity",
+    "PortTable", "Process", "ProcessTable", "ProcState", "RandomStreams",
+    "RemoteRef", "RMIDaemon", "RMIError", "RMI_PORT", "RouterNode",
+    "ScheduledCall", "SimulationError", "Simulator", "SNMPAgent",
+    "SNMPManager", "SwitchNode", "TCPFlow", "TCPStats", "Timeout",
+    "TokenBucket", "WaitEvent", "exported_methods", "poisson_draw",
+]

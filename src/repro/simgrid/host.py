@@ -1,0 +1,224 @@
+"""Simulated Grid hosts.
+
+A :class:`Host` bundles the per-machine state the JAMM sensors observe:
+CPU and memory models, a process table, a system clock, a NIC model
+(receive-packet budget — the mechanism behind the paper's §6 receiver
+bottleneck), and a :class:`PortTable` tracking per-port traffic, which
+is what the port monitor agent (§2.2) watches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from .clocks import HostClock
+from .kernel import Simulator
+from .network import NetNode, Network
+from .processes import ProcessTable
+from .resources import CPUModel, MemoryModel
+
+__all__ = ["Host", "PortTable", "PortActivity", "NICModel"]
+
+
+@dataclass
+class PortActivity:
+    """Traffic accounting for one TCP/UDP port on one host."""
+
+    port: int
+    bytes_in: int = 0
+    bytes_out: int = 0
+    packets_in: int = 0
+    packets_out: int = 0
+    last_activity: float = float("-inf")
+    active_connections: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_in + self.bytes_out
+
+
+class PortTable:
+    """Per-port traffic counters + listener bindings for one host.
+
+    The port monitor agent samples :meth:`activity` to decide whether an
+    application is using a well-known port, and triggers sensors when it
+    is (paper §2.2: "monitors traffic on specified ports, and starts
+    sensors only when network traffic on that port is detected").
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._activity: dict[int, PortActivity] = {}
+        self._listeners: dict[int, Callable] = {}
+
+    # -- listeners ----------------------------------------------------------
+
+    def bind(self, port: int, handler: Callable) -> None:
+        if port in self._listeners:
+            raise OSError(f"port {port} already bound")
+        self._listeners[port] = handler
+
+    def unbind(self, port: int) -> None:
+        self._listeners.pop(port, None)
+
+    def listener(self, port: int) -> Optional[Callable]:
+        return self._listeners.get(port)
+
+    def bound_ports(self) -> list[int]:
+        return sorted(self._listeners)
+
+    # -- accounting ---------------------------------------------------------
+
+    def activity(self, port: int) -> PortActivity:
+        act = self._activity.get(port)
+        if act is None:
+            act = PortActivity(port=port)
+            self._activity[port] = act
+        return act
+
+    def record(self, port: int, *, bytes_in: int = 0, bytes_out: int = 0,
+               packets_in: int = 0, packets_out: int = 0) -> None:
+        act = self.activity(port)
+        act.bytes_in += bytes_in
+        act.bytes_out += bytes_out
+        act.packets_in += packets_in
+        act.packets_out += packets_out
+        act.last_activity = self.sim.now
+
+    def connection_opened(self, port: int) -> None:
+        self.activity(port).active_connections += 1
+        self.activity(port).last_activity = self.sim.now
+
+    def connection_closed(self, port: int) -> None:
+        act = self.activity(port)
+        act.active_connections = max(0, act.active_connections - 1)
+        act.last_activity = self.sim.now
+
+    def idle_for(self, port: int) -> float:
+        """Seconds since the last traffic on ``port`` (inf if never)."""
+        act = self._activity.get(port)
+        if act is None or act.last_activity == float("-inf"):
+            return float("inf")
+        return self.sim.now - act.last_activity
+
+    def ports_with_traffic(self) -> list[int]:
+        return sorted(p for p, a in self._activity.items() if a.total_bytes > 0)
+
+
+class NICModel:
+    """Receive-side NIC / driver model for one host.
+
+    Two properties drive the paper's §6 anomaly:
+
+    * ``rx_bandwidth_bps`` — the end-host's sustainable receive rate
+      (memory-copy / stack bound; ~200 Mbit/s on the paper's hosts —
+      both LAN measurements hit this ceiling).
+    * ``multi_socket_loss`` — per-packet drop probability added per
+      *additional* concurrently-receiving socket, modelling the gigabit
+      card/driver load the authors blame ("we believe it has something
+      to do with the amount of load the gigabit ethernet card and
+      device driver place on the system").  With one socket arrivals
+      are ack-clocked and coalesce well (no drops); with four sockets
+      interleaved bursts exhaust descriptors and drop.  The *drop rate*
+      is RTT-independent, but AIMD recovery time is proportional to
+      RTT — which is exactly why the anomaly "is only observed with
+      wide-area transfers".
+
+    ``per_socket_cpu_factor`` scales the per-packet CPU (system-time)
+    cost with the number of active sockets, reproducing the high
+    ``VMSTAT_SYS_TIME`` on the receiving host in Fig. 7.
+    """
+
+    def __init__(self, host: "Host", *, rx_bandwidth_bps: float = 200e6,
+                 multi_socket_loss: float = 4.0e-4,
+                 per_socket_cpu_factor: float = 2.0,
+                 pps_budget: float = 60000.0):
+        self.host = host
+        self.rx_bandwidth_bps = rx_bandwidth_bps
+        self.multi_socket_loss = multi_socket_loss
+        self.per_socket_cpu_factor = per_socket_cpu_factor
+        self.pps_budget = pps_budget
+        self._active_rx_flows: set[Any] = set()
+        self._cpu_token: Optional[int] = None
+        self._current_pps = 0.0
+
+    # -- flow registry ------------------------------------------------------
+
+    def register_rx_flow(self, flow: Any) -> None:
+        self._active_rx_flows.add(flow)
+
+    def unregister_rx_flow(self, flow: Any) -> None:
+        self._active_rx_flows.discard(flow)
+        if not self._active_rx_flows:
+            self.set_rx_rate(0.0)
+
+    @property
+    def active_rx_sockets(self) -> int:
+        return len(self._active_rx_flows)
+
+    def rx_loss_probability(self) -> float:
+        """Per-packet receive drop probability given current socket count."""
+        n = self.active_rx_sockets
+        if n <= 1:
+            return 0.0
+        return min(0.5, self.multi_socket_loss * (n - 1))
+
+    # -- CPU coupling -------------------------------------------------------
+
+    def set_rx_rate(self, pps: float) -> None:
+        """Report the current aggregate receive packet rate; converts it
+        into a *system* CPU demand on the host."""
+        self._current_pps = pps
+        n = max(1, self.active_rx_sockets)
+        per_packet_cost = (1.0 + self.per_socket_cpu_factor * (n - 1)) / self.pps_budget
+        sys_demand = min(float(self.host.cpu.ncpus), pps * per_packet_cost)
+        if self._cpu_token is None:
+            if sys_demand > 0:
+                self._cpu_token = self.host.cpu.add_load(0.0, sys_demand)
+        else:
+            self.host.cpu.update_load(self._cpu_token, 0.0, sys_demand)
+
+    @property
+    def rx_pps(self) -> float:
+        return self._current_pps
+
+
+class Host:
+    """A simulated Grid host."""
+
+    def __init__(self, sim: Simulator, name: str, network: Network, *,
+                 ncpus: int = 2, memory_kb: int = 1024 * 1024,
+                 clock_offset: float = 0.0, clock_drift: float = 0.0,
+                 rx_bandwidth_bps: float = 200e6,
+                 attach_to: Optional[NetNode] = None):
+        self.sim = sim
+        self.name = name
+        self.network = network
+        self.node = attach_to if attach_to is not None else network.node(name)
+        self.cpu = CPUModel(sim, ncpus=ncpus)
+        self.memory = MemoryModel(total_kb=memory_kb)
+        self.clock = HostClock(sim, offset=clock_offset, drift=clock_drift)
+        self.processes = ProcessTable(sim, host=self)
+        self.ports = PortTable(sim)
+        self.nic = NICModel(self, rx_bandwidth_bps=rx_bandwidth_bps)
+        #: arbitrary per-host services (sensor manager, gateway, ...) by name
+        self.services: dict[str, Any] = {}
+        #: host-level TCP stack counters sampled by netstat-style sensors
+        self.tcp_counters: dict[str, int] = {"retransmits": 0, "window_changes": 0}
+        #: synthetic block-I/O counters bumped by apps, for iostat sensors
+        self.io_counters: dict[str, int] = {"reads": 0, "writes": 0,
+                                            "read_bytes": 0, "write_bytes": 0}
+
+    def timestamp(self) -> float:
+        """Wall-clock timestamp as this host perceives it."""
+        return self.clock.time()
+
+    def register_service(self, name: str, service: Any) -> None:
+        self.services[name] = service
+
+    def service(self, name: str) -> Any:
+        return self.services.get(name)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Host {self.name!r}>"

@@ -1,0 +1,471 @@
+"""Discrete-event simulation kernel.
+
+Everything in this reproduction runs on a single deterministic
+discrete-event simulator.  The kernel provides:
+
+* :class:`Simulator` — a priority-queue event loop with virtual time.
+* :class:`Process` — generator-based cooperative processes.  A process
+  body is a Python generator that ``yield``\\ s *wait conditions*
+  (:class:`Timeout`, :class:`WaitEvent`, or another :class:`Process`),
+  in the style of SimPy, mpi4py-free and dependency-free.
+* :class:`EventFlag` — a one-shot or reusable synchronization point that
+  processes can wait on and that callbacks can be attached to.
+
+Determinism contract
+--------------------
+Events scheduled for the same virtual time fire in FIFO order of
+scheduling (stable tie-break by a monotonically increasing sequence
+number), so a run with a fixed RNG seed is fully reproducible.  Tests
+and benchmarks rely on this.
+
+The kernel is intentionally simple and allocation-light: the hot loop is
+``heapq`` push/pop of small tuples, per the "make it work, measure, then
+optimize the bottleneck" workflow the project follows.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Timeout",
+    "WaitEvent",
+    "AllOf",
+    "AnyOf",
+    "EventFlag",
+    "Interrupt",
+    "SimulationError",
+    "ScheduledCall",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling into the past)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# ---------------------------------------------------------------------------
+# Wait conditions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` units of virtual time."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0 or math.isnan(self.delay):
+            raise SimulationError(f"negative or NaN timeout: {self.delay!r}")
+
+
+@dataclass(frozen=True)
+class WaitEvent:
+    """Yielded by a process to block until ``flag`` is triggered.
+
+    The process resumes with the value the flag was triggered with.
+    """
+
+    flag: "EventFlag"
+
+
+@dataclass(frozen=True)
+class AllOf:
+    """Wait until *all* of the given flags have triggered.
+
+    Resumes with a list of the flags' values in the order given.
+    """
+
+    flags: tuple
+
+    def __init__(self, flags: Iterable["EventFlag"]):
+        object.__setattr__(self, "flags", tuple(flags))
+
+
+@dataclass(frozen=True)
+class AnyOf:
+    """Wait until *any* of the given flags triggers.
+
+    Resumes with a ``(flag, value)`` tuple for the first one to fire.
+    """
+
+    flags: tuple
+
+    def __init__(self, flags: Iterable["EventFlag"]):
+        object.__setattr__(self, "flags", tuple(flags))
+
+
+class EventFlag:
+    """A triggerable synchronization point.
+
+    A flag starts un-triggered.  :meth:`trigger` wakes every waiting
+    process and runs every attached callback.  By default a flag is
+    *one-shot*: waiting on an already-triggered flag resumes immediately
+    with the stored value.  Pass ``reusable=True`` for a flag that can
+    be triggered repeatedly (waiters only see triggers that happen while
+    they wait).
+    """
+
+    __slots__ = ("sim", "name", "reusable", "_triggered", "_value", "_waiters", "_callbacks")
+
+    def __init__(self, sim: "Simulator", name: str = "", *, reusable: bool = False):
+        self.sim = sim
+        self.name = name
+        self.reusable = reusable
+        self._triggered = False
+        self._value: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def on_trigger(self, callback: Callable[[Any], None]) -> None:
+        """Attach ``callback(value)`` to run at every trigger.
+
+        If the flag already triggered (non-reusable), the callback runs
+        immediately via a zero-delay event to preserve ordering.
+        """
+        if self._triggered and not self.reusable:
+            self.sim.call_in(0.0, callback, self._value)
+        else:
+            self._callbacks.append(callback)
+
+    def _add_waiter(self, resume: Callable[[Any], None]) -> None:
+        if self._triggered and not self.reusable:
+            self.sim.call_in(0.0, resume, self._value)
+        else:
+            self._waiters.append(resume)
+
+    def trigger(self, value: Any = None) -> None:
+        """Trigger the flag, waking waiters and firing callbacks."""
+        if self._triggered and not self.reusable:
+            raise SimulationError(f"flag {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            self.sim.call_in(0.0, resume, value)
+        callbacks = list(self._callbacks)
+        if not self.reusable:
+            self._callbacks.clear()
+        for cb in callbacks:
+            self.sim.call_in(0.0, cb, value)
+        if self.reusable:
+            # re-arm for the next trigger
+            self._triggered = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<EventFlag {self.name!r} {state}>"
+
+
+@dataclass(order=True)
+class ScheduledCall:
+    """Handle for a scheduled callback; allows cancellation."""
+
+    time: float
+    seq: int
+    fn: Callable = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the call from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+
+class Process:
+    """A generator-based cooperative process.
+
+    Created via :meth:`Simulator.spawn`.  The ``done`` attribute is an
+    :class:`EventFlag` triggered with the generator's return value when
+    the process finishes (or with the exception if it died).
+    """
+
+    __slots__ = ("sim", "name", "gen", "done", "alive", "failed", "error",
+                 "_pending_cancel", "_waiting")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self.name = name or getattr(gen, "__name__", "process")
+        self.gen = gen
+        self.done = EventFlag(sim, name=f"{self.name}.done")
+        self.alive = True
+        self.failed = False
+        self.error: Optional[BaseException] = None
+        self._pending_cancel: Optional[ScheduledCall] = None
+        self._waiting = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _start(self) -> None:
+        self.sim.call_in(0.0, self._step, None)
+
+    def _step(self, send_value: Any, *, throw: Optional[BaseException] = None) -> None:
+        if not self.alive:
+            return
+        self._pending_cancel = None
+        self._waiting = False
+        try:
+            if throw is not None:
+                condition = self.gen.throw(throw)
+            else:
+                condition = self.gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt as exc:
+            # an un-caught interrupt kills the process quietly
+            self._finish(None, error=exc, failed=False)
+            return
+        except BaseException as exc:  # noqa: BLE001 - surfaced via .done/.error
+            self._finish(None, error=exc, failed=True)
+            return
+        self._wait_on(condition)
+
+    def _wait_on(self, condition: Any) -> None:
+        self._waiting = True
+        if isinstance(condition, Timeout):
+            self._pending_cancel = self.sim.call_in(condition.delay, self._step, None)
+        elif isinstance(condition, WaitEvent):
+            condition.flag._add_waiter(self._step)
+        elif isinstance(condition, EventFlag):
+            condition._add_waiter(self._step)
+        elif isinstance(condition, Process):
+            condition.done._add_waiter(self._step)
+        elif isinstance(condition, AllOf):
+            self._wait_all(condition.flags)
+        elif isinstance(condition, AnyOf):
+            self._wait_any(condition.flags)
+        elif condition is None:
+            # bare `yield` — reschedule immediately (cooperative yield point)
+            self._pending_cancel = self.sim.call_in(0.0, self._step, None)
+        else:
+            self._step(None, throw=SimulationError(
+                f"process {self.name!r} yielded unsupported condition {condition!r}"))
+
+    def _wait_all(self, flags: tuple) -> None:
+        remaining = len(flags)
+        values: list[Any] = [None] * len(flags)
+        if remaining == 0:
+            self._pending_cancel = self.sim.call_in(0.0, self._step, [])
+            return
+        resumed = [False]
+
+        def make_cb(i: int) -> Callable[[Any], None]:
+            def cb(value: Any) -> None:
+                nonlocal remaining
+                values[i] = value
+                remaining -= 1
+                if remaining == 0 and not resumed[0]:
+                    resumed[0] = True
+                    self._step(values)
+            return cb
+
+        for i, flag in enumerate(flags):
+            flag._add_waiter(make_cb(i))
+
+    def _wait_any(self, flags: tuple) -> None:
+        if len(flags) == 0:
+            raise SimulationError("AnyOf of zero flags would wait forever")
+        resumed = [False]
+
+        def make_cb(flag: EventFlag) -> Callable[[Any], None]:
+            def cb(value: Any) -> None:
+                if not resumed[0] and self.alive:
+                    resumed[0] = True
+                    self._step((flag, value))
+            return cb
+
+        for flag in flags:
+            flag._add_waiter(make_cb(flag))
+
+    def _finish(self, value: Any, *, error: Optional[BaseException] = None,
+                failed: bool = False) -> None:
+        self.alive = False
+        self.failed = failed
+        self.error = error
+        self.sim._live_processes.discard(self)
+        if failed and error is not None:
+            self.sim._record_crash(self, error)
+        self.done.trigger(value if error is None else error)
+
+    # -- external control ---------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if not self.alive:
+            return
+        if self._pending_cancel is not None:
+            self._pending_cancel.cancel()
+            self._pending_cancel = None
+        self.sim.call_in(0.0, self._step, None, throw=Interrupt(cause))
+
+    def kill(self) -> None:
+        """Terminate the process without running any more of its body."""
+        if not self.alive:
+            return
+        if self._pending_cancel is not None:
+            self._pending_cancel.cancel()
+        self.gen.close()
+        self._finish(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else ("failed" if self.failed else "done")
+        return f"<Process {self.name!r} {state}>"
+
+
+class Simulator:
+    """The discrete-event loop.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield Timeout(1.5)
+            ...
+
+        sim.spawn(worker(sim), name="worker")
+        sim.run(until=100.0)
+    """
+
+    def __init__(self, *, strict: bool = True):
+        #: current virtual time (seconds)
+        self.now: float = 0.0
+        #: raise on process crash immediately (strict) or record and continue
+        self.strict = strict
+        self._queue: list[ScheduledCall] = []
+        self._seq = 0
+        self._live_processes: set[Process] = set()
+        self._crashes: list[tuple[Process, BaseException]] = []
+        self._running = False
+        self._stopped = False
+
+    # -- scheduling ---------------------------------------------------------
+
+    def call_at(self, when: float, fn: Callable, *args: Any,
+                throw: Optional[BaseException] = None) -> ScheduledCall:
+        """Schedule ``fn(*args)`` at absolute virtual time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past ({when} < now={self.now})")
+        self._seq += 1
+        if throw is not None:
+            orig = fn
+            fn = lambda _v, _orig=orig, _t=throw: _orig(_v, throw=_t)  # noqa: E731
+        call = ScheduledCall(when, self._seq, fn, args)
+        heapq.heappush(self._queue, call)
+        return call
+
+    def call_in(self, delay: float, fn: Callable, *args: Any,
+                throw: Optional[BaseException] = None) -> ScheduledCall:
+        """Schedule ``fn(*args)`` ``delay`` seconds from now."""
+        return self.call_at(self.now + delay, fn, *args, throw=throw)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process from a generator."""
+        proc = Process(self, gen, name=name)
+        self._live_processes.add(proc)
+        proc._start()
+        return proc
+
+    def flag(self, name: str = "", *, reusable: bool = False) -> EventFlag:
+        """Create an :class:`EventFlag` bound to this simulator."""
+        return EventFlag(self, name=name, reusable=reusable)
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False when queue is empty."""
+        while self._queue:
+            call = heapq.heappop(self._queue)
+            if call.cancelled:
+                continue
+            if call.time < self.now:  # pragma: no cover - defensive
+                raise SimulationError("event queue time went backwards")
+            self.now = call.time
+            call.fn(*call.args)
+            self._maybe_raise_crash()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, *, max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the virtual time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("run() re-entered")
+        self._running = True
+        self._stopped = False
+        events = 0
+        try:
+            while self._queue and not self._stopped:
+                if until is not None and self._queue[0].time > until:
+                    self.now = until
+                    break
+                if max_events is not None and events >= max_events:
+                    break
+                if self.step():
+                    events += 1
+        finally:
+            self._running = False
+        if until is not None and not self._queue and self.now < until:
+            # drained early: advance the clock to the requested horizon
+            self.now = until
+        return self.now
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event completes."""
+        self._stopped = True
+
+    # -- diagnostics --------------------------------------------------------
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for c in self._queue if not c.cancelled)
+
+    @property
+    def live_processes(self) -> frozenset:
+        return frozenset(self._live_processes)
+
+    @property
+    def crashes(self) -> list:
+        """(process, exception) pairs recorded in non-strict mode."""
+        return list(self._crashes)
+
+    def _record_crash(self, proc: Process, error: BaseException) -> None:
+        self._crashes.append((proc, error))
+
+    def _maybe_raise_crash(self) -> None:
+        if self.strict and self._crashes:
+            proc, error = self._crashes[0]
+            raise SimulationError(
+                f"process {proc.name!r} crashed: {error!r}") from error
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator t={self.now:.6f} queue={self.pending_events}>"

@@ -1,0 +1,310 @@
+"""Network topology: nodes, links, routers/switches, routing.
+
+The Matisse testbed (paper Fig. 5) is a handful of hosts, two site LANs
+(1000BT), and a WAN path (OC-12 into the OC-48 DARPA Supernet).  We
+model the topology as an undirected graph of :class:`NetNode`\\ s joined
+by :class:`Link`\\ s with bandwidth, propagation latency, and an
+optional random-loss rate.  Routing is shortest-path by hop count
+(cached, invalidated on topology change or link failure).
+
+Routers and switches keep SNMP-visible interface counters (octets,
+unicast packets, errors, CRC errors, discards) — the statistics the
+JAMM network sensors poll (§2.2 "network sensors") and which §6 used to
+rule the network out ("SNMP errors on the end switches and routers were
+also monitored ... but no errors were reported").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["NetNode", "RouterNode", "SwitchNode", "Link", "Network",
+           "NoRouteError", "InterfaceCounters", "Path"]
+
+
+class NoRouteError(RuntimeError):
+    """No usable path between two nodes."""
+
+
+@dataclass
+class InterfaceCounters:
+    """MIB-II-style interface counters for one (node, link) interface."""
+
+    in_octets: int = 0
+    out_octets: int = 0
+    in_packets: int = 0
+    out_packets: int = 0
+    in_errors: int = 0
+    crc_errors: int = 0
+    discards: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "ifInOctets": self.in_octets,
+            "ifOutOctets": self.out_octets,
+            "ifInUcastPkts": self.in_packets,
+            "ifOutUcastPkts": self.out_packets,
+            "ifInErrors": self.in_errors,
+            "ifCrcErrors": self.crc_errors,
+            "ifInDiscards": self.discards,
+        }
+
+
+class NetNode:
+    """A vertex in the topology (host attachment point, router, switch)."""
+
+    kind = "node"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.links: list["Link"] = []
+        #: per-link interface counters, keyed by the link object
+        self.interfaces: dict["Link", InterfaceCounters] = {}
+
+    def interface(self, link: "Link") -> InterfaceCounters:
+        ctr = self.interfaces.get(link)
+        if ctr is None:
+            ctr = InterfaceCounters()
+            self.interfaces[link] = ctr
+        return ctr
+
+    def totals(self) -> InterfaceCounters:
+        """Aggregate counters across all interfaces."""
+        total = InterfaceCounters()
+        for ctr in self.interfaces.values():
+            total.in_octets += ctr.in_octets
+            total.out_octets += ctr.out_octets
+            total.in_packets += ctr.in_packets
+            total.out_packets += ctr.out_packets
+            total.in_errors += ctr.in_errors
+            total.crc_errors += ctr.crc_errors
+            total.discards += ctr.discards
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class RouterNode(NetNode):
+    kind = "router"
+
+
+class SwitchNode(NetNode):
+    kind = "switch"
+
+
+class Link:
+    """A bidirectional link with bandwidth, latency, and loss rate."""
+
+    def __init__(self, a: NetNode, b: NetNode, *, bandwidth_bps: float,
+                 latency_s: float, loss_rate: float = 0.0, name: str = ""):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        if not (0.0 <= loss_rate < 1.0):
+            raise ValueError("loss rate must be in [0, 1)")
+        self.a = a
+        self.b = b
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.latency_s = float(latency_s)
+        self.loss_rate = float(loss_rate)
+        self.name = name or f"{a.name}--{b.name}"
+        self.up = True
+        a.links.append(self)
+        b.links.append(self)
+
+    def other(self, node: NetNode) -> NetNode:
+        if node is self.a:
+            return self.b
+        if node is self.b:
+            return self.a
+        raise ValueError(f"{node!r} not an endpoint of {self!r}")
+
+    def set_up(self, up: bool) -> None:
+        self.up = up
+
+    def record_transit(self, src: NetNode, nbytes: int, npackets: int = 1,
+                       *, errors: int = 0, crc: int = 0) -> None:
+        """Update interface counters for ``npackets``/``nbytes`` crossing
+        from ``src`` toward the other endpoint."""
+        dst = self.other(src)
+        out = src.interface(self)
+        out.out_octets += nbytes
+        out.out_packets += npackets
+        inn = dst.interface(self)
+        inn.in_octets += nbytes
+        inn.in_packets += npackets
+        inn.in_errors += errors
+        inn.crc_errors += crc
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "up" if self.up else "DOWN"
+        return f"<Link {self.name} {self.bandwidth_bps/1e6:.0f}Mbps {state}>"
+
+
+@dataclass(frozen=True)
+class Path:
+    """A resolved route: the node sequence and its aggregate properties."""
+
+    nodes: tuple
+    links: tuple
+
+    @property
+    def hops(self) -> int:
+        return len(self.links)
+
+    @property
+    def router_hops(self) -> int:
+        return sum(1 for n in self.nodes[1:-1] if n.kind == "router")
+
+    @property
+    def latency_s(self) -> float:
+        return sum(l.latency_s for l in self.links)
+
+    @property
+    def rtt_s(self) -> float:
+        return 2.0 * self.latency_s
+
+    @property
+    def bottleneck_bps(self) -> float:
+        return min(l.bandwidth_bps for l in self.links)
+
+    @property
+    def loss_rate(self) -> float:
+        """Combined link loss along the path."""
+        keep = 1.0
+        for l in self.links:
+            keep *= 1.0 - l.loss_rate
+        return 1.0 - keep
+
+
+class Network:
+    """The topology container + routing."""
+
+    def __init__(self):
+        self._nodes: dict[str, NetNode] = {}
+        self._links: list[Link] = []
+        self._route_cache: dict[tuple[str, str], Path] = {}
+        self._epoch = 0  # bumped on any topology/link-state change
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(self, node: NetNode) -> NetNode:
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        self._invalidate()
+        return node
+
+    def node(self, name: str) -> NetNode:
+        """Create-or-get a plain attachment node by name."""
+        existing = self._nodes.get(name)
+        if existing is not None:
+            return existing
+        return self.add_node(NetNode(name))
+
+    def router(self, name: str) -> RouterNode:
+        existing = self._nodes.get(name)
+        if existing is not None:
+            if not isinstance(existing, RouterNode):
+                raise ValueError(f"{name!r} exists and is not a router")
+            return existing
+        return self.add_node(RouterNode(name))  # type: ignore[return-value]
+
+    def switch(self, name: str) -> SwitchNode:
+        existing = self._nodes.get(name)
+        if existing is not None:
+            if not isinstance(existing, SwitchNode):
+                raise ValueError(f"{name!r} exists and is not a switch")
+            return existing
+        return self.add_node(SwitchNode(name))  # type: ignore[return-value]
+
+    def link(self, a: NetNode | str, b: NetNode | str, *, bandwidth_bps: float,
+             latency_s: float, loss_rate: float = 0.0, name: str = "") -> Link:
+        node_a = self.node(a) if isinstance(a, str) else a
+        node_b = self.node(b) if isinstance(b, str) else b
+        lk = Link(node_a, node_b, bandwidth_bps=bandwidth_bps,
+                  latency_s=latency_s, loss_rate=loss_rate, name=name)
+        self._links.append(lk)
+        self._invalidate()
+        return lk
+
+    # -- state --------------------------------------------------------------
+
+    def nodes(self) -> Iterable[NetNode]:
+        return self._nodes.values()
+
+    def links(self) -> list[Link]:
+        return list(self._links)
+
+    def routers(self) -> list[RouterNode]:
+        return [n for n in self._nodes.values() if isinstance(n, RouterNode)]
+
+    def switches(self) -> list[SwitchNode]:
+        return [n for n in self._nodes.values() if isinstance(n, SwitchNode)]
+
+    def get(self, name: str) -> Optional[NetNode]:
+        return self._nodes.get(name)
+
+    def set_link_state(self, link: Link, up: bool) -> None:
+        link.set_up(up)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._route_cache.clear()
+        self._epoch += 1
+
+    # -- routing ------------------------------------------------------------
+
+    def route(self, src: NetNode | str, dst: NetNode | str) -> Path:
+        """Shortest usable path by hop count (BFS), cached."""
+        src_node = self._nodes[src] if isinstance(src, str) else src
+        dst_node = self._nodes[dst] if isinstance(dst, str) else dst
+        key = (src_node.name, dst_node.name)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        path = self._bfs(src_node, dst_node)
+        if path is None:
+            raise NoRouteError(f"no route {src_node.name} -> {dst_node.name}")
+        self._route_cache[key] = path
+        return path
+
+    def _bfs(self, src: NetNode, dst: NetNode) -> Optional[Path]:
+        if src is dst:
+            return Path(nodes=(src,), links=())
+        prev: dict[NetNode, tuple[NetNode, Link]] = {}
+        seen = {src}
+        queue = deque([src])
+        while queue:
+            node = queue.popleft()
+            for link in node.links:
+                if not link.up:
+                    continue
+                neighbor = link.other(node)
+                if neighbor in seen:
+                    continue
+                seen.add(neighbor)
+                prev[neighbor] = (node, link)
+                if neighbor is dst:
+                    return self._unwind(src, dst, prev)
+                queue.append(neighbor)
+        return None
+
+    @staticmethod
+    def _unwind(src: NetNode, dst: NetNode,
+                prev: dict) -> Path:
+        nodes = [dst]
+        links = []
+        node = dst
+        while node is not src:
+            parent, link = prev[node]
+            nodes.append(parent)
+            links.append(link)
+            node = parent
+        nodes.reverse()
+        links.reverse()
+        return Path(nodes=tuple(nodes), links=tuple(links))

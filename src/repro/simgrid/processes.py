@@ -1,0 +1,175 @@
+"""Simulated OS processes.
+
+JAMM process sensors "generate events when there is a change in process
+status (for example, when it starts, dies normally, or dies
+abnormally)" (paper §2.2).  This module provides the process table the
+sensors watch and the process-monitor consumer acts on (restart, email,
+page — §2.2 event consumers).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Callable, Optional
+
+from .kernel import EventFlag, Simulator
+
+__all__ = ["ProcState", "OSProcess", "ProcessTable"]
+
+_pids = itertools.count(100)
+
+
+class ProcState(enum.Enum):
+    RUNNING = "running"
+    EXITED = "exited"          # died normally (exit code 0)
+    CRASHED = "crashed"        # died abnormally (signal / nonzero exit)
+    STOPPED = "stopped"        # explicitly stopped (SIGSTOP-ish)
+
+
+class OSProcess:
+    """One entry in a host's process table.
+
+    ``status_changed`` is a reusable :class:`EventFlag` triggered with
+    ``(process, old_state, new_state)`` on every transition — the hook
+    the JAMM process sensor subscribes to.
+    """
+
+    def __init__(self, sim: Simulator, name: str, *, host: Any = None,
+                 cpu_user: float = 0.0, cpu_system: float = 0.0,
+                 memory_kb: int = 0):
+        self.sim = sim
+        self.name = name
+        self.host = host
+        self.pid = next(_pids)
+        self.state = ProcState.RUNNING
+        self.exit_code: Optional[int] = None
+        self.started_at = sim.now
+        self.ended_at: Optional[float] = None
+        self.status_changed = EventFlag(sim, name=f"{name}.status", reusable=True)
+        self.cpu_user = cpu_user
+        self.cpu_system = cpu_system
+        self.memory_kb = memory_kb
+        self._cpu_token: Optional[int] = None
+        self._mem_token: Optional[int] = None
+        self._attach_resources()
+
+    # -- resource plumbing --------------------------------------------------
+
+    def _attach_resources(self) -> None:
+        if self.host is None:
+            return
+        if self.cpu_user or self.cpu_system:
+            self._cpu_token = self.host.cpu.add_load(self.cpu_user, self.cpu_system)
+        if self.memory_kb:
+            self._mem_token = self.host.memory.allocate(self.memory_kb)
+
+    def _detach_resources(self) -> None:
+        if self.host is None:
+            return
+        if self._cpu_token is not None:
+            self.host.cpu.remove_load(self._cpu_token)
+            self._cpu_token = None
+        if self._mem_token is not None:
+            self.host.memory.release(self._mem_token)
+            self._mem_token = None
+
+    def set_demand(self, *, cpu_user: Optional[float] = None,
+                   cpu_system: Optional[float] = None) -> None:
+        """Change the process's CPU demand while running."""
+        if self.state is not ProcState.RUNNING:
+            return
+        if cpu_user is not None:
+            self.cpu_user = cpu_user
+        if cpu_system is not None:
+            self.cpu_system = cpu_system
+        if self.host is not None:
+            if self._cpu_token is None:
+                self._cpu_token = self.host.cpu.add_load(self.cpu_user, self.cpu_system)
+            else:
+                self.host.cpu.update_load(self._cpu_token, self.cpu_user, self.cpu_system)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _transition(self, new_state: ProcState, exit_code: Optional[int]) -> None:
+        old = self.state
+        if old is new_state:
+            return
+        self.state = new_state
+        self.exit_code = exit_code
+        if new_state in (ProcState.EXITED, ProcState.CRASHED):
+            self.ended_at = self.sim.now
+            self._detach_resources()
+        self.status_changed.trigger((self, old, new_state))
+
+    def exit(self, code: int = 0) -> None:
+        """Terminate normally (code 0) or abnormally (nonzero)."""
+        if self.state in (ProcState.EXITED, ProcState.CRASHED):
+            return
+        self._transition(ProcState.EXITED if code == 0 else ProcState.CRASHED, code)
+
+    def crash(self, signal: int = 11) -> None:
+        """Die abnormally, as if killed by ``signal`` (default SIGSEGV)."""
+        if self.state in (ProcState.EXITED, ProcState.CRASHED):
+            return
+        self._transition(ProcState.CRASHED, 128 + signal)
+
+    def stop(self) -> None:
+        if self.state is ProcState.RUNNING:
+            self._transition(ProcState.STOPPED, None)
+
+    def resume(self) -> None:
+        if self.state is ProcState.STOPPED:
+            self._transition(ProcState.RUNNING, None)
+
+    @property
+    def alive(self) -> bool:
+        return self.state in (ProcState.RUNNING, ProcState.STOPPED)
+
+    def uptime(self) -> float:
+        end = self.ended_at if self.ended_at is not None else self.sim.now
+        return end - self.started_at
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<OSProcess {self.name!r} pid={self.pid} {self.state.value}>"
+
+
+class ProcessTable:
+    """Per-host process table with spawn/lookup and a restart helper."""
+
+    def __init__(self, sim: Simulator, host: Any = None):
+        self.sim = sim
+        self.host = host
+        self._procs: dict[int, OSProcess] = {}
+        self._spawn_hooks: list[Callable[[OSProcess], None]] = []
+
+    def spawn(self, name: str, **kwargs: Any) -> OSProcess:
+        proc = OSProcess(self.sim, name, host=self.host, **kwargs)
+        self._procs[proc.pid] = proc
+        for hook in list(self._spawn_hooks):
+            hook(proc)
+        return proc
+
+    def on_spawn(self, hook: Callable[[OSProcess], None]) -> None:
+        """Register a callback run for every new process (sensor hook)."""
+        self._spawn_hooks.append(hook)
+
+    def restart(self, proc: OSProcess) -> OSProcess:
+        """Start a fresh instance of a dead process (same name/demands)."""
+        return self.spawn(proc.name, cpu_user=proc.cpu_user,
+                          cpu_system=proc.cpu_system, memory_kb=proc.memory_kb)
+
+    def get(self, pid: int) -> Optional[OSProcess]:
+        return self._procs.get(pid)
+
+    def by_name(self, name: str) -> list[OSProcess]:
+        return [p for p in self._procs.values() if p.name == name]
+
+    def living(self) -> list[OSProcess]:
+        return [p for p in self._procs.values() if p.alive]
+
+    def all(self) -> list[OSProcess]:
+        return list(self._procs.values())
+
+    def __len__(self) -> int:
+        return len(self._procs)

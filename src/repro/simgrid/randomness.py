@@ -1,0 +1,34 @@
+"""Seeded random streams.
+
+Every stochastic component draws from its own named substream derived
+from a single experiment seed, so adding a new component never perturbs
+the draws seen by existing ones (the classic reproducibility pitfall in
+simulation studies).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["RandomStreams"]
+
+
+class RandomStreams:
+    """A factory of independent, deterministically-seeded RNG streams."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating if needed) the stream for ``name``."""
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<RandomStreams seed={self.seed} streams={len(self._streams)}>"

@@ -1,0 +1,171 @@
+"""Control-plane message transport.
+
+RMI invocations, LDAP operations, and gateway event streams are
+request/response or stream-of-small-messages traffic.  We model them as
+reliable datagrams: a message from host A to host B on port P arrives
+after path propagation latency plus serialization at the bottleneck
+link, updating per-port traffic counters on both ends (feeding the port
+monitor) and SNMP interface counters on every transited node.
+
+Bulk data transfers (DPSS reads, iperf) do NOT use this module — they
+use the congestion-controlled :mod:`repro.simgrid.tcp` model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .host import Host
+from .kernel import EventFlag, Simulator
+from .network import NoRouteError
+
+__all__ = ["Message", "MessageTransport", "DeliveryError"]
+
+_msg_ids = itertools.count(1)
+
+
+class DeliveryError(RuntimeError):
+    """Message could not be delivered (no route / no listener / host down)."""
+
+
+@dataclass
+class Message:
+    """A delivered control-plane message."""
+
+    src_host: Host
+    dst_host: Host
+    src_port: int
+    dst_port: int
+    payload: Any
+    size_bytes: int
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        return self.delivered_at - self.sent_at
+
+
+class MessageTransport:
+    """Reliable small-message delivery over a :class:`Network`.
+
+    ``handler(message, transport)`` bound via ``host.ports.bind`` is
+    invoked on arrival.  :meth:`request` provides an RPC-style helper
+    returning an :class:`EventFlag` triggered with the response payload.
+    """
+
+    #: fixed per-message protocol overhead (headers), bytes
+    HEADER_BYTES = 64
+    #: approximate packetization for counter purposes
+    MTU = 1500
+
+    def __init__(self, sim: Simulator, network):
+        self.sim = sim
+        self.network = network
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.messages_dropped = 0
+        #: per-source-host message/byte counters — used to measure the
+        #: monitoring load a host bears (paper §2.3 scalability claims)
+        self.per_host_sent: dict[str, int] = {}
+        self.per_host_bytes: dict[str, int] = {}
+        self._ephemeral = itertools.count(32768)
+
+    # -- raw send -----------------------------------------------------------
+
+    def send(self, src: Host, dst: Host, dst_port: int, payload: Any, *,
+             size_bytes: int = 256, src_port: Optional[int] = None,
+             on_fail: Optional[Callable[[Exception], None]] = None) -> Optional[Message]:
+        """Send a message; returns it (delivery is scheduled) or None if
+        undeliverable and ``on_fail`` was given."""
+        size = size_bytes + self.HEADER_BYTES
+        if src_port is None:
+            src_port = next(self._ephemeral)
+        msg = Message(src_host=src, dst_host=dst, src_port=src_port,
+                      dst_port=dst_port, payload=payload, size_bytes=size,
+                      sent_at=self.sim.now)
+        try:
+            path = self.network.route(src.node, dst.node)
+        except NoRouteError as exc:
+            self.messages_dropped += 1
+            if on_fail is not None:
+                on_fail(DeliveryError(str(exc)))
+                return None
+            raise DeliveryError(str(exc)) from exc
+        npackets = max(1, (size + self.MTU - 1) // self.MTU)
+        # account the traffic
+        src.ports.record(src_port, bytes_out=size, packets_out=npackets)
+        if src is not dst:
+            for node, link in zip(path.nodes[:-1], path.links):
+                link.record_transit(node, size, npackets)
+        dst.ports.record(dst_port, bytes_in=size, packets_in=npackets)
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.per_host_sent[src.name] = self.per_host_sent.get(src.name, 0) + 1
+        self.per_host_bytes[src.name] = self.per_host_bytes.get(src.name, 0) + size
+        delay = path.latency_s + (size * 8.0) / path.bottleneck_bps if path.links \
+            else 1e-6
+        self.sim.call_in(delay, self._deliver, msg, on_fail)
+        return msg
+
+    def _deliver(self, msg: Message, on_fail: Optional[Callable]) -> None:
+        msg.delivered_at = self.sim.now
+        handler = msg.dst_host.ports.listener(msg.dst_port)
+        if handler is None:
+            self.messages_dropped += 1
+            if on_fail is not None:
+                on_fail(DeliveryError(
+                    f"no listener on {msg.dst_host.name}:{msg.dst_port}"))
+            return
+        handler(msg, self)
+
+    # -- RPC helper ---------------------------------------------------------
+
+    def request(self, src: Host, dst: Host, dst_port: int, payload: Any, *,
+                size_bytes: int = 256, timeout: Optional[float] = 5.0) -> EventFlag:
+        """RPC: send and return a flag triggered with the reply payload.
+
+        On timeout or delivery failure the flag triggers with a
+        :class:`DeliveryError` instance — callers check the type.
+        The server handler replies via :meth:`reply`.
+        """
+        done = EventFlag(self.sim, name=f"rpc:{dst.name}:{dst_port}")
+        reply_port = next(self._ephemeral)
+
+        timer = None
+        if timeout is not None:
+            def expire() -> None:
+                src.ports.unbind(reply_port)
+                if not done.triggered:
+                    done.trigger(DeliveryError(
+                        f"request to {dst.name}:{dst_port} timed out"))
+            timer = self.sim.call_in(timeout, expire)
+
+        def on_reply(msg: Message, _transport: "MessageTransport") -> None:
+            src.ports.unbind(reply_port)
+            if timer is not None:
+                timer.cancel()
+            if not done.triggered:
+                done.trigger(msg.payload)
+
+        src.ports.bind(reply_port, on_reply)
+
+        def fail(exc: Exception) -> None:
+            src.ports.unbind(reply_port)
+            if timer is not None:
+                timer.cancel()
+            if not done.triggered:
+                done.trigger(exc)
+
+        self.send(src, dst, dst_port, payload, size_bytes=size_bytes,
+                  src_port=reply_port, on_fail=fail)
+        return done
+
+    def reply(self, original: Message, payload: Any, *, size_bytes: int = 256) -> None:
+        """Reply to an RPC message (sends back to its source port)."""
+        self.send(original.dst_host, original.src_host, original.src_port,
+                  payload, size_bytes=size_bytes,
+                  on_fail=lambda exc: None)

@@ -1,0 +1,123 @@
+"""Binary ULM encoding.
+
+Paper §3.0: "We are also looking into adding a binary format option for
+high throughput event data that can not tolerate the parsing overhead
+of ASCII formats."  This is that option: a compact length-prefixed
+record format.
+
+Record layout (little-endian)::
+
+    magic    u16   0x554C ("UL")
+    version  u8    1
+    nfields  u8    number of user fields
+    date     f64   seconds since EPOCH
+    host     str8  (u8 length + utf-8 bytes)
+    prog     str8
+    lvl      str8
+    then nfields x (name str8, value str16)
+
+Benchmark E14 compares encode/decode throughput of this format against
+the ASCII and XML forms.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator
+
+from .message import ULMMessage
+
+__all__ = ["encode", "decode", "encode_many", "decode_many", "BinaryFormatError"]
+
+MAGIC = 0x554C
+VERSION = 1
+_HEAD = struct.Struct("<HBBd")
+
+
+class BinaryFormatError(ValueError):
+    """Corrupt or truncated binary ULM data."""
+
+
+def _pack_str8(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    if len(raw) > 255:
+        raise BinaryFormatError(f"string too long for str8: {len(raw)} bytes")
+    return bytes((len(raw),)) + raw
+
+
+def _pack_str16(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    if len(raw) > 65535:
+        raise BinaryFormatError(f"string too long for str16: {len(raw)} bytes")
+    return struct.pack("<H", len(raw)) + raw
+
+
+def encode(msg: ULMMessage) -> bytes:
+    """Encode one message as a binary record."""
+    if len(msg.fields) > 255:
+        raise BinaryFormatError("more than 255 user fields")
+    parts = [_HEAD.pack(MAGIC, VERSION, len(msg.fields), msg.date),
+             _pack_str8(msg.host), _pack_str8(msg.prog), _pack_str8(msg.lvl)]
+    for name, value in msg.fields.items():
+        parts.append(_pack_str8(name))
+        parts.append(_pack_str16(value))
+    return b"".join(parts)
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes, pos: int = 0):
+        self.data = data
+        self.pos = pos
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise BinaryFormatError("truncated record")
+        chunk = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return chunk
+
+    def str8(self) -> str:
+        n = self.take(1)[0]
+        return self.take(n).decode("utf-8")
+
+    def str16(self) -> str:
+        (n,) = struct.unpack("<H", self.take(2))
+        return self.take(n).decode("utf-8")
+
+
+def _decode_at(reader: _Reader) -> ULMMessage:
+    magic, version, nfields, date = _HEAD.unpack(reader.take(_HEAD.size))
+    if magic != MAGIC:
+        raise BinaryFormatError(f"bad magic 0x{magic:04x}")
+    if version != VERSION:
+        raise BinaryFormatError(f"unsupported version {version}")
+    host = reader.str8()
+    prog = reader.str8()
+    lvl = reader.str8()
+    msg = ULMMessage(date=date, host=host, prog=prog, lvl=lvl)
+    for _ in range(nfields):
+        name = reader.str8()
+        value = reader.str16()
+        msg.set(name, value)
+    return msg
+
+
+def decode(data: bytes) -> ULMMessage:
+    """Decode one binary record (must consume all of ``data``)."""
+    reader = _Reader(data)
+    msg = _decode_at(reader)
+    if reader.pos != len(data):
+        raise BinaryFormatError(f"{len(data) - reader.pos} trailing bytes")
+    return msg
+
+
+def encode_many(messages: Iterable[ULMMessage]) -> bytes:
+    return b"".join(encode(m) for m in messages)
+
+
+def decode_many(data: bytes) -> Iterator[ULMMessage]:
+    reader = _Reader(data)
+    while reader.pos < len(data):
+        yield _decode_at(reader)

@@ -1,0 +1,77 @@
+"""ULM field names, levels, and DATE handling.
+
+The Universal Logger Message format (IETF draft
+``draft-abela-ulm-05``, paper §4.2) is a whitespace-separated list of
+``field=value`` pairs with four required fields — DATE, HOST, PROG,
+LVL — optionally followed by user-defined fields.  NetLogger adds
+NL.EVNT, a unique identifier for the event being logged.
+
+DATE uses ``YYYYMMDDHHMMSS.ffffff`` with six fractional digits,
+"allowing for microsecond precision in the timestamp".  Simulated
+wall-clock second 0 corresponds to 2000-03-30 00:00:00 UTC (the era of
+the paper's sample event).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+
+__all__ = [
+    "DATE", "HOST", "PROG", "LVL", "NL_EVNT", "REQUIRED_FIELDS", "LEVELS",
+    "EPOCH", "format_date", "parse_date", "is_valid_field_name",
+    "FieldError",
+]
+
+DATE = "DATE"
+HOST = "HOST"
+PROG = "PROG"
+LVL = "LVL"
+NL_EVNT = "NL.EVNT"
+
+REQUIRED_FIELDS = (DATE, HOST, PROG, LVL)
+
+#: severity levels from the ULM draft; the paper's example uses "Usage"
+LEVELS = ("Emergency", "Alert", "Error", "Warning", "Auth", "Security",
+          "Usage", "System", "Important", "Debug")
+
+#: simulated wall-clock origin
+EPOCH = _dt.datetime(2000, 3, 30, 0, 0, 0, tzinfo=_dt.timezone.utc)
+
+_FIELD_NAME_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_.\-]*$")
+_DATE_RE = re.compile(r"^(\d{14})\.(\d{1,6})$")
+
+
+class FieldError(ValueError):
+    """Invalid ULM field name or value."""
+
+
+def is_valid_field_name(name: str) -> bool:
+    return bool(_FIELD_NAME_RE.match(name))
+
+
+def format_date(wallclock_s: float) -> str:
+    """Render seconds-since-EPOCH as a ULM DATE string (µs precision)."""
+    if wallclock_s < 0:
+        raise FieldError(f"negative wall-clock time: {wallclock_s}")
+    micros = int(round(wallclock_s * 1e6))
+    when = EPOCH + _dt.timedelta(microseconds=micros)
+    return when.strftime("%Y%m%d%H%M%S") + f".{when.microsecond:06d}"
+
+
+def parse_date(text: str) -> float:
+    """Parse a ULM DATE string back to seconds-since-EPOCH."""
+    m = _DATE_RE.match(text)
+    if not m:
+        raise FieldError(f"malformed ULM DATE: {text!r}")
+    stamp, frac = m.groups()
+    try:
+        when = _dt.datetime.strptime(stamp, "%Y%m%d%H%M%S").replace(
+            tzinfo=_dt.timezone.utc)
+    except ValueError as exc:
+        raise FieldError(f"malformed ULM DATE: {text!r}") from exc
+    micros = int(frac.ljust(6, "0"))
+    delta = (when - EPOCH).total_seconds() + micros / 1e6
+    if delta < 0:
+        raise FieldError(f"ULM DATE before epoch: {text!r}")
+    return delta

@@ -1,0 +1,146 @@
+"""The ULM message object.
+
+A :class:`ULMMessage` is an ordered mapping of fields with the four
+required ULM fields promoted to attributes.  Messages sort by DATE
+(then by insertion sequence for stability), which is what the
+NetLogger collection tools rely on when merging event streams from
+many sensors (§4.1 "a set of tools for collecting and sorting log
+files").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Mapping, Optional
+
+from .fields import (DATE, FieldError, HOST, LVL, NL_EVNT, PROG,
+                     format_date, is_valid_field_name, parse_date)
+
+__all__ = ["ULMMessage"]
+
+_seq = itertools.count()
+
+
+class ULMMessage:
+    """One timestamped monitoring event in ULM form.
+
+    ``date`` is wall-clock seconds since the simulated epoch (see
+    :data:`repro.ulm.fields.EPOCH`).  ``fields`` holds the user-defined
+    fields in insertion order; values are stored as strings, the way
+    they appear on the wire (helpers :meth:`get_float` / :meth:`get_int`
+    parse on access).
+    """
+
+    __slots__ = ("date", "host", "prog", "lvl", "fields", "_seq")
+
+    def __init__(self, *, date: float, host: str, prog: str, lvl: str = "Usage",
+                 fields: Optional[Mapping[str, Any]] = None,
+                 event: Optional[str] = None):
+        if date < 0:
+            raise FieldError("DATE must be >= 0 (seconds since epoch)")
+        for name, value in (("HOST", host), ("PROG", prog), ("LVL", lvl)):
+            if not value or any(c.isspace() for c in str(value)):
+                raise FieldError(f"{name} must be a non-empty token: {value!r}")
+        self.date = float(date)
+        self.host = str(host)
+        self.prog = str(prog)
+        self.lvl = str(lvl)
+        self.fields: dict[str, str] = {}
+        if event is not None:
+            self.fields[NL_EVNT] = str(event)
+        if fields:
+            for key, value in fields.items():
+                self.set(key, value)
+        self._seq = next(_seq)
+
+    # -- field access ---------------------------------------------------------
+
+    def set(self, name: str, value: Any) -> None:
+        if name in (DATE, HOST, PROG, LVL):
+            raise FieldError(f"{name} is a required field; set the attribute")
+        if not is_valid_field_name(name):
+            raise FieldError(f"invalid ULM field name: {name!r}")
+        self.fields[name] = str(value)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        if name == DATE:
+            return self.date_str
+        if name == HOST:
+            return self.host
+        if name == PROG:
+            return self.prog
+        if name == LVL:
+            return self.lvl
+        return self.fields.get(name, default)
+
+    def get_float(self, name: str, default: float = 0.0) -> float:
+        raw = self.fields.get(name)
+        if raw is None:
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            return default
+
+    def get_int(self, name: str, default: int = 0) -> int:
+        raw = self.fields.get(name)
+        if raw is None:
+            return default
+        try:
+            return int(float(raw))
+        except ValueError:
+            return default
+
+    @property
+    def event(self) -> Optional[str]:
+        """The NetLogger NL.EVNT identifier, if present."""
+        return self.fields.get(NL_EVNT)
+
+    @property
+    def date_str(self) -> str:
+        return format_date(self.date)
+
+    def items(self) -> Iterable[tuple[str, str]]:
+        """All fields, required first, in wire order."""
+        yield DATE, self.date_str
+        yield HOST, self.host
+        yield PROG, self.prog
+        yield LVL, self.lvl
+        yield from self.fields.items()
+
+    # -- identity / ordering ------------------------------------------------------
+
+    def copy(self) -> "ULMMessage":
+        return ULMMessage(date=self.date, host=self.host, prog=self.prog,
+                          lvl=self.lvl, fields=dict(self.fields))
+
+    def sort_key(self) -> tuple[float, int]:
+        return (self.date, self._seq)
+
+    def __lt__(self, other: "ULMMessage") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ULMMessage):
+            return NotImplemented
+        return (self.date_str == other.date_str and self.host == other.host
+                and self.prog == other.prog and self.lvl == other.lvl
+                and self.fields == other.fields)
+
+    def __hash__(self) -> int:
+        return hash((self.date_str, self.host, self.prog, self.lvl,
+                     tuple(sorted(self.fields.items()))))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        evnt = self.fields.get(NL_EVNT, "?")
+        return f"<ULM {self.date_str} {self.host} {self.prog} {evnt}>"
+
+    @staticmethod
+    def reconstruct(date_str: str, host: str, prog: str, lvl: str,
+                    fields: Mapping[str, str]) -> "ULMMessage":
+        """Build from parsed wire fields (DATE as its string form)."""
+        msg = ULMMessage(date=parse_date(date_str), host=host, prog=prog,
+                         lvl=lvl)
+        for key, value in fields.items():
+            msg.set(key, value)
+        return msg

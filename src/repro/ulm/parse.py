@@ -1,0 +1,121 @@
+"""ULM wire-format serialization and parsing.
+
+The wire form is a single line of whitespace-separated ``field=value``
+pairs (paper §4.2).  Values containing whitespace or ``"`` are
+double-quoted with backslash escapes — the draft permits quoted
+strings, and sensors do log free-text (e.g. last error messages).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .fields import DATE, FieldError, HOST, LVL, PROG, is_valid_field_name
+from .message import ULMMessage
+
+__all__ = ["serialize", "parse", "parse_stream", "serialize_stream", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Malformed ULM line."""
+
+
+def _quote(value: str) -> str:
+    if value == "" or any(c.isspace() for c in value) or '"' in value:
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return value
+
+
+def serialize(msg: ULMMessage) -> str:
+    """Render one message as a ULM line (no trailing newline)."""
+    return " ".join(f"{name}={_quote(value)}" for name, value in msg.items())
+
+
+def _tokenize(line: str) -> Iterator[tuple[str, str]]:
+    i = 0
+    n = len(line)
+    while i < n:
+        while i < n and line[i].isspace():
+            i += 1
+        if i >= n:
+            return
+        eq = line.find("=", i)
+        if eq < 0:
+            raise ParseError(f"expected field=value at column {i}: {line[i:i+40]!r}")
+        name = line[i:eq]
+        if not is_valid_field_name(name):
+            raise ParseError(f"invalid field name {name!r}")
+        i = eq + 1
+        if i < n and line[i] == '"':
+            i += 1
+            out = []
+            while i < n:
+                c = line[i]
+                if c == "\\" and i + 1 < n:
+                    out.append(line[i + 1])
+                    i += 2
+                    continue
+                if c == '"':
+                    i += 1
+                    break
+                out.append(c)
+                i += 1
+            else:
+                raise ParseError(f"unterminated quoted value for {name!r}")
+            yield name, "".join(out)
+        else:
+            j = i
+            while j < n and not line[j].isspace():
+                j += 1
+            yield name, line[i:j]
+            i = j
+
+
+def parse(line: str) -> ULMMessage:
+    """Parse one ULM line into a :class:`ULMMessage`."""
+    line = line.strip()
+    if not line:
+        raise ParseError("empty line")
+    required: dict[str, str] = {}
+    extra: dict[str, str] = {}
+    for name, value in _tokenize(line):
+        if name in (DATE, HOST, PROG, LVL):
+            if name in required:
+                raise ParseError(f"duplicate required field {name}")
+            required[name] = value
+        else:
+            if name in extra:
+                raise ParseError(f"duplicate field {name}")
+            extra[name] = value
+    missing = [f for f in (DATE, HOST, PROG, LVL) if f not in required]
+    if missing:
+        raise ParseError(f"missing required field(s): {', '.join(missing)}")
+    try:
+        return ULMMessage.reconstruct(required[DATE], required[HOST],
+                                      required[PROG], required[LVL], extra)
+    except FieldError as exc:
+        raise ParseError(str(exc)) from exc
+
+
+def serialize_stream(messages: Iterable[ULMMessage]) -> str:
+    """Render many messages as newline-terminated ULM text."""
+    return "".join(serialize(m) + "\n" for m in messages)
+
+
+def parse_stream(text: str, *, skip_malformed: bool = False) -> list[ULMMessage]:
+    """Parse newline-separated ULM text.
+
+    With ``skip_malformed`` bad lines are dropped instead of raising —
+    real log files collected from many sensors do contain torn lines.
+    """
+    out = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            out.append(parse(line))
+        except ParseError:
+            if not skip_malformed:
+                raise ParseError(f"line {lineno}: {line[:80]!r} is malformed")
+    return out

@@ -1,0 +1,88 @@
+"""ULM ↔ XML conversion.
+
+Paper §7.0: "We are also developing a ULM to XML filter for the
+gateway, so a consumer can request either format for event data."
+Event gateways use this module when a consumer subscribes with
+``format="xml"``.
+
+One event::
+
+    <event date="20000330112320.957943" host="dpss1.lbl.gov"
+           prog="testProg" lvl="Usage">
+      <field name="NL.EVNT">WriteData</field>
+      <field name="SEND.SZ">49332</field>
+    </event>
+
+A stream of events is wrapped in ``<ulm> ... </ulm>``.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Iterable
+from xml.sax.saxutils import escape, quoteattr
+
+from .fields import parse_date
+from .message import ULMMessage
+
+__all__ = ["to_xml", "from_xml", "stream_to_xml", "stream_from_xml", "XMLFormatError"]
+
+
+class XMLFormatError(ValueError):
+    """Malformed ULM XML document."""
+
+
+def to_xml(msg: ULMMessage) -> str:
+    """Render one message as an ``<event>`` element."""
+    parts = [f"<event date={quoteattr(msg.date_str)} host={quoteattr(msg.host)} "
+             f"prog={quoteattr(msg.prog)} lvl={quoteattr(msg.lvl)}>"]
+    for name, value in msg.fields.items():
+        parts.append(f"<field name={quoteattr(name)}>{escape(value)}</field>")
+    parts.append("</event>")
+    return "".join(parts)
+
+
+def stream_to_xml(messages: Iterable[ULMMessage]) -> str:
+    body = "\n  ".join(to_xml(m) for m in messages)
+    return f"<ulm>\n  {body}\n</ulm>" if body else "<ulm/>"
+
+
+def _element_to_message(elem: ET.Element) -> ULMMessage:
+    try:
+        date = parse_date(elem.attrib["date"])
+        msg = ULMMessage(date=date, host=elem.attrib["host"],
+                         prog=elem.attrib["prog"], lvl=elem.attrib["lvl"])
+    except KeyError as exc:
+        raise XMLFormatError(f"event missing attribute {exc}") from exc
+    except ValueError as exc:
+        raise XMLFormatError(str(exc)) from exc
+    for child in elem:
+        if child.tag != "field":
+            raise XMLFormatError(f"unexpected element <{child.tag}>")
+        name = child.attrib.get("name")
+        if not name:
+            raise XMLFormatError("<field> without name attribute")
+        msg.set(name, child.text or "")
+    return msg
+
+
+def from_xml(text: str) -> ULMMessage:
+    """Parse one ``<event>`` element."""
+    try:
+        elem = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XMLFormatError(f"bad XML: {exc}") from exc
+    if elem.tag != "event":
+        raise XMLFormatError(f"expected <event>, got <{elem.tag}>")
+    return _element_to_message(elem)
+
+
+def stream_from_xml(text: str) -> list[ULMMessage]:
+    """Parse a ``<ulm>`` document back into messages."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XMLFormatError(f"bad XML: {exc}") from exc
+    if root.tag != "ulm":
+        raise XMLFormatError(f"expected <ulm>, got <{root.tag}>")
+    return [_element_to_message(e) for e in root]

@@ -1,0 +1,220 @@
+"""Unit tests for the evaluation workloads: DPSS, Matisse, iperf, FTP,
+and the network-aware client."""
+
+import pytest
+
+from repro.apps import (BLOCK_SIZE, DEFAULT_BUFFER, DPSSCluster, FTPServer,
+                        MatisseViewer, NetworkAwareClient, ftp_transfer,
+                        publish_path_summary, run_iperf)
+from tests.conftest import build_matisse_topology
+
+
+def topology(seed=1):
+    return build_matisse_topology(seed)
+
+
+class TestDPSS:
+    def test_striped_read_completes(self):
+        world, hosts = topology()
+        cluster = DPSSCluster(world, hosts["servers"])
+        session = cluster.open_session(hosts["client"], n_servers=4)
+        flag = session.read(1_000_000)
+        world.run(until=30.0)
+        assert flag.triggered
+        assert session.bytes_read == 1_000_000
+        # all four servers served roughly a quarter each
+        per_server = [s.io_counters["read_bytes"] for s in hosts["servers"]]
+        assert all(b > 0 for b in per_server)
+        assert max(per_server) - min(per_server) <= BLOCK_SIZE
+
+    def test_single_server_session_uses_one_socket(self):
+        world, hosts = topology()
+        cluster = DPSSCluster(world, hosts["servers"])
+        session = cluster.open_session(hosts["client"], n_servers=1)
+        assert len(session.flows) == 1
+        session.read(500_000)
+        world.run(until=30.0)
+        assert hosts["servers"][0].io_counters["read_bytes"] == 500_000
+        assert hosts["servers"][1].io_counters["read_bytes"] == 0
+
+    def test_read_sizes_cluster_bimodally(self):
+        """Fig. 3: read() sizes cluster around two distinct values."""
+        from collections import Counter
+        world, hosts = topology()
+        cluster = DPSSCluster(world, hosts["servers"])
+        session = cluster.open_session(hosts["client"], n_servers=4)
+        for _ in range(10):
+            session.read(1_500_000)
+        world.run(until=60.0)
+        sizes = [s for _, s in session.read_sizes]
+        counts = Counter(sizes)
+        top_two = counts.most_common(2)
+        assert top_two[0][0] == session.read_buffer  # full-buffer reads
+        assert top_two[1][0] == session.WAKEUP_BYTES  # small drain reads
+        # the two clusters dominate the distribution
+        assert (top_two[0][1] + top_two[1][1]) / len(sizes) > 0.6
+
+    def test_netlogger_instrumentation(self):
+        from repro.netlogger import NetLogger
+        world, hosts = topology()
+        log = NetLogger("dpss-client", host=hosts["client"])
+        dest = log.open("file:")
+        cluster = DPSSCluster(world, hosts["servers"])
+        session = cluster.open_session(hosts["client"], n_servers=2,
+                                       netlogger=log)
+        session.read(100_000)
+        world.run(until=30.0)
+        names = [m.event for m in dest.messages]
+        assert names == ["DPSS_START_READ", "DPSS_END_READ"]
+
+    def test_bad_read_size_rejected(self):
+        world, hosts = topology()
+        cluster = DPSSCluster(world, hosts["servers"])
+        session = cluster.open_session(hosts["client"])
+        with pytest.raises(ValueError):
+            session.read(0)
+
+    def test_no_servers_rejected(self):
+        world, _hosts = topology()
+        with pytest.raises(ValueError):
+            DPSSCluster(world, [])
+
+
+class TestMatisse:
+    def test_frame_pipeline_events_in_order(self):
+        from repro.netlogger import NetLogger
+        world, hosts = topology()
+        log = NetLogger("mplay", host=hosts["client"])
+        dest = log.open("file:")
+        cluster = DPSSCluster(world, hosts["servers"])
+        viewer = MatisseViewer(world, cluster, hosts["client"], n_servers=1,
+                               netlogger=log)
+        viewer.play(n_frames=3)
+        world.run(until=60.0)
+        assert viewer.frames_displayed == 3
+        per_frame = [m.event for m in dest.messages
+                     if m.fields.get("FRAME.ID") == "1"
+                     and m.event.startswith("MPLAY")]
+        assert per_frame == ["MPLAY_START_READ_FRAME", "MPLAY_END_READ_FRAME",
+                             "MPLAY_START_PUT_IMAGE", "MPLAY_END_PUT_IMAGE"]
+
+    def test_four_servers_slower_than_one(self):
+        """§6: the multi-socket configuration hurts on the WAN."""
+        rates = {}
+        for n in (1, 4):
+            world, hosts = topology(seed=30 + n)
+            cluster = DPSSCluster(world, hosts["servers"])
+            viewer = MatisseViewer(world, cluster, hosts["client"],
+                                   n_servers=n)
+            viewer.play(duration=20.0)
+            world.run(until=22.0)
+            rates[n] = viewer.mean_frame_rate()
+        assert rates[1] > 2.0 * rates[4]
+
+    def test_frame_rate_series_and_latencies(self):
+        world, hosts = topology(seed=33)
+        cluster = DPSSCluster(world, hosts["servers"])
+        viewer = MatisseViewer(world, cluster, hosts["client"], n_servers=4)
+        viewer.play(duration=15.0)
+        world.run(until=17.0)
+        series = viewer.frame_rate_series(window=2.0)
+        assert series
+        assert all(r >= 0 for _, r in series)
+        latencies = viewer.frame_latencies()
+        assert len(latencies) == viewer.frames_displayed
+        assert all(l > 0 for l in latencies)
+
+    def test_cannot_play_twice(self):
+        world, hosts = topology()
+        cluster = DPSSCluster(world, hosts["servers"])
+        viewer = MatisseViewer(world, cluster, hosts["client"])
+        viewer.play(n_frames=1)
+        with pytest.raises(RuntimeError):
+            viewer.play(n_frames=1)
+
+
+class TestIperf:
+    def test_result_shape(self):
+        world, hosts = topology(seed=40)
+        result = run_iperf(world, hosts["servers"][:1], hosts["client"],
+                           n_streams=1, duration=10.0)
+        assert result.n_streams == 1
+        assert len(result.per_stream_mbps) == 1
+        assert result.aggregate_mbps > 50
+        assert "iperf -P 1" in str(result)
+
+    def test_parameter_validation(self):
+        world, hosts = topology()
+        with pytest.raises(ValueError):
+            run_iperf(world, hosts["servers"], hosts["client"], n_streams=0)
+        with pytest.raises(ValueError):
+            run_iperf(world, [], hosts["client"], n_streams=1)
+
+
+class TestFTP:
+    def test_session_transfers_and_touches_well_known_port(self):
+        world, hosts = topology()
+        server_host = hosts["servers"][0]
+        client_host = hosts["client"]
+        FTPServer(world, server_host)
+        proc = ftp_transfer(world, client_host, server_host, nbytes=200_000)
+        world.run(until=60.0)
+        assert proc.done.triggered
+        stats = proc.done.value
+        assert stats.bytes_acked >= 200_000
+        # control traffic on port 21 (what the port monitor watches)
+        assert server_host.ports.activity(21).bytes_in > 0
+        assert client_host.ports.activity(20).bytes_in >= 200_000
+
+    def test_server_counts_sessions(self):
+        world, hosts = topology()
+        ftpd = FTPServer(world, hosts["servers"][0])
+        for _ in range(2):
+            ftp_transfer(world, hosts["client"], hosts["servers"][0],
+                         nbytes=10_000)
+        world.run(until=60.0)
+        assert ftpd.sessions_served == 2
+
+
+class TestNetworkAware:
+    def setup_directory(self, world):
+        from repro.core.directory import DirectoryClient, DirectoryServer
+        return DirectoryClient([DirectoryServer(world.sim)])
+
+    def test_buffer_sized_from_published_summary(self):
+        world, hosts = topology()
+        directory = self.setup_directory(world)
+        server = hosts["servers"][0]
+        client_host = hosts["client"]
+        publish_path_summary(directory, src=server.name, dst=client_host.name,
+                             throughput_bps=140e6, latency_s=0.030)
+        client = NetworkAwareClient(world, client_host, directory=directory)
+        buffer = client.optimal_buffer(server.name, client_host.name)
+        bdp = 140e6 * 0.060 / 8
+        assert buffer == int(bdp * 1.2)
+
+    def test_fallback_to_default_without_summary(self):
+        world, hosts = topology()
+        directory = self.setup_directory(world)
+        client = NetworkAwareClient(world, hosts["client"],
+                                    directory=directory)
+        assert client.optimal_buffer("a", "b") == DEFAULT_BUFFER
+
+    def test_tuned_transfer_beats_default_on_wan(self):
+        """§7.0/E12: BDP-sized buffers vs the 64 KB default."""
+        results = {}
+        for tuned in (False, True):
+            world, hosts = topology(seed=50 + tuned)
+            directory = self.setup_directory(world)
+            server = hosts["servers"][0]
+            publish_path_summary(directory, src=server.name,
+                                 dst=hosts["client"].name,
+                                 throughput_bps=200e6, latency_s=0.0305)
+            client = NetworkAwareClient(world, hosts["client"],
+                                        directory=directory)
+            proc = client.fetch(server, nbytes=50_000_000, tuned=tuned)
+            world.run(until=120.0)
+            stats = proc.done.value
+            elapsed = stats.progress[-1][0] - stats.progress[0][0]
+            results[tuned] = 50_000_000 * 8 / elapsed / 1e6
+        assert results[True] > 5 * results[False]

@@ -1,0 +1,105 @@
+"""Tests for the full Fig. 5 Matisse pipeline (13 hosts)."""
+
+import pytest
+
+from repro.apps import DPSSCluster, MatissePipeline
+from repro.netlogger import FileDestination, correlate_lifelines
+from repro.simgrid import GridWorld
+
+PIPE_EVENTS = ["MPIPE_START_READ", "MPIPE_END_READ",
+               "MPIPE_START_ANALYZE", "MPIPE_END_ANALYZE",
+               "MPIPE_START_SEND", "MPIPE_END_SEND",
+               "MPIPE_START_DISPLAY", "MPIPE_END_DISPLAY"]
+
+
+def build(seed=80, n_compute=8):
+    world = GridWorld(seed=seed)
+    dpss = [world.add_host(f"dpss{i}.lbl.gov") for i in range(1, 5)]
+    compute = [world.add_host(f"node{i}.cairn.net")
+               for i in range(1, n_compute + 1)]
+    viz = world.add_host("viz.cairn.net")
+    world.lan(dpss, switch="lbl-sw")
+    world.lan(compute + [viz], switch="isi-sw")
+    world.wan_path("lbl-sw", "isi-sw", routers=["ntn1", "sn1"],
+                   latency_s=10e-3)
+    return world, dpss, compute, viz
+
+
+class TestPipeline:
+    def test_thirteen_host_configuration(self):
+        world, dpss, compute, viz = build()
+        assert len(world.hosts) == 13  # the §6 count
+
+    def test_frames_flow_through_all_stages(self):
+        world, dpss, compute, viz = build()
+        dest = FileDestination()
+        cluster = DPSSCluster(world, dpss)
+        pipe = MatissePipeline(world, cluster, compute, viz, n_servers=1,
+                               pipeline_depth=2, log_destination=dest)
+        pipe.play(n_frames=6)
+        world.run(until=60.0)
+        assert pipe.frames_displayed == 6
+        # each frame's lifeline covers read -> analyze -> send -> display
+        lines = correlate_lifelines(dest.messages, ["FRAME.ID"],
+                                    event_order=PIPE_EVENTS)
+        assert len(lines) == 6
+        for line in lines:
+            assert [e.event for e in line.events] == PIPE_EVENTS
+            assert line.is_monotonic()
+            # stages run on different hosts: node then viz
+            hosts = {e.host for e in line.events}
+            assert any(h.startswith("node") for h in hosts)
+            assert "viz.cairn.net" in hosts
+
+    def test_pipelining_increases_throughput(self):
+        rates = {}
+        for depth in (1, 4):
+            world, dpss, compute, viz = build(seed=81 + depth)
+            cluster = DPSSCluster(world, dpss)
+            pipe = MatissePipeline(world, cluster, compute, viz,
+                                   n_servers=1, pipeline_depth=depth)
+            pipe.play(duration=20.0)
+            world.run(until=25.0)
+            rates[depth] = pipe.mean_frame_rate()
+        assert rates[4] > 1.8 * rates[1]
+
+    def test_compute_cpu_load_visible_during_analysis(self):
+        world, dpss, compute, viz = build(seed=83)
+        cluster = DPSSCluster(world, dpss)
+        pipe = MatissePipeline(world, cluster, compute, viz, n_servers=1,
+                               pipeline_depth=1, analysis_time=5.0,
+                               analysis_cpu=1.5)
+        pipe.play(n_frames=1)
+        # during the analysis window the node shows user CPU
+        samples = []
+
+        def sampler():
+            from repro.simgrid import Timeout
+            while True:
+                samples.append(max(n.cpu.sample().user for n in compute))
+                yield Timeout(0.5)
+
+        world.sim.spawn(sampler(), name="sampler")
+        world.run(until=20.0)
+        assert max(samples) == pytest.approx(75.0)  # 1.5 of 2 cpus
+
+    def test_parameter_validation(self):
+        world, dpss, compute, viz = build(seed=84)
+        cluster = DPSSCluster(world, dpss)
+        with pytest.raises(ValueError):
+            MatissePipeline(world, cluster, [], viz)
+        with pytest.raises(ValueError):
+            MatissePipeline(world, cluster, compute, viz, pipeline_depth=0)
+
+    def test_close_tears_down_sessions_and_flows(self):
+        world, dpss, compute, viz = build(seed=85)
+        cluster = DPSSCluster(world, dpss)
+        pipe = MatissePipeline(world, cluster, compute, viz, n_servers=2,
+                               pipeline_depth=2)
+        pipe.play(duration=5.0)
+        world.run(until=6.0)
+        pipe.close()
+        world.run(until=10.0)
+        assert all(not f.active for f in pipe.result_flows.values())
+        for session in pipe.sessions.values():
+            assert all(not f.active for f in session.flows)

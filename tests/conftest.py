@@ -1,0 +1,48 @@
+"""Shared fixtures: canonical topologies from the paper's Fig. 5."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import JAMMDeployment
+from repro.simgrid import GridWorld, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def world():
+    return GridWorld(seed=42)
+
+
+def build_matisse_topology(seed: int = 42, *, wan_segment_latency: float = 10e-3):
+    """The paper's testbed: 4 DPSS servers + gateway host on the LBNL
+    LAN, client + viz host on the ISI-East LAN, OC-12/Supernet WAN path
+    through two routers (≈60 ms RTT end to end)."""
+    w = GridWorld(seed=seed)
+    servers = [w.add_host(f"dpss{i}.lbl.gov") for i in range(1, 5)]
+    gw_host = w.add_host("gw.lbl.gov")
+    client = w.add_host("mems.cairn.net")
+    viz = w.add_host("viz.cairn.net")
+    w.lan(servers + [gw_host], switch="lbl-sw")
+    w.lan([client, viz], switch="isi-sw")
+    w.wan_path("lbl-sw", "isi-sw", routers=["ntn1", "supernet1"],
+               latency_s=wan_segment_latency)
+    return w, {"servers": servers, "gateway_host": gw_host,
+               "client": client, "viz": viz}
+
+
+@pytest.fixture
+def matisse_world():
+    return build_matisse_topology()
+
+
+@pytest.fixture
+def jamm(matisse_world):
+    w, hosts = matisse_world
+    deployment = JAMMDeployment(w)
+    deployment.add_gateway("gw-lbl", host=hosts["gateway_host"])
+    return w, hosts, deployment

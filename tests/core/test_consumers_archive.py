@@ -1,0 +1,214 @@
+"""Unit tests for the consumer types and the event archive."""
+
+import pytest
+
+from repro.core import (ArchiveQuery, EventArchive, JAMMDeployment,
+                        SamplingPolicy, all_hosts_down)
+from repro.core.consumers import (EmailAction, PagerAction, RestartAction)
+from repro.simgrid import GridWorld
+from repro.ulm import ULMMessage
+
+
+def msg(event, host="h", t=0.0, lvl="Usage", **fields):
+    m = ULMMessage(date=t, host=host, prog="p", lvl=lvl, event=event)
+    for k, v in fields.items():
+        m.set(k.replace("_", "."), v)
+    return m
+
+
+class TestSamplingPolicy:
+    def test_abnormal_levels_always_kept(self):
+        policy = SamplingPolicy(normal_fraction=0.0)
+        assert policy.admits(msg("ANY", lvl="Error"))
+        assert policy.admits(msg("ANY", lvl="Warning"))
+        assert not policy.admits(msg("ANY", lvl="Usage"))
+
+    def test_always_keep_patterns(self):
+        policy = SamplingPolicy(normal_fraction=0.0)
+        assert policy.admits(msg("PROC_CRASH_DETECTED"))
+        assert policy.admits(msg("TCPD_RETRANSMITS"))
+        assert not policy.admits(msg("CPU_USAGE"))
+
+    def test_fractional_sampling_is_deterministic(self):
+        policy = SamplingPolicy(normal_fraction=0.25,
+                                always_keep=())
+        admitted = sum(policy.admits(msg("CPU_USAGE")) for _ in range(100))
+        assert admitted == 25
+
+    def test_full_capture(self):
+        policy = SamplingPolicy(normal_fraction=1.0)
+        assert all(policy.admits(msg("CPU_USAGE")) for _ in range(10))
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingPolicy(normal_fraction=1.5)
+
+
+class TestEventArchive:
+    def fill(self):
+        archive = EventArchive()
+        for t in range(10):
+            archive.append(msg("CPU_USAGE", host="a", t=float(t)))
+            archive.append(msg("MEM_USAGE", host="b", t=float(t) + 0.5))
+        return archive
+
+    def test_query_by_time_range(self):
+        archive = self.fill()
+        out = archive.query(t0=2.0, t1=4.0)
+        assert len(out) == 5  # 2.0, 2.5, 3.0, 3.5, 4.0
+
+    def test_query_by_host_and_event(self):
+        archive = self.fill()
+        assert len(archive.query(host="a")) == 10
+        assert len(archive.query(event="MEM_USAGE")) == 10
+        assert len(archive.query(host="a", event="MEM_USAGE")) == 0
+
+    def test_query_object_form(self):
+        archive = self.fill()
+        q = ArchiveQuery(t0=0.0, t1=1.0, host="b")
+        assert len(archive.query(q)) == 1
+
+    def test_catalog_accessors(self):
+        archive = self.fill()
+        assert archive.hosts() == ["a", "b"]
+        assert archive.event_names() == ["CPU_USAGE", "MEM_USAGE"]
+        assert archive.time_span() == (0.0, 9.5)
+        assert len(archive) == 20
+
+    def test_rejected_counted(self):
+        archive = EventArchive(policy=SamplingPolicy(normal_fraction=0.0,
+                                                     always_keep=()))
+        archive.append(msg("CPU_USAGE"))
+        assert len(archive) == 0
+        assert archive.rejected == 1
+
+
+def deployed_world():
+    world = GridWorld(seed=13)
+    sensor_host = world.add_host("dpss1.lbl.gov")
+    consumer_host = world.add_host("monitor.lbl.gov")
+    world.lan([sensor_host, consumer_host], switch="sw")
+    jamm = JAMMDeployment(world)
+    gw = jamm.add_gateway("gw0")
+    config = jamm.standard_config(vmstat=True, netstat=False, tcpdump=False,
+                                  process_pattern="dpss*")
+    jamm.add_manager(sensor_host, config=config, gateway=gw)
+    world.run(until=0.2)  # let directory replication catch up
+    return world, sensor_host, consumer_host, jamm
+
+
+class TestCollector:
+    def test_subscribe_all_and_merge(self):
+        world, _sh, ch, jamm = deployed_world()
+        collector = jamm.collector(host=ch)
+        opened = collector.subscribe_all("(sensortype=vmstat)")
+        assert opened == 1
+        world.run(until=5.5)
+        assert collector.received > 0
+        merged = collector.merged_log()
+        dates = [m.date for m in merged]
+        assert dates == sorted(dates)
+        assert collector.events_named("VMSTAT_SYS_TIME")
+
+    def test_collector_feeds_nlv(self):
+        from repro.netlogger import NLVConfig, NLVDataSet
+        world, _sh, ch, jamm = deployed_world()
+        collector = jamm.collector(host=ch)
+        collector.subscribe_all("(sensortype=vmstat)")
+        world.run(until=3.5)
+        data = NLVDataSet(NLVConfig(loadlines={"VMSTAT_SYS_TIME": "VALUE"}))
+        collector.feed_nlv(data)
+        assert data.loadlines["VMSTAT_SYS_TIME"].samples
+
+
+class TestArchiver:
+    def test_archives_and_publishes_catalog(self):
+        world, _sh, ch, jamm = deployed_world()
+        archiver = jamm.archiver(host=ch, publish_interval=5.0)
+        archiver.subscribe_all("(sensortype=vmstat)")
+        world.run(until=12.0)
+        assert archiver.archived > 0
+        archiver.close()  # final catalog publish
+        client = jamm.directory_client()
+        found = client.search("ou=archives,o=grid", "(objectclass=archive)")
+        assert len(found) == 1
+        entry = found.entries[0]
+        assert "VMSTAT_SYS_TIME" in entry.get("events")
+        assert int(entry.first("count")) == archiver.archived
+
+    def test_sampling_policy_respected(self):
+        world, _sh, ch, jamm = deployed_world()
+        archiver = jamm.archiver(
+            host=ch, policy=SamplingPolicy(normal_fraction=0.0,
+                                           always_keep=()))
+        archiver.subscribe_all("(sensortype=vmstat)")
+        world.run(until=5.0)
+        assert archiver.received > 0
+        assert archiver.archived == 0
+
+
+class TestProcessMonitorConsumer:
+    def test_crash_triggers_restart_and_email(self):
+        world, sensor_host, ch, jamm = deployed_world()
+        restart = RestartAction({"dpss1.lbl.gov": sensor_host})
+        email = EmailAction()
+        procmon = jamm.process_monitor(host=ch)
+        procmon.add_rule("PROC_CRASH", restart)
+        procmon.add_rule("PROC_EXIT", email)
+        procmon.subscribe_all("(sensortype=process)")
+        server_proc = sensor_host.processes.spawn("dpss-master")
+        world.run(until=1.0)
+        server_proc.crash()
+        world.run(until=2.0)
+        assert restart.restarted == 1
+        assert len(sensor_host.processes.by_name("dpss-master")) == 2
+        assert sensor_host.processes.by_name("dpss-master")[-1].alive
+        assert procmon.actions_of_kind("restart")
+
+    def test_unmatched_events_ignored(self):
+        world, sensor_host, ch, jamm = deployed_world()
+        procmon = jamm.process_monitor(host=ch)
+        procmon.add_rule("PROC_CRASH", EmailAction())
+        procmon.subscribe_all("(sensortype=process)")
+        sensor_host.processes.spawn("dpss-x")  # PROC_START: no rule
+        world.run(until=1.0)
+        assert procmon.actions_taken == []
+
+
+class TestOverviewMonitor:
+    def test_page_only_when_all_servers_down(self):
+        """The paper's 2 A.M. example: page only if BOTH primary and
+        backup are down."""
+        world = GridWorld(seed=14)
+        primary = world.add_host("primary.lbl.gov")
+        backup = world.add_host("backup.lbl.gov")
+        monitor_host = world.add_host("noc.lbl.gov")
+        world.lan([primary, backup, monitor_host], switch="sw")
+        jamm = JAMMDeployment(world)
+        gw = jamm.add_gateway("gw0")
+        config = jamm.standard_config(vmstat=False, netstat=False,
+                                      tcpdump=False, process_pattern="httpd*")
+        jamm.add_manager(primary, config=config, gateway=gw)
+        config2 = jamm.standard_config(vmstat=False, netstat=False,
+                                       tcpdump=False, process_pattern="httpd*")
+        jamm.add_manager(backup, config=config2, gateway=gw)
+        world.run(until=0.2)  # replication catch-up
+        pager = PagerAction()
+        overview = jamm.overview_monitor(host=monitor_host)
+        overview.add_rule(
+            "both-down",
+            all_hosts_down(["primary.lbl.gov", "backup.lbl.gov"]),
+            lambda state: pager.run(overview, state["primary.lbl.gov"]))
+        overview.subscribe_all("(sensortype=process)")
+        p1 = primary.processes.spawn("httpd")
+        p2 = backup.processes.spawn("httpd")
+        world.run(until=1.0)
+        p1.crash()
+        world.run(until=2.0)
+        assert pager.pages == []  # backup still up: no page
+        p2.crash()
+        world.run(until=3.0)
+        assert len(pager.pages) == 1
+        # rule is edge-triggered: no repeat pages while still down
+        world.run(until=10.0)
+        assert len(pager.pages) == 1

@@ -1,0 +1,274 @@
+"""Unit tests for the directory service: DNs, filters, server, replication."""
+
+import pytest
+
+from repro.core.directory import (DN, DirectoryClient, DirectoryError,
+                                  DirectoryServer, DNError, Entry,
+                                  FilterSyntaxError, LDAPBackend, MDSBackend,
+                                  deploy_replicated_directory, parse_filter)
+from repro.simgrid import Simulator
+
+
+class TestDN:
+    def test_parse_and_str_roundtrip(self):
+        text = "sensor=cpu,host=dpss1.lbl.gov,ou=sensors,o=grid"
+        assert str(DN.parse(text)) == text
+
+    def test_attribute_names_case_folded(self):
+        assert DN.parse("OU=Sensors,O=grid") == DN.parse("ou=Sensors,o=grid")
+
+    def test_hierarchy_predicates(self):
+        base = DN.parse("ou=sensors,o=grid")
+        leaf = DN.parse("sensor=cpu,host=h1,ou=sensors,o=grid")
+        assert leaf.is_under(base)
+        assert leaf.is_under(leaf)
+        assert not base.is_under(leaf)
+        assert leaf.depth_below(base) == 2
+        assert leaf.parent() == DN.parse("host=h1,ou=sensors,o=grid")
+
+    def test_child_construction(self):
+        base = DN.parse("ou=sensors,o=grid")
+        child = base.child("host", "h1")
+        assert str(child) == "host=h1,ou=sensors,o=grid"
+
+    def test_malformed_rejected(self):
+        for bad in ("", "nocomma", "=value,o=grid", "a=b,,c=d"):
+            with pytest.raises(DNError):
+                DN.parse(bad)
+
+    def test_root_has_no_parent(self):
+        assert DN.parse("o=grid").parent() is None
+
+
+class TestEntry:
+    def test_rdn_attribute_implicit(self):
+        entry = Entry("sensor=cpu,o=grid", {"status": "running"})
+        assert entry.first("sensor") == "cpu"
+        assert entry.first("status") == "running"
+
+    def test_multivalued_attributes(self):
+        entry = Entry("x=1,o=grid", {"tags": ["a", "b"]})
+        assert entry.get("tags") == ["a", "b"]
+
+    def test_apply_changes_and_version(self):
+        entry = Entry("x=1,o=grid", {"status": "running"}, timestamp=1.0)
+        entry.apply_changes({"status": "stopped", "extra": 5}, timestamp=2.0)
+        assert entry.first("status") == "stopped"
+        assert entry.first("extra") == "5"
+        assert entry.version == 2
+        entry.apply_changes({"extra": None}, timestamp=3.0)
+        assert not entry.has("extra")
+
+    def test_copy_is_deep_for_attributes(self):
+        entry = Entry("x=1,o=grid", {"tags": ["a"]})
+        dup = entry.copy()
+        dup.attributes["tags"].append("b")
+        assert entry.get("tags") == ["a"]
+
+
+class TestFilters:
+    def entry(self, **attrs):
+        return Entry("sensor=cpu,host=h1,ou=sensors,o=grid", attrs)
+
+    def test_equality(self):
+        flt = parse_filter("(host=h1)")
+        assert flt.matches(self.entry())
+        assert not parse_filter("(host=h2)").matches(self.entry())
+
+    def test_presence_and_substring(self):
+        e = self.entry(status="running")
+        assert parse_filter("(status=*)").matches(e)
+        assert not parse_filter("(nothere=*)").matches(e)
+        assert parse_filter("(sensor=c*)").matches(e)
+        assert parse_filter("(sensor=*p*)").matches(e)
+        assert not parse_filter("(sensor=mem*)").matches(e)
+
+    def test_comparison_numeric_and_lexical(self):
+        e = self.entry(frequency="2.5", name="delta")
+        assert parse_filter("(frequency>=2)").matches(e)
+        assert not parse_filter("(frequency>=3)").matches(e)
+        assert parse_filter("(frequency<=2.5)").matches(e)
+        assert parse_filter("(name>=alpha)").matches(e)
+
+    def test_boolean_composition(self):
+        e = self.entry(status="running", sensortype="cpu")
+        assert parse_filter("(&(status=running)(sensortype=cpu))").matches(e)
+        assert not parse_filter("(&(status=running)(sensortype=mem))").matches(e)
+        assert parse_filter("(|(sensortype=mem)(sensortype=cpu))").matches(e)
+        assert parse_filter("(!(status=stopped))").matches(e)
+        nested = "(&(objectclass=*)(|(sensortype=cpu)(sensortype=vmstat))(!(status=stopped)))"
+        e2 = self.entry(objectclass="sensor", status="running",
+                        sensortype="vmstat")
+        assert parse_filter(nested).matches(e2)
+
+    def test_syntax_errors(self):
+        for bad in ("", "host=h1", "(host=h1", "(&)", "((host=h1))",
+                    "(host=)", "(=v)", "(host=h1)(x=y)"):
+            with pytest.raises(FilterSyntaxError):
+                parse_filter(bad)
+
+    def test_multivalued_matching(self):
+        e = Entry("x=1,o=grid", {"member": ["a", "b", "c"]})
+        assert parse_filter("(member=b)").matches(e)
+        assert not parse_filter("(member=z)").matches(e)
+
+
+def server(backend=None, **kwargs):
+    sim = Simulator()
+    if backend is None:
+        backend = LDAPBackend()
+    return sim, DirectoryServer(sim, backend=backend, **kwargs)
+
+
+class TestServerOps:
+    def test_add_get_search_scopes(self):
+        _, srv = server()
+        srv.add_now("ou=sensors,o=grid", {"objectclass": "orgunit"})
+        srv.add_now("host=h1,ou=sensors,o=grid", {"objectclass": "host"})
+        srv.add_now("sensor=cpu,host=h1,ou=sensors,o=grid",
+                    {"objectclass": "sensor"})
+        assert len(srv.search_now("o=grid", "(objectclass=*)")) == 3
+        assert len(srv.search_now("ou=sensors,o=grid", "(objectclass=*)",
+                                  scope="one")) == 1
+        assert len(srv.search_now("host=h1,ou=sensors,o=grid",
+                                  "(objectclass=*)", scope="base")) == 1
+        assert len(srv.search_now("o=grid", "(objectclass=sensor)")) == 1
+
+    def test_duplicate_add_rejected(self):
+        _, srv = server()
+        srv.add_now("x=1,o=grid")
+        with pytest.raises(DirectoryError):
+            srv.add_now("x=1,o=grid")
+
+    def test_add_outside_suffix_rejected(self):
+        _, srv = server()
+        with pytest.raises(DirectoryError):
+            srv.add_now("x=1,o=elsewhere")
+
+    def test_modify_missing_requires_upsert(self):
+        _, srv = server()
+        with pytest.raises(DirectoryError):
+            srv.modify_now("x=1,o=grid", {"a": 1})
+        srv.modify_now("x=1,o=grid", {"a": 1}, upsert=True)
+        assert srv.search_now("x=1,o=grid", scope="base").entries[0].first("a") == "1"
+
+    def test_delete(self):
+        _, srv = server()
+        srv.add_now("x=1,o=grid")
+        assert srv.delete_now("x=1,o=grid")
+        assert not srv.delete_now("x=1,o=grid")
+
+    def test_search_results_are_snapshots(self):
+        _, srv = server()
+        srv.add_now("x=1,o=grid", {"v": "1"})
+        result = srv.search_now("o=grid")
+        result.entries[0].apply_changes({"v": "2"}, timestamp=1.0)
+        assert srv.search_now("o=grid").entries[0].first("v") == "1"
+
+    def test_down_server_refuses(self):
+        _, srv = server()
+        srv.fail()
+        with pytest.raises(DirectoryError):
+            srv.search_now("o=grid")
+        srv.recover()
+        srv.search_now("o=grid")
+
+
+class TestReplication:
+    def test_writes_propagate_to_replicas(self):
+        sim = Simulator()
+        group = deploy_replicated_directory(sim, n_replicas=2)
+        group.master.add_now("x=1,o=grid", {"v": 1})
+        sim.run(until=1.0)
+        for replica in group.replicas:
+            assert replica.search_now("x=1,o=grid", scope="base").entries
+
+    def test_replica_rejects_direct_writes(self):
+        sim = Simulator()
+        group = deploy_replicated_directory(sim, n_replicas=1)
+        with pytest.raises(DirectoryError):
+            group.replicas[0].add_now("x=1,o=grid")
+
+    def test_client_fails_over_to_replica_for_reads(self):
+        sim = Simulator()
+        group = deploy_replicated_directory(sim, n_replicas=1)
+        group.master.add_now("x=1,o=grid")
+        sim.run(until=1.0)
+        client = group.client()
+        group.fail_master()
+        result = client.search("o=grid")
+        assert len(result) == 1
+        assert client.failovers == 1
+
+    def test_writes_fail_with_master_down_until_promotion(self):
+        sim = Simulator()
+        group = deploy_replicated_directory(sim, n_replicas=1)
+        client = group.client()
+        group.fail_master()
+        with pytest.raises(DirectoryError):
+            client.add("x=1,o=grid")
+        promoted = group.promote_replica()
+        assert promoted is not None
+        client.add("x=1,o=grid")
+        assert client.search("o=grid").entries
+
+    def test_recover_master_resyncs(self):
+        sim = Simulator()
+        group = deploy_replicated_directory(sim, n_replicas=1)
+        group.master.add_now("x=1,o=grid")
+        group.replicas[0].fail()
+        group.master.add_now("x=2,o=grid")  # missed by the dead replica
+        group.replicas[0].recover()
+        group.resync()
+        assert len(group.replicas[0].search_now("o=grid")) == 2
+
+
+class TestPersistentSearch:
+    def test_callback_on_matching_add_and_modify(self):
+        _, srv = server()
+        seen = []
+        srv.persistent_search("ou=sensors,o=grid", "(objectclass=sensor)",
+                              callback=lambda op, e: seen.append((op, str(e.dn))))
+        srv.add_now("sensor=cpu,ou=sensors,o=grid", {"objectclass": "sensor"})
+        srv.add_now("other=x,o=grid", {"objectclass": "sensor"})  # outside base
+        srv.add_now("sensor=mem,ou=sensors,o=grid", {"objectclass": "thing"})
+        srv.modify_now("sensor=cpu,ou=sensors,o=grid", {"status": "up"})
+        srv.sim.run(until=1.0)
+        assert seen == [("add", "sensor=cpu,ou=sensors,o=grid"),
+                        ("modify", "sensor=cpu,ou=sensors,o=grid")]
+
+    def test_cancel_stops_notifications(self):
+        _, srv = server()
+        seen = []
+        ps_id = srv.persistent_search("o=grid", "(objectclass=*)",
+                                      callback=lambda op, e: seen.append(op))
+        srv.cancel_psearch(ps_id)
+        srv.add_now("x=1,o=grid")
+        srv.sim.run(until=1.0)
+        assert seen == []
+
+
+class TestReferrals:
+    def test_client_chases_referrals(self):
+        sim = Simulator()
+        root = DirectoryServer(sim, name="root", suffix="o=grid")
+        site = DirectoryServer(sim, name="site-lbl", suffix="ou=lbl,o=grid")
+        root.add_referral("ou=lbl,o=grid", "site-lbl")
+        site.add_now("host=h1,ou=lbl,o=grid", {"objectclass": "host"})
+        client = DirectoryClient([root], all_servers={"site-lbl": site})
+        result = client.search("o=grid", "(objectclass=host)")
+        assert len(result) == 1
+
+
+class TestBackendCosts:
+    def test_ldap_backend_penalizes_writes(self):
+        assert LDAPBackend.write_cost > LDAPBackend.read_cost * 10
+        assert MDSBackend.write_cost < LDAPBackend.write_cost / 5
+
+    def test_backend_op_counters(self):
+        backend = MDSBackend()
+        _, srv = server(backend=backend)
+        srv.add_now("x=1,o=grid")
+        srv.search_now("o=grid")
+        assert backend.writes == 1
+        assert backend.reads == 1

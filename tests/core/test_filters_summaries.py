@@ -1,0 +1,184 @@
+"""Unit tests for gateway filters and summary windows."""
+
+import pytest
+
+from repro.core import (AllEvents, AndAll, Delta, EventNames,
+                        FilterSpecError, OnChange, RateLimit, SummaryService,
+                        SummarySet, SummaryWindow, Threshold,
+                        filter_from_dict)
+from repro.ulm import ULMMessage
+
+
+def event(name, t=0.0, **fields):
+    msg = ULMMessage(date=t, host="h", prog="p", event=name)
+    for k, v in fields.items():
+        msg.set(k, v)
+    return msg
+
+
+class TestFilters:
+    def test_all_events_passes_everything(self):
+        assert AllEvents().accept(event("ANY"))
+
+    def test_event_names(self):
+        flt = EventNames(["A", "B"])
+        assert flt.accept(event("A"))
+        assert not flt.accept(event("C"))
+        with pytest.raises(FilterSpecError):
+            EventNames([])
+
+    def test_on_change_suppresses_repeats(self):
+        """The netstat example: counter every second, deliver changes."""
+        flt = OnChange("VALUE")
+        values = [0, 0, 0, 3, 3, 7, 7, 7]
+        accepted = [flt.accept(event("E", VALUE=v)) for v in values]
+        assert accepted == [True, False, False, True, False, True, False, False]
+
+    def test_on_change_ignores_events_missing_field(self):
+        flt = OnChange("VALUE")
+        assert not flt.accept(event("E", OTHER=1))
+
+    def test_threshold_is_edge_triggered(self):
+        """'if CPU load becomes greater than 50%'"""
+        flt = Threshold("LOAD", ">", 50)
+        loads = [10, 60, 70, 40, 80]
+        accepted = [flt.accept(event("E", LOAD=v)) for v in loads]
+        assert accepted == [False, True, False, False, True]
+
+    def test_threshold_ops_validated(self):
+        with pytest.raises(FilterSpecError):
+            Threshold("LOAD", "==", 50)
+
+    def test_delta_percent(self):
+        """'load changes by more than 20%'"""
+        flt = Delta("LOAD", 20)
+        values = [100, 110, 130, 131, 90]
+        accepted = [flt.accept(event("E", LOAD=v)) for v in values]
+        # 100 baseline(deliver), 110 = +10% no, 130 = +30% yes,
+        # 131 vs 130 no, 90 vs 130 = -31% yes
+        assert accepted == [True, False, True, False, True]
+
+    def test_rate_limit(self):
+        flt = RateLimit(1.0)
+        times = [0.0, 0.5, 1.0, 1.2, 2.5]
+        accepted = [flt.accept(event("E", t=t)) for t in times]
+        assert accepted == [True, False, True, False, True]
+
+    def test_and_composition_short_circuits(self):
+        flt = AndAll([EventNames(["CPU_USAGE"]), Threshold("LOAD", ">", 50)])
+        assert not flt.accept(event("OTHER", LOAD=90))
+        # the threshold filter must not have consumed the rejected event
+        assert flt.accept(event("CPU_USAGE", LOAD=90))
+
+    def test_wire_roundtrip_resets_state(self):
+        flt = OnChange("V")
+        flt.accept(event("E", V=1))
+        fresh = filter_from_dict(flt.to_dict())
+        assert fresh.accept(event("E", V=1))  # baseline again: state reset
+
+    def test_all_kinds_roundtrip(self):
+        specs = [AllEvents(), EventNames(["A"]), OnChange("F"),
+                 Threshold("F", ">=", 1), Delta("F", 10), RateLimit(2.0),
+                 AndAll([AllEvents(), OnChange("F")])]
+        for flt in specs:
+            rebuilt = filter_from_dict(flt.to_dict())
+            assert rebuilt.to_dict() == flt.to_dict()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FilterSpecError):
+            filter_from_dict({"kind": "telepathy"})
+
+    def test_clone_gives_independent_state(self):
+        flt = OnChange("V")
+        clone = flt.clone()
+        flt.accept(event("E", V=1))
+        assert clone.accept(event("E", V=1))
+
+
+class TestSummaryWindow:
+    def test_average_over_window(self):
+        window = SummaryWindow(60.0)
+        for t, v in [(0, 10), (30, 20), (59, 30)]:
+            window.ingest(float(t), float(v))
+        assert window.average() == pytest.approx(20.0)
+
+    def test_old_samples_expire(self):
+        window = SummaryWindow(60.0)
+        window.ingest(0.0, 100.0)
+        window.ingest(61.0, 10.0)
+        assert window.average() == pytest.approx(10.0)
+        assert window.count == 1
+
+    def test_average_at_explicit_now(self):
+        window = SummaryWindow(10.0)
+        window.ingest(0.0, 5.0)
+        assert window.average(now=100.0) is None
+
+    def test_min_max(self):
+        window = SummaryWindow(60.0)
+        for v in (3.0, 1.0, 2.0):
+            window.ingest(0.0, v)
+        assert window.minimum() == 1.0
+        assert window.maximum() == 3.0
+
+    def test_empty_window(self):
+        window = SummaryWindow(60.0)
+        assert window.average() is None
+        assert window.minimum() is None
+
+
+class TestSummarySet:
+    def test_paper_windows_1_10_60_minutes(self):
+        summary = SummarySet()
+        assert sorted(summary.windows) == [60.0, 600.0, 3600.0]
+
+    def test_snapshot_labels(self):
+        summary = SummarySet()
+        summary.ingest(0.0, 50.0)
+        snap = summary.snapshot(now=0.0)
+        assert set(snap) == {"last", "avg1m", "avg10m", "avg60m"}
+        assert snap["last"] == 50.0
+        assert snap["avg1m"] == 50.0
+
+    def test_windows_diverge_over_time(self):
+        summary = SummarySet(spans=(60.0, 600.0))
+        summary.ingest(0.0, 100.0)
+        for t in range(540, 600, 10):
+            summary.ingest(float(t), 10.0)
+        snap = summary.snapshot(now=599.0)
+        assert snap["avg1m"] == pytest.approx(10.0)
+        assert snap["avg10m"] > 10.0  # still remembers the old 100
+
+
+class TestSummaryService:
+    def test_ingest_event_routes_fields(self):
+        service = SummaryService()
+        msg = event("CPU_USAGE", t=1.0)
+        msg.set("CPU.USER", "30.0")
+        msg.set("CPU.SYS", "20.0")
+        service.ingest_event("cpu@h", msg, ["CPU.USER", "CPU.SYS"])
+        assert service.snapshot("cpu@h", "CPU.USER")["last"] == 30.0
+        assert service.snapshot("cpu@h", "CPU.SYS")["last"] == 20.0
+        assert service.snapshot("cpu@h", "MISSING") is None
+
+    def test_non_numeric_fields_skipped(self):
+        service = SummaryService()
+        msg = event("E", t=1.0)
+        msg.set("NAME", "not-a-number")
+        service.ingest_event("s", msg, ["NAME"])
+        assert service.snapshot("s", "NAME") is None
+
+    def test_publish_to_directory(self):
+        from repro.core.directory import DirectoryClient, DirectoryServer
+        from repro.simgrid import Simulator
+        sim = Simulator()
+        srv = DirectoryServer(sim)
+        client = DirectoryClient([srv])
+        service = SummaryService(directory=client)
+        msg = event("CPU_USAGE", t=1.0)
+        msg.set("CPU.USER", "42.0")
+        service.ingest_event("cpu@h", msg, ["CPU.USER"])
+        assert service.publish(host_name="gw0", now=1.0) == 1
+        found = client.search("ou=summaries,o=grid", "(objectclass=summary)")
+        assert len(found) == 1
+        assert float(found.entries[0].first("last")) == 42.0

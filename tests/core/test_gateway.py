@@ -1,0 +1,199 @@
+"""Unit tests for the event gateway."""
+
+import pytest
+
+from repro.core import (EventGateway, GatewayError, OnChange, Threshold)
+from repro.core.sensors import CPUSensor, NetstatSensor
+from repro.simgrid import GridWorld
+from repro.ulm import ULMMessage, parse as parse_ulm, from_xml, decode
+
+
+def setup():
+    world = GridWorld(seed=6)
+    host = world.add_host("sensor-host")
+    gw = EventGateway(world.sim, name="gw0")
+    sensor = CPUSensor(host, period=1.0)
+    gw.register_sensor(sensor)
+    sensor.start()
+    return world, host, gw, sensor
+
+
+class TestSubscriptions:
+    def test_stream_delivers_events(self):
+        world, _h, gw, sensor = setup()
+        got = []
+        gw.subscribe(sensor.name, callback=got.append)
+        world.run(until=3.5)
+        assert len(got) == 4
+        assert all(isinstance(m, ULMMessage) for m in got)
+
+    def test_no_subscription_no_forwarding(self):
+        """§2.3: event data is not sent anywhere unless requested."""
+        world, _h, gw, sensor = setup()
+        world.run(until=3.5)
+        assert gw.events_in == 0
+        assert sensor.events_dropped > 0
+
+    def test_unsubscribe_stops_forwarding(self):
+        world, _h, gw, sensor = setup()
+        got = []
+        sub = gw.subscribe(sensor.name, callback=got.append)
+        world.run(until=2.5)
+        gw.unsubscribe(sub)
+        count = len(got)
+        world.run(until=6.5)
+        assert len(got) == count
+        assert sensor.sink is None
+
+    def test_consumer_count_maintained(self):
+        world, _h, gw, sensor = setup()
+        s1 = gw.subscribe(sensor.name, callback=lambda m: None)
+        s2 = gw.subscribe(sensor.name, callback=lambda m: None)
+        assert sensor.consumer_count == 2
+        gw.unsubscribe(s1)
+        assert sensor.consumer_count == 1
+        gw.unsubscribe(s2)
+        assert sensor.consumer_count == 0
+
+    def test_unknown_sensor_rejected(self):
+        _w, _h, gw, _s = setup()
+        with pytest.raises(GatewayError):
+            gw.subscribe("ghost", callback=lambda m: None)
+
+    def test_stream_needs_delivery_path(self):
+        _w, _h, gw, sensor = setup()
+        with pytest.raises(GatewayError):
+            gw.subscribe(sensor.name)
+
+    def test_fanout_to_many_consumers(self):
+        world, _h, gw, sensor = setup()
+        sinks = [[] for _ in range(5)]
+        for sink in sinks:
+            gw.subscribe(sensor.name, callback=sink.append)
+        world.run(until=2.5)
+        assert all(len(s) == 3 for s in sinks)
+        # one event in, five deliveries out
+        assert gw.events_delivered == 5 * gw.events_in
+
+
+class TestQueryMode:
+    def test_query_returns_most_recent_event(self):
+        world, _h, gw, sensor = setup()
+        gw.subscribe(sensor.name, mode="query")
+        world.run(until=5.5)
+        event = gw.query(sensor.name)
+        assert event is not None
+        assert event.date == pytest.approx(5.0)
+
+    def test_query_mode_gets_no_stream(self):
+        world, _h, gw, sensor = setup()
+        got = []
+        gw.subscribe(sensor.name, mode="query", callback=got.append)
+        world.run(until=5.5)
+        assert got == []
+
+    def test_bad_mode_rejected(self):
+        _w, _h, gw, sensor = setup()
+        with pytest.raises(GatewayError):
+            gw.subscribe(sensor.name, mode="telepathic",
+                         callback=lambda m: None)
+
+
+class TestFiltering:
+    def test_change_only_subscription(self):
+        world = GridWorld(seed=7)
+        host = world.add_host("h")
+        gw = EventGateway(world.sim, name="gw0")
+        sensor = NetstatSensor(host, period=1.0)
+        gw.register_sensor(sensor)
+        sensor.start()
+        got = []
+        from repro.core import AndAll, EventNames
+        gw.subscribe(sensor.name, callback=got.append,
+                     event_filter=AndAll([EventNames(["NETSTAT_RETRANSMITS"]),
+                                          OnChange("VALUE")]))
+        world.sim.call_in(4.6, lambda: host.tcp_counters.__setitem__(
+            "retransmits", 9))
+        world.run(until=10.5)
+        # baseline delivery + the one counter change — not one per second
+        assert len(got) == 2
+        assert [m.get_int("VALUE") for m in got] == [0, 9]
+
+    def test_threshold_subscription(self):
+        world, host, gw, sensor = setup()
+        got = []
+        gw.subscribe(sensor.name, callback=got.append,
+                     event_filter=Threshold("CPU.USER", ">", 50.0))
+        token = [None]
+        world.sim.call_in(3.5, lambda: token.__setitem__(
+            0, host.cpu.add_load(user=1.6)))
+        world.run(until=8.5)
+        assert len(got) == 1
+        assert got[0].get_float("CPU.USER") > 50
+
+
+class TestFormats:
+    def test_remote_delivery_formats(self):
+        world = GridWorld(seed=8)
+        sensor_host = world.add_host("s")
+        gw_host = world.add_host("g")
+        consumer_host = world.add_host("c")
+        world.lan([sensor_host, gw_host, consumer_host], switch="sw")
+        gw = EventGateway(world.sim, name="gw0", host=gw_host,
+                          transport=world.transport)
+        sensor = CPUSensor(sensor_host, period=1.0)
+        gw.register_sensor(sensor)
+        sensor.start()
+        received = {}
+        port = 21000
+        for fmt in ("ulm", "xml", "binary"):
+            received[fmt] = []
+            consumer_host.ports.bind(
+                port, lambda m, t, f=fmt: received[f].append(m.payload))
+            gw.subscribe(sensor.name, fmt=fmt, remote=(consumer_host, port))
+            port += 1
+        world.run(until=2.5)
+        ulm_events = [parse_ulm(p["wire"]) for p in received["ulm"]]
+        xml_events = [from_xml(p["wire"]) for p in received["xml"]]
+        bin_events = [decode(p["wire"]) for p in received["binary"]]
+        assert len(ulm_events) == len(xml_events) == len(bin_events) == 3
+        assert ulm_events == xml_events == bin_events
+
+    def test_unknown_format_rejected_at_subscribe(self):
+        world, _h, gw, sensor = setup()
+        with pytest.raises(GatewayError):
+            gw.subscribe(sensor.name, callback=lambda m: None, fmt="morse")
+
+
+class TestSummaries:
+    def test_summarize_fills_windows_without_subscribers(self):
+        world, host, gw, sensor = setup()
+        host.cpu.add_load(user=0.8)  # 40% of 2 cpus
+        gw.summarize(sensor.name, ("CPU.USER",))
+        world.run(until=30.5)
+        snap = gw.summary(sensor.name, "CPU.USER")
+        assert snap is not None
+        assert snap["last"] == pytest.approx(40.0)
+        assert snap["avg1m"] == pytest.approx(40.0)
+
+    def test_summary_for_unknown_series_is_none(self):
+        _w, _h, gw, sensor = setup()
+        assert gw.summary(sensor.name, "NOPE") is None
+
+
+class TestControlRelay:
+    def test_request_sensor_start_via_gateway(self):
+        world, host, gw, sensor = setup()
+        sensor.stop()
+
+        class FakeManager:
+            def __init__(self):
+                self.requests = []
+
+            def start_sensor(self, name, requested_by=""):
+                self.requests.append((name, requested_by))
+                return True
+
+        mgr = FakeManager()
+        assert gw.request_sensor_start(mgr, sensor.name)
+        assert mgr.requests == [(sensor.name, "gateway:gw0")]

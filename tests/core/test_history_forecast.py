@@ -1,0 +1,146 @@
+"""Tests for archive historical analysis and NWS-style forecasting."""
+
+import math
+
+import pytest
+
+from repro.core import EventArchive, SamplingPolicy
+from repro.core.forecast import Forecaster, forecast_archive_series
+from repro.core.history import (compare_periods, find_change_points,
+                                summarize_period)
+from repro.ulm import ULMMessage
+
+
+def msg(event, t, value=None, host="h", lvl="Usage"):
+    m = ULMMessage(date=t, host=host, prog="p", lvl=lvl, event=event)
+    if value is not None:
+        m.set("VALUE", value)
+    return m
+
+
+def two_period_archive():
+    """Normal period [0,100): calm; problem period [100,200): noisy."""
+    archive = EventArchive(policy=SamplingPolicy(normal_fraction=1.0))
+    for t in range(0, 100):
+        archive.append(msg("CPU_USAGE", float(t), value=20.0))
+        if t % 50 == 0:
+            archive.append(msg("TCPD_RETRANSMITS", float(t) + 0.5))
+    for t in range(100, 200):
+        archive.append(msg("CPU_USAGE", float(t), value=85.0))
+        if t % 2 == 0:
+            archive.append(msg("TCPD_RETRANSMITS", float(t) + 0.5))
+    return archive
+
+
+class TestSummarizePeriod:
+    def test_counts_rates_means(self):
+        archive = two_period_archive()
+        summary = summarize_period(archive, 0.0, 100.0)
+        cpu = summary.by_event["CPU_USAGE"]
+        assert cpu.count == 100
+        assert cpu.rate_per_s == pytest.approx(1.0)
+        assert cpu.value_mean == pytest.approx(20.0)
+        retr = summary.by_event["TCPD_RETRANSMITS"]
+        assert retr.count == 2
+        assert retr.value_mean is None
+
+    def test_host_filter(self):
+        archive = EventArchive()
+        archive.append(msg("E", 1.0, host="a"))
+        archive.append(msg("E", 2.0, host="b"))
+        summary = summarize_period(archive, 0.0, 10.0, host="a")
+        assert summary.total_events == 1
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_period(EventArchive(), 5.0, 5.0)
+
+
+class TestComparePeriods:
+    def test_detects_the_degradation(self):
+        archive = two_period_archive()
+        deltas = compare_periods(archive, baseline=(0.0, 100.0),
+                                 current=(100.0, 200.0))
+        by_event = {d.event: d for d in deltas}
+        retr = by_event["TCPD_RETRANSMITS"]
+        assert retr.rate_ratio == pytest.approx(25.0)  # 0.02/s -> 0.5/s
+        assert retr.is_anomalous()
+        cpu = by_event["CPU_USAGE"]
+        assert cpu.rate_ratio == pytest.approx(1.0)
+        assert cpu.is_anomalous()  # mean 20 -> 85 exceeds mean_factor
+        # ordering: biggest rate blow-up first
+        assert deltas[0].event == "TCPD_RETRANSMITS"
+
+    def test_calm_periods_not_anomalous(self):
+        archive = two_period_archive()
+        deltas = compare_periods(archive, baseline=(0.0, 50.0),
+                                 current=(50.0, 100.0))
+        assert not any(d.is_anomalous() for d in deltas)
+
+    def test_new_event_type_is_infinite_ratio(self):
+        archive = EventArchive()
+        for t in range(100, 110):
+            archive.append(msg("NEW_ERROR", float(t), lvl="Error"))
+        deltas = compare_periods(archive, baseline=(0.0, 100.0),
+                                 current=(100.0, 110.0))
+        assert deltas[0].event == "NEW_ERROR"
+        assert math.isinf(deltas[0].rate_ratio)
+        assert deltas[0].is_anomalous()
+
+
+class TestChangePoints:
+    def test_single_level_shift_found(self):
+        series = [(float(t), 10.0 + (0.1 * (t % 3))) for t in range(30)]
+        series += [(float(t), 50.0 + (0.1 * (t % 3))) for t in range(30, 60)]
+        changes = find_change_points(series, window=10)
+        assert len(changes) == 1
+        assert 28.0 <= changes[0] <= 32.0
+
+    def test_flat_series_has_no_changes(self):
+        series = [(float(t), 5.0) for t in range(50)]
+        assert find_change_points(series, window=10) == []
+
+    def test_too_short_series(self):
+        assert find_change_points([(0.0, 1.0)] * 5, window=10) == []
+
+
+class TestForecaster:
+    def test_constant_series_predicts_constant(self):
+        f = Forecaster()
+        f.observe_many([42.0] * 20)
+        forecast = f.forecast()
+        assert forecast.value == pytest.approx(42.0)
+        assert forecast.mae == pytest.approx(0.0)
+
+    def test_alternating_series_prefers_mean_over_last(self):
+        f = Forecaster()
+        f.observe_many([0.0, 100.0] * 30)
+        # "last" is always 100 off; the long mean is only ~50 off
+        assert f.mae("last") > f.mae("mean")
+        assert f.forecast().predictor != "last"
+
+    def test_trending_series_prefers_recent_window(self):
+        f = Forecaster()
+        f.observe_many([float(i) for i in range(100)])
+        # the full-history mean badly lags a trend; recent windows do
+        # better, and "last" best of all
+        assert f.mae("last") < f.mae("mean5") < f.mae("mean")
+
+    def test_empty_forecaster_returns_none(self):
+        assert Forecaster().forecast() is None
+
+    def test_single_observation(self):
+        f = Forecaster()
+        f.observe(7.0)
+        assert f.forecast().value == 7.0
+
+    def test_forecast_from_archive(self):
+        archive = EventArchive()
+        for t in range(60):
+            archive.append(msg("CPU_USAGE", float(t), value=30.0))
+        forecast = forecast_archive_series(archive, event="CPU_USAGE")
+        assert forecast.value == pytest.approx(30.0)
+        assert forecast.mae == pytest.approx(0.0)
+
+    def test_forecast_from_empty_archive(self):
+        assert forecast_archive_series(EventArchive(), event="X") is None

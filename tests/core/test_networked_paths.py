@@ -1,0 +1,193 @@
+"""Tests for the over-the-wire request paths: gateway subscription
+protocol, directory remote operations, and RMI-exported managers."""
+
+import pytest
+
+from repro.core import EventGateway, GATEWAY_PORT, JAMMConfig, JAMMDeployment
+from repro.core.directory import DirectoryClient, DirectoryServer, LDAPBackend
+from repro.core.sensors import CPUSensor
+from repro.simgrid import GridWorld, RMIDaemon, WaitEvent
+from repro.ulm import parse as parse_ulm
+
+
+def gateway_world():
+    world = GridWorld(seed=70)
+    sensor_host = world.add_host("s")
+    gw_host = world.add_host("g")
+    consumer_host = world.add_host("c")
+    world.lan([sensor_host, gw_host, consumer_host], switch="sw")
+    gw = EventGateway(world.sim, name="gw0", host=gw_host,
+                      transport=world.transport)
+    sensor = CPUSensor(sensor_host, period=1.0)
+    gw.register_sensor(sensor)
+    sensor.start()
+    return world, sensor_host, gw_host, consumer_host, gw, sensor
+
+
+class TestGatewayWireProtocol:
+    def test_subscribe_over_the_wire(self):
+        world, _s, gw_host, consumer, gw, sensor = gateway_world()
+        deliveries = []
+        consumer.ports.bind(22000, lambda m, t: deliveries.append(m.payload))
+        reply = world.transport.request(
+            consumer, gw_host, GATEWAY_PORT,
+            {"op": "subscribe", "sensor": sensor.name, "port": 22000})
+        world.run(until=3.5)
+        assert reply.value["ok"]
+        assert reply.value["sub_id"] > 0
+        assert len(deliveries) >= 3
+        event = parse_ulm(deliveries[0]["wire"])
+        assert event.event == "CPU_USAGE"
+
+    def test_subscribe_with_wire_filter_spec(self):
+        world, sensor_host, gw_host, consumer, gw, sensor = gateway_world()
+        deliveries = []
+        consumer.ports.bind(22001, lambda m, t: deliveries.append(m.payload))
+        spec = {"kind": "threshold", "field": "CPU.USER", "op": ">",
+                "limit": 50.0}
+        world.transport.request(
+            consumer, gw_host, GATEWAY_PORT,
+            {"op": "subscribe", "sensor": sensor.name, "port": 22001,
+             "filter": spec})
+        world.sim.call_in(3.2, sensor_host.cpu.add_load, 1.9)
+        world.run(until=8.5)
+        assert len(deliveries) == 1  # one crossing
+
+    def test_query_over_the_wire(self):
+        world, _s, gw_host, consumer, gw, sensor = gateway_world()
+        # register interest so forwarding is on, then query
+        gw.subscribe(sensor.name, mode="query")
+        world.run(until=3.0)
+        reply = world.transport.request(
+            consumer, gw_host, GATEWAY_PORT,
+            {"op": "query", "sensor": sensor.name})
+        world.run(until=3.5)
+        assert reply.value["ok"]
+        assert "CPU_USAGE" in reply.value["event"]
+
+    def test_unsubscribe_over_the_wire(self):
+        world, _s, gw_host, consumer, gw, sensor = gateway_world()
+        deliveries = []
+        consumer.ports.bind(22002, lambda m, t: deliveries.append(1))
+        reply = world.transport.request(
+            consumer, gw_host, GATEWAY_PORT,
+            {"op": "subscribe", "sensor": sensor.name, "port": 22002})
+        world.run(until=2.5)
+        sub_id = reply.value["sub_id"]
+        world.transport.request(consumer, gw_host, GATEWAY_PORT,
+                                {"op": "unsubscribe", "sub_id": sub_id})
+        world.run(until=3.0)
+        count = len(deliveries)
+        world.run(until=8.0)
+        assert len(deliveries) == count
+
+    def test_bad_op_reports_error(self):
+        world, _s, gw_host, consumer, gw, sensor = gateway_world()
+        reply = world.transport.request(consumer, gw_host, GATEWAY_PORT,
+                                        {"op": "levitate"})
+        world.run(until=1.0)
+        assert reply.value["ok"] is False
+
+    def test_error_marshalled_for_unknown_sensor(self):
+        world, _s, gw_host, consumer, gw, sensor = gateway_world()
+        reply = world.transport.request(
+            consumer, gw_host, GATEWAY_PORT,
+            {"op": "subscribe", "sensor": "ghost", "port": 22003})
+        world.run(until=1.0)
+        assert reply.value["ok"] is False
+        assert "ghost" in reply.value["error"]
+
+    def test_summary_over_the_wire(self):
+        world, sensor_host, gw_host, consumer, gw, sensor = gateway_world()
+        sensor_host.cpu.add_load(user=0.8)
+        gw.summarize(sensor.name, ("CPU.USER",))
+        world.run(until=10.0)
+        reply = world.transport.request(
+            consumer, gw_host, GATEWAY_PORT,
+            {"op": "summary", "sensor": sensor.name, "field": "CPU.USER"})
+        world.run(until=11.0)
+        assert reply.value["ok"]
+        assert reply.value["summary"]["last"] == pytest.approx(40.0)
+
+
+class TestDirectoryWireProtocol:
+    def setup_net(self):
+        world = GridWorld(seed=71)
+        server_host = world.add_host("ldap")
+        client_host = world.add_host("cli")
+        world.lan([server_host, client_host], switch="sw")
+        server = DirectoryServer(world.sim, backend=LDAPBackend(),
+                                 host=server_host,
+                                 transport=world.transport)
+        client = DirectoryClient([server], host=client_host,
+                                 transport=world.transport)
+        return world, server, client
+
+    def test_remote_add_then_search(self):
+        world, server, client = self.setup_net()
+        add = client.write_remote("add", "host=h1,o=grid",
+                                  {"objectclass": "host"})
+        world.run(until=1.0)
+        assert add.value["ok"]
+        search = client.search_remote("o=grid", "(objectclass=host)")
+        world.run(until=2.0)
+        assert search.value["ok"]
+        assert len(search.value["entries"]) == 1
+        assert search.value["entries"][0]["dn"] == "host=h1,o=grid"
+
+    def test_remote_error_marshalled(self):
+        world, server, client = self.setup_net()
+        bad = client.write_remote("add", "host=h1,o=elsewhere", {})
+        world.run(until=1.0)
+        assert bad.value["ok"] is False
+        assert "suffix" in bad.value["error"]
+
+    def test_requests_to_down_server_time_out(self):
+        world, server, client = self.setup_net()
+        server.fail()
+        # in-process path fails immediately...
+        with pytest.raises(Exception):
+            client.search("o=grid")
+        # ...networked path must rely on its timeout
+
+    def test_op_latency_includes_backend_cost(self):
+        world, server, client = self.setup_net()
+        flag = client.write_remote("add", "x=1,o=grid", {})
+        world.run(until=1.0)
+        assert flag.value["ok"]
+        assert server.op_latencies["add"][0] >= LDAPBackend.write_cost
+
+
+class TestRMIBoundManager:
+    def test_manager_controlled_through_rmi(self):
+        """The real JAMM control path: gateways/GUIs invoke manager
+        methods through RMI."""
+        world = GridWorld(seed=72)
+        managed = world.add_host("dpss1.lbl.gov")
+        ops = world.add_host("ops.lbl.gov")
+        world.lan([managed, ops], switch="sw")
+        jamm = JAMMDeployment(world)
+        gw = jamm.add_gateway("gw0")
+        config = JAMMConfig()
+        config.add_sensor("cpu", "cpu", mode="manual", period=1.0)
+        manager = jamm.add_manager(managed, config=config, gateway=gw)
+        daemon = RMIDaemon(world.sim, managed, world.transport)
+        bound_name = manager.bind_rmi(daemon)
+        ref = daemon.lookup_ref(ops, bound_name)
+
+        results = []
+
+        def control():
+            listing = yield ref.invoke("list_sensors")
+            results.append(("list", listing))
+            started = yield ref.invoke("start_sensor", "cpu")
+            results.append(("start", started))
+            stopped = yield ref.invoke("stop_sensor", "cpu")
+            results.append(("stop", stopped))
+
+        world.sim.spawn(control(), name="remote-control")
+        world.run(until=5.0)
+        assert results[0][1][0]["name"] == "cpu@dpss1.lbl.gov"
+        assert results[1][1] is True
+        assert results[2][1] is True
+        assert not manager.sensors["cpu"].running

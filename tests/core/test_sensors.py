@@ -1,0 +1,320 @@
+"""Unit tests for the sensor implementations."""
+
+import pytest
+
+from repro.core.sensors import (ApplicationSensor, CPUSensor,
+                                DynamicThresholdSensor, IostatSensor,
+                                MemorySensor, NetstatSensor, ProcessSensor,
+                                RouterErrorSensor, SensorError, SNMPSensor,
+                                TcpdumpSensor, UnknownSensorType, VmstatSensor,
+                                create_sensor, sensor_types)
+from repro.simgrid import GridWorld
+
+
+def make_world():
+    world = GridWorld(seed=5)
+    host = world.add_host("h1")
+    other = world.add_host("h2")
+    world.lan([host, other], switch="sw")
+    return world, host, other
+
+
+def collect(sensor):
+    events = []
+    sensor.sink = events.append
+    return events
+
+
+class TestBase:
+    def test_start_stop_lifecycle(self):
+        world, host, _ = make_world()
+        sensor = CPUSensor(host, period=1.0)
+        events = collect(sensor)
+        sensor.start()
+        world.run(until=4.5)
+        sensor.stop()
+        count = len(events)
+        assert count == 5  # t = 0,1,2,3,4
+        world.run(until=10.0)
+        assert len(events) == count  # stopped means stopped
+
+    def test_no_sink_counts_drops(self):
+        world, host, _ = make_world()
+        sensor = CPUSensor(host, period=1.0)
+        sensor.start()
+        world.run(until=2.5)
+        assert sensor.events_emitted == 0
+        assert sensor.events_dropped == 3
+
+    def test_info_surface(self):
+        world, host, _ = make_world()
+        sensor = CPUSensor(host, period=2.0)
+        collect(sensor)
+        sensor.start()
+        world.run(until=5.0)
+        info = sensor.info()
+        assert info["status"] == "running"
+        assert info["frequency_hz"] == 0.5
+        assert info["duration_s"] == 5.0
+        assert info["last_message"] == "CPU_USAGE"
+
+    def test_bad_period_rejected(self):
+        _, host, _ = make_world()
+        with pytest.raises(SensorError):
+            CPUSensor(host, period=0)
+
+    def test_timestamps_use_host_clock(self):
+        world, host, _ = make_world()
+        host.clock.adjust(0.5)  # half a second fast
+        sensor = CPUSensor(host, period=1.0)
+        events = collect(sensor)
+        sensor.start()
+        world.run(until=0.5)
+        assert events[0].date == pytest.approx(0.5)
+
+
+class TestHostSensors:
+    def test_cpu_sensor_reports_utilization(self):
+        world, host, _ = make_world()
+        host.cpu.add_load(user=1.0)  # 50% of 2 cpus
+        sensor = CPUSensor(host)
+        events = collect(sensor)
+        sensor.start()
+        world.run(until=0.1)
+        assert events[0].event == "CPU_USAGE"
+        assert events[0].get_float("CPU.USER") == pytest.approx(50.0)
+
+    def test_vmstat_sensor_emits_three_series(self):
+        world, host, _ = make_world()
+        sensor = VmstatSensor(host)
+        events = collect(sensor)
+        sensor.start()
+        world.run(until=0.1)
+        names = [e.event for e in events]
+        assert names == ["VMSTAT_USER_TIME", "VMSTAT_SYS_TIME",
+                         "VMSTAT_FREE_MEMORY"]
+
+    def test_memory_sensor(self):
+        world, host, _ = make_world()
+        host.memory.allocate(1000)
+        sensor = MemorySensor(host)
+        events = collect(sensor)
+        sensor.start()
+        world.run(until=0.1)
+        assert events[0].get_int("MEM.USED") == 1000
+
+    def test_netstat_sensor_samples_counters(self):
+        world, host, _ = make_world()
+        host.tcp_counters["retransmits"] = 7
+        sensor = NetstatSensor(host)
+        events = collect(sensor)
+        sensor.start()
+        world.run(until=0.1)
+        retr = [e for e in events if e.event == "NETSTAT_RETRANSMITS"]
+        assert retr[0].get_int("VALUE") == 7
+
+    def test_iostat_sensor(self):
+        world, host, _ = make_world()
+        host.io_counters["reads"] = 3
+        host.io_counters["read_bytes"] = 192_000
+        sensor = IostatSensor(host)
+        events = collect(sensor)
+        sensor.start()
+        world.run(until=0.1)
+        assert events[0].get_int("IO.READS") == 3
+        assert events[0].get_int("IO.RBYTES") == 192_000
+
+    def test_tcpdump_sensor_sees_flow_events(self):
+        world, host, other = make_world()
+        sensor = TcpdumpSensor(other)  # on the receiving host
+        events = collect(sensor)
+        sensor.start()
+        # lossy link so retransmissions definitely happen
+        world.network.link(host.node, other.node, bandwidth_bps=1e9,
+                           latency_s=1e-3, loss_rate=0.02)
+        flow = world.tcp_flow(host, other, dst_port=9100)
+        flow.transfer(500_000)
+        world.run(until=30.0)
+        names = {e.event for e in events}
+        assert "TCPD_RETRANSMITS" in names
+        assert "TCPD_WINDOW_SIZE" in names
+        retr_total = sum(e.get_int("COUNT")
+                         for e in events if e.event == "TCPD_RETRANSMITS")
+        assert retr_total == flow.stats.retransmits
+
+    def test_tcpdump_sensor_detaches_on_stop(self):
+        world, host, other = make_world()
+        sensor = TcpdumpSensor(other)
+        sensor.start()
+        assert other.service("tcpdump") is sensor
+        sensor.stop()
+        assert other.service("tcpdump") is None
+
+
+class TestNetworkSensors:
+    def test_snmp_sensor_reports_stats_and_deltas(self):
+        world, host, other = make_world()
+        sensor = SNMPSensor(host, device="sw", snmp=world.snmp, period=1.0)
+        events = collect(sensor)
+        sensor.start()
+        other.ports.bind(5000, lambda m, t: None)
+        world.transport.send(host, other, 5000, "x", size_bytes=3000)
+        world.run(until=2.5)
+        stats = [e for e in events if e.event == "SNMP_STATS"]
+        assert stats
+        assert stats[-1].get_int("IFINOCTETS") > 0
+        # no errors on a healthy switch (the §6 observation)
+        assert not [e for e in events if e.event == "SNMP_ERRORS"]
+
+    def test_snmp_sensor_needs_manager(self):
+        _, host, _ = make_world()
+        with pytest.raises(SensorError):
+            SNMPSensor(host, device="sw")
+
+    def test_snmp_sensor_unreachable_device(self):
+        world, host, _ = make_world()
+        sensor = SNMPSensor(host, device="ghost", snmp=world.snmp)
+        events = collect(sensor)
+        sensor.start()
+        world.run(until=0.1)
+        assert events[0].event == "SNMP_UNREACHABLE"
+
+    def test_router_error_sensor_silent_until_errors(self):
+        world, host, _ = make_world()
+        sensor = RouterErrorSensor(host, device="sw", snmp=world.snmp,
+                                   period=1.0)
+        events = collect(sensor)
+        sensor.start()
+        world.run(until=1.5)
+        assert events == []
+        # inject CRC errors on the switch
+        sw = world.network.get("sw")
+        link = sw.links[0]
+        link.record_transit(link.other(sw), 100, 1, crc=5)
+        world.run(until=3.5)
+        crc_events = [e for e in events if e.event == "ROUTER_ERRORS"]
+        assert crc_events
+        assert crc_events[0].get_int("DELTA") == 5
+        assert crc_events[0].lvl == "Error"
+
+
+class TestProcessSensors:
+    def test_process_lifecycle_events(self):
+        world, host, _ = make_world()
+        sensor = ProcessSensor(host, pattern="dpss*", period=100.0)
+        events = collect(sensor)
+        sensor.start()
+        proc = host.processes.spawn("dpss-server")
+        host.processes.spawn("unrelated")
+        world.run(until=1.0)
+        proc.crash()
+        world.run(until=2.0)
+        names = [e.event for e in events if e.event != "PROC_STATUS"]
+        assert names == ["PROC_START", "PROC_CRASH"]
+        crash = [e for e in events if e.event == "PROC_CRASH"][0]
+        assert crash.fields["PROC.NAME"] == "dpss-server"
+        assert crash.get_int("EXIT.CODE") == 128 + 11
+
+    def test_existing_processes_reported_at_start(self):
+        world, host, _ = make_world()
+        host.processes.spawn("serverA")
+        sensor = ProcessSensor(host, period=100.0)
+        events = collect(sensor)
+        sensor.start()
+        world.run(until=0.1)
+        assert any(e.event == "PROC_START" for e in events)
+
+    def test_periodic_census(self):
+        world, host, _ = make_world()
+        host.processes.spawn("a")
+        host.processes.spawn("b").exit(0)
+        sensor = ProcessSensor(host, period=1.0)
+        events = collect(sensor)
+        sensor.start()
+        world.run(until=0.1)
+        census = [e for e in events if e.event == "PROC_STATUS"][0]
+        assert census.get_int("LIVING") == 1
+        assert census.get_int("TOTAL") == 2
+
+    def test_dynamic_threshold_exceed_and_clear(self):
+        world, host, _ = make_world()
+        level = [0.0]
+        sensor = DynamicThresholdSensor(host, metric=lambda: level[0],
+                                        threshold=10.0, window=3,
+                                        metric_name="users", period=1.0)
+        events = collect(sensor)
+        sensor.start()
+        world.run(until=2.5)
+        assert events == []  # below threshold
+        level[0] = 100.0
+        world.run(until=6.5)
+        exceeded = [e for e in events if e.event == "THRESHOLD_EXCEEDED"]
+        assert len(exceeded) == 1  # fires once, not repeatedly
+        level[0] = 0.0
+        world.run(until=12.5)
+        cleared = [e for e in events if e.event == "THRESHOLD_CLEARED"]
+        assert len(cleared) == 1
+
+
+class TestApplicationSensor:
+    def test_log_event_and_underscore_translation(self):
+        world, host, _ = make_world()
+        sensor = ApplicationSensor(host, app_name="dpss")
+        events = collect(sensor)
+        sensor.start()
+        sensor.log_event("WRITE_DONE", SEND_SZ=4096)
+        assert events[0].event == "WRITE_DONE"
+        assert events[0].fields["SEND.SZ"] == "4096"
+
+    def test_static_threshold_fires_once_and_rearms(self):
+        """'if the number of locks taken exceeds a threshold'"""
+        world, host, _ = make_world()
+        sensor = ApplicationSensor(host, app_name="db")
+        events = collect(sensor)
+        sensor.start()
+        sensor.watch("LOCKS", ">", 100)
+        for locks in (50, 150, 160, 50, 200):
+            sensor.log_event("LOCK_COUNT", LOCKS=locks)
+        fired = [e for e in events if e.event == "APP_THRESHOLD"]
+        assert len(fired) == 2  # 150 (armed) and 200 (re-armed after 50)
+
+    def test_signals_and_sessions(self):
+        world, host, _ = make_world()
+        sensor = ApplicationSensor(host, app_name="srv")
+        events = collect(sensor)
+        sensor.start()
+        sensor.signal("SIGHUP")
+        sensor.user_connect("alice")
+        sensor.user_connect("bob")
+        sensor.user_disconnect("alice")
+        sensor.password_change("bob")
+        names = [e.event for e in events]
+        assert names == ["APP_SIGNAL", "APP_USER_CONNECT", "APP_USER_CONNECT",
+                         "APP_USER_DISCONNECT", "APP_PASSWD_CHANGE"]
+        assert sensor.sessions == 1
+
+    def test_bad_watch_op_rejected(self):
+        _, host, _ = make_world()
+        sensor = ApplicationSensor(host)
+        with pytest.raises(ValueError):
+            sensor.watch("X", "!=", 1)
+
+
+class TestRegistry:
+    def test_known_types_registered(self):
+        types = sensor_types()
+        for expected in ("cpu", "memory", "vmstat", "netstat", "iostat",
+                         "tcpdump", "snmp", "router-errors", "process",
+                         "threshold", "application"):
+            assert expected in types
+
+    def test_create_by_tag(self):
+        _, host, _ = make_world()
+        sensor = create_sensor("cpu", host, period=3.0)
+        assert isinstance(sensor, CPUSensor)
+        assert sensor.period == 3.0
+
+    def test_unknown_type_raises(self):
+        _, host, _ = make_world()
+        with pytest.raises(UnknownSensorType):
+            create_sensor("quantum", host)

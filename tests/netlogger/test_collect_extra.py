@@ -1,0 +1,69 @@
+"""Additional collection-layer tests: live observers, malformed input,
+and merge behaviour under clock skew."""
+
+from repro.netlogger import NetLogDaemon, NetLogger, merge_logs
+from repro.simgrid import GridWorld
+from repro.ulm import ULMMessage
+
+
+def net_pair():
+    world = GridWorld(seed=95)
+    app = world.add_host("app")
+    sink = world.add_host("sink")
+    world.lan([app, sink], switch="sw")
+    return world, app, sink
+
+
+class TestNetLogDaemonObservers:
+    def test_live_observer_sees_each_message(self):
+        world, app, sink = net_pair()
+        daemon = NetLogDaemon(sink)
+        live = []
+        daemon.on_message(live.append)
+        log = NetLogger("p", host=app, transport=world.transport)
+        log.open((sink, daemon.port))
+        for i in range(3):
+            log.write("E", I=i)
+        world.run()
+        assert len(live) == 3
+        assert [m.get_int("I") for m in live] == [0, 1, 2]
+
+    def test_malformed_lines_counted_not_stored(self):
+        world, app, sink = net_pair()
+        daemon = NetLogDaemon(sink)
+        world.transport.send(app, sink, daemon.port, "NOT A ULM LINE")
+        world.run()
+        assert len(daemon) == 0
+        assert daemon.malformed == 1
+
+    def test_close_unbinds_port(self):
+        world, app, sink = net_pair()
+        daemon = NetLogDaemon(sink)
+        daemon.close()
+        assert sink.ports.listener(daemon.port) is None
+
+    def test_text_roundtrips(self):
+        world, app, sink = net_pair()
+        daemon = NetLogDaemon(sink)
+        log = NetLogger("p", host=app, transport=world.transport)
+        log.open((sink, daemon.port))
+        log.write("E", X=1)
+        world.run()
+        from repro.ulm import parse_stream
+        assert parse_stream(daemon.text()) == daemon.messages
+
+
+class TestMergeUnderSkew:
+    def test_merge_orders_by_each_hosts_timestamps(self):
+        """Merged output is timestamp-ordered even when one source's
+        clock is skewed — the ordering is only as good as the clocks,
+        which is the §4.3 point."""
+        fast = [ULMMessage(date=t + 0.5, host="fast", prog="p", event="F")
+                for t in (0.0, 1.0)]
+        slow = [ULMMessage(date=t, host="slow", prog="p", event="S")
+                for t in (0.2, 1.2)]
+        merged = merge_logs(fast, slow)
+        assert [m.date for m in merged] == sorted(m.date for m in merged)
+        # the skewed host's t=0 event lands AFTER the other host's
+        # t=0.2 event — real wall-clock order is lost
+        assert merged[0].host == "slow"

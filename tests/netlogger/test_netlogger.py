@@ -1,0 +1,264 @@
+"""Unit tests for the NetLogger Toolkit."""
+
+import pytest
+
+from repro.netlogger import (FileDestination, Gap, LogWindow,
+                             MemoryDestination, NLVConfig, NLVDataSet,
+                             NetLogDaemon, NetLogger, NetLoggerError,
+                             SyslogDestination, bottleneck_stage,
+                             clock_skew_estimate, correlate_lifelines,
+                             event_correlation, find_gaps, merge_logs,
+                             render_ascii, sort_log, stage_latency_report)
+from repro.simgrid import GridWorld
+from repro.ulm import ULMMessage
+
+
+def fake_clock():
+    t = [0.0]
+
+    def advance(dt):
+        t[0] += dt
+
+    return (lambda: t[0]), advance
+
+
+class TestAPI:
+    def test_write_produces_paper_shaped_event(self):
+        now, advance = fake_clock()
+        advance(11 * 3600 + 23 * 60 + 20.957943)
+        log = NetLogger("testProg", hostname="dpss1.lbl.gov", time_source=now)
+        dest = log.open("file:")
+        msg = log.write("WriteData", "SEND.SZ=49332")
+        assert dest.messages == [msg]
+        from repro.ulm import serialize
+        assert serialize(msg) == (
+            "DATE=20000330112320.957943 HOST=dpss1.lbl.gov PROG=testProg "
+            "LVL=Usage NL.EVNT=WriteData SEND.SZ=49332")
+
+    def test_keyword_fields_translate_underscores(self):
+        now, _ = fake_clock()
+        log = NetLogger("p", hostname="h", time_source=now)
+        log.open("memory:")
+        msg = log.write("E", SEND_SZ=10)
+        assert msg.fields["SEND.SZ"] == "10"
+
+    def test_write_before_open_raises(self):
+        now, _ = fake_clock()
+        log = NetLogger("p", hostname="h", time_source=now)
+        with pytest.raises(NetLoggerError):
+            log.write("E")
+
+    def test_memory_buffer_autoflush(self):
+        now, _ = fake_clock()
+        file_dest = FileDestination()
+        mem = MemoryDestination(capacity=3, flush_to=file_dest)
+        log = NetLogger("p", hostname="h", time_source=now)
+        log.open(mem)
+        for i in range(7):
+            log.write("E", I=i)
+        assert mem.auto_flushes == 2
+        assert len(file_dest) == 6
+        log.close()
+        assert len(file_dest) == 7
+
+    def test_explicit_flush_to_other_destination(self):
+        now, _ = fake_clock()
+        mem = MemoryDestination(capacity=100)
+        log = NetLogger("p", hostname="h", time_source=now)
+        log.open(mem)
+        log.write("E")
+        target = FileDestination()
+        assert mem.flush(target) == 1
+        assert len(target) == 1
+        assert mem.buffer == []
+
+    def test_syslog_lines(self):
+        now, _ = fake_clock()
+        log = NetLogger("p", hostname="h", time_source=now)
+        dest = log.open("syslog:")
+        log.write("E")
+        assert len(dest.lines) == 1
+        assert dest.lines[0].startswith("<local0>")
+
+    def test_remote_logging_reaches_netlogd(self):
+        world = GridWorld(seed=1)
+        app_host = world.add_host("app.lbl.gov")
+        log_host = world.add_host("dolly.lbl.gov")
+        world.lan([app_host, log_host], switch="sw")
+        daemon = NetLogDaemon(log_host)
+        log = NetLogger("testprog", host=app_host, transport=world.transport)
+        log.open((log_host, daemon.port))
+        log.write("WriteIt", SEND_SZ=49332)
+        world.run()
+        assert len(daemon) == 1
+        assert daemon.messages[0].event == "WriteIt"
+        assert daemon.messages[0].host == "app.lbl.gov"
+
+    def test_unknown_destination_rejected(self):
+        now, _ = fake_clock()
+        log = NetLogger("p", hostname="h", time_source=now)
+        with pytest.raises(NetLoggerError):
+            log.open("carrier-pigeon:")
+
+
+def make(host, prog, event, t, **fields):
+    msg = ULMMessage(date=t, host=host, prog=prog, event=event)
+    for k, v in fields.items():
+        msg.set(k.replace("_", "."), v)
+    return msg
+
+
+class TestCollect:
+    def test_merge_logs_time_orders_across_sources(self):
+        log_a = [make("a", "p", "E1", t) for t in (1.0, 3.0, 5.0)]
+        log_b = [make("b", "p", "E2", t) for t in (2.0, 4.0)]
+        merged = merge_logs(log_a, log_b)
+        assert [m.date for m in merged] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_sort_log_stable_for_ties(self):
+        a = make("h", "p", "A", 1.0)
+        b = make("h", "p", "B", 1.0)
+        assert sort_log([a, b]) == [a, b]
+
+    def test_log_window_expires_old_events(self):
+        window = LogWindow(span=10.0)
+        for t in (0.0, 5.0, 12.0):
+            window.add(make("h", "p", "E", t))
+        assert [m.date for m in window.events()] == [5.0, 12.0]
+
+    def test_log_window_max_events(self):
+        window = LogWindow(span=100.0, max_events=2)
+        for t in (1.0, 2.0, 3.0):
+            window.add(make("h", "p", "E", t))
+        assert len(window) == 2
+
+
+class TestLifelines:
+    def trace(self, frame, t0, skew=0.0):
+        """A request lifeline across two hosts."""
+        return [
+            make("client", "app", "REQ_SEND", t0, FRAME_ID=frame),
+            make("server", "app", "REQ_RECV", t0 + 0.010 + skew, FRAME_ID=frame),
+            make("server", "app", "REP_SEND", t0 + 0.030 + skew, FRAME_ID=frame),
+            make("client", "app", "REP_RECV", t0 + 0.040, FRAME_ID=frame),
+        ]
+
+    def test_correlate_groups_by_object_id(self):
+        msgs = self.trace(1, 0.0) + self.trace(2, 1.0)
+        lines = correlate_lifelines(msgs, ["FRAME.ID"])
+        assert len(lines) == 2
+        assert all(len(l) == 4 for l in lines)
+        assert lines[0].start_time == 0.0
+
+    def test_segments_and_total_latency(self):
+        lines = correlate_lifelines(self.trace(1, 0.0), ["FRAME.ID"])
+        line = lines[0]
+        assert line.total_latency == pytest.approx(0.040)
+        segs = line.segments()
+        assert [s.latency for s in segs] == \
+            pytest.approx([0.010, 0.020, 0.010])
+
+    def test_event_order_overrides_timestamps(self):
+        msgs = self.trace(1, 1.0, skew=-0.02)  # server clock behind
+        order = ["REQ_SEND", "REQ_RECV", "REP_SEND", "REP_RECV"]
+        line = correlate_lifelines(msgs, ["FRAME.ID"], event_order=order)[0]
+        assert [e.event for e in line.events] == order
+        assert not line.is_monotonic()  # skew shows as causality violation
+
+    def test_events_missing_id_are_skipped(self):
+        msgs = self.trace(1, 0.0) + [make("x", "p", "NOISE", 0.5)]
+        lines = correlate_lifelines(msgs, ["FRAME.ID"])
+        assert sum(len(l) for l in lines) == 4
+
+
+class TestAnalysis:
+    def test_stage_latency_report_and_bottleneck(self):
+        msgs = []
+        for i in range(20):
+            msgs.extend(TestLifelines().trace(i, i * 0.1))
+        lines = correlate_lifelines(msgs, ["FRAME.ID"])
+        report = stage_latency_report(lines)
+        worst = bottleneck_stage(lines)
+        assert worst.stage == ("REQ_RECV", "REP_SEND")
+        assert worst.mean == pytest.approx(0.020)
+        assert len(report) == 3
+        assert all(r.count == 20 for r in report)
+
+    def test_find_gaps(self):
+        msgs = [make("h", "p", "E", t) for t in (0.0, 0.5, 1.0, 4.0, 4.5)]
+        gaps = find_gaps(msgs, event="E", min_gap=2.0)
+        assert gaps == [Gap(start=1.0, end=4.0)]
+
+    def test_event_correlation_inside_gaps(self):
+        frames = [make("h", "p", "FRAME", t) for t in (0.0, 1.0, 6.0, 7.0)]
+        retrans_in = [make("h", "p", "TCPD_RETRANSMITS", t) for t in (2.0, 4.0)]
+        retrans_out = [make("h", "p", "TCPD_RETRANSMITS", 0.2)]
+        gaps = find_gaps(frames, event="FRAME", min_gap=3.0)
+        all_msgs = frames + retrans_in + retrans_out
+        score = event_correlation(all_msgs, gaps, event="TCPD_RETRANSMITS",
+                                  slack=0.1)
+        assert score == pytest.approx(2 / 3)
+
+    def test_correlation_with_no_events_is_zero(self):
+        assert event_correlation([], [Gap(0, 1)], event="X") == 0.0
+
+    def test_clock_skew_estimate_from_causality_violation(self):
+        msgs = TestLifelines().trace(1, 1.0, skew=-0.02)
+        lines = correlate_lifelines(
+            msgs, ["FRAME.ID"],
+            event_order=["REQ_SEND", "REQ_RECV", "REP_SEND", "REP_RECV"])
+        skew = clock_skew_estimate(lines)
+        assert skew == pytest.approx(0.010)  # -10 ms observed send->recv
+
+
+class TestNLV:
+    def config(self):
+        return NLVConfig(
+            lifeline_events=["REQ_SEND", "REQ_RECV", "REP_SEND", "REP_RECV"],
+            lifeline_ids=["FRAME.ID"],
+            loadlines={"VMSTAT_SYS_TIME": "VALUE"},
+            points={"TCPD_RETRANSMITS": None, "READ_SIZE": "SZ"})
+
+    def test_ingestion_routes_by_primitive(self):
+        data = NLVDataSet(self.config())
+        data.add_many(TestLifelines().trace(1, 0.0))
+        data.add(make("h", "vmstat", "VMSTAT_SYS_TIME", 0.5, VALUE=42.0))
+        data.add(make("h", "tcpd", "TCPD_RETRANSMITS", 0.6))
+        data.add(make("h", "dpss", "READ_SIZE", 0.7, SZ=65536))
+        assert len(data.lifelines()) == 1
+        assert data.loadlines["VMSTAT_SYS_TIME"].samples == [(0.5, 42.0)]
+        assert data.points["TCPD_RETRANSMITS"].samples == [(0.6, None)]
+        assert data.points["READ_SIZE"].samples == [(0.7, 65536.0)]
+
+    def test_loadline_step_interpolation(self):
+        data = NLVDataSet(self.config())
+        data.add(make("h", "v", "VMSTAT_SYS_TIME", 1.0, VALUE=10))
+        data.add(make("h", "v", "VMSTAT_SYS_TIME", 2.0, VALUE=20))
+        series = data.loadlines["VMSTAT_SYS_TIME"]
+        assert series.at(0.5) is None
+        assert series.at(1.5) == 10.0
+        assert series.at(2.5) == 20.0
+
+    def test_historical_window_view(self):
+        data = NLVDataSet(self.config())
+        for t in (0.0, 5.0, 10.0):
+            data.add(make("h", "v", "VMSTAT_SYS_TIME", t, VALUE=t))
+        view = data.window(4.0, 6.0)
+        assert len(view.messages) == 1
+        assert view.t_min == 5.0
+
+    def test_realtime_view_scrolls(self):
+        data = NLVDataSet(self.config())
+        for t in range(10):
+            data.add(make("h", "v", "VMSTAT_SYS_TIME", float(t), VALUE=t))
+        view = data.realtime_view(now=9.0, span=3.0)
+        assert [m.date for m in view.messages] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_render_ascii_contains_rows_and_marks(self):
+        data = NLVDataSet(self.config())
+        data.add_many(TestLifelines().trace(1, 0.0))
+        data.add(make("h", "t", "TCPD_RETRANSMITS", 0.02))
+        screen = render_ascii(data, width=60)
+        assert "REQ_SEND" in screen
+        assert "TCPD_RETRANSMITS" in screen
+        assert "o" in screen and "X" in screen

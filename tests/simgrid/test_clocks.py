@@ -1,0 +1,89 @@
+"""Unit tests for host clocks and NTP synchronization (paper §4.3)."""
+
+import pytest
+
+from repro.simgrid import (GridWorld, HostClock, NTPDaemon, NTPServer,
+                           Simulator, Timeout)
+from repro.simgrid.clocks import PER_HOP_JITTER, SYNC_ACCURACY_LAN
+
+
+class TestHostClock:
+    def test_perfect_clock_tracks_virtual_time(self, sim):
+        clock = HostClock(sim)
+        sim.call_in(10.0, lambda: None)
+        sim.run()
+        assert clock.time() == 10.0
+        assert clock.error() == 0.0
+
+    def test_offset_shifts_reading(self, sim):
+        clock = HostClock(sim, offset=0.5)
+        assert clock.time() == 0.5
+
+    def test_drift_accumulates(self, sim):
+        clock = HostClock(sim, drift=1e-3)  # 1 ms/s
+        sim.call_in(100.0, lambda: None)
+        sim.run()
+        assert clock.error() == pytest.approx(0.1)
+
+    def test_adjust_steps_the_clock(self, sim):
+        clock = HostClock(sim, offset=0.2)
+        clock.adjust(-0.2)
+        assert clock.error() == pytest.approx(0.0)
+
+    def test_set_drift_preserves_accumulated_error(self, sim):
+        clock = HostClock(sim, drift=1e-3)
+        sim.call_in(10.0, lambda: None)
+        sim.run()
+        clock.set_drift(0.0)
+        error_before = clock.error()
+        sim.call_in(10.0, lambda: None)
+        sim.run()
+        assert clock.error() == pytest.approx(error_before)
+
+
+class TestNTP:
+    def test_poll_disciplines_toward_zero(self, sim):
+        clock = HostClock(sim, offset=0.05)
+        server = NTPServer(sim)
+        daemon = NTPDaemon(sim, clock, server, hops=0, rng=None)
+        for _ in range(10):
+            daemon.poll_once()
+        assert abs(clock.error()) < 1e-4
+
+    def test_accuracy_bound_grows_with_hops(self, sim):
+        clock = HostClock(sim)
+        server = NTPServer(sim)
+        d0 = NTPDaemon(sim, clock, server, hops=0)
+        d4 = NTPDaemon(sim, clock, server, hops=4)
+        assert d0.accuracy_bound == pytest.approx(SYNC_ACCURACY_LAN)
+        assert d4.accuracy_bound == pytest.approx(
+            SYNC_ACCURACY_LAN + 4 * PER_HOP_JITTER)
+
+    def test_daemon_loop_keeps_drifting_clock_bounded(self):
+        sim = Simulator()
+        import random
+        clock = HostClock(sim, offset=0.01, drift=5e-6)
+        server = NTPServer(sim)
+        daemon = NTPDaemon(sim, clock, server, hops=0,
+                           poll_interval=16.0, rng=random.Random(1))
+        daemon.start()
+        sim.run(until=600.0)
+        # after convergence the error stays within a few accuracy bounds
+        assert abs(clock.error()) < 5 * daemon.accuracy_bound
+        assert daemon.polls >= 30
+        daemon.stop()
+
+    def test_world_install_ntp_syncs_all_hosts(self):
+        world = GridWorld(seed=6)
+        near = world.add_host("near", clock_offset=0.02)
+        far = world.add_host("far", clock_offset=0.02)
+        world.lan([near], switch="sw-a")
+        world.lan([far], switch="sw-b")
+        world.wan_path("sw-a", "sw-b", routers=["r1", "r2", "r3"],
+                       latency_s=5e-3)
+        world.install_ntp(hops={"near": 0, "far": 3})
+        world.run(until=300.0)
+        near_err = abs(near.clock.error())
+        far_err = abs(far.clock.error())
+        assert near_err < 5 * world.ntp_daemons["near"].accuracy_bound
+        assert far_err < 5 * world.ntp_daemons["far"].accuracy_bound

@@ -1,0 +1,307 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.simgrid import (AllOf, AnyOf, EventFlag, Interrupt,
+                           SimulationError, Simulator, Timeout, WaitEvent)
+
+
+class TestScheduling:
+    def test_call_in_runs_at_right_time(self, sim):
+        seen = []
+        sim.call_in(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_call_at_absolute_time(self, sim):
+        seen = []
+        sim.call_at(7.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.0]
+
+    def test_same_time_events_fire_fifo(self, sim):
+        order = []
+        for i in range(10):
+            sim.call_in(1.0, order.append, i)
+        sim.run()
+        assert order == list(range(10))
+
+    def test_cannot_schedule_into_past(self, sim):
+        sim.call_in(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(0.5, lambda: None)
+
+    def test_cancel_prevents_execution(self, sim):
+        seen = []
+        call = sim.call_in(1.0, seen.append, "x")
+        call.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_run_until_stops_clock_at_horizon(self, sim):
+        sim.call_in(100.0, lambda: None)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+        assert sim.pending_events == 1
+
+    def test_run_until_advances_clock_when_queue_drains(self, sim):
+        sim.call_in(1.0, lambda: None)
+        sim.run(until=50.0)
+        assert sim.now == 50.0
+
+    def test_stop_halts_run(self, sim):
+        seen = []
+        sim.call_in(1.0, lambda: (seen.append(1), sim.stop()))
+        sim.call_in(2.0, seen.append, 2)
+        sim.run()
+        assert seen == [(None, None)] or len(seen) == 1
+
+    def test_max_events_bounds_run(self, sim):
+        seen = []
+        for i in range(5):
+            sim.call_in(float(i + 1), seen.append, i)
+        sim.run(max_events=3)
+        assert len(seen) == 3
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+
+class TestProcesses:
+    def test_process_timeout_sequence(self, sim):
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield Timeout(1.0)
+            trace.append(sim.now)
+            yield Timeout(2.5)
+            trace.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert trace == [0.0, 1.0, 3.5]
+
+    def test_process_return_value_on_done_flag(self, sim):
+        def proc():
+            yield Timeout(1.0)
+            return 42
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.done.triggered
+        assert p.done.value == 42
+        assert not p.alive
+
+    def test_wait_event_resumes_with_value(self, sim):
+        flag = sim.flag("data")
+        got = []
+
+        def waiter():
+            value = yield WaitEvent(flag)
+            got.append(value)
+
+        sim.spawn(waiter())
+        sim.call_in(3.0, flag.trigger, "payload")
+        sim.run()
+        assert got == ["payload"]
+        assert sim.now == 3.0
+
+    def test_yielding_flag_directly_works(self, sim):
+        flag = sim.flag()
+        got = []
+
+        def waiter():
+            got.append((yield flag))
+
+        sim.spawn(waiter())
+        sim.call_in(1.0, flag.trigger, 7)
+        sim.run()
+        assert got == [7]
+
+    def test_wait_on_already_triggered_flag_resumes_immediately(self, sim):
+        flag = sim.flag()
+        flag.trigger("early")
+        got = []
+
+        def waiter():
+            got.append((yield flag))
+
+        sim.spawn(waiter())
+        sim.run()
+        assert got == ["early"]
+
+    def test_wait_on_other_process(self, sim):
+        def worker():
+            yield Timeout(2.0)
+            return "done"
+
+        results = []
+
+        def boss():
+            w = sim.spawn(worker())
+            value = yield w
+            results.append((sim.now, value))
+
+        sim.spawn(boss())
+        sim.run()
+        assert results == [(2.0, "done")]
+
+    def test_all_of_waits_for_every_flag(self, sim):
+        flags = [sim.flag(str(i)) for i in range(3)]
+        got = []
+
+        def waiter():
+            values = yield AllOf(flags)
+            got.append((sim.now, values))
+
+        sim.spawn(waiter())
+        for i, f in enumerate(flags):
+            sim.call_in(float(i + 1), f.trigger, i * 10)
+        sim.run()
+        assert got == [(3.0, [0, 10, 20])]
+
+    def test_any_of_resumes_on_first(self, sim):
+        a, b = sim.flag("a"), sim.flag("b")
+        got = []
+
+        def waiter():
+            flag, value = yield AnyOf([a, b])
+            got.append((sim.now, flag.name, value))
+
+        sim.spawn(waiter())
+        sim.call_in(2.0, b.trigger, "second-flag-first")
+        sim.call_in(5.0, a.trigger, "late")
+        sim.run()
+        assert got == [(2.0, "b", "second-flag-first")]
+
+    def test_interrupt_raises_in_process(self, sim):
+        caught = []
+
+        def proc():
+            try:
+                yield Timeout(100.0)
+            except Interrupt as exc:
+                caught.append((sim.now, exc.cause))
+
+        p = sim.spawn(proc())
+        sim.call_in(1.0, p.interrupt, "wake-up")
+        sim.run()
+        assert caught == [(1.0, "wake-up")]
+
+    def test_kill_terminates_without_running_body(self, sim):
+        trace = []
+
+        def proc():
+            yield Timeout(10.0)
+            trace.append("never")
+
+        p = sim.spawn(proc())
+        sim.call_in(1.0, p.kill)
+        sim.run()
+        assert trace == []
+        assert not p.alive
+
+    def test_crash_raises_in_strict_mode(self, sim):
+        def bad():
+            yield Timeout(1.0)
+            raise ValueError("boom")
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError, match="boom"):
+            sim.run()
+
+    def test_crash_recorded_in_nonstrict_mode(self):
+        sim = Simulator(strict=False)
+
+        def bad():
+            yield Timeout(1.0)
+            raise ValueError("boom")
+
+        p = sim.spawn(bad())
+        sim.run()
+        assert len(sim.crashes) == 1
+        assert p.failed
+        assert isinstance(p.error, ValueError)
+
+    def test_bare_yield_is_cooperative_point(self, sim):
+        trace = []
+
+        def proc():
+            trace.append("a")
+            yield
+            trace.append("b")
+
+        sim.spawn(proc())
+        sim.run()
+        assert trace == ["a", "b"]
+        assert sim.now == 0.0
+
+    def test_live_processes_tracking(self, sim):
+        def proc():
+            yield Timeout(5.0)
+
+        p = sim.spawn(proc())
+        assert p in sim.live_processes
+        sim.run()
+        assert p not in sim.live_processes
+
+
+class TestEventFlag:
+    def test_double_trigger_raises(self, sim):
+        flag = sim.flag()
+        flag.trigger()
+        with pytest.raises(SimulationError):
+            flag.trigger()
+
+    def test_reusable_flag_triggers_repeatedly(self, sim):
+        flag = sim.flag(reusable=True)
+        seen = []
+        flag.on_trigger(seen.append)
+        flag.trigger(1)
+        flag.trigger(2)
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_callback_on_already_triggered_flag_fires(self, sim):
+        flag = sim.flag()
+        flag.trigger("v")
+        seen = []
+        flag.on_trigger(seen.append)
+        sim.run()
+        assert seen == ["v"]
+
+    def test_callbacks_and_waiters_fire_in_order(self, sim):
+        flag = sim.flag()
+        order = []
+
+        def waiter():
+            yield flag
+            order.append("waiter")
+
+        sim.spawn(waiter())
+        flag.on_trigger(lambda _v: order.append("callback"))
+        sim.call_in(1.0, flag.trigger)
+        sim.run()
+        assert order == ["waiter", "callback"]
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def run_once():
+            sim = Simulator()
+            trace = []
+
+            def proc(name, delay):
+                for _ in range(5):
+                    yield Timeout(delay)
+                    trace.append((round(sim.now, 9), name))
+
+            sim.spawn(proc("a", 0.7))
+            sim.spawn(proc("b", 1.1))
+            sim.run()
+            return trace
+
+        assert run_once() == run_once()

@@ -1,0 +1,137 @@
+"""Unit tests for topology and routing."""
+
+import pytest
+
+from repro.simgrid import Network, NoRouteError
+
+
+def triangle():
+    net = Network()
+    a, b, c = net.node("a"), net.node("b"), net.node("c")
+    ab = net.link(a, b, bandwidth_bps=1e9, latency_s=1e-3)
+    bc = net.link(b, c, bandwidth_bps=1e8, latency_s=2e-3)
+    ac = net.link(a, c, bandwidth_bps=1e7, latency_s=10e-3)
+    return net, (a, b, c), (ab, bc, ac)
+
+
+class TestRouting:
+    def test_direct_link_preferred(self):
+        net, (a, _b, c), (_, _, ac) = triangle()
+        path = net.route(a, c)
+        assert path.hops == 1
+        assert path.links == (ac,)
+
+    def test_reroute_after_link_failure(self):
+        net, (a, _b, c), (_ab, _bc, ac) = triangle()
+        net.set_link_state(ac, up=False)
+        path = net.route(a, c)
+        assert path.hops == 2
+        assert ac not in path.links
+
+    def test_no_route_raises(self):
+        net, (a, _b, c), (ab, bc, ac) = triangle()
+        for link in (ab, bc, ac):
+            net.set_link_state(link, up=False)
+        with pytest.raises(NoRouteError):
+            net.route(a, c)
+
+    def test_route_to_self_is_empty(self):
+        net, (a, _, _), _links = triangle()
+        path = net.route(a, a)
+        assert path.hops == 0
+        assert path.latency_s == 0
+
+    def test_route_cache_invalidated_on_topology_change(self):
+        net, (a, _b, c), (_, _, ac) = triangle()
+        assert net.route(a, c).hops == 1
+        net.set_link_state(ac, up=False)
+        assert net.route(a, c).hops == 2
+        net.set_link_state(ac, up=True)
+        assert net.route(a, c).hops == 1
+
+    def test_shortest_by_hops_through_chain(self):
+        net = Network()
+        nodes = [net.node(f"n{i}") for i in range(5)]
+        for x, y in zip(nodes[:-1], nodes[1:]):
+            net.link(x, y, bandwidth_bps=1e9, latency_s=1e-3)
+        path = net.route(nodes[0], nodes[4])
+        assert path.hops == 4
+
+
+class TestPathProperties:
+    def test_latency_and_bottleneck(self):
+        net, (a, b, c), (ab, bc, _) = triangle()
+        net.set_link_state(net.route(a, c).links[0], up=False)  # kill direct
+        path = net.route(a, c)
+        assert path.latency_s == pytest.approx(3e-3)
+        assert path.rtt_s == pytest.approx(6e-3)
+        assert path.bottleneck_bps == 1e8
+
+    def test_loss_combines_multiplicatively(self):
+        net = Network()
+        a, b, c = net.node("a"), net.node("b"), net.node("c")
+        net.link(a, b, bandwidth_bps=1e9, latency_s=1e-3, loss_rate=0.1)
+        net.link(b, c, bandwidth_bps=1e9, latency_s=1e-3, loss_rate=0.1)
+        path = net.route(a, c)
+        assert path.loss_rate == pytest.approx(1 - 0.9 * 0.9)
+
+    def test_router_hops_counted(self):
+        net = Network()
+        a = net.node("a")
+        r = net.router("r1")
+        s = net.switch("s1")
+        b = net.node("b")
+        net.link(a, s, bandwidth_bps=1e9, latency_s=1e-3)
+        net.link(s, r, bandwidth_bps=1e9, latency_s=1e-3)
+        net.link(r, b, bandwidth_bps=1e9, latency_s=1e-3)
+        path = net.route(a, b)
+        assert path.hops == 3
+        assert path.router_hops == 1
+
+
+class TestValidationAndCounters:
+    def test_duplicate_node_rejected(self):
+        net = Network()
+        net.add_node(type(net.node("x"))("y"))
+        with pytest.raises(ValueError):
+            net.add_node(type(net.node("x"))("x"))
+
+    def test_bad_link_parameters_rejected(self):
+        net = Network()
+        a, b = net.node("a"), net.node("b")
+        with pytest.raises(ValueError):
+            net.link(a, b, bandwidth_bps=0, latency_s=1e-3)
+        with pytest.raises(ValueError):
+            net.link(a, b, bandwidth_bps=1e9, latency_s=-1)
+        with pytest.raises(ValueError):
+            net.link(a, b, bandwidth_bps=1e9, latency_s=1e-3, loss_rate=1.0)
+
+    def test_transit_updates_both_interfaces(self):
+        net = Network()
+        a, b = net.node("a"), net.node("b")
+        link = net.link(a, b, bandwidth_bps=1e9, latency_s=1e-3)
+        link.record_transit(a, 1500, 1)
+        assert a.interface(link).out_octets == 1500
+        assert b.interface(link).in_octets == 1500
+        assert b.interface(link).in_packets == 1
+
+    def test_totals_aggregate_interfaces(self):
+        net = Network()
+        r = net.router("r")
+        a, b = net.node("a"), net.node("b")
+        la = net.link(a, r, bandwidth_bps=1e9, latency_s=1e-3)
+        lb = net.link(r, b, bandwidth_bps=1e9, latency_s=1e-3)
+        la.record_transit(a, 100, 1)
+        lb.record_transit(r, 100, 1)
+        totals = r.totals()
+        assert totals.in_octets == 100
+        assert totals.out_octets == 100
+
+    def test_router_and_switch_typed_lookup(self):
+        net = Network()
+        net.router("r1")
+        net.switch("s1")
+        assert [r.name for r in net.routers()] == ["r1"]
+        assert [s.name for s in net.switches()] == ["s1"]
+        with pytest.raises(ValueError):
+            net.router("s1")

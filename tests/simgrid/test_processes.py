@@ -1,0 +1,122 @@
+"""Unit tests for the simulated process table."""
+
+from repro.simgrid import GridWorld, ProcState
+
+
+def make_host():
+    world = GridWorld(seed=1)
+    return world, world.add_host("h1")
+
+
+class TestLifecycle:
+    def test_spawn_starts_running(self):
+        _, host = make_host()
+        proc = host.processes.spawn("dpss-server")
+        assert proc.state is ProcState.RUNNING
+        assert proc.alive
+        assert host.processes.get(proc.pid) is proc
+
+    def test_normal_exit(self):
+        _, host = make_host()
+        proc = host.processes.spawn("job")
+        proc.exit(0)
+        assert proc.state is ProcState.EXITED
+        assert proc.exit_code == 0
+        assert not proc.alive
+
+    def test_nonzero_exit_is_crash(self):
+        _, host = make_host()
+        proc = host.processes.spawn("job")
+        proc.exit(1)
+        assert proc.state is ProcState.CRASHED
+
+    def test_crash_records_signal(self):
+        _, host = make_host()
+        proc = host.processes.spawn("job")
+        proc.crash(signal=9)
+        assert proc.state is ProcState.CRASHED
+        assert proc.exit_code == 128 + 9
+
+    def test_stop_resume(self):
+        _, host = make_host()
+        proc = host.processes.spawn("job")
+        proc.stop()
+        assert proc.state is ProcState.STOPPED
+        assert proc.alive
+        proc.resume()
+        assert proc.state is ProcState.RUNNING
+
+    def test_double_exit_is_idempotent(self):
+        _, host = make_host()
+        proc = host.processes.spawn("job")
+        proc.exit(0)
+        proc.crash()
+        assert proc.state is ProcState.EXITED
+
+    def test_uptime_tracks_run_span(self):
+        world, host = make_host()
+        proc = host.processes.spawn("job")
+        world.sim.call_in(5.0, proc.exit, 0)
+        world.run()
+        assert proc.uptime() == 5.0
+
+
+class TestStatusEvents:
+    def test_status_change_event_payload(self):
+        world, host = make_host()
+        seen = []
+        proc = host.processes.spawn("server")
+        proc.status_changed.on_trigger(seen.append)
+        proc.crash()
+        world.run()
+        assert len(seen) == 1
+        p, old, new = seen[0]
+        assert p is proc
+        assert (old, new) == (ProcState.RUNNING, ProcState.CRASHED)
+
+    def test_on_spawn_hook_fires(self):
+        _, host = make_host()
+        seen = []
+        host.processes.on_spawn(seen.append)
+        proc = host.processes.spawn("newproc")
+        assert seen == [proc]
+
+
+class TestResources:
+    def test_process_demands_appear_on_host_cpu_and_memory(self):
+        _, host = make_host()
+        proc = host.processes.spawn("busy", cpu_user=1.0, memory_kb=1000)
+        assert host.cpu.sample().user > 0
+        assert host.memory.used_kb == 1000
+        proc.exit(0)
+        assert host.cpu.sample().user == 0
+        assert host.memory.used_kb == 0
+
+    def test_set_demand_while_running(self):
+        _, host = make_host()
+        proc = host.processes.spawn("var")
+        proc.set_demand(cpu_user=0.5)
+        assert host.cpu.sample().user == 25.0  # 2 cpus by default
+
+    def test_restart_clones_dead_process(self):
+        _, host = make_host()
+        proc = host.processes.spawn("srv", cpu_user=0.4, memory_kb=100)
+        proc.crash()
+        clone = host.processes.restart(proc)
+        assert clone.name == "srv"
+        assert clone.alive
+        assert clone.pid != proc.pid
+        assert host.memory.used_kb == 100
+
+
+class TestQueries:
+    def test_by_name_and_living(self):
+        _, host = make_host()
+        a = host.processes.spawn("x")
+        b = host.processes.spawn("x")
+        host.processes.spawn("y")
+        a.exit(0)
+        assert len(host.processes.by_name("x")) == 2
+        living = host.processes.living()
+        assert a not in living and b in living
+        assert len(host.processes) == 3

@@ -1,0 +1,106 @@
+"""Unit tests for CPU and memory resource models."""
+
+import pytest
+
+from repro.simgrid import CPUModel, MemoryModel, Simulator
+
+
+class TestCPUModel:
+    def test_idle_host_is_100_percent_idle(self, sim):
+        cpu = CPUModel(sim, ncpus=2)
+        snap = cpu.sample()
+        assert snap.user == 0.0
+        assert snap.system == 0.0
+        assert snap.idle == 100.0
+
+    def test_single_contribution_scales_by_ncpus(self, sim):
+        cpu = CPUModel(sim, ncpus=2)
+        cpu.add_load(user=1.0)
+        snap = cpu.sample()
+        assert snap.user == pytest.approx(50.0)
+        assert snap.idle == pytest.approx(50.0)
+
+    def test_contributions_sum(self, sim):
+        cpu = CPUModel(sim, ncpus=1)
+        cpu.add_load(user=0.3)
+        cpu.add_load(system=0.2)
+        snap = cpu.sample()
+        assert snap.user == pytest.approx(30.0)
+        assert snap.system == pytest.approx(20.0)
+        assert snap.load == pytest.approx(0.5)
+
+    def test_overcommit_clips_to_capacity_system_first(self, sim):
+        cpu = CPUModel(sim, ncpus=1)
+        cpu.add_load(user=1.0)
+        cpu.add_load(system=0.8)
+        snap = cpu.sample()
+        # interrupts preempt user work
+        assert snap.system == pytest.approx(80.0)
+        assert snap.user == pytest.approx(20.0)
+        assert snap.idle == pytest.approx(0.0)
+        assert snap.load == pytest.approx(1.8)
+
+    def test_remove_load_restores_idle(self, sim):
+        cpu = CPUModel(sim, ncpus=1)
+        token = cpu.add_load(user=0.5)
+        cpu.remove_load(token)
+        assert cpu.sample().idle == 100.0
+
+    def test_update_load_changes_demand(self, sim):
+        cpu = CPUModel(sim, ncpus=1)
+        token = cpu.add_load(user=0.2)
+        cpu.update_load(token, user=0.9)
+        assert cpu.sample().user == pytest.approx(90.0)
+
+    def test_update_unknown_token_raises(self, sim):
+        cpu = CPUModel(sim, ncpus=1)
+        with pytest.raises(KeyError):
+            cpu.update_load(999, user=0.5)
+
+    def test_negative_demand_rejected(self, sim):
+        cpu = CPUModel(sim, ncpus=1)
+        with pytest.raises(ValueError):
+            cpu.add_load(user=-0.1)
+
+    def test_zero_cpus_rejected(self, sim):
+        with pytest.raises(ValueError):
+            CPUModel(sim, ncpus=0)
+
+
+class TestMemoryModel:
+    def test_allocate_and_free_accounting(self):
+        mem = MemoryModel(total_kb=1000)
+        token = mem.allocate(300)
+        assert token is not None
+        assert mem.free_kb == 700
+        mem.release(token)
+        assert mem.free_kb == 1000
+
+    def test_allocation_beyond_free_returns_none(self):
+        mem = MemoryModel(total_kb=100)
+        assert mem.allocate(60) is not None
+        assert mem.allocate(60) is None
+        assert mem.used_kb == 60
+
+    def test_resize_within_bounds(self):
+        mem = MemoryModel(total_kb=100)
+        token = mem.allocate(20)
+        assert mem.resize(token, 50)
+        assert mem.used_kb == 50
+        assert not mem.resize(token, 200)
+        assert mem.used_kb == 50
+
+    def test_sample_snapshot(self):
+        mem = MemoryModel(total_kb=100)
+        mem.allocate(40)
+        snap = mem.sample()
+        assert (snap.total_kb, snap.used_kb, snap.free_kb) == (100, 40, 60)
+
+    def test_negative_allocation_rejected(self):
+        mem = MemoryModel(total_kb=100)
+        with pytest.raises(ValueError):
+            mem.allocate(-5)
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModel(total_kb=0)

@@ -1,0 +1,199 @@
+"""Unit tests for SNMP agents, the HTTP model, and the RMI layer."""
+
+import pytest
+
+from repro.simgrid import (ActivationSpec, GridWorld, HTTPClient, HTTPError,
+                           HTTPServer, OID, RMIDaemon, RMIError, SNMPAgent,
+                           Timeout)
+
+
+def snmp_world():
+    world = GridWorld(seed=3)
+    a = world.add_host("a")
+    b = world.add_host("b")
+    world.lan([a, b], switch="sw")
+    world.wan_path("sw", "sw2", routers=["r1"], latency_s=1e-3)
+    return world, a, b
+
+
+class TestSNMP:
+    def test_walk_reflects_traffic(self):
+        world, a, b = snmp_world()
+        b.ports.bind(5000, lambda m, t: None)
+        world.transport.send(a, b, 5000, "x", size_bytes=800)
+        world.run()
+        mib = world.snmp.walk("sw")
+        assert mib[OID.IF_IN_OCTETS] > 0
+        assert mib[OID.IF_CRC_ERRORS] == 0
+        assert mib[OID.SYS_NAME] == "sw"
+
+    def test_get_single_oid_and_uptime(self):
+        world, _a, _b = snmp_world()
+        world.sim.call_in(5.0, lambda: None)
+        world.run()
+        assert world.snmp.get("r1", OID.SYS_UPTIME) == pytest.approx(5.0)
+
+    def test_bad_community_rejected(self):
+        world, _a, _b = snmp_world()
+        with pytest.raises(PermissionError):
+            world.snmp.walk("sw", community="private")
+
+    def test_unknown_device_and_oid(self):
+        world, _a, _b = snmp_world()
+        with pytest.raises(KeyError):
+            world.snmp.walk("nonexistent")
+        with pytest.raises(KeyError):
+            world.snmp.get("sw", "noSuchOid")
+
+    def test_registered_extra_variable(self):
+        world, _a, _b = snmp_world()
+        agent = world.snmp.agent("sw")
+        agent.register_variable("fanSpeed", lambda: 4200)
+        assert world.snmp.get("sw", "fanSpeed") == 4200
+
+    def test_async_query_arrives_later(self):
+        world, _a, _b = snmp_world()
+        flag = world.snmp.get_async("sw", OID.SYS_NAME, rtt=0.01)
+        assert not flag.triggered
+        world.run()
+        assert flag.value == "sw"
+
+
+class TestHTTP:
+    def test_put_bumps_version_and_etag(self):
+        world, a, _b = snmp_world()
+        server = HTTPServer(world.sim, a, world.transport)
+        d1 = server.put("/config", "v-one")
+        d2 = server.put("/config", "v-two")
+        assert (d1.version, d2.version) == (1, 2)
+        assert server.get_local("/config").body == "v-two"
+
+    def test_local_get_404(self):
+        world, a, _b = snmp_world()
+        server = HTTPServer(world.sim, a, world.transport)
+        with pytest.raises(HTTPError):
+            server.get_local("/missing")
+
+    def test_networked_fetch_with_etag_304(self):
+        world, a, b = snmp_world()
+        server = HTTPServer(world.sim, a, world.transport)
+        server.put("/doc", {"k": 1})
+        client = HTTPClient(world.sim, b, world.transport)
+        flag = client.get(server, "/doc")
+        world.run()
+        assert flag.value["status"] == 200
+        etag = flag.value["etag"]
+        flag2 = client.get(server, "/doc", etag=etag)
+        world.run()
+        assert flag2.value["status"] == 304
+
+    def test_networked_fetch_404(self):
+        world, a, b = snmp_world()
+        server = HTTPServer(world.sim, a, world.transport)
+        client = HTTPClient(world.sim, b, world.transport)
+        flag = client.get(server, "/nope")
+        world.run()
+        assert flag.value["status"] == 404
+
+
+class Counter:
+    """A trivially remotable object."""
+
+    def __init__(self):
+        self.value = 0
+        self.activated_calls = 0
+
+    def activated(self):
+        self.activated_calls += 1
+
+    def increment(self, by=1):
+        self.value += by
+        return self.value
+
+    def _private(self):  # pragma: no cover - must not be callable remotely
+        return "secret"
+
+
+def rmi_world():
+    world = GridWorld(seed=4)
+    a = world.add_host("server.lbl.gov")
+    b = world.add_host("client.lbl.gov")
+    world.lan([a, b], switch="sw")
+    codebase = HTTPServer(world.sim, a, world.transport)
+    daemon = RMIDaemon(world.sim, a, world.transport,
+                       codebase_server=codebase, sweep_interval=5.0)
+    return world, a, b, daemon, codebase
+
+
+class TestRMI:
+    def test_bind_and_invoke_local(self):
+        world, _a, _b, daemon, _cb = rmi_world()
+        daemon.bind("counter", Counter())
+        assert daemon.invoke_local("counter", "increment", 5) == 5
+        assert daemon.invoke_local("counter", "increment") == 6
+
+    def test_private_methods_not_exported(self):
+        world, _a, _b, daemon, _cb = rmi_world()
+        daemon.bind("counter", Counter())
+        with pytest.raises(RMIError):
+            daemon.invoke_local("counter", "_private")
+
+    def test_remote_invocation_roundtrip(self):
+        world, a, b, daemon, _cb = rmi_world()
+        daemon.bind("counter", Counter())
+        ref = daemon.lookup_ref(b, "counter")
+        flag = ref.invoke("increment", 10)
+        world.run(until=1.0)
+        assert flag.value == 10
+
+    def test_remote_error_marshalled(self):
+        world, a, b, daemon, _cb = rmi_world()
+        ref = daemon.lookup_ref(b, "ghost")
+        flag = ref.invoke("anything")
+        world.run(until=1.0)
+        assert isinstance(flag.value, RMIError)
+
+    def test_activation_on_first_call(self):
+        world, _a, _b, daemon, codebase = rmi_world()
+        codebase.put("/classes/Counter", {"factory": lambda d: Counter()})
+        daemon.bind_activatable(ActivationSpec(name="act", class_name="Counter",
+                                               idle_timeout=10.0))
+        assert not daemon.is_active("act")
+        assert daemon.invoke_local("act", "increment") == 1
+        assert daemon.is_active("act")
+        export = daemon.export("act")
+        assert export.activations == 1
+        assert export.obj.activated_calls == 1
+
+    def test_idle_unload_and_reactivation(self):
+        world, _a, _b, daemon, codebase = rmi_world()
+        codebase.put("/classes/Counter", {"factory": lambda d: Counter()})
+        daemon.bind_activatable(ActivationSpec(name="act", class_name="Counter",
+                                               idle_timeout=10.0))
+        daemon.invoke_local("act", "increment")
+        world.run(until=30.0)  # sweeper unloads after 10 s idle
+        assert not daemon.is_active("act")
+        # next call re-activates with fresh state
+        assert daemon.invoke_local("act", "increment") == 1
+        assert daemon.export("act").activations == 2
+
+    def test_codebase_update_takes_effect_after_restart(self):
+        world, _a, _b, daemon, codebase = rmi_world()
+        codebase.put("/classes/Counter", {"factory": lambda d: Counter()})
+        daemon.bind_activatable(ActivationSpec(name="act", class_name="Counter",
+                                               idle_timeout=1e9))
+        daemon.invoke_local("act", "increment")
+        assert daemon.loaded_version("act") == 1
+        codebase.put("/classes/Counter", {"factory": lambda d: Counter()})
+        # still running the old code until the daemon restarts (§3.0)
+        daemon.invoke_local("act", "increment")
+        assert daemon.loaded_version("act") == 1
+        daemon.restart()
+        daemon.invoke_local("act", "increment")
+        assert daemon.loaded_version("act") == 2
+
+    def test_duplicate_bind_rejected(self):
+        world, _a, _b, daemon, _cb = rmi_world()
+        daemon.bind("x", Counter())
+        with pytest.raises(RMIError):
+            daemon.bind("x", Counter())

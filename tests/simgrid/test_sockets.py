@@ -1,0 +1,138 @@
+"""Unit tests for the control-plane message transport."""
+
+import pytest
+
+from repro.simgrid import DeliveryError, GridWorld
+
+
+def pair():
+    world = GridWorld(seed=2)
+    a = world.add_host("a")
+    b = world.add_host("b")
+    world.lan([a, b], switch="sw")
+    return world, a, b
+
+
+class TestDelivery:
+    def test_message_arrives_with_latency(self):
+        world, a, b = pair()
+        got = []
+        b.ports.bind(5000, lambda msg, tr: got.append((world.now, msg.payload)))
+        world.transport.send(a, b, 5000, {"hello": 1}, size_bytes=100)
+        world.run()
+        assert len(got) == 1
+        t, payload = got[0]
+        assert payload == {"hello": 1}
+        assert t > 0  # propagation + serialization
+
+    def test_no_listener_calls_on_fail(self):
+        world, a, b = pair()
+        errors = []
+        world.transport.send(a, b, 9999, "x", on_fail=errors.append)
+        world.run()
+        assert len(errors) == 1
+        assert isinstance(errors[0], DeliveryError)
+
+    def test_no_route_raises_without_on_fail(self):
+        world = GridWorld(seed=3)
+        a = world.add_host("a")
+        b = world.add_host("b")  # not linked
+        b.ports.bind(5000, lambda m, t: None)
+        with pytest.raises(DeliveryError):
+            world.transport.send(a, b, 5000, "x")
+
+    def test_port_traffic_accounted_on_both_ends(self):
+        world, a, b = pair()
+        b.ports.bind(5000, lambda m, t: None)
+        world.transport.send(a, b, 5000, "data", size_bytes=1000, src_port=4000)
+        world.run()
+        assert a.ports.activity(4000).bytes_out > 1000  # includes header
+        assert b.ports.activity(5000).bytes_in > 1000
+
+    def test_per_host_counters(self):
+        world, a, b = pair()
+        b.ports.bind(5000, lambda m, t: None)
+        for _ in range(3):
+            world.transport.send(a, b, 5000, "x")
+        world.run()
+        assert world.transport.per_host_sent["a"] == 3
+        assert "b" not in world.transport.per_host_sent
+
+    def test_snmp_counters_see_transit(self):
+        world, a, b = pair()
+        b.ports.bind(5000, lambda m, t: None)
+        world.transport.send(a, b, 5000, "x", size_bytes=500)
+        world.run()
+        sw = world.network.get("sw")
+        assert sw.totals().in_octets > 0
+
+    def test_double_bind_rejected(self):
+        world, a, _b = pair()
+        a.ports.bind(7000, lambda m, t: None)
+        with pytest.raises(OSError):
+            a.ports.bind(7000, lambda m, t: None)
+
+
+class TestRPC:
+    def test_request_reply_roundtrip(self):
+        world, a, b = pair()
+
+        def server(msg, transport):
+            transport.reply(msg, {"echo": msg.payload})
+
+        b.ports.bind(5000, server)
+        flag = world.transport.request(a, b, 5000, "ping")
+        world.run()
+        assert flag.triggered
+        assert flag.value == {"echo": "ping"}
+
+    def test_request_timeout_triggers_error(self):
+        world, a, b = pair()
+        b.ports.bind(5000, lambda m, t: None)  # never replies
+        flag = world.transport.request(a, b, 5000, "ping", timeout=1.0)
+        world.run()
+        assert flag.triggered
+        assert isinstance(flag.value, DeliveryError)
+
+    def test_request_to_missing_listener_fails_fast(self):
+        world, a, b = pair()
+        flag = world.transport.request(a, b, 12345, "ping", timeout=5.0)
+        world.run()
+        assert isinstance(flag.value, DeliveryError)
+        assert world.now < 5.0  # failed before the timeout
+
+    def test_ephemeral_reply_port_released(self):
+        world, a, b = pair()
+        b.ports.bind(5000, lambda m, t: t.reply(m, "ok"))
+        before = len(a.ports.bound_ports())
+        flag = world.transport.request(a, b, 5000, "ping")
+        world.run()
+        assert flag.value == "ok"
+        assert len(a.ports.bound_ports()) == before
+
+
+class TestPortTable:
+    def test_idle_for_tracks_last_activity(self):
+        world, a, _b = pair()
+        assert a.ports.idle_for(1234) == float("inf")
+        a.ports.record(1234, bytes_in=10)
+        world.sim.call_in(5.0, lambda: None)
+        world.run()
+        assert a.ports.idle_for(1234) == pytest.approx(5.0)
+
+    def test_connection_open_close_counting(self):
+        world, a, _b = pair()
+        a.ports.connection_opened(80)
+        a.ports.connection_opened(80)
+        assert a.ports.activity(80).active_connections == 2
+        a.ports.connection_closed(80)
+        a.ports.connection_closed(80)
+        a.ports.connection_closed(80)  # extra close is clamped
+        assert a.ports.activity(80).active_connections == 0
+
+    def test_ports_with_traffic(self):
+        world, a, _b = pair()
+        a.ports.record(21, bytes_in=5)
+        a.ports.record(8080, bytes_out=5)
+        a.ports.activity(99)  # touched but no traffic
+        assert a.ports.ports_with_traffic() == [21, 8080]

@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) on core data structures and
+simulation invariants."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SamplingPolicy, SummaryWindow
+from repro.core.directory import DN, Entry, parse_filter
+from repro.simgrid import Simulator, Timeout, TokenBucket
+from repro.ulm import ULMMessage
+
+
+# ---------------------------------------------------------------------------
+# kernel: event ordering and clock monotonicity
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0, max_value=1e4, allow_nan=False),
+                min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_kernel_fires_events_in_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for i, delay in enumerate(delays):
+        sim.call_in(delay, lambda i=i: fired.append((sim.now, i)))
+    sim.run()
+    times = [t for t, _ in fired]
+    assert times == sorted(times)
+    assert len(fired) == len(delays)
+    # ties fire in scheduling order
+    for (t1, i1), (t2, i2) in zip(fired[:-1], fired[1:]):
+        if t1 == t2:
+            assert i1 < i2
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+                min_size=1, max_size=20),
+       st.integers(min_value=1, max_value=5))
+@settings(max_examples=50, deadline=None)
+def test_process_timeouts_accumulate_exactly(delays, nprocs):
+    sim = Simulator()
+    ends = []
+
+    def proc(my_delays):
+        for d in my_delays:
+            yield Timeout(d)
+        ends.append(sim.now)
+
+    for _ in range(nprocs):
+        sim.spawn(proc(list(delays)))
+    sim.run()
+    expected = sum(delays)
+    assert all(abs(e - expected) < 1e-6 for e in ends)
+
+
+# ---------------------------------------------------------------------------
+# token bucket: conservation and rate bound
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.floats(min_value=0.001, max_value=2.0),
+                          st.floats(min_value=0, max_value=1e6)),
+                min_size=1, max_size=40),
+       st.floats(min_value=1e4, max_value=1e8))
+@settings(max_examples=100, deadline=None)
+def test_token_bucket_never_exceeds_rate(steps, rate_bps):
+    sim = Simulator()
+    bucket = TokenBucket(sim, rate_bps, burst_s=0.1)
+    granted_total = 0.0
+    elapsed = 0.0
+    for dt, request in steps:
+        sim.call_in(dt, lambda: None)
+        sim.run()
+        elapsed += dt
+        granted = bucket.grant(request)
+        assert 0.0 <= granted <= request
+        granted_total += granted
+    # total grant bounded by rate * time + one burst allowance
+    assert granted_total <= rate_bps / 8.0 * elapsed + bucket.capacity + 1e-6
+
+
+# ---------------------------------------------------------------------------
+# summary window: equivalence with a naive reference implementation
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=1000),
+                          st.floats(min_value=-1e6, max_value=1e6)),
+                min_size=1, max_size=80),
+       st.floats(min_value=1.0, max_value=500.0))
+@settings(max_examples=100, deadline=None)
+def test_summary_window_matches_naive_average(samples, span):
+    samples = sorted(samples, key=lambda s: s[0])
+    window = SummaryWindow(span)
+    for t, v in samples:
+        window.ingest(t, v)
+    now = samples[-1][0]
+    kept = [v for t, v in samples if t >= now - span]
+    expected = sum(kept) / len(kept) if kept else None
+    got = window.average(now=now)
+    if expected is None:
+        assert got is None
+    else:
+        assert abs(got - expected) < 1e-6 * max(1.0, abs(expected))
+
+
+# ---------------------------------------------------------------------------
+# DN algebra
+# ---------------------------------------------------------------------------
+
+attr_name = st.from_regex(r"[A-Za-z][A-Za-z0-9.\-]{0,10}", fullmatch=True)
+attr_value = st.text(alphabet=string.ascii_letters + string.digits + ".-_:@ ",
+                     min_size=1, max_size=15).map(str.strip).filter(bool)
+rdn = st.tuples(attr_name, attr_value)
+
+
+@given(st.lists(rdn, min_size=1, max_size=6))
+@settings(max_examples=150, deadline=None)
+def test_dn_parse_str_roundtrip(rdns):
+    dn = DN(rdns)
+    assert DN.parse(str(dn)) == dn
+
+
+@given(st.lists(rdn, min_size=1, max_size=4), st.lists(rdn, min_size=1, max_size=3))
+@settings(max_examples=100, deadline=None)
+def test_dn_child_is_under_parent(base_rdns, extra_rdns):
+    base = DN(base_rdns)
+    child = base
+    for attr, value in extra_rdns:
+        child = child.child(attr, value)
+    assert child.is_under(base)
+    assert child.depth_below(base) == len(extra_rdns)
+    assert not base.is_under(child) or len(extra_rdns) == 0
+
+
+# ---------------------------------------------------------------------------
+# search filter algebra
+# ---------------------------------------------------------------------------
+
+simple_value = st.text(alphabet=string.ascii_letters + string.digits,
+                       min_size=1, max_size=8)
+
+
+@st.composite
+def entries(draw):
+    attrs = draw(st.dictionaries(attr_name.map(str.lower), simple_value,
+                                 min_size=0, max_size=5))
+    return Entry("x=1,o=grid", attrs)
+
+
+@given(entries(), attr_name, simple_value)
+@settings(max_examples=150, deadline=None)
+def test_filter_negation_is_complement(entry, attr, value):
+    positive = parse_filter(f"({attr}={value})")
+    negative = parse_filter(f"(!({attr}={value}))")
+    assert positive.matches(entry) != negative.matches(entry)
+
+
+@given(entries(), attr_name, simple_value, attr_name, simple_value)
+@settings(max_examples=150, deadline=None)
+def test_filter_demorgan(entry, a1, v1, a2, v2):
+    both = parse_filter(f"(&({a1}={v1})({a2}={v2}))")
+    either = parse_filter(f"(|({a1}={v1})({a2}={v2}))")
+    neither = parse_filter(f"(&(!({a1}={v1}))(!({a2}={v2})))")
+    not_both = parse_filter(f"(|(!({a1}={v1}))(!({a2}={v2})))")
+    assert both.matches(entry) == (not not_both.matches(entry))
+    assert either.matches(entry) == (not neither.matches(entry))
+
+
+@given(entries())
+@settings(max_examples=100, deadline=None)
+def test_presence_objectclass_matches_everything(entry):
+    # every entry carries an implicit objectclass (LDAP invariant)
+    assert parse_filter("(objectclass=*)").matches(entry)
+
+
+# ---------------------------------------------------------------------------
+# archive sampling policy: admitted fraction tracks the target
+# ---------------------------------------------------------------------------
+
+@given(st.floats(min_value=0.05, max_value=1.0),
+       st.integers(min_value=50, max_value=400))
+@settings(max_examples=60, deadline=None)
+def test_sampling_policy_fraction(fraction, n):
+    policy = SamplingPolicy(normal_fraction=fraction, always_keep=())
+    msg = ULMMessage(date=0.0, host="h", prog="p", event="CPU_USAGE")
+    admitted = sum(policy.admits(msg) for _ in range(n))
+    stride = round(1.0 / fraction)
+    expected = n // stride
+    assert abs(admitted - expected) <= 1
+
+
+# ---------------------------------------------------------------------------
+# TCP conservation invariants over random topologies/loss rates
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=2 ** 31 - 1),
+       st.floats(min_value=0.0, max_value=0.05),
+       st.floats(min_value=1e-4, max_value=0.05))
+@settings(max_examples=25, deadline=None)
+def test_tcp_conservation(seed, loss_rate, latency):
+    from repro.simgrid import GridWorld
+    world = GridWorld(seed=seed)
+    a = world.add_host("a")
+    b = world.add_host("b")
+    world.network.link(a.node, b.node, bandwidth_bps=1e9,
+                       latency_s=latency, loss_rate=loss_rate)
+    flow = world.tcp_flow(a, b, dst_port=7000)
+    flow.transfer(500_000)
+    world.run(until=300.0)
+    stats = flow.stats
+    assert stats.bytes_acked == 500_000  # completes despite loss
+    assert stats.packets_lost >= 0
+    assert stats.bytes_acked <= stats.packets_sent * flow.mss
+    assert stats.retransmits >= stats.timeouts  # every timeout retransmits
+    # progress is monotone
+    progresses = [p for _, p in stats.progress]
+    assert progresses == sorted(progresses)
+    # cwnd always within [1, rwnd]
+    assert all(1 <= c <= flow.rwnd_pkts for _, c in stats.cwnd_history)

@@ -1,0 +1,181 @@
+"""Unit tests for the ULM format: fields, messages, ASCII/binary/XML."""
+
+import pytest
+
+from repro.ulm import (BinaryFormatError, FieldError, ParseError, ULMMessage,
+                       XMLFormatError, decode, decode_many, encode,
+                       encode_many, format_date, from_xml, parse, parse_date,
+                       parse_stream, serialize, serialize_stream,
+                       stream_from_xml, stream_to_xml, to_xml)
+
+# the paper's §4.2 sample event
+PAPER_LINE = ("DATE=20000330112320.957943 HOST=dpss1.lbl.gov PROG=testProg "
+              "LVL=Usage NL.EVNT=WriteData SEND.SZ=49332")
+
+
+def paper_message() -> ULMMessage:
+    return ULMMessage(date=11 * 3600 + 23 * 60 + 20.957943,
+                      host="dpss1.lbl.gov", prog="testProg", lvl="Usage",
+                      event="WriteData", fields={"SEND.SZ": 49332})
+
+
+class TestDates:
+    def test_format_matches_paper_example(self):
+        assert format_date(11 * 3600 + 23 * 60 + 20.957943) == \
+            "20000330112320.957943"
+
+    def test_roundtrip_preserves_microseconds(self):
+        for t in (0.0, 0.000001, 12345.678901, 86400.0, 999999.999999):
+            assert parse_date(format_date(t)) == pytest.approx(t, abs=1e-6)
+
+    def test_malformed_dates_rejected(self):
+        for bad in ("", "2000", "20000330112320", "20001340112320.000000",
+                    "not-a-date.123456"):
+            with pytest.raises(FieldError):
+                parse_date(bad)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FieldError):
+            format_date(-1.0)
+
+
+class TestMessage:
+    def test_required_field_validation(self):
+        with pytest.raises(FieldError):
+            ULMMessage(date=0.0, host="", prog="p")
+        with pytest.raises(FieldError):
+            ULMMessage(date=0.0, host="has space", prog="p")
+        with pytest.raises(FieldError):
+            ULMMessage(date=-1.0, host="h", prog="p")
+
+    def test_event_property(self):
+        msg = paper_message()
+        assert msg.event == "WriteData"
+
+    def test_set_rejects_required_names_and_bad_names(self):
+        msg = paper_message()
+        with pytest.raises(FieldError):
+            msg.set("DATE", "x")
+        with pytest.raises(FieldError):
+            msg.set("1BAD", "x")
+
+    def test_typed_getters(self):
+        msg = paper_message()
+        assert msg.get_int("SEND.SZ") == 49332
+        assert msg.get_float("SEND.SZ") == 49332.0
+        assert msg.get_int("MISSING", -1) == -1
+        msg.set("WEIRD", "abc")
+        assert msg.get_float("WEIRD", 9.0) == 9.0
+
+    def test_sorting_is_by_date_then_stable(self):
+        a = ULMMessage(date=2.0, host="h", prog="p")
+        b = ULMMessage(date=1.0, host="h", prog="p")
+        c = ULMMessage(date=2.0, host="h", prog="p")
+        assert sorted([a, b, c], key=lambda m: m.sort_key()) == [b, a, c]
+
+    def test_equality_and_hash(self):
+        assert paper_message() == paper_message()
+        assert hash(paper_message()) == hash(paper_message())
+        other = paper_message()
+        other.set("EXTRA", 1)
+        assert paper_message() != other
+
+    def test_copy_is_independent(self):
+        msg = paper_message()
+        dup = msg.copy()
+        dup.set("NEW", 1)
+        assert "NEW" not in msg.fields
+
+
+class TestASCII:
+    def test_serializes_exactly_like_the_paper(self):
+        assert serialize(paper_message()) == PAPER_LINE
+
+    def test_parse_paper_line(self):
+        msg = parse(PAPER_LINE)
+        assert msg == paper_message()
+        assert msg.host == "dpss1.lbl.gov"
+        assert msg.event == "WriteData"
+
+    def test_roundtrip_with_quoted_values(self):
+        msg = ULMMessage(date=1.0, host="h", prog="p", event="E",
+                         fields={"MSG": 'disk "sda" failed: I/O error',
+                                 "EMPTY": ""})
+        assert parse(serialize(msg)) == msg
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ParseError):
+            parse("HOST=h PROG=p LVL=Usage")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ParseError):
+            parse(PAPER_LINE + " SEND.SZ=1")
+
+    def test_garbage_rejected(self):
+        for bad in ("", "word", "=value", 'A="unterminated'):
+            with pytest.raises(ParseError):
+                parse(bad)
+
+    def test_stream_roundtrip_and_skip_malformed(self):
+        msgs = [paper_message(), paper_message()]
+        text = serialize_stream(msgs)
+        assert parse_stream(text) == msgs
+        dirty = text + "THIS IS NOT ULM\n"
+        assert parse_stream(dirty, skip_malformed=True) == msgs
+        with pytest.raises(ParseError):
+            parse_stream(dirty)
+
+
+class TestBinary:
+    def test_roundtrip(self):
+        msg = paper_message()
+        assert decode(encode(msg)) == msg
+
+    def test_many_roundtrip(self):
+        msgs = [paper_message() for _ in range(10)]
+        msgs[3].set("UNICODE", "héllo wörld")
+        blob = encode_many(msgs)
+        assert list(decode_many(blob)) == msgs
+
+    def test_truncated_rejected(self):
+        blob = encode(paper_message())
+        with pytest.raises(BinaryFormatError):
+            decode(blob[:-3])
+
+    def test_bad_magic_rejected(self):
+        blob = b"XX" + encode(paper_message())[2:]
+        with pytest.raises(BinaryFormatError):
+            decode(blob)
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(BinaryFormatError):
+            decode(encode(paper_message()) + b"junk")
+
+    def test_binary_is_smaller_than_ascii(self):
+        msg = paper_message()
+        assert len(encode(msg)) < len(serialize(msg))
+
+
+class TestXML:
+    def test_roundtrip(self):
+        assert from_xml(to_xml(paper_message())) == paper_message()
+
+    def test_escaping(self):
+        msg = ULMMessage(date=1.0, host="h", prog="p", event="E",
+                         fields={"MSG": '<b>&"quoted"</b>'})
+        assert from_xml(to_xml(msg)) == msg
+
+    def test_stream_roundtrip(self):
+        msgs = [paper_message(), paper_message()]
+        assert stream_from_xml(stream_to_xml(msgs)) == msgs
+        assert stream_from_xml("<ulm/>") == []
+
+    def test_bad_xml_rejected(self):
+        with pytest.raises(XMLFormatError):
+            from_xml("<event>")
+        with pytest.raises(XMLFormatError):
+            from_xml("<notevent/>")
+        with pytest.raises(XMLFormatError):
+            from_xml('<event date="x" host="h" prog="p" lvl="U"/>')
+        with pytest.raises(XMLFormatError):
+            stream_from_xml("<wrong/>")

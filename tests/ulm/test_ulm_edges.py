@@ -1,0 +1,61 @@
+"""Edge cases for the ULM encodings."""
+
+import pytest
+
+from repro.ulm import (BinaryFormatError, ULMMessage, decode, decode_many,
+                       encode, encode_many, parse, serialize)
+
+
+class TestBinaryLimits:
+    def test_overlong_str8_rejected(self):
+        msg = ULMMessage(date=0.0, host="h" * 300, prog="p")
+        with pytest.raises(BinaryFormatError):
+            encode(msg)
+
+    def test_long_field_value_fits_str16(self):
+        msg = ULMMessage(date=0.0, host="h", prog="p", event="E",
+                         fields={"BLOB": "x" * 10_000})
+        assert decode(encode(msg)) == msg
+
+    def test_decode_many_empty(self):
+        assert list(decode_many(b"")) == []
+
+    def test_concatenated_streams_decode(self):
+        a = ULMMessage(date=1.0, host="h", prog="p", event="A")
+        b = ULMMessage(date=2.0, host="h", prog="p", event="B")
+        assert list(decode_many(encode_many([a]) + encode_many([b]))) == [a, b]
+
+
+class TestASCIIEdges:
+    def test_unicode_values_roundtrip(self):
+        msg = ULMMessage(date=0.0, host="h", prog="p", event="E",
+                         fields={"MSG": "überspäth — ok"})
+        assert parse(serialize(msg)) == msg
+
+    def test_backslash_and_quote_escaping(self):
+        msg = ULMMessage(date=0.0, host="h", prog="p", event="E",
+                         fields={"PATH": 'C:\\dir\\"quoted"'})
+        assert parse(serialize(msg)) == msg
+
+    def test_whitespace_variants_between_fields(self):
+        line = ("DATE=20000330000000.000000   HOST=h\tPROG=p  LVL=Usage "
+                " NL.EVNT=E")
+        msg = parse(line)
+        assert msg.event == "E"
+
+    def test_value_with_equals_sign(self):
+        msg = ULMMessage(date=0.0, host="h", prog="p", event="E",
+                         fields={"EXPR": "a=b"})
+        assert parse(serialize(msg)).fields["EXPR"] == "a=b"
+
+
+class TestArchiveLvlQuery:
+    def test_query_by_level(self):
+        from repro.core import EventArchive
+        archive = EventArchive()
+        archive.append(ULMMessage(date=1.0, host="h", prog="p",
+                                  lvl="Error", event="E1"))
+        archive.append(ULMMessage(date=2.0, host="h", prog="p",
+                                  lvl="Usage", event="E2"))
+        assert len(archive.query(lvl="Error")) == 1
+        assert archive.query(lvl="Error")[0].event == "E1"

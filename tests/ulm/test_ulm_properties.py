@@ -1,0 +1,66 @@
+"""Property-based tests: the three ULM encodings are lossless."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ulm import (ULMMessage, decode, encode, from_xml, parse,
+                       serialize, to_xml)
+
+token = st.text(alphabet=string.ascii_letters + string.digits + ".-_",
+                min_size=1, max_size=30)
+field_name = st.from_regex(r"[A-Za-z][A-Za-z0-9_.\-]{0,20}", fullmatch=True)
+# exclude control chars XML cannot carry; the formats themselves are
+# documented as text formats
+field_value = st.text(
+    alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x2FF),
+    max_size=60)
+
+
+@st.composite
+def ulm_messages(draw):
+    msg = ULMMessage(
+        date=draw(st.floats(min_value=0, max_value=3e8, allow_nan=False,
+                            allow_infinity=False)),
+        host=draw(token), prog=draw(token),
+        lvl=draw(st.sampled_from(["Usage", "Error", "Warning", "Debug"])))
+    names = draw(st.lists(field_name, max_size=6, unique_by=str.upper))
+    for name in names:
+        if name.upper() in ("DATE", "HOST", "PROG", "LVL"):
+            continue
+        msg.set(name, draw(field_value))
+    return msg
+
+
+@given(ulm_messages())
+@settings(max_examples=200, deadline=None)
+def test_ascii_roundtrip(msg):
+    assert parse(serialize(msg)) == msg
+
+
+@given(ulm_messages())
+@settings(max_examples=200, deadline=None)
+def test_binary_roundtrip(msg):
+    assert decode(encode(msg)) == msg
+
+
+@given(ulm_messages())
+@settings(max_examples=200, deadline=None)
+def test_xml_roundtrip(msg):
+    assert from_xml(to_xml(msg)) == msg
+
+
+@given(ulm_messages())
+@settings(max_examples=100, deadline=None)
+def test_cross_format_equivalence(msg):
+    """Any chain of encodings preserves the message."""
+    via_all = from_xml(to_xml(decode(encode(parse(serialize(msg))))))
+    assert via_all == msg
+
+
+@given(st.floats(min_value=0, max_value=3e8, allow_nan=False,
+                 allow_infinity=False))
+@settings(max_examples=300, deadline=None)
+def test_date_roundtrip_within_microsecond(t):
+    from repro.ulm import format_date, parse_date
+    assert abs(parse_date(format_date(t)) - t) <= 1e-6
