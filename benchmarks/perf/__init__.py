@@ -1,0 +1,12 @@
+"""Event-path microbenchmarks (``scripts/bench.py``).
+
+Unlike the paper-reproduction benchmarks in ``benchmarks/``, these are
+true microbenchmarks: they time the innermost loops of the event path
+(ULM codec, gateway fan-out, summary ingest) against seed-equivalent
+baselines (:mod:`benchmarks.perf.baseline`) so every PR leaves a
+comparable throughput record in ``BENCH_<name>.json``.
+"""
+
+from . import baseline, codec_bench, fanout_bench, summary_bench  # noqa: F401
+
+__all__ = ["baseline", "codec_bench", "fanout_bench", "summary_bench"]

@@ -1,0 +1,162 @@
+"""Seed-equivalent reference implementations for the perf harness.
+
+These reproduce the *algorithms* the seed tree shipped — per-character
+ULM tokenizing, strftime/strptime per event, render-per-subscription
+fan-out, rescan-everything window extrema — so ``scripts/bench.py``
+can report speedups against a fixed reference instead of against
+whatever the previous commit happened to contain.  They are correct
+(the benchmarks assert output parity) but deliberately unoptimized; do
+not "fix" their performance.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from collections import deque
+
+from repro.core.gateway import _render
+from repro.ulm import EPOCH, ULMMessage
+from repro.ulm.fields import DATE, HOST, LVL, PROG, is_valid_field_name
+from repro.ulm.parse import ParseError
+
+__all__ = ["seed_serialize", "seed_parse", "seed_parse_stream",
+           "seed_serialize_stream", "seed_fanout", "SeedSummaryWindow"]
+
+
+# -- seed ULM codec: per-character tokenizer, per-event strftime/strptime ----
+
+def _seed_format_date(wallclock_s: float) -> str:
+    micros = int(round(wallclock_s * 1e6))
+    when = EPOCH + _dt.timedelta(microseconds=micros)
+    return when.strftime("%Y%m%d%H%M%S") + f".{when.microsecond:06d}"
+
+
+def _seed_parse_date(text: str) -> float:
+    stamp, _, frac = text.partition(".")
+    when = _dt.datetime.strptime(stamp, "%Y%m%d%H%M%S").replace(
+        tzinfo=_dt.timezone.utc)
+    return (when - EPOCH).total_seconds() + int(frac.ljust(6, "0")) / 1e6
+
+
+def _seed_quote(value: str) -> str:
+    if value == "" or any(c.isspace() for c in value) or '"' in value:
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return value
+
+
+def seed_serialize(msg: ULMMessage) -> str:
+    pairs = [(DATE, _seed_format_date(msg.date)), (HOST, msg.host),
+             (PROG, msg.prog), (LVL, msg.lvl), *msg.fields.items()]
+    return " ".join(f"{name}={_seed_quote(value)}" for name, value in pairs)
+
+
+def _seed_tokenize(line: str):
+    i = 0
+    n = len(line)
+    while i < n:
+        while i < n and line[i].isspace():
+            i += 1
+        if i >= n:
+            return
+        eq = line.find("=", i)
+        if eq < 0:
+            raise ParseError(f"expected field=value at column {i}")
+        name = line[i:eq]
+        if not is_valid_field_name(name):
+            raise ParseError(f"invalid field name {name!r}")
+        i = eq + 1
+        if i < n and line[i] == '"':
+            i += 1
+            out = []
+            while i < n:
+                c = line[i]
+                if c == "\\" and i + 1 < n:
+                    out.append(line[i + 1])
+                    i += 2
+                    continue
+                if c == '"':
+                    i += 1
+                    break
+                out.append(c)
+                i += 1
+            else:
+                raise ParseError(f"unterminated quoted value for {name!r}")
+            yield name, "".join(out)
+        else:
+            j = i
+            while j < n and not line[j].isspace():
+                j += 1
+            yield name, line[i:j]
+            i = j
+
+
+def seed_parse(line: str) -> ULMMessage:
+    required: dict = {}
+    extra: dict = {}
+    for name, value in _seed_tokenize(line.strip()):
+        if name in (DATE, HOST, PROG, LVL):
+            required[name] = value
+        else:
+            extra[name] = value
+    return ULMMessage(date=_seed_parse_date(required[DATE]),
+                      host=required[HOST], prog=required[PROG],
+                      lvl=required[LVL], fields=extra)
+
+
+def seed_serialize_stream(messages) -> str:
+    return "".join(seed_serialize(m) + "\n" for m in messages)
+
+
+def seed_parse_stream(text: str) -> list:
+    out = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        out.append(seed_parse(line))
+    return out
+
+
+# -- seed gateway fan-out: filter + render per subscription ------------------
+
+def seed_fanout(subscriptions, msg: ULMMessage, send) -> int:
+    """The seed ingest loop: every subscription runs its filter and
+    renders its own copy of the event, even when formats repeat."""
+    delivered = 0
+    for sub in subscriptions:
+        if sub.mode != "stream":
+            continue
+        if not sub.event_filter.accept(msg):
+            continue
+        wire = _render(msg, sub.fmt)
+        send(sub, wire)
+        delivered += 1
+    return delivered
+
+
+# -- seed summary window: O(n) extrema over never-expired samples ------------
+
+class SeedSummaryWindow:
+    """The seed :class:`SummaryWindow`: extrema rescan every sample."""
+
+    def __init__(self, span: float):
+        self.span = span
+        self._samples: deque = deque()
+        self._sum = 0.0
+
+    def ingest(self, t: float, value: float) -> None:
+        self._samples.append((t, value))
+        self._sum += value
+        cutoff = t - self.span
+        while self._samples and self._samples[0][0] < cutoff:
+            _, v = self._samples.popleft()
+            self._sum -= v
+
+    def average(self):
+        return self._sum / len(self._samples) if self._samples else None
+
+    def minimum(self):
+        return min((v for _, v in self._samples), default=None)
+
+    def maximum(self):
+        return max((v for _, v in self._samples), default=None)

@@ -1,0 +1,66 @@
+"""ULM codec throughput: parse + serialize msgs/s, current vs seed."""
+
+from __future__ import annotations
+
+from repro.ulm import (ULMMessage, decode_many, encode_many, parse_stream,
+                       serialize_stream)
+
+from . import baseline
+from .timing import best_rate
+
+__all__ = ["make_events", "run"]
+
+
+def make_events(n: int) -> list[ULMMessage]:
+    """A realistic sensor stream: repeated hosts/programs/field names,
+    timestamps advancing by milliseconds, and the occasional free-text
+    field that needs quoting (most counter events are bare tokens)."""
+    events = []
+    for i in range(n):
+        fields = {"VALUE": f"{(i * 7) % 100}.0", "SEQ": str(i),
+                  "FLOW": "tcp1:dpss1->mems:7000"}
+        if i % 16 == 0:
+            fields["MSG"] = 'buffer "rx" drained'
+        events.append(ULMMessage(
+            date=100.0 + i * 1e-3, host="dpss1.lbl.gov", prog="vmstat",
+            event="VMSTAT_SYS_TIME", fields=fields))
+    return events
+
+
+def run(quick: bool = False) -> dict:
+    n = 500 if quick else 5000
+    repeats = 1 if quick else 3
+    events = make_events(n)
+    wire = serialize_stream(events)
+    blob = encode_many(events)
+
+    # output parity between the optimized path and the seed reference
+    assert baseline.seed_parse_stream(wire) == events
+    assert parse_stream(baseline.seed_serialize_stream(events)) == events
+
+    out = {
+        "n_events": n,
+        "serialize_msgs_per_s": best_rate(
+            lambda: serialize_stream(events), n, repeats),
+        "parse_msgs_per_s": best_rate(
+            lambda: parse_stream(wire), n, repeats),
+        "binary_encode_msgs_per_s": best_rate(
+            lambda: encode_many(events), n, repeats),
+        "binary_decode_msgs_per_s": best_rate(
+            lambda: list(decode_many(blob)), n, repeats),
+        "seed_serialize_msgs_per_s": best_rate(
+            lambda: baseline.seed_serialize_stream(events), n, repeats),
+        "seed_parse_msgs_per_s": best_rate(
+            lambda: baseline.seed_parse_stream(wire), n, repeats),
+    }
+    out["speedup_serialize"] = (out["serialize_msgs_per_s"]
+                                / out["seed_serialize_msgs_per_s"])
+    out["speedup_parse"] = out["parse_msgs_per_s"] / out["seed_parse_msgs_per_s"]
+    roundtrip = 1.0 / (1.0 / out["parse_msgs_per_s"]
+                       + 1.0 / out["serialize_msgs_per_s"])
+    seed_roundtrip = 1.0 / (1.0 / out["seed_parse_msgs_per_s"]
+                            + 1.0 / out["seed_serialize_msgs_per_s"])
+    out["roundtrip_msgs_per_s"] = roundtrip
+    out["seed_roundtrip_msgs_per_s"] = seed_roundtrip
+    out["speedup_roundtrip"] = roundtrip / seed_roundtrip
+    return out

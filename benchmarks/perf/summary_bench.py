@@ -1,0 +1,58 @@
+"""Summary ingest throughput: samples/s with live min/max reads.
+
+The gateway reads the avg/min/max triple while sensors stream samples
+in.  The monotonic-deque window answers extrema in O(1); the seed
+window rescanned every in-window sample on each read.
+"""
+
+from __future__ import annotations
+
+from repro.core.summaries import SummaryWindow
+
+from . import baseline
+from .timing import best_rate
+
+__all__ = ["run"]
+
+#: read the avg/min/max triple once every this many ingested samples
+READ_EVERY = 10
+
+
+def _drive(make_window, n_samples: int, span: float) -> None:
+    windows = [make_window(span), make_window(span * 10)]
+    for i in range(n_samples):
+        t = i * 1e-3
+        value = float((i * 31) % 997)
+        for w in windows:
+            w.ingest(t, value)
+        if i % READ_EVERY == 0:
+            for w in windows:
+                w.average()
+                w.minimum()
+                w.maximum()
+
+
+def run(quick: bool = False) -> dict:
+    n = 2000 if quick else 20000
+    repeats = 1 if quick else 3
+    span = 10.0  # seconds; samples arrive every ms -> 10k live samples
+
+    # parity check: both windows agree on the triple
+    cur, ref = SummaryWindow(span), baseline.SeedSummaryWindow(span)
+    for i in range(500):
+        t, v = i * 0.05, float((i * 13) % 101)
+        cur.ingest(t, v)
+        ref.ingest(t, v)
+    assert (cur.average(), cur.minimum(), cur.maximum()) == \
+        (ref.average(), ref.minimum(), ref.maximum())
+
+    out = {
+        "n_samples": n,
+        "read_every": READ_EVERY,
+        "samples_per_s": best_rate(
+            lambda: _drive(SummaryWindow, n, span), n, repeats),
+        "seed_samples_per_s": best_rate(
+            lambda: _drive(baseline.SeedSummaryWindow, n, span), n, repeats),
+    }
+    out["speedup"] = out["samples_per_s"] / out["seed_samples_per_s"]
+    return out

@@ -1,0 +1,41 @@
+"""Smoke test for the perf harness: ``scripts/bench.py --quick`` must
+run end to end and emit a schema-valid BENCH json.
+
+This guards against harness rot (import breaks, renamed internals the
+baselines reach into) without asserting any timing — quick-mode
+numbers are not measurements.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def test_bench_quick_runs_and_writes_schema(tmp_path):
+    out = tmp_path / "BENCH_smoke.json"
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "bench.py"),
+         "--quick", "--out", str(out)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro-bench/1"
+    assert doc["quick"] is True
+    benches = doc["benchmarks"]
+    codec = benches["ulm_codec"]
+    for key in ("parse_msgs_per_s", "serialize_msgs_per_s",
+                "seed_parse_msgs_per_s", "speedup_parse",
+                "speedup_roundtrip"):
+        assert codec[key] > 0
+    fanout = benches["gateway_fanout"]
+    for population in ("all_events", "names_filtered"):
+        assert fanout[population], f"no {population} rows"
+        for row in fanout[population].values():
+            assert row["events_per_s"] > 0
+            assert row["seed_events_per_s"] > 0
+    summary = benches["summary_ingest"]
+    assert summary["samples_per_s"] > 0
+    assert summary["speedup"] > 0

@@ -1,0 +1,23 @@
+"""Shared measurement policy for the perf microbenchmarks."""
+
+from __future__ import annotations
+
+import gc
+import time
+
+__all__ = ["best_rate"]
+
+
+def best_rate(fn, n_items: int, repeats: int) -> float:
+    """items/second from the best of ``repeats`` runs of ``fn``.
+
+    Collects up front so GC debt from earlier allocations is not
+    billed to this loop; best-of filters pauses that land mid-run.
+    """
+    gc.collect()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return n_items / best

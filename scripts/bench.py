@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Event-path performance harness.
+
+Runs the microbenchmarks in ``benchmarks/perf`` (ULM codec, gateway
+fan-out, summary ingest) and writes the results to a ``BENCH_*.json``
+file so successive PRs leave a comparable perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py            # full run
+    PYTHONPATH=src python scripts/bench.py --quick    # CI smoke mode
+    PYTHONPATH=src python scripts/bench.py --out path/to/file.json
+
+The JSON schema (``repro-bench/1``)::
+
+    {
+      "schema": "repro-bench/1",
+      "name": "event_path",
+      "quick": false,
+      "generated_unix": 1690000000,
+      "benchmarks": {
+        "ulm_codec":      {"parse_msgs_per_s": ..., "speedup_parse": ..., ...},
+        "gateway_fanout": {"all_events": {"<n_subs>": {"events_per_s": ...,
+                           "speedup": ..., ...}}, "names_filtered": {...}},
+        "summary_ingest": {"samples_per_s": ..., "speedup": ..., ...}
+      }
+    }
+
+Rates are messages (events, samples) per second, best of N repeats;
+``seed_*`` rates time the seed-equivalent reference implementations in
+``benchmarks/perf/baseline.py`` and ``speedup_*`` is current/seed.
+``--quick`` shrinks workloads to smoke-test the harness itself — its
+timings are not comparable measurements.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny workloads: verify the harness runs, "
+                             "not the timings")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_event_path.json",
+                        help="output JSON path (default: "
+                             "BENCH_event_path.json at the repo root)")
+    args = parser.parse_args(argv)
+    # fail on an unwritable destination now, not after minutes of timing
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.perf import codec_bench, fanout_bench, summary_bench
+
+    results = {}
+    for name, bench in (("ulm_codec", codec_bench),
+                        ("gateway_fanout", fanout_bench),
+                        ("summary_ingest", summary_bench)):
+        print(f"[bench] {name} ({'quick' if args.quick else 'full'}) ...",
+              flush=True)
+        results[name] = bench.run(quick=args.quick)
+
+    doc = {
+        "schema": "repro-bench/1",
+        "name": "event_path",
+        "quick": args.quick,
+        "generated_unix": int(time.time()),
+        "benchmarks": results,
+    }
+    args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    codec = results["ulm_codec"]
+    fanout = results["gateway_fanout"]["all_events"]
+    summary = results["summary_ingest"]
+    print(f"[bench] codec: parse {codec['parse_msgs_per_s']:,.0f}/s "
+          f"({codec['speedup_parse']:.1f}x seed), serialize "
+          f"{codec['serialize_msgs_per_s']:,.0f}/s "
+          f"({codec['speedup_serialize']:.1f}x seed)")
+    for n_subs, row in sorted(fanout.items(), key=lambda kv: int(kv[0])):
+        print(f"[bench] fan-out x{n_subs}: {row['events_per_s']:,.0f} ev/s "
+              f"({row['speedup']:.1f}x seed)")
+    print(f"[bench] summary ingest: {summary['samples_per_s']:,.0f} "
+          f"samples/s ({summary['speedup']:.1f}x seed)")
+    print(f"[bench] wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,7 +23,6 @@ The model keeps the pieces that matter to JAMM's sensors:
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Optional, Sequence
 
 from ..simgrid.host import Host
@@ -36,7 +35,6 @@ DPSS_BASE_PORT = 7000
 #: DPSS's native block size (64 KB in the real system)
 BLOCK_SIZE = 64 * 1024
 
-_session_ids = itertools.count(1)
 
 
 class DPSSCluster:
@@ -81,7 +79,7 @@ class DPSSSession:
         self.cluster = cluster
         self.client = client
         self.servers = list(servers)
-        self.session_id = next(_session_ids)
+        self.session_id = cluster.world.sim.serial("dpss-session")
         self.read_buffer = read_buffer
         self.netlogger = netlogger
         self.sim = cluster.world.sim
@@ -94,7 +92,7 @@ class DPSSSession:
         for i, server in enumerate(self.servers):
             flow = cluster.world.tcp_flow(
                 server, client, dst_port=DPSS_BASE_PORT + i,
-                rng_name=f"dpss:{self.session_id}:{i}",
+                rng_name=f"dpss:{client.name}:{self.session_id}:{i}",
                 rwnd_bytes=rwnd_bytes, burst_loss_prob=burst_loss_prob)
             flow.on_progress(self._on_arrival)
             flow.open_persistent()

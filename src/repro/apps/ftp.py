@@ -14,7 +14,6 @@ session is active.
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional
 
 from ..simgrid.host import Host
@@ -26,7 +25,6 @@ __all__ = ["FTPServer", "ftp_transfer", "FTP_CONTROL_PORT", "FTP_DATA_PORT"]
 FTP_CONTROL_PORT = 21
 FTP_DATA_PORT = 20
 
-_xfer_ids = itertools.count(1)
 
 
 class FTPServer:
@@ -69,7 +67,7 @@ def ftp_transfer(world: GridWorld, client: Host, server: Host, *,
             return None
         # data connection: server pushes the file to the client
         flow = world.tcp_flow(server, client, dst_port=FTP_DATA_PORT,
-                              rng_name=f"ftp:{next(_xfer_ids)}",
+                              rng_name=f"ftp:{world.sim.serial('ftp-xfer')}",
                               rwnd_bytes=rwnd_bytes)
         flow.transfer(nbytes)
         stats = yield WaitEvent(flow.done)

@@ -34,7 +34,7 @@ from typing import Any, Callable, Optional
 
 from ..simgrid.kernel import Simulator
 from ..ulm import ULMMessage, encode, serialize, to_xml
-from .filters import AllEvents, EventFilter, filter_from_dict
+from .filters import AllEvents, EventFilter, EventNames, filter_from_dict
 from .summaries import SummaryService
 
 __all__ = ["EventGateway", "Subscription", "GatewayError", "GATEWAY_PORT"]
@@ -73,6 +73,10 @@ class Subscription:
     principal: Any = None
     delivered: int = 0
     filtered: int = 0
+    #: the sensor's events_in when this subscription opened — lets the
+    #: index path reconstruct ``filtered`` without touching skipped
+    #: subscriptions per event (see _SensorHandle.reconcile_filtered)
+    events_at_subscribe: int = 0
 
 
 @dataclass
@@ -82,6 +86,42 @@ class _SensorHandle:
     subscriptions: list = field(default_factory=list)
     last_event: Optional[ULMMessage] = None
     events_in: int = 0
+    # fan-out index, rebuilt on subscription churn (rare) so the
+    # per-event path (hot) never scans non-matching subscriptions:
+    #: stream subs that need their filter invoked on every event
+    generic: list = field(default_factory=list)
+    #: NL.EVNT -> stream subs whose EventNames filter names it
+    by_event: dict = field(default_factory=dict)
+    #: stream subs reached only through ``by_event``
+    indexed_subs: list = field(default_factory=list)
+
+    def reindex(self) -> None:
+        self.generic = []
+        self.by_event = {}
+        self.indexed_subs = []
+        for sub in self.subscriptions:
+            if sub.mode != "stream":
+                continue
+            flt = sub.event_filter
+            if type(flt) is EventNames:
+                # the index *is* the filter: an event reaches exactly
+                # the subs whose name set contains its NL.EVNT, so
+                # accept() never runs for these
+                for event_name in flt.names:
+                    self.by_event.setdefault(event_name, []).append(sub)
+                self.indexed_subs.append(sub)
+            else:
+                self.generic.append(sub)
+
+    def reconcile_filtered(self) -> None:
+        """Bring indexed subscriptions' ``filtered`` counters current.
+
+        The hot path never touches skipped subscriptions, so their
+        counter is reconstructed on observation: every event ingested
+        since subscribing was either delivered or filtered."""
+        for sub in self.indexed_subs:
+            sub.filtered = (self.events_in - sub.events_at_subscribe
+                            - sub.delivered)
 
 
 class EventGateway:
@@ -172,16 +212,34 @@ class EventGateway:
         spec = self._summary_specs.get(sensor_name)
         if spec is not None:
             self.summaries.ingest_event(sensor_name, msg, spec)
-        for sub in handle.subscriptions:
-            if sub.mode != "stream":
-                continue
+        generic = handle.generic
+        indexed = len(handle.indexed_subs)
+        if not generic and not indexed:
+            return  # nobody streams this sensor: no fan-out work at all
+        # one render per distinct requested format, shared by every
+        # delivery of this event (§2.3: the producer's cost must not
+        # grow with the consumer count — neither should the gateway's
+        # rendering cost)
+        rendered: dict[str, Any] = {}
+        for sub in generic:
             if not sub.event_filter.accept(msg):
                 sub.filtered += 1
                 self.events_filtered += 1
                 continue
-            self._deliver(sub, msg)
+            self._deliver(sub, msg, rendered)
+        if indexed:
+            matching = handle.by_event.get(msg.event)
+            if matching is not None:
+                # the index already proved NL.EVNT membership; accept()
+                # is not invoked for these subscriptions
+                for sub in matching:
+                    self._deliver(sub, msg, rendered)
+                self.events_filtered += indexed - len(matching)
+            else:
+                self.events_filtered += indexed
 
-    def _deliver(self, sub: Subscription, msg: ULMMessage) -> None:
+    def _deliver(self, sub: Subscription, msg: ULMMessage,
+                 rendered: dict) -> None:
         sub.delivered += 1
         self.events_delivered += 1
         if sub.callback is not None:
@@ -189,7 +247,9 @@ class EventGateway:
         elif sub.remote is not None and self.transport is not None \
                 and self.host is not None:
             dst_host, dst_port = sub.remote
-            wire = _render(msg, sub.fmt)
+            wire = rendered.get(sub.fmt)
+            if wire is None:
+                wire = rendered[sub.fmt] = _render(msg, sub.fmt)
             size = len(wire) if isinstance(wire, (str, bytes)) else 256
             self.transport.send(self.host, dst_host, dst_port,
                                 {"sub": sub.sub_id, "fmt": sub.fmt,
@@ -226,9 +286,11 @@ class EventGateway:
                            mode=mode,
                            event_filter=event_filter or AllEvents(),
                            fmt=fmt, callback=callback, remote=remote,
-                           principal=principal)
+                           principal=principal,
+                           events_at_subscribe=handle.events_in)
         was_empty = not handle.subscriptions
         handle.subscriptions.append(sub)
+        handle.reindex()
         handle.sensor.consumer_count = len(handle.subscriptions)
         self._subs[sub.sub_id] = sub
         if was_empty:
@@ -241,8 +303,10 @@ class EventGateway:
             return False
         handle = self._handles.get(sub.sensor_name)
         if handle is not None:
+            handle.reconcile_filtered()
             handle.subscriptions = [s for s in handle.subscriptions
                                     if s.sub_id != sub_id]
+            handle.reindex()
             handle.sensor.consumer_count = len(handle.subscriptions)
             if not handle.subscriptions:
                 self._set_forwarding(handle, False)
@@ -332,6 +396,8 @@ class EventGateway:
     # -- diagnostics ---------------------------------------------------------------------------
 
     def stats(self) -> dict:
+        for handle in self._handles.values():
+            handle.reconcile_filtered()
         return {"name": self.name,
                 "sensors": len(self._handles),
                 "subscriptions": len(self._subs),

@@ -23,7 +23,14 @@ DEFAULT_WINDOWS = (60.0, 600.0, 3600.0)
 
 
 class SummaryWindow:
-    """Sliding-window average/min/max over (time, value) samples."""
+    """Sliding-window average/min/max over (time, value) samples.
+
+    ``minimum``/``maximum`` are O(1) amortized: two monotonic deques
+    track the candidate extrema, and every read path expires through
+    the same cutoff, so the avg/min/max triple is always computed over
+    the same sample set (the old implementation rescanned every sample
+    and reported extrema that ``average(now)`` had already expired).
+    """
 
     def __init__(self, span: float):
         if span <= 0:
@@ -31,17 +38,34 @@ class SummaryWindow:
         self.span = span
         self._samples: deque = deque()  # (t, value)
         self._sum = 0.0
+        self._min_q: deque = deque()    # (t, value), values non-decreasing
+        self._max_q: deque = deque()    # (t, value), values non-increasing
 
     def ingest(self, t: float, value: float) -> None:
         self._samples.append((t, value))
         self._sum += value
+        min_q = self._min_q
+        while min_q and min_q[-1][1] >= value:
+            min_q.pop()
+        min_q.append((t, value))
+        max_q = self._max_q
+        while max_q and max_q[-1][1] <= value:
+            max_q.pop()
+        max_q.append((t, value))
         self._expire(t)
 
     def _expire(self, now: float) -> None:
         cutoff = now - self.span
-        while self._samples and self._samples[0][0] < cutoff:
-            _, v = self._samples.popleft()
+        samples = self._samples
+        while samples and samples[0][0] < cutoff:
+            _, v = samples.popleft()
             self._sum -= v
+        min_q = self._min_q
+        while min_q and min_q[0][0] < cutoff:
+            min_q.popleft()
+        max_q = self._max_q
+        while max_q and max_q[0][0] < cutoff:
+            max_q.popleft()
 
     def average(self, now: Optional[float] = None) -> Optional[float]:
         if now is not None:
@@ -50,11 +74,15 @@ class SummaryWindow:
             return None
         return self._sum / len(self._samples)
 
-    def minimum(self) -> Optional[float]:
-        return min((v for _, v in self._samples), default=None)
+    def minimum(self, now: Optional[float] = None) -> Optional[float]:
+        if now is not None:
+            self._expire(now)
+        return self._min_q[0][1] if self._min_q else None
 
-    def maximum(self) -> Optional[float]:
-        return max((v for _, v in self._samples), default=None)
+    def maximum(self, now: Optional[float] = None) -> Optional[float]:
+        if now is not None:
+            self._expire(now)
+        return self._max_q[0][1] if self._max_q else None
 
     @property
     def count(self) -> int:

@@ -12,7 +12,8 @@ from .analysis import (Gap, LatencyStats, bottleneck_stage,
 from .api import (NETLOGD_PORT, Destination, FileDestination, HostDestination,
                   MemoryDestination, NetLogger, NetLoggerError,
                   SyslogDestination)
-from .collect import LogWindow, NetLogDaemon, merge_logs, sort_log
+from .collect import (LogWindow, NetLogDaemon, iter_merge, merge_logs,
+                      sort_log)
 from .lifeline import (Lifeline, Segment, correlate_lifelines,
                        lifeline_latencies)
 from .nlv import (LoadlineSeries, NLVConfig, NLVDataSet, PointSeries,
@@ -25,6 +26,7 @@ __all__ = [
     "NetLogDaemon", "NetLogger", "NetLoggerError", "PointSeries",
     "Primitive", "Segment", "SyslogDestination", "bottleneck_stage",
     "clock_skew_estimate", "correlate_lifelines", "event_correlation",
-    "find_gaps", "lifeline_latencies", "merge_logs", "render_ascii",
+    "find_gaps", "iter_merge", "lifeline_latencies", "merge_logs",
+    "render_ascii",
     "sort_log", "stage_latency_report",
 ]

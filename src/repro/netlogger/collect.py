@@ -14,12 +14,12 @@
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Iterator, Optional
 
 from ..ulm import ULMMessage, parse, serialize_stream
 from .api import NETLOGD_PORT
 
-__all__ = ["NetLogDaemon", "merge_logs", "sort_log", "LogWindow"]
+__all__ = ["NetLogDaemon", "merge_logs", "iter_merge", "sort_log", "LogWindow"]
 
 
 class NetLogDaemon:
@@ -62,14 +62,41 @@ def sort_log(messages: Iterable[ULMMessage]) -> list[ULMMessage]:
     return sorted(messages, key=lambda m: m.sort_key())
 
 
-def merge_logs(*logs: Sequence[ULMMessage]) -> list[ULMMessage]:
+def iter_merge(*streams: Iterable[ULMMessage]) -> Iterator[ULMMessage]:
+    """Lazy heap k-way merge of individually time-ordered streams.
+
+    Holds one message per stream: merging many large per-sensor logs
+    (e.g. ``iter_parse`` over collected files) never materializes them.
+    """
+    heap = []
+    for idx, stream in enumerate(streams):
+        it = iter(stream)
+        for msg in it:
+            heap.append((msg.sort_key(), idx, msg, it))
+            break
+    heapq.heapify(heap)
+    while heap:
+        _, idx, msg, it = heap[0]
+        yield msg
+        for nxt in it:
+            heapq.heapreplace(heap, (nxt.sort_key(), idx, nxt, it))
+            break
+        else:
+            heapq.heappop(heap)
+
+
+def merge_logs(*logs: Iterable[ULMMessage],
+               assume_sorted: bool = False) -> list[ULMMessage]:
     """Merge per-sensor logs into one time-ordered stream.
 
     Each input is sorted first (sensors emit in order, but clock
-    adjustments can reorder), then the streams are k-way merged.
+    adjustments can reorder) unless ``assume_sorted`` says the inputs
+    are already ordered — then they are consumed lazily, one message
+    at a time, through :func:`iter_merge`.
     """
-    sorted_logs = [sort_log(log) for log in logs if log]
-    return list(heapq.merge(*sorted_logs, key=lambda m: m.sort_key()))
+    if assume_sorted:
+        return list(iter_merge(*logs))
+    return list(iter_merge(*(sort_log(log) for log in logs)))
 
 
 class LogWindow:

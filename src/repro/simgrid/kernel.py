@@ -360,10 +360,22 @@ class Simulator:
         self.strict = strict
         self._queue: list[ScheduledCall] = []
         self._seq = 0
+        self._serials: dict[str, int] = {}
         self._live_processes: set[Process] = set()
         self._crashes: list[tuple[Process, BaseException]] = []
         self._running = False
         self._stopped = False
+
+    def serial(self, kind: str) -> int:
+        """Next id in a per-simulation numbered sequence (1-based).
+
+        Object names derived from these ids seed per-name random
+        streams, so they must not depend on how many simulations ran
+        earlier in the same process.
+        """
+        n = self._serials.get(kind, 0) + 1
+        self._serials[kind] = n
+        return n
 
     # -- scheduling ---------------------------------------------------------
 

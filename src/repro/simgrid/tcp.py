@@ -27,7 +27,6 @@ window limit (1 MB / 60 ms ≈ 140 Mbit/s).
 
 from __future__ import annotations
 
-import itertools
 import math
 from collections import deque
 from typing import Callable, Optional
@@ -36,8 +35,6 @@ from .host import Host
 from .kernel import EventFlag, Simulator, Timeout, WaitEvent
 
 __all__ = ["TCPFlow", "TokenBucket", "poisson_draw", "TCPStats"]
-
-_flow_ids = itertools.count(1)
 
 
 def poisson_draw(rng, lam: float) -> int:
@@ -162,12 +159,14 @@ class TCPFlow:
         self.src = src
         self.dst = dst
         self.dst_port = dst_port
-        self.src_port = src_port if src_port is not None else 32768 + next(_flow_ids)
+        self.src_port = (src_port if src_port is not None
+                         else 32768 + sim.serial("tcpflow"))
         self.mss = mss
         self.rwnd_pkts = max(1, rwnd_bytes // mss)
         self.rng = rng
         self.burst_loss_prob = burst_loss_prob
-        self.name = name or f"tcp{next(_flow_ids)}:{src.name}->{dst.name}:{dst_port}"
+        self.name = (name or
+                     f"tcp{sim.serial('tcpflow')}:{src.name}->{dst.name}:{dst_port}")
 
         self.cwnd = 2               # packets
         self.ssthresh = self.rwnd_pkts

@@ -11,8 +11,8 @@ from .fields import (DATE, EPOCH, HOST, LEVELS, LVL, NL_EVNT, PROG,
                      REQUIRED_FIELDS, FieldError, format_date,
                      is_valid_field_name, parse_date)
 from .message import ULMMessage
-from .parse import (ParseError, parse, parse_stream, serialize,
-                    serialize_stream)
+from .parse import (ParseError, iter_parse, iter_serialize, parse,
+                    parse_stream, serialize, serialize_stream)
 from .xmlfmt import (XMLFormatError, from_xml, stream_from_xml,
                      stream_to_xml, to_xml)
 
@@ -20,7 +20,8 @@ __all__ = [
     "BinaryFormatError", "DATE", "EPOCH", "FieldError", "HOST", "LEVELS",
     "LVL", "NL_EVNT", "PROG", "ParseError", "REQUIRED_FIELDS", "ULMMessage",
     "XMLFormatError", "decode", "decode_many", "encode", "encode_many",
-    "format_date", "from_xml", "is_valid_field_name", "parse", "parse_date",
+    "format_date", "from_xml", "is_valid_field_name", "iter_parse",
+    "iter_serialize", "parse", "parse_date",
     "parse_stream", "serialize", "serialize_stream", "stream_from_xml",
     "stream_to_xml", "to_xml",
 ]

@@ -25,6 +25,8 @@ from __future__ import annotations
 import struct
 from typing import Iterable, Iterator
 
+from .fields import (FieldError, REQUIRED_SET, check_token,
+                     is_valid_field_name)
 from .message import ULMMessage
 
 __all__ = ["encode", "decode", "encode_many", "decode_many", "BinaryFormatError"]
@@ -32,6 +34,38 @@ __all__ = ["encode", "decode", "encode_many", "decode_many", "BinaryFormatError"
 MAGIC = 0x554C
 VERSION = 1
 _HEAD = struct.Struct("<HBBd")
+_HEAD_SIZE = _HEAD.size
+#: raw bytes -> decoded+validated string, for the values that recur
+#: across millions of records: HOST/PROG/LVL tokens and field names.
+#: Decoding and validating (regex / whitespace scan) then run once per
+#: distinct byte string, not once per record.
+_token_cache: dict = {}   # str8 bytes -> non-empty whitespace-free token
+_name_cache: dict = {}    # str8 bytes -> valid non-required field name
+
+
+def _cached_token(raw: bytes, req_name: str) -> str:
+    value = _token_cache.get(raw)
+    if value is None:
+        value = raw.decode("utf-8")
+        check_token(req_name, value)
+        if len(_token_cache) > 4096:
+            _token_cache.clear()
+        _token_cache[raw] = value
+    return value
+
+
+def _cached_name(raw: bytes) -> str:
+    name = _name_cache.get(raw)
+    if name is None:
+        name = raw.decode("utf-8")
+        if name in REQUIRED_SET:
+            raise FieldError(f"{name} is a required field; set the attribute")
+        if not is_valid_field_name(name):
+            raise FieldError(f"invalid ULM field name: {name!r}")
+        if len(_name_cache) > 4096:
+            _name_cache.clear()
+        _name_cache[raw] = name
+    return name
 
 
 class BinaryFormatError(ValueError):
@@ -64,60 +98,75 @@ def encode(msg: ULMMessage) -> bytes:
     return b"".join(parts)
 
 
-class _Reader:
-    __slots__ = ("data", "pos")
+def _decode_at(data: bytes, pos: int, n: int) -> tuple[ULMMessage, int]:
+    """Decode one record starting at ``pos``; returns (message, end).
 
-    def __init__(self, data: bytes, pos: int = 0):
-        self.data = data
-        self.pos = pos
-
-    def take(self, n: int) -> bytes:
-        if self.pos + n > len(self.data):
-            raise BinaryFormatError("truncated record")
-        chunk = self.data[self.pos:self.pos + n]
-        self.pos += n
-        return chunk
-
-    def str8(self) -> str:
-        n = self.take(1)[0]
-        return self.take(n).decode("utf-8")
-
-    def str16(self) -> str:
-        (n,) = struct.unpack("<H", self.take(2))
-        return self.take(n).decode("utf-8")
-
-
-def _decode_at(reader: _Reader) -> ULMMessage:
-    magic, version, nfields, date = _HEAD.unpack(reader.take(_HEAD.size))
+    Offset arithmetic over the buffer directly — the old cursor object
+    cost a Python method call per primitive read, which dominated
+    decode time for small records.
+    """
+    if pos + _HEAD_SIZE > n:
+        raise BinaryFormatError("truncated record")
+    magic, version, nfields, date = _HEAD.unpack_from(data, pos)
     if magic != MAGIC:
         raise BinaryFormatError(f"bad magic 0x{magic:04x}")
     if version != VERSION:
         raise BinaryFormatError(f"unsupported version {version}")
-    host = reader.str8()
-    prog = reader.str8()
-    lvl = reader.str8()
-    msg = ULMMessage(date=date, host=host, prog=prog, lvl=lvl)
+    pos += _HEAD_SIZE
+    if date < 0:
+        raise FieldError("DATE must be >= 0 (seconds since epoch)")
+    if pos >= n:
+        raise BinaryFormatError("truncated record")
+    end = pos + 1 + data[pos]
+    if end > n:
+        raise BinaryFormatError("truncated record")
+    host = _cached_token(data[pos + 1:end], "HOST")
+    pos = end
+    if pos >= n:
+        raise BinaryFormatError("truncated record")
+    end = pos + 1 + data[pos]
+    if end > n:
+        raise BinaryFormatError("truncated record")
+    prog = _cached_token(data[pos + 1:end], "PROG")
+    pos = end
+    if pos >= n:
+        raise BinaryFormatError("truncated record")
+    end = pos + 1 + data[pos]
+    if end > n:
+        raise BinaryFormatError("truncated record")
+    lvl = _cached_token(data[pos + 1:end], "LVL")
+    pos = end
+    fields: dict[str, str] = {}
     for _ in range(nfields):
-        name = reader.str8()
-        value = reader.str16()
-        msg.set(name, value)
-    return msg
+        if pos >= n:
+            raise BinaryFormatError("truncated record")
+        end = pos + 1 + data[pos]
+        if end + 2 > n:
+            raise BinaryFormatError("truncated record")
+        name = _cached_name(data[pos + 1:end])
+        vlen = data[end] + (data[end + 1] << 8)
+        pos = end + 2 + vlen
+        if pos > n:
+            raise BinaryFormatError("truncated record")
+        fields[name] = data[end + 2:pos].decode("utf-8")
+    return ULMMessage._from_wire(float(date), host, prog, lvl, fields), pos
 
 
 def decode(data: bytes) -> ULMMessage:
     """Decode one binary record (must consume all of ``data``)."""
-    reader = _Reader(data)
-    msg = _decode_at(reader)
-    if reader.pos != len(data):
-        raise BinaryFormatError(f"{len(data) - reader.pos} trailing bytes")
+    msg, end = _decode_at(data, 0, len(data))
+    if end != len(data):
+        raise BinaryFormatError(f"{len(data) - end} trailing bytes")
     return msg
 
 
 def encode_many(messages: Iterable[ULMMessage]) -> bytes:
-    return b"".join(encode(m) for m in messages)
+    return b"".join(map(encode, messages))
 
 
 def decode_many(data: bytes) -> Iterator[ULMMessage]:
-    reader = _Reader(data)
-    while reader.pos < len(data):
-        yield _decode_at(reader)
+    pos = 0
+    n = len(data)
+    while pos < n:
+        msg, pos = _decode_at(data, pos, n)
+        yield msg

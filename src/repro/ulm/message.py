@@ -14,7 +14,7 @@ import itertools
 from typing import Any, Iterable, Mapping, Optional
 
 from .fields import (DATE, FieldError, HOST, LVL, NL_EVNT, PROG,
-                     format_date, is_valid_field_name, parse_date)
+                     check_token, format_date, is_valid_field_name)
 
 __all__ = ["ULMMessage"]
 
@@ -31,16 +31,16 @@ class ULMMessage:
     parse on access).
     """
 
-    __slots__ = ("date", "host", "prog", "lvl", "fields", "_seq")
+    __slots__ = ("date", "host", "prog", "lvl", "fields", "_seq",
+                 "_date_str", "_hash")
 
     def __init__(self, *, date: float, host: str, prog: str, lvl: str = "Usage",
                  fields: Optional[Mapping[str, Any]] = None,
                  event: Optional[str] = None):
         if date < 0:
             raise FieldError("DATE must be >= 0 (seconds since epoch)")
-        for name, value in (("HOST", host), ("PROG", prog), ("LVL", lvl)):
-            if not value or any(c.isspace() for c in str(value)):
-                raise FieldError(f"{name} must be a non-empty token: {value!r}")
+        for name, value in ((HOST, host), (PROG, prog), (LVL, lvl)):
+            check_token(name, str(value))
         self.date = float(date)
         self.host = str(host)
         self.prog = str(prog)
@@ -52,6 +52,25 @@ class ULMMessage:
             for key, value in fields.items():
                 self.set(key, value)
         self._seq = next(_seq)
+        self._date_str: Optional[str] = None
+        self._hash: Optional[int] = None
+
+    @classmethod
+    def _from_wire(cls, date: float, host: str, prog: str, lvl: str,
+                   fields: dict, date_str: Optional[str] = None) -> "ULMMessage":
+        """Build from already-validated wire fields, skipping the
+        constructor's re-validation — the parser/decoder fast path.
+        ``fields`` is adopted, not copied."""
+        self = object.__new__(cls)
+        self.date = date
+        self.host = host
+        self.prog = prog
+        self.lvl = lvl
+        self.fields = fields
+        self._seq = next(_seq)
+        self._date_str = date_str
+        self._hash = None
+        return self
 
     # -- field access ---------------------------------------------------------
 
@@ -61,6 +80,7 @@ class ULMMessage:
         if not is_valid_field_name(name):
             raise FieldError(f"invalid ULM field name: {name!r}")
         self.fields[name] = str(value)
+        self._hash = None
 
     def get(self, name: str, default: Any = None) -> Any:
         if name == DATE:
@@ -98,7 +118,10 @@ class ULMMessage:
 
     @property
     def date_str(self) -> str:
-        return format_date(self.date)
+        cached = self._date_str
+        if cached is None:
+            cached = self._date_str = format_date(self.date)
+        return cached
 
     def items(self) -> Iterable[tuple[str, str]]:
         """All fields, required first, in wire order."""
@@ -118,29 +141,30 @@ class ULMMessage:
         return (self.date, self._seq)
 
     def __lt__(self, other: "ULMMessage") -> bool:
-        return self.sort_key() < other.sort_key()
+        if self.date != other.date:
+            return self.date < other.date
+        return self._seq < other._seq
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ULMMessage):
             return NotImplemented
-        return (self.date_str == other.date_str and self.host == other.host
+        # wire dates carry microsecond precision; compare at that
+        # quantum (numerically — formatting dates here was the single
+        # hottest line of the old event path)
+        return (round(self.date * 1e6) == round(other.date * 1e6)
+                and self.host == other.host
                 and self.prog == other.prog and self.lvl == other.lvl
                 and self.fields == other.fields)
 
     def __hash__(self) -> int:
-        return hash((self.date_str, self.host, self.prog, self.lvl,
-                     tuple(sorted(self.fields.items()))))
+        cached = self._hash
+        if cached is None:
+            cached = self._hash = hash(
+                (round(self.date * 1e6), self.host, self.prog, self.lvl,
+                 tuple(sorted(self.fields.items()))))
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         evnt = self.fields.get(NL_EVNT, "?")
         return f"<ULM {self.date_str} {self.host} {self.prog} {evnt}>"
 
-    @staticmethod
-    def reconstruct(date_str: str, host: str, prog: str, lvl: str,
-                    fields: Mapping[str, str]) -> "ULMMessage":
-        """Build from parsed wire fields (DATE as its string form)."""
-        msg = ULMMessage(date=parse_date(date_str), host=host, prog=prog,
-                         lvl=lvl)
-        for key, value in fields.items():
-            msg.set(key, value)
-        return msg

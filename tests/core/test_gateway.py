@@ -197,3 +197,82 @@ class TestControlRelay:
         mgr = FakeManager()
         assert gw.request_sensor_start(mgr, sensor.name)
         assert mgr.requests == [(sensor.name, "gateway:gw0")]
+
+
+class TestRenderOnceFanOut:
+    """§2.3: fan-out cost must not grow with the consumer count — each
+    event is rendered at most once per distinct subscription format."""
+
+    def _remote_gateway(self):
+        world = GridWorld(seed=7)
+        sensor_host = world.add_host("sensor-host")
+        gw_host = world.add_host("gw-host")
+        consumer = world.add_host("consumer-host")
+        world.lan([sensor_host, gw_host, consumer], switch="sw")
+        gw = EventGateway(world.sim, name="gw-r", host=gw_host,
+                          transport=world.transport)
+        sensor = CPUSensor(sensor_host, period=1.0)
+        gw.register_sensor(sensor)
+        sensor.start()
+        return world, gw, sensor, consumer
+
+    def test_render_called_once_per_distinct_format(self, monkeypatch):
+        import repro.core.gateway as gateway_mod
+        world, gw, sensor, consumer = self._remote_gateway()
+        calls = []
+        real_render = gateway_mod._render
+
+        def counting_render(msg, fmt):
+            calls.append((id(msg), fmt))
+            return real_render(msg, fmt)
+
+        monkeypatch.setattr(gateway_mod, "_render", counting_render)
+        # ten subscribers over two formats -> at most 2 renders/event
+        for i in range(10):
+            gw.subscribe(sensor.name, fmt="ulm" if i % 2 else "xml",
+                         remote=(consumer, 19000 + i))
+        world.run(until=3.5)
+        assert gw.events_in > 0
+        assert gw.events_delivered == 10 * gw.events_in
+        per_event = {}
+        for msg_id, fmt in calls:
+            per_event.setdefault(msg_id, []).append(fmt)
+        assert per_event, "no renders recorded"
+        for fmts in per_event.values():
+            # each format rendered at most once per event
+            assert len(fmts) == len(set(fmts)) <= 2
+
+    def test_event_name_index_skips_accept(self, monkeypatch):
+        from repro.core.filters import EventNames
+
+        def exploding_accept(self, msg):
+            raise AssertionError("accept() must not run for "
+                                 "indexed EventNames subscriptions")
+
+        world, _h, gw, sensor = setup()
+        matched, others = [], []
+        hit = gw.subscribe(sensor.name, callback=matched.append,
+                           event_filter=EventNames(["CPU_USAGE"]))
+        miss = gw.subscribe(sensor.name, callback=others.append,
+                            event_filter=EventNames(["SOME_OTHER_EVNT"]))
+        monkeypatch.setattr(EventNames, "accept", exploding_accept)
+        world.run(until=2.5)
+        assert len(matched) == gw.events_in > 0
+        assert others == []
+        # non-matching indexed subscriptions still count as filtered,
+        # and per-subscription counters reconcile on observation
+        assert gw.events_filtered == gw.events_in
+        gw.stats()
+        assert gw._subs[miss].filtered == gw.events_in
+        assert gw._subs[hit].filtered == 0
+        assert gw._subs[hit].delivered == gw.events_in
+
+    def test_zero_subscriber_sensor_short_circuits(self):
+        world, _h, gw, sensor = setup()
+        # force events through without any subscription (direct ingest,
+        # e.g. summary-only forwarding with no spec configured)
+        gw.ingest(sensor.name, ULMMessage(date=1.0, host="h", prog="cpu",
+                                          event="X"))
+        assert gw.events_in == 1
+        assert gw.events_delivered == 0
+        assert gw.query(sensor.name) is not None

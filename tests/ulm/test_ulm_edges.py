@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.ulm import (BinaryFormatError, ULMMessage, decode, decode_many,
-                       encode, encode_many, parse, serialize)
+from repro.ulm import (BinaryFormatError, ParseError, ULMMessage, decode,
+                       decode_many, encode, encode_many, parse, serialize)
 
 
 class TestBinaryLimits:
@@ -47,6 +47,54 @@ class TestASCIIEdges:
         msg = ULMMessage(date=0.0, host="h", prog="p", event="E",
                          fields={"EXPR": "a=b"})
         assert parse(serialize(msg)).fields["EXPR"] == "a=b"
+
+
+class TestQuotingEdges:
+    """Quoted-value corners of the wire format (fast/slow path parity)."""
+
+    def _roundtrip(self, value):
+        msg = ULMMessage(date=0.0, host="h", prog="p", event="E",
+                         fields={"V": value})
+        parsed = parse(serialize(msg))
+        assert parsed.fields["V"] == value
+        assert parsed == msg
+
+    def test_embedded_quotes(self):
+        self._roundtrip('say "hi" twice "ok"')
+
+    def test_only_quotes(self):
+        self._roundtrip('"""')
+
+    def test_trailing_backslash(self):
+        self._roundtrip("C:\\path\\")
+
+    def test_trailing_backslash_with_space(self):
+        self._roundtrip("a b\\")
+
+    def test_empty_quoted_value(self):
+        msg = parse('DATE=20000330000000.0 HOST=h PROG=p LVL=Usage V=""')
+        assert msg.fields["V"] == ""
+        self._roundtrip("")
+
+    def test_unterminated_quote_rejected(self):
+        with pytest.raises(ParseError):
+            parse('DATE=20000330000000.0 HOST=h PROG=p LVL=Usage V="oops')
+
+    def test_unterminated_quote_via_trailing_escape_rejected(self):
+        # the backslash escapes the would-be closing quote
+        with pytest.raises(ParseError):
+            parse('DATE=20000330000000.0 HOST=h PROG=p LVL=Usage V="a\\"')
+
+    def test_text_after_closing_quote_rejected(self):
+        with pytest.raises(ParseError):
+            parse('DATE=20000330000000.0 HOST=h PROG=p LVL=Usage V="a"b c')
+
+    def test_quoted_value_with_spaces_and_escapes(self):
+        self._roundtrip('mixed \\ "and" \\" tail')
+
+    def test_quoted_required_field_with_space_rejected(self):
+        with pytest.raises(ParseError):
+            parse('DATE=20000330000000.0 HOST="a b" PROG=p LVL=Usage')
 
 
 class TestArchiveLvlQuery:

@@ -64,3 +64,22 @@ def test_cross_format_equivalence(msg):
 def test_date_roundtrip_within_microsecond(t):
     from repro.ulm import format_date, parse_date
     assert abs(parse_date(format_date(t)) - t) <= 1e-6
+
+
+# values built from the characters that exercise the quoting machinery:
+# whitespace (forces quoting), quotes and backslashes (force escaping,
+# including trailing-backslash and escaped-quote corners)
+quoting_heavy_value = st.text(alphabet=['"', "\\", " ", "\t", "a", "=", "x"],
+                              max_size=24)
+
+
+@given(st.lists(quoting_heavy_value, min_size=1, max_size=5))
+@settings(max_examples=300, deadline=None)
+def test_ascii_roundtrip_quoting_heavy(values):
+    """parse(serialize(m)) == m when every value fights the quoter."""
+    msg = ULMMessage(date=12345.678901, host="h", prog="p", lvl="Usage")
+    for i, value in enumerate(values):
+        msg.set(f"V{i}", value)
+    parsed = parse(serialize(msg))
+    assert parsed == msg
+    assert parsed.fields == msg.fields
