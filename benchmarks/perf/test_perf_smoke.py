@@ -39,3 +39,32 @@ def test_bench_quick_runs_and_writes_schema(tmp_path):
     summary = benches["summary_ingest"]
     assert summary["samples_per_s"] > 0
     assert summary["speedup"] > 0
+    # a fresh output file starts an empty perf history
+    assert doc["history"] == []
+
+
+def test_bench_rerun_appends_history(tmp_path):
+    """A re-run against an existing file folds the previous run's
+    headline rates into ``history`` instead of forgetting them."""
+    out = tmp_path / "BENCH_smoke.json"
+    previous = {
+        "schema": "repro-bench/1", "name": "event_path", "quick": True,
+        "generated_unix": 1700000000,
+        "benchmarks": {
+            "ulm_codec": {"parse_msgs_per_s": 1.0,
+                          "serialize_msgs_per_s": 2.0},
+            "gateway_fanout": {"all_events": {"1": {"events_per_s": 3.0}}},
+            "summary_ingest": {"samples_per_s": 4.0}},
+        "history": [{"generated_unix": 1600000000}]}
+    out.write_text(json.dumps(previous))
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "bench.py"),
+         "--quick", "--out", str(out)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads(out.read_text())
+    assert len(doc["history"]) == 2  # the seeded entry + the previous run
+    assert doc["history"][0] == {"generated_unix": 1600000000}
+    assert doc["history"][1]["generated_unix"] == 1700000000
+    assert doc["history"][1]["parse_msgs_per_s"] == 1.0
+    assert doc["history"][1]["fanout_events_per_s"] == {"1": 3.0}

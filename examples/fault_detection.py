@@ -39,12 +39,16 @@ def main() -> None:
     httpd_primary = primary.processes.spawn("httpd")
     httpd_backup = backup.processes.spawn("httpd")
 
+    # --- discovery through the client facade --------------------------------------
+    client = jamm.client(host=noc)
+    process_sensors = client.sensors(type="process")
+
     # --- process monitor: restart + email ---------------------------------------
     restart = RestartAction({primary.name: primary, backup.name: backup})
     email = EmailAction(to="sysadmin@lbl.gov")
     procmon = jamm.process_monitor(host=noc)
     procmon.add_rule("PROC_CRASH", restart)
-    procmon.subscribe_all("(sensortype=process)")
+    procmon.subscribe_all(process_sensors)
 
     # --- overview monitor: page only if BOTH are down ----------------------------
     pager = PagerAction(number="555-0100")
@@ -53,12 +57,12 @@ def main() -> None:
         "both-httpd-down",
         all_hosts_down([primary.name, backup.name]),
         lambda state: pager.run(overview, state[primary.name]))
-    overview.subscribe_all("(sensortype=process)")
+    overview.subscribe_all(process_sensors)
 
     # --- archiver: keep errors, sample normal operation ---------------------------
     archiver = jamm.archiver(
         host=noc, policy=SamplingPolicy(normal_fraction=0.1))
-    archiver.subscribe_all("(objectclass=sensor)")
+    archiver.subscribe_all(client.sensors())
 
     # --- inject faults -------------------------------------------------------------
     world.run(until=5.0)

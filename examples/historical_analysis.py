@@ -40,9 +40,10 @@ def main() -> None:
                                   tcpdump=True)
     jamm.add_manager(server, config=config, gateway=gw)
     world.run(until=0.5)
+    client = jamm.client(host=noc)
     archiver = jamm.archiver(host=noc,
                              policy=SamplingPolicy(normal_fraction=1.0))
-    archiver.subscribe_all("(objectclass=sensor)")
+    archiver.subscribe_all(client.sensors(host=server.name))
 
     # healthy workload: a steady transfer on a clean path
     flow = world.tcp_flow(server, peer, dst_port=7000)

@@ -53,8 +53,9 @@ def main() -> None:
     jamm.add_manager(client, config=client_config, gateway=gw)
     world.run(until=0.5)
 
+    monitoring = jamm.client(host=gw_host)
     collector = jamm.collector(host=gw_host)
-    n = collector.subscribe_all("(objectclass=sensor)")
+    n = collector.subscribe_all(monitoring.sensors())
     print(f"Subscribed to {n} sensors found in the directory.\n")
 
     # --- run the application --------------------------------------------------

@@ -31,12 +31,14 @@ def build(seed):
 
 def run_transfer(tuned: bool, seed: int):
     world, server, client_host, jamm = build(seed)
-    directory = jamm.directory_client(host=client_host)
+    # the repro.client facade is the one monitoring surface the
+    # application talks to (publish + lookup of path summaries)
+    monitoring = jamm.client(host=client_host)
     # what the summary service publishes for this path (Fig. 6's
     # "sensor summary data server": average throughput and delay)
-    publish_path_summary(directory, src=server.name, dst=client_host.name,
+    publish_path_summary(monitoring, src=server.name, dst=client_host.name,
                          throughput_bps=200e6, latency_s=0.0305)
-    client = NetworkAwareClient(world, client_host, directory=directory)
+    client = NetworkAwareClient(world, client_host, directory=monitoring)
     proc = client.fetch(server, nbytes=NBYTES, tuned=tuned)
     world.run(until=300.0)
     stats = proc.done.value
@@ -56,6 +58,9 @@ def main() -> None:
           "bandwidth-delay product\npublished by the JAMM summary service "
           "(200 Mbit/s x 61 ms RTT).")
     assert buf_d == DEFAULT_BUFFER
+    # the tuned arm must actually have seen the published summary — a
+    # silent fallback to the default buffer is a monitoring-path bug
+    assert buf_t > DEFAULT_BUFFER, "tuned client fell back to the default"
 
 
 if __name__ == "__main__":

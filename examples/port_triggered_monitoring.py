@@ -38,6 +38,15 @@ def main() -> None:
     manager = jamm.add_manager(server, config=config, gateway=gw)
     world.run(until=0.5)
 
+    # the client facade sees the on-demand sensors in the directory and
+    # a session handle counts what actually flows while they're active
+    monitoring = jamm.client(host=gw_host)
+    print("On-demand sensors in the directory:")
+    for info in monitoring.sensors(host=server.name):
+        print(f"  {info.key}  type={info.type}  status={info.status}")
+    session = monitoring.session()
+    netstat_handle = session.subscribe(f"netstat@{server.name}")
+
     status = []
 
     def status_sampler():
@@ -69,6 +78,9 @@ def main() -> None:
     pm = manager.port_monitor.info()
     print(f"\nPort monitor: {pm['triggers']} trigger(s), "
           f"{pm['releases']} idle release(s) on ports {pm['ports']}")
+    print(f"netstat events streamed while triggered: "
+          f"{netstat_handle.stats()['delivered']}")
+    session.close()
 
     # quantify the saving: events emitted vs an always-on baseline
     on_demand_events = sum(s.events_emitted + s.events_dropped

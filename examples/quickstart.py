@@ -1,14 +1,16 @@
 #!/usr/bin/env python
 """Quickstart: stand up JAMM on a two-host grid and watch CPU events.
 
-The minimal JAMM loop from the paper's Fig. 1:
+The minimal JAMM loop from the paper's Fig. 1, on the `repro.client`
+API:
 
   1. build a simulated grid (hosts + network);
   2. deploy JAMM: directory service, an event gateway, and a sensor
-     manager with a vmstat sensor;
-  3. a consumer looks the sensor up in the directory and subscribes
-     through the gateway;
-  4. events stream in; we print them and query the most recent one.
+     manager with a CPU sensor;
+  3. a MonitoringClient discovers the sensor (fluent search compiles
+     to an LDAP filter) and a session subscribes through the gateway;
+  4. events stream into the subscription handle; we iterate them,
+     query the most recent one, and read the delivery counters.
 
 Run:  python examples/quickstart.py
 """
@@ -33,32 +35,39 @@ def main() -> None:
     jamm.add_manager(server, config=config, gateway=gw)
     world.run(until=0.5)  # managers publish, replication settles
 
-    print("Sensors in the directory:")
-    for entry in jamm.sensor_entries():
-        print(f"  {entry.dn}  status={entry.first('status')} "
-              f"gateway={entry.first('gateway')}")
+    # --- 3. discover + subscribe (the repro.client facade) ----------------
+    client = jamm.client(host=monitor)
+    cpus = client.sensors(type="cpu")             # fluent discovery
+    print(f"Sensors matching {cpus.filter_text}:")
+    for info in cpus:
+        print(f"  {info.key}  status={info.status} gateway={info.gateway_name}")
 
-    # --- 3. discover + subscribe ------------------------------------------
-    collector = jamm.collector(host=monitor)
-    n = collector.subscribe_all("(sensortype=cpu)")
-    print(f"\nSubscribed to {n} sensor(s) via the event gateway.\n")
+    with client.session() as session:
+        handles = session.subscribe_all(cpus)
+        print(f"\nSubscribed to {len(handles)} sensor(s) via the event "
+              "gateway.\n")
 
-    # make the host do something worth watching
-    server.cpu.add_load(user=0.9)
+        # make the host do something worth watching
+        server.cpu.add_load(user=0.9)
 
-    # --- 4. run and inspect ---------------------------------------------------
-    world.run(until=10.0)
-    print(f"Collected {collector.received} events:")
-    for msg in collector.merged_log()[:5]:
-        print(f"  {msg.date_str}  {msg.event}  user={msg.get('CPU.USER')}% "
-              f"sys={msg.get('CPU.SYS')}%")
-    print("  ...")
+        # --- 4. run and inspect -------------------------------------------
+        world.run(until=10.0)
+        handle = handles[0]
+        events = list(handle.events())
+        print(f"Collected {session.received} events:")
+        for msg in events[:5]:
+            print(f"  {msg.date_str}  {msg.event}  user={msg.get('CPU.USER')}% "
+                  f"sys={msg.get('CPU.SYS')}%")
+        print("  ...")
 
-    # query mode: just the most recent event, no channel
-    sensor_key = next(iter(jamm.managers[server.name].sensors.values())).name
-    latest = gw.query(sensor_key)
-    print(f"\nLatest event (query mode): {latest.event} at {latest.date_str}")
-    print(f"Gateway stats: {gw.stats()}")
+        # query mode: just the most recent event, no extra channel
+        latest = handle.latest()
+        print(f"\nLatest event (query mode): {latest.event} "
+              f"at {latest.date_str}")
+        print(f"Handle stats: {handle.stats()}")
+        print(f"Gateway stats: {gw.stats()}")
+    # leaving the session closed every subscription
+    print(f"Subscriptions after session exit: {gw.stats()['subscriptions']}")
 
 
 if __name__ == "__main__":

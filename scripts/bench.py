@@ -31,6 +31,11 @@ Rates are messages (events, samples) per second, best of N repeats;
 ``benchmarks/perf/baseline.py`` and ``speedup_*`` is current/seed.
 ``--quick`` shrinks workloads to smoke-test the harness itself — its
 timings are not comparable measurements.
+
+Re-running against an existing output file *appends* rather than
+forgets: the previous run's headline rates are folded into a
+``history`` list (oldest first), so ``BENCH_event_path.json`` carries
+the perf trajectory across PRs, not just the latest point.
 """
 
 from __future__ import annotations
@@ -42,6 +47,34 @@ import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _headline(doc: dict) -> dict:
+    """The compact per-run record kept in the history list."""
+    benches = doc.get("benchmarks", {})
+    codec = benches.get("ulm_codec", {})
+    fanout = benches.get("gateway_fanout", {}).get("all_events", {})
+    summary = benches.get("summary_ingest", {})
+    return {
+        "generated_unix": doc.get("generated_unix"),
+        "quick": doc.get("quick"),
+        "parse_msgs_per_s": codec.get("parse_msgs_per_s"),
+        "serialize_msgs_per_s": codec.get("serialize_msgs_per_s"),
+        "fanout_events_per_s": {n: row.get("events_per_s")
+                                for n, row in fanout.items()},
+        "summary_samples_per_s": summary.get("samples_per_s"),
+    }
+
+
+def _load_history(out: Path) -> list:
+    """Previous runs at ``out``: their history plus their headline."""
+    try:
+        previous = json.loads(out.read_text())
+    except (OSError, ValueError):
+        return []
+    if not isinstance(previous, dict) or "benchmarks" not in previous:
+        return []
+    return list(previous.get("history", [])) + [_headline(previous)]
 
 
 def main(argv=None) -> int:
@@ -75,6 +108,7 @@ def main(argv=None) -> int:
         "quick": args.quick,
         "generated_unix": int(time.time()),
         "benchmarks": results,
+        "history": _load_history(args.out),
     }
     args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 

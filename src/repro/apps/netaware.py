@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ..core.directory import unwrap_directory
 from ..simgrid.host import Host
 from ..simgrid.kernel import WaitEvent
 from ..simgrid.world import GridWorld
@@ -26,9 +27,12 @@ DEFAULT_BUFFER = 64 * 1024
 
 def publish_path_summary(directory: Any, *, src: str, dst: str,
                          throughput_bps: float, latency_s: float,
-                         suffix: str = "o=grid") -> None:
+                         suffix: Optional[str] = None) -> None:
     """Publish a network summary entry for the (src, dst) path —
-    what the summary data service in Fig. 6 exposes."""
+    what the summary data service in Fig. 6 exposes.  ``directory`` may
+    be a raw directory client or a MonitoringClient facade (whose
+    suffix applies unless one is passed explicitly)."""
+    directory, suffix = unwrap_directory(directory, suffix)
     dn = f"path={src}--{dst},ou=netsummary,{suffix}"
     directory.publish(dn, {
         "objectclass": "netsummary",
@@ -41,9 +45,10 @@ class NetworkAwareClient:
     """Sizes its receive buffer from published path summaries."""
 
     def __init__(self, world: GridWorld, host: Host, *,
-                 directory: Any = None, suffix: str = "o=grid",
+                 directory: Any = None, suffix: Optional[str] = None,
                  safety_factor: float = 1.2,
                  max_buffer: int = 4 << 20):
+        directory, suffix = unwrap_directory(directory, suffix)
         self.world = world
         self.host = host
         self.directory = directory

@@ -1,0 +1,37 @@
+"""repro.client — the consumer-facing monitoring API.
+
+The paper's consumer flow (§2.2: directory lookup → gateway subscribe →
+event stream / query) as one typed surface::
+
+    client = jamm.client(host=monitor)
+
+    cpus = client.sensors(type="cpu", host="dpss1.*")   # fluent discovery
+    with client.session() as s:
+        handles = s.subscribe_all(cpus)                  # typed handles
+        world.run(until=10.0)
+        for event in handles[0].events():
+            ...
+        print(handles[0].latest(), handles[0].stats())
+    # all subscriptions are closed here
+
+Specs (:class:`SubscriptionSpec`) declare *what* to subscribe —
+mode, wire format, event filter, delivery, principal — and handles
+(:class:`SubscriptionHandle`) are *live* subscriptions: iterate
+``.events()``, ``.attach()`` callbacks, ``.latest()``, ``.stats()``,
+``.pause()``/``.resume()``, ``.close()``.  The same spec/handle types
+power the built-in consumer types (collector, archiver, overview,
+procmon, autocollector).
+"""
+
+from ..core.subscriptions import (DEFAULT_BUFFER_LIMIT, Delivery, SpecError,
+                                  SubscriptionHandle, SubscriptionMode,
+                                  SubscriptionSpec, WireFormat)
+from .facade import (ClientError, ClientSession, MonitoringClient,
+                     SensorInfo, SensorSelection, compile_sensor_filter)
+
+__all__ = [
+    "ClientError", "ClientSession", "DEFAULT_BUFFER_LIMIT", "Delivery",
+    "MonitoringClient", "SensorInfo", "SensorSelection", "SpecError",
+    "SubscriptionHandle", "SubscriptionMode", "SubscriptionSpec",
+    "WireFormat", "compile_sensor_filter",
+]

@@ -1,0 +1,329 @@
+"""The consumer-facing monitoring facade.
+
+One object — :class:`MonitoringClient` — wraps the paper's §2.2 flow
+(directory lookup → gateway subscribe → event stream / query) behind a
+typed API:
+
+* fluent discovery: ``client.sensors(type="cpu", host="dpss1.*")``
+  compiles keyword criteria to RFC-2254 LDAP filter text and returns a
+  :class:`SensorSelection` of typed :class:`SensorInfo` rows;
+* sessions: ``with client.session() as s:`` yields a
+  :class:`ClientSession` whose ``subscribe``/``subscribe_all`` return
+  :class:`~repro.core.subscriptions.SubscriptionHandle` objects and
+  whose exit tears every subscription down (idempotently, surfacing
+  per-handle errors after all have been attempted);
+* point reads: ``client.latest(sensor)`` (query mode) and
+  ``client.summary(sensor, field)`` without opening a channel.
+
+The facade never talks to gateway internals: it resolves gateways the
+same way every consumer does and opens subscriptions through
+:meth:`EventGateway.open` with declarative
+:class:`~repro.core.subscriptions.SubscriptionSpec` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional, Sequence, Union
+
+from ..core.consumers.base import Consumer, TeardownError
+from ..core.subscriptions import (SubscriptionHandle, SubscriptionSpec,
+                                  sensor_key_for)
+
+__all__ = ["MonitoringClient", "ClientSession", "SensorInfo",
+           "SensorSelection", "ClientError", "compile_sensor_filter"]
+
+
+class ClientError(RuntimeError):
+    pass
+
+
+#: keyword -> directory attribute translation for fluent discovery
+_CRITERIA_ATTRS = {"type": "sensortype", "host": "hostname",
+                   "name": "sensor", "status": "status",
+                   "gateway": "gateway"}
+
+
+def compile_sensor_filter(**criteria: Any) -> str:
+    """Compile keyword criteria to LDAP filter text.
+
+    ``type``/``host``/``name``/``status``/``gateway`` map to the
+    attributes sensor managers publish (``sensortype``, ``hostname``,
+    ...); any other keyword is used as a raw attribute name.  Values
+    may contain ``*`` wildcards.  ``None`` values are skipped.
+
+    >>> compile_sensor_filter(type="cpu", host="dpss1.*")
+    '(&(objectclass=sensor)(sensortype=cpu)(hostname=dpss1.*))'
+    """
+    objectclass = criteria.pop("objectclass", "sensor")
+    parts = [f"(objectclass={objectclass})"]
+    for keyword, value in criteria.items():
+        if value is None:
+            continue
+        attr = _CRITERIA_ATTRS.get(keyword, keyword)
+        parts.append(f"({attr}={value})")
+    if len(parts) == 1:
+        return parts[0]
+    return "(&" + "".join(parts) + ")"
+
+
+@dataclass(frozen=True)
+class SensorInfo:
+    """One discovered sensor, as a typed row."""
+
+    key: str                    # the gateway subscription key
+    name: Optional[str]
+    host: Optional[str]
+    type: Optional[str]
+    status: Optional[str]
+    gateway_name: Optional[str]
+    gateway_host: Optional[str]
+    #: the underlying directory entry (consumers subscribe through it)
+    entry: Any = field(compare=False, repr=False, default=None)
+
+    @classmethod
+    def from_entry(cls, entry: Any) -> "SensorInfo":
+        return cls(key=sensor_key_for(entry), name=entry.first("sensor"),
+                   host=entry.first("hostname"),
+                   type=entry.first("sensortype"),
+                   status=entry.first("status"),
+                   gateway_name=entry.first("gateway"),
+                   gateway_host=entry.first("gatewayhost"),
+                   entry=entry)
+
+
+class SensorSelection(Sequence):
+    """The result of fluent discovery: typed rows plus the compiled
+    filter text (reusable for persistent searches and re-queries)."""
+
+    def __init__(self, infos: Iterable[SensorInfo], filter_text: str):
+        self._infos = list(infos)
+        self.filter_text = filter_text
+
+    def __len__(self) -> int:
+        return len(self._infos)
+
+    def __getitem__(self, index):
+        return self._infos[index]
+
+    def __iter__(self) -> Iterator[SensorInfo]:
+        return iter(self._infos)
+
+    def keys(self) -> list[str]:
+        return [info.key for info in self._infos]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<SensorSelection {len(self._infos)} sensor(s) "
+                f"filter={self.filter_text!r}>")
+
+
+class MonitoringClient:
+    """Facade over a directory client and a gateway resolver.
+
+    Usually obtained from a deployment: ``client = jamm.client()``.
+    Standalone construction needs the pieces every consumer needs —
+    the simulator, a directory client, and a gateway resolver.
+    """
+
+    def __init__(self, sim: Any, *, directory: Any,
+                 resolve_gateway: Any, host: Any = None,
+                 principal: Any = None, suffix: str = "o=grid"):
+        self.sim = sim
+        self.directory = directory
+        self.resolve_gateway = resolve_gateway
+        self.host = host
+        self.principal = principal
+        self.suffix = suffix
+
+    # -- fluent discovery ------------------------------------------------------
+
+    def sensors(self, *, filter_text: Optional[str] = None,
+                **criteria: Any) -> SensorSelection:
+        """Discover sensors: ``client.sensors(type="cpu",
+        host="dpss1.*")``.  Keyword criteria compile to LDAP filter
+        text (see :func:`compile_sensor_filter`); pass ``filter_text``
+        to use raw RFC-2254 text instead."""
+        if filter_text is None:
+            filter_text = compile_sensor_filter(**criteria)
+        elif criteria:
+            raise ClientError("pass either filter_text or criteria, not both")
+        result = self.directory.search(f"ou=sensors,{self.suffix}",
+                                       filter_text)
+        return SensorSelection((SensorInfo.from_entry(e)
+                                for e in result.entries), filter_text)
+
+    def find(self, key: str) -> Optional[SensorInfo]:
+        """The sensor with subscription key ``key``, or None."""
+        for info in self.sensors(filter_text=f"(sensorkey={key})"):
+            return info
+        # fall back to the sensor short name
+        for info in self.sensors(name=key):
+            return info
+        return None
+
+    # -- gateway resolution ------------------------------------------------------
+
+    def gateway_for(self, target: Union[str, SensorInfo]) -> Any:
+        """The gateway fronting a sensor (info row or subscription key)."""
+        info = self._resolve(target)
+        gateway = self.resolve_gateway(info.gateway_name, info.gateway_host)
+        if gateway is None:
+            raise ClientError(f"unknown gateway {info.gateway_name!r} "
+                              f"for sensor {info.key!r}")
+        return gateway
+
+    def _resolve(self, target: Union[str, SensorInfo]) -> SensorInfo:
+        if isinstance(target, SensorInfo):
+            return target
+        if isinstance(target, str):
+            info = self.find(target)
+            if info is None:
+                raise ClientError(f"no sensor {target!r} in the directory")
+            return info
+        # a raw directory entry
+        return SensorInfo.from_entry(target)
+
+    # -- point reads (no channel) --------------------------------------------------
+
+    def latest(self, target: Union[str, SensorInfo]) -> Any:
+        """Query mode: the sensor's most recent event (§2.2)."""
+        info = self._resolve(target)
+        return self.gateway_for(info).query(info.key,
+                                            principal=self.principal)
+
+    def summary(self, target: Union[str, SensorInfo],
+                field_name: str) -> Optional[dict]:
+        """The 1/10/60-minute summary snapshot for one series."""
+        info = self._resolve(target)
+        return self.gateway_for(info).summary(info.key, field_name,
+                                              principal=self.principal)
+
+    # -- sessions ---------------------------------------------------------------------
+
+    def session(self, *, principal: Any = None,
+                name: str = "") -> "ClientSession":
+        """A context-managed subscription scope::
+
+            with client.session() as s:
+                handles = s.subscribe_all(client.sensors(type="cpu"))
+                ...
+            # every subscription is closed here
+        """
+        return ClientSession(self, principal=principal, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        host = getattr(self.host, "name", None)
+        return f"<MonitoringClient host={host} suffix={self.suffix!r}>"
+
+
+class ClientSession:
+    """A scope of subscriptions with deterministic teardown.
+
+    Internally a plain :class:`Consumer` supplies the delivery
+    machinery (receive port, wire decode, handle demux), so sessions
+    behave exactly like the built-in consumer types — they just have no
+    ``on_event`` of their own: events live on the handles.
+    """
+
+    def __init__(self, client: MonitoringClient, *, principal: Any = None,
+                 name: str = ""):
+        self.client = client
+        self._consumer = Consumer(
+            client.sim, name=name, host=client.host,
+            directory=client.directory,
+            resolve_gateway=client.resolve_gateway,
+            principal=principal if principal is not None else client.principal,
+            suffix=client.suffix)
+        self.closed = False
+
+    @property
+    def handles(self) -> list[SubscriptionHandle]:
+        return self._consumer.handles
+
+    @property
+    def received(self) -> int:
+        """Events delivered into this session (all handles)."""
+        return self._consumer.received
+
+    # -- subscribing -----------------------------------------------------------
+
+    def subscribe(self, target: Union[str, SensorInfo, Any], *,
+                  spec: Optional[SubscriptionSpec] = None,
+                  on_event: Any = None, event_filter: Any = None,
+                  mode: str = "stream", fmt: str = "ulm") -> SubscriptionHandle:
+        """Open one subscription; ``target`` is a SensorInfo, a
+        directory entry, or a sensor key string."""
+        self._require_open()
+        info = self.client._resolve(target)
+        if isinstance(info, SensorInfo) and info.entry is None:
+            raise ClientError(
+                f"sensor info {info.key!r} carries no directory entry; "
+                "subscribe with one discovered via client.sensors()/find()")
+        handle = self._consumer.subscribe_entry(
+            info, spec=spec, event_filter=event_filter, mode=mode, fmt=fmt)
+        if on_event is not None:
+            handle.attach(on_event)
+        return handle
+
+    def subscribe_all(self, selection: Union[None, str, Iterable] = None, *,
+                      spec: Optional[SubscriptionSpec] = None,
+                      on_event: Any = None, event_filter: Any = None,
+                      mode: str = "stream", fmt: str = "ulm",
+                      **criteria: Any) -> list[SubscriptionHandle]:
+        """Open a subscription per sensor and return the handles.
+
+        ``selection`` is a :class:`SensorSelection`, LDAP filter text,
+        or None — in which case the keyword ``criteria`` run through
+        fluent discovery (``s.subscribe_all(type="cpu")``).
+        """
+        self._require_open()
+        if selection is None:
+            selection = self.client.sensors(**criteria)
+        elif criteria:
+            raise ClientError("pass either a selection or criteria, not both")
+        if isinstance(selection, str):
+            selection = self.client.sensors(filter_text=selection)
+        handles = []
+        for info in selection:
+            per_spec = spec.clone() if spec is not None else None
+            per_flt = event_filter.clone() if event_filter is not None else None
+            handles.append(self.subscribe(info, spec=per_spec,
+                                          on_event=on_event,
+                                          event_filter=per_flt,
+                                          mode=mode, fmt=fmt))
+        return handles
+
+    # -- introspection -----------------------------------------------------------------
+
+    def stats(self) -> list[dict]:
+        return [handle.stats() for handle in self.handles]
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise ClientError("session is closed")
+
+    def close(self) -> None:
+        """Close every handle (idempotent).  Per-handle failures are
+        aggregated into a single :class:`TeardownError` raised after
+        all handles have been attempted."""
+        if self.closed:
+            return
+        self.closed = True
+        self._consumer.close()
+
+    def __enter__(self) -> "ClientSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            self.close()
+        except TeardownError:
+            if exc_type is None:
+                raise
+            # don't mask the body's exception with teardown noise
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "closed" if self.closed else f"{len(self.handles)} handle(s)"
+        return f"<ClientSession {self._consumer.name} {state}>"

@@ -12,7 +12,7 @@ from .config import (ConfigError, JAMMConfig, MODES, PortMonitorConfig,
                      SensorConfig)
 from .consumers import (ArchiverAgent, AutoCollector, Consumer, EventCollector,
                         OverviewMonitor, OverviewRule,
-                        ProcessMonitorConsumer, all_hosts_down)
+                        ProcessMonitorConsumer, TeardownError, all_hosts_down)
 from .filters import (AllEvents, AndAll, Delta, EventFilter, EventNames,
                       FilterSpecError, OnChange, RateLimit, Threshold,
                       filter_from_dict)
@@ -25,6 +25,8 @@ from .gui import (PortMonitorGUI, SensorControlGUI, SensorDataGUI,
 from .jamm import JAMMDeployment
 from .manager import ManagerError, SensorManager
 from .portmon import PortMonitorAgent
+from .subscriptions import (Delivery, SpecError, SubscriptionHandle,
+                            SubscriptionMode, SubscriptionSpec, WireFormat)
 from .summaries import (DEFAULT_WINDOWS, SummaryService, SummarySet,
                         SummaryWindow)
 
@@ -41,7 +43,9 @@ __all__ = [
     "OverviewMonitor", "OverviewRule", "PortMonitorAgent",
     "PortMonitorConfig", "PortMonitorGUI", "ProcessMonitorConsumer", "RateLimit",
     "SensorControlGUI", "SensorDataGUI", "ascii_bar_chart", "render_table",
-    "SamplingPolicy", "SensorConfig", "SensorManager", "SummaryService",
-    "SummarySet", "SummaryWindow", "Threshold", "all_hosts_down",
+    "SamplingPolicy", "SensorConfig", "SensorManager", "SpecError",
+    "SubscriptionHandle", "SubscriptionMode", "SubscriptionSpec",
+    "SummaryService", "SummarySet", "SummaryWindow", "TeardownError",
+    "Threshold", "WireFormat", "Delivery", "all_hosts_down",
     "filter_from_dict",
 ]

@@ -7,7 +7,7 @@ decisions).
 
 from .archiver import ArchiverAgent
 from .autocollector import AutoCollector
-from .base import Consumer, ConsumerError
+from .base import Consumer, ConsumerError, TeardownError
 from .collector import EventCollector
 from .overview import OverviewMonitor, OverviewRule, all_hosts_down
 from .procmon import (ActionRecord, EmailAction, PagerAction,
@@ -16,6 +16,6 @@ from .procmon import (ActionRecord, EmailAction, PagerAction,
 __all__ = [
     "ActionRecord", "ArchiverAgent", "AutoCollector", "Consumer", "ConsumerError",
     "EmailAction", "EventCollector", "OverviewMonitor", "OverviewRule",
-    "PagerAction", "ProcessMonitorConsumer", "RestartAction",
+    "PagerAction", "ProcessMonitorConsumer", "RestartAction", "TeardownError",
     "all_hosts_down",
 ]

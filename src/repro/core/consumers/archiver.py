@@ -24,6 +24,7 @@ class ArchiverAgent(Consumer):
     """Subscribes like any consumer; stores admitted events in an archive."""
 
     consumer_type = "archiver"
+    handle_buffer_limit = 0  # events live in the archive
 
     def __init__(self, sim, *, archive: Optional[EventArchive] = None,
                  policy: Optional[SamplingPolicy] = None,
@@ -36,11 +37,11 @@ class ArchiverAgent(Consumer):
         self._dirty = False
         self._publisher = None
 
-    def subscribe_all(self, filter_text: str = "(objectclass=sensor)", *,
-                      event_filter: Any = None, mode: str = "stream",
-                      fmt: str = "ulm", base: Optional[str] = None) -> int:
-        opened = super().subscribe_all(filter_text, event_filter=event_filter,
-                                       mode=mode, fmt=fmt, base=base)
+    def subscribe_all(self, selection: Any = "(objectclass=sensor)",
+                      **kwargs: Any) -> int:
+        """Subscribe (filter text or a ``repro.client`` sensor
+        selection) and start the periodic catalog publisher."""
+        opened = super().subscribe_all(selection, **kwargs)
         if self.directory is not None and self._publisher is None:
             self._publisher = self.sim.spawn(self._publish_loop(),
                                              name=f"archiver-pub[{self.name}]")

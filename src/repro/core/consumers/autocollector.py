@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from .base import ConsumerError
 from .collector import EventCollector
 
 __all__ = ["AutoCollector"]
@@ -30,23 +31,46 @@ class AutoCollector(EventCollector):
         super().__init__(sim, **kwargs)
         self._watch_filter: Optional[str] = None
         self._event_filter_proto: Any = None
+        self._spec_proto: Any = None
         self._psearch_id: Optional[int] = None
         self._subscribed_keys: set[str] = set()
         self.notifications = 0
 
-    def watch(self, filter_text: str = "(objectclass=sensor)", *,
-              event_filter: Any = None,
+    def watch(self, filter_text: Any = "(objectclass=sensor)", *,
+              spec: Any = None, event_filter: Any = None,
               base: Optional[str] = None) -> int:
         """Subscribe to current matches and to every future one.
 
-        Returns the number of *immediate* subscriptions; later arrivals
-        are handled by the persistent-search notification.
+        ``filter_text`` is LDAP filter text or a ``repro.client``
+        sensor selection (whose compiled ``filter_text`` is reused for
+        the persistent search).  ``spec`` is a
+        :class:`~repro.core.subscriptions.SubscriptionSpec` prototype
+        cloned per sensor.  Returns the number of *immediate*
+        subscriptions; later arrivals are handled by the
+        persistent-search notification.
         """
+        entries = None
+        if not isinstance(filter_text, str):
+            # a persistent search needs filter text to match *future*
+            # sensors, so a bare entry list is not enough here — but a
+            # selection's current entries need no second directory trip
+            selection = filter_text
+            selection_filter = getattr(selection, "filter_text", None)
+            if selection_filter is None:
+                raise ConsumerError(
+                    f"{self.name}: watch() needs LDAP filter text or a "
+                    "selection carrying one (client.sensors(...)), not "
+                    f"{type(selection).__name__}")
+            entries = [getattr(item, "entry", item) for item in selection]
+            filter_text = selection_filter
         self._watch_filter = filter_text
         self._event_filter_proto = event_filter
+        self._spec_proto = spec
         base = base or f"ou=sensors,{self.suffix}"
+        if entries is None:
+            entries = self.discover(filter_text, base=base)
         opened = 0
-        for entry in self.discover(filter_text, base=base):
+        for entry in entries:
             opened += self._maybe_subscribe(entry)
         self._psearch_id = self.directory.persistent_search(
             base, filter_text, self._on_notification)
@@ -60,8 +84,10 @@ class AutoCollector(EventCollector):
             return 0
         flt = (self._event_filter_proto.clone()
                if self._event_filter_proto is not None else None)
+        per_spec = (self._spec_proto.clone()
+                    if self._spec_proto is not None else None)
         try:
-            self.subscribe_entry(entry, event_filter=flt)
+            self.subscribe_entry(entry, spec=per_spec, event_filter=flt)
         except Exception:
             return 0  # gateway unknown / not yet reachable: next update
         self._subscribed_keys.add(key)

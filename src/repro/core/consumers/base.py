@@ -6,40 +6,75 @@ The flow every consumer follows: look sensors up in the directory
 subscribe via each sensor's event gateway, and receive the event
 stream.
 
+Subscriptions are declarative: each one is a
+:class:`~repro.core.subscriptions.SubscriptionSpec` opened against the
+sensor's gateway, and the consumer holds the resulting
+:class:`~repro.core.subscriptions.SubscriptionHandle` objects
+(``self.handles``) — no hand-tracked ``(gateway, sub_id)`` tuples.
+
 Delivery paths:
 
 * in-process callback, when the gateway has no network identity;
 * a bound receive port on the consumer's host, when both sides are on
   the simulated network — the gateway pushes rendered events (ULM /
-  XML / binary) which the consumer decodes.
+  XML / binary) tagged with the originating gateway and subscription
+  id, which the consumer decodes and routes to the owning handle.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional, Union
 
 from ...ulm import ULMMessage, decode as ulm_decode, from_xml, parse as parse_ulm
+from ..subscriptions import (DEFAULT_BUFFER_LIMIT, Delivery,
+                             SubscriptionHandle, SubscriptionSpec,
+                             sensor_key_for)
 
-__all__ = ["Consumer", "ConsumerError"]
+__all__ = ["Consumer", "ConsumerError", "TeardownError"]
 
-_recv_ports = itertools.count(20000)
+#: receive ports are ``base + per-sim serial`` so they never depend on
+#: how many consumers earlier simulations in the same process created
+RECV_PORT_BASE = 20000
 
 
 class ConsumerError(RuntimeError):
     pass
 
 
+class TeardownError(ConsumerError):
+    """One or more handles failed to close during bulk teardown.
+
+    Raised *after* every handle has been attempted, so a single broken
+    gateway cannot strand the rest of the subscriptions.  ``failures``
+    holds ``(handle, exception)`` pairs.
+    """
+
+    def __init__(self, failures: list):
+        self.failures = list(failures)
+        detail = "; ".join(f"sub #{h.sub_id} ({h.sensor}): "
+                           f"{type(e).__name__}: {e}"
+                           for h, e in self.failures)
+        super().__init__(f"{len(self.failures)} subscription(s) failed "
+                         f"to close: {detail}")
+
+
 class Consumer:
     """Base class for the four JAMM consumer types."""
 
     consumer_type = "consumer"
+    #: events each handle buffers for ``.events()`` when the consumer
+    #: builds the spec itself.  Consumer types that keep their own
+    #: event store (collector, archiver, ...) set this to 0 so the
+    #: delivery hot path never fills buffers nobody reads; an
+    #: explicitly passed spec always keeps its own ``buffer_limit``.
+    handle_buffer_limit = DEFAULT_BUFFER_LIMIT
 
     def __init__(self, sim, *, name: str = "", host: Any = None,
                  directory: Any = None, resolve_gateway: Optional[Callable] = None,
                  principal: Any = None, suffix: str = "o=grid"):
         self.sim = sim
-        self.name = name or f"{self.consumer_type}{next(_recv_ports)}"
+        self.name = name or (f"{self.consumer_type}"
+                             f"{sim.serial(f'consumer:{self.consumer_type}')}")
         self.host = host
         self.directory = directory
         self.resolve_gateway = resolve_gateway
@@ -47,10 +82,17 @@ class Consumer:
         self.suffix = suffix
         self.received = 0
         self.decode_errors = 0
-        #: (gateway, sub_id) pairs for teardown
-        self.subscriptions: list[tuple] = []
+        #: live SubscriptionHandle objects, in open order
+        self.handles: list[SubscriptionHandle] = []
+        #: (gateway name, sub id) -> handle, for network-delivery demux
+        self._wire_handles: dict[tuple, SubscriptionHandle] = {}
         self._recv_port: Optional[int] = None
         self._extra_handlers: list[Callable[[ULMMessage], None]] = []
+
+    @property
+    def subscriptions(self) -> list[tuple]:
+        """Legacy view: ``(gateway, sub_id)`` pairs for open handles."""
+        return [(h.gateway, h.sub_id) for h in self.handles if not h.closed]
 
     # -- discovery -----------------------------------------------------------
 
@@ -76,55 +118,100 @@ class Consumer:
 
     def _ensure_recv_port(self) -> int:
         if self._recv_port is None:
-            self._recv_port = next(_recv_ports)
+            self._recv_port = (RECV_PORT_BASE
+                               + self.sim.serial("consumer-recv-port"))
             self.host.ports.bind(self._recv_port, self._handle_delivery)
         return self._recv_port
 
-    def subscribe_entry(self, entry, *, event_filter: Any = None,
-                        mode: str = "stream", fmt: str = "ulm") -> int:
-        """Subscribe to the sensor a directory entry describes."""
+    def subscribe_entry(self, entry, *, spec: Optional[SubscriptionSpec] = None,
+                        event_filter: Any = None, mode: str = "stream",
+                        fmt: str = "ulm") -> SubscriptionHandle:
+        """Subscribe to the sensor a directory entry (or a
+        ``repro.client`` SensorInfo wrapping one) describes."""
+        entry = getattr(entry, "entry", entry)
         gateway = self._gateway_for(entry)
-        sensor_name = (entry.first("sensorkey") or entry.first("sensor")
-                       or entry.dn.rdn[1])
-        return self.subscribe(gateway, sensor_name, event_filter=event_filter,
-                              mode=mode, fmt=fmt)
+        sensor_name = sensor_key_for(entry)
+        if spec is not None:
+            spec = spec.replace(sensor=sensor_name)
+        return self.subscribe(gateway, sensor_name, spec=spec,
+                              event_filter=event_filter, mode=mode, fmt=fmt)
 
-    def subscribe_all(self, filter_text: str = "(objectclass=sensor)", *,
+    def subscribe_all(self, selection: Union[str, Iterable] =
+                      "(objectclass=sensor)", *,
+                      spec: Optional[SubscriptionSpec] = None,
                       event_filter: Any = None, mode: str = "stream",
                       fmt: str = "ulm", base: Optional[str] = None) -> int:
-        """Discover matching sensors and subscribe to each.
+        """Subscribe to every sensor in ``selection``.
 
-        Stateful filters are cloned per subscription so change/threshold
-        detection stays independent per sensor.  Returns the number of
-        subscriptions opened.
+        ``selection`` is either LDAP filter text (resolved through the
+        directory) or an iterable of directory entries / SensorInfo
+        objects — e.g. a ``repro.client`` ``client.sensors(...)``
+        selection.  Stateful specs/filters are cloned per subscription
+        so change/threshold detection stays independent per sensor.
+        Returns the number of subscriptions opened.
         """
-        entries = self.discover(filter_text, base=base)
+        if isinstance(selection, str):
+            entries = self.discover(selection, base=base)
+        else:
+            entries = list(selection)
         for entry in entries:
+            per_spec = spec.clone() if spec is not None else None
             flt = event_filter.clone() if event_filter is not None else None
-            self.subscribe_entry(entry, event_filter=flt, mode=mode, fmt=fmt)
+            self.subscribe_entry(entry, spec=per_spec, event_filter=flt,
+                                 mode=mode, fmt=fmt)
         return len(entries)
 
-    def subscribe(self, gateway, sensor_name: str, *, event_filter: Any = None,
-                  mode: str = "stream", fmt: str = "ulm") -> int:
+    def subscribe(self, gateway, sensor_name: Optional[str] = None, *,
+                  spec: Optional[SubscriptionSpec] = None,
+                  event_filter: Any = None, mode: str = "stream",
+                  fmt: str = "ulm") -> SubscriptionHandle:
+        """Open one subscription on ``gateway`` and return its handle.
+
+        Builds a :class:`SubscriptionSpec` from the kwargs unless one is
+        passed explicitly; the consumer supplies the delivery path
+        (receive port when both sides are networked, in-process
+        otherwise) and its principal.
+        """
+        if spec is None:
+            if sensor_name is None:
+                raise ConsumerError(f"{self.name}: need a sensor name or spec")
+            spec = SubscriptionSpec(sensor=sensor_name, mode=mode, fmt=fmt,
+                                    event_filter=event_filter,
+                                    buffer_limit=self.handle_buffer_limit)
+        elif sensor_name is not None and spec.sensor != sensor_name:
+            spec = spec.replace(sensor=sensor_name)
+        if spec.principal is None and self.principal is not None:
+            spec = spec.replace(principal=self.principal)
         use_network = (self.host is not None and gateway.host is not None
                        and gateway.host is not self.host
                        and gateway.transport is not None)
-        if use_network:
-            sub_id = gateway.subscribe(
-                sensor_name, mode=mode, event_filter=event_filter, fmt=fmt,
-                remote=(self.host, self._ensure_recv_port()),
-                principal=self.principal)
-        else:
-            sub_id = gateway.subscribe(
-                sensor_name, mode=mode, event_filter=event_filter, fmt=fmt,
-                callback=self._accept, principal=self.principal)
-        self.subscriptions.append((gateway, sub_id))
-        return sub_id
+        if spec.delivery is None or spec.delivery.kind == "none":
+            if spec.mode.value == "stream":
+                delivery = (Delivery.remote(self.host, self._ensure_recv_port())
+                            if use_network else Delivery.callback())
+                spec = spec.replace(delivery=delivery)
+        handle = gateway.open(spec)
+        handle.attach(self._accept)
+        self.handles.append(handle)
+        if handle.spec.delivery is not None and \
+                handle.spec.delivery.kind == "remote":
+            self._wire_handles[(gateway.name, handle.sub_id)] = handle
+        return handle
 
     def unsubscribe_all(self) -> None:
-        for gateway, sub_id in self.subscriptions:
-            gateway.unsubscribe(sub_id)
-        self.subscriptions.clear()
+        """Close every open handle.  Idempotent; a handle that fails to
+        close does not stop the rest — failures are collected and
+        raised together as :class:`TeardownError`."""
+        handles, self.handles = self.handles, []
+        self._wire_handles.clear()
+        failures = []
+        for handle in handles:
+            try:
+                handle.close()
+            except Exception as exc:  # noqa: BLE001 - aggregated below
+                failures.append((handle, exc))
+        if failures:
+            raise TeardownError(failures)
 
     # -- delivery ---------------------------------------------------------------------
 
@@ -144,7 +231,14 @@ class Consumer:
         except Exception:
             self.decode_errors += 1
             return
-        self._accept(event)
+        handle = self._wire_handles.get((payload.get("gw"),
+                                         payload.get("sub")))
+        if handle is not None:
+            # the handle buffers the event and fans out to attached
+            # callbacks — self._accept among them
+            handle._dispatch(event)
+        else:
+            self._accept(event)
 
     def _accept(self, event: ULMMessage) -> None:
         self.received += 1
@@ -159,7 +253,9 @@ class Consumer:
         """Subclass hook."""
 
     def close(self) -> None:
-        self.unsubscribe_all()
-        if self._recv_port is not None and self.host is not None:
-            self.host.ports.unbind(self._recv_port)
-            self._recv_port = None
+        try:
+            self.unsubscribe_all()
+        finally:
+            if self._recv_port is not None and self.host is not None:
+                self.host.ports.unbind(self._recv_port)
+                self._recv_port = None

@@ -23,6 +23,7 @@ class EventCollector(Consumer):
     """Collects subscribed event streams into a merged, time-ordered log."""
 
     consumer_type = "collector"
+    handle_buffer_limit = 0  # events live in self.messages/self.window
 
     def __init__(self, sim, *, window_span: float = 120.0, **kwargs):
         super().__init__(sim, **kwargs)

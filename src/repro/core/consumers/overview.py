@@ -68,6 +68,7 @@ class OverviewMonitor(Consumer):
     """Combines events from several hosts and runs cross-host rules."""
 
     consumer_type = "overview"
+    handle_buffer_limit = 0  # only per-host latest state is kept
 
     def __init__(self, sim, **kwargs):
         super().__init__(sim, **kwargs)

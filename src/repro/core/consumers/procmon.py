@@ -95,6 +95,7 @@ class ProcessMonitorConsumer(Consumer):
     """
 
     consumer_type = "procmon"
+    handle_buffer_limit = 0  # actions_taken is the record of interest
 
     def __init__(self, sim, *, rules: Optional[dict] = None, **kwargs):
         super().__init__(sim, **kwargs)

@@ -5,7 +5,7 @@ queued server with read- vs write-optimized backends, referrals,
 master–replica replication, persistent search, and a failover client.
 """
 
-from .client import DirectoryClient
+from .client import DirectoryClient, unwrap_directory
 from .entry import DN, DNError, Entry
 from .filterlang import (AndFilter, CompareFilter, EqualityFilter,
                          FilterSyntaxError, NotFilter, OrFilter,
@@ -23,4 +23,5 @@ __all__ = [
     "NotFilter", "OrFilter", "PersistentSearch", "PresenceFilter",
     "Referral", "ReplicatedDirectory", "SearchFilter", "SearchResult",
     "SubstringFilter", "deploy_replicated_directory", "parse_filter",
+    "unwrap_directory",
 ]

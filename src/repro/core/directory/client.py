@@ -17,7 +17,23 @@ from .entry import DN, Entry
 from .server import (DirectoryError, DirectoryServer, LDAP_PORT, Referral,
                      SearchResult)
 
-__all__ = ["DirectoryClient"]
+__all__ = ["DirectoryClient", "unwrap_directory"]
+
+
+def unwrap_directory(obj: Any, suffix: Optional[str] = None) -> tuple:
+    """Accept a directory client or a ``repro.client.MonitoringClient``
+    facade; return ``(directory, suffix)``.
+
+    Surfaces that only need directory reads/writes (GUIs, the
+    network-aware client) take either object; the facade is recognized
+    by its ``sensors`` + ``directory`` attributes.  An explicitly
+    passed ``suffix`` always wins; ``None`` means "the facade's suffix,
+    or the default ``o=grid``"."""
+    if hasattr(obj, "sensors") and hasattr(obj, "directory"):
+        if suffix is None:
+            suffix = getattr(obj, "suffix", None)
+        obj = obj.directory
+    return obj, (suffix if suffix is not None else "o=grid")
 
 
 class DirectoryClient:

@@ -24,17 +24,27 @@ The gateway also:
   crosses from the monitored host to the gateway once, and the gateway
   fans out (§2.3) — and nothing at all flows for sensors nobody
   subscribed to.
+
+Subscriptions are opened from a typed :class:`SubscriptionSpec` via
+:meth:`EventGateway.open`, which returns a first-class
+:class:`SubscriptionHandle` (see :mod:`repro.core.subscriptions` and
+the :mod:`repro.client` facade).  The pre-spec kwarg signature
+:meth:`EventGateway.subscribe` survives as a thin deprecation shim
+returning the bare subscription id.
 """
 
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from ..simgrid.kernel import Simulator
 from ..ulm import ULMMessage, encode, serialize, to_xml
-from .filters import AllEvents, EventFilter, EventNames, filter_from_dict
+from .filters import AllEvents, EventFilter, EventNames
+from .subscriptions import (Delivery, SpecError, SubscriptionHandle,
+                            SubscriptionMode, SubscriptionSpec)
 from .summaries import SummaryService
 
 __all__ = ["EventGateway", "Subscription", "GatewayError", "GATEWAY_PORT"]
@@ -42,7 +52,6 @@ __all__ = ["EventGateway", "Subscription", "GatewayError", "GATEWAY_PORT"]
 GATEWAY_PORT = 14840
 #: port on which gateways accept forwarded events from remote sensor hosts
 INTAKE_PORT = 14841
-_sub_ids = itertools.count(1)
 
 
 class GatewayError(RuntimeError):
@@ -77,6 +86,15 @@ class Subscription:
     #: index path reconstruct ``filtered`` without touching skipped
     #: subscriptions per event (see _SensorHandle.reconcile_filtered)
     events_at_subscribe: int = 0
+    #: True when routed through the NL.EVNT index (EventNames filter):
+    #: ``filtered`` is then reconstructed by formula, never counted
+    indexed: bool = False
+    #: paused subscriptions are dropped from the fan-out structures, so
+    #: the per-event hot path never sees them
+    paused: bool = False
+    #: sensor events_in when the current pause began (missed events are
+    #: folded into ``filtered`` on resume / reconcile)
+    pause_mark: int = 0
 
 
 @dataclass
@@ -100,7 +118,7 @@ class _SensorHandle:
         self.by_event = {}
         self.indexed_subs = []
         for sub in self.subscriptions:
-            if sub.mode != "stream":
+            if sub.mode != "stream" or sub.paused:
                 continue
             flt = sub.event_filter
             if type(flt) is EventNames:
@@ -113,15 +131,30 @@ class _SensorHandle:
             else:
                 self.generic.append(sub)
 
-    def reconcile_filtered(self) -> None:
-        """Bring indexed subscriptions' ``filtered`` counters current.
+    def reconcile_filtered(self) -> int:
+        """Bring subscriptions' ``filtered`` counters current.
 
-        The hot path never touches skipped subscriptions, so their
-        counter is reconstructed on observation: every event ingested
-        since subscribing was either delivered or filtered."""
-        for sub in self.indexed_subs:
-            sub.filtered = (self.events_in - sub.events_at_subscribe
-                            - sub.delivered)
+        The hot path never touches skipped subscriptions, so indexed
+        counters are reconstructed on observation (every event ingested
+        since subscribing was either delivered or filtered), and events
+        missed by paused subscriptions are folded in.  Returns the
+        number of pause-gap events newly accounted, so the gateway can
+        keep its aggregate ``events_filtered`` consistent with the sum
+        of the per-subscription counters."""
+        pause_gap = 0
+        for sub in self.subscriptions:
+            if sub.mode != "stream":
+                continue
+            if sub.paused:
+                gap = self.events_in - sub.pause_mark
+                sub.pause_mark = self.events_in
+                pause_gap += gap
+                if not sub.indexed:
+                    sub.filtered += gap
+            if sub.indexed:
+                sub.filtered = (self.events_in - sub.events_at_subscribe
+                                - sub.delivered)
+        return pause_gap
 
 
 class EventGateway:
@@ -139,6 +172,9 @@ class EventGateway:
         self.authz = authz
         self._handles: dict[str, _SensorHandle] = {}
         self._subs: dict[int, Subscription] = {}
+        # per-gateway id sequence: ids must not depend on how many
+        # gateways (or simulations) ran earlier in the process
+        self._sub_ids = itertools.count(1)
         self._summary_specs: dict[str, tuple] = {}  # sensor -> fields
         self.summaries = SummaryService(
             spans=summary_spans or (60.0, 600.0, 3600.0),
@@ -252,12 +288,54 @@ class EventGateway:
                 wire = rendered[sub.fmt] = _render(msg, sub.fmt)
             size = len(wire) if isinstance(wire, (str, bytes)) else 256
             self.transport.send(self.host, dst_host, dst_port,
-                                {"sub": sub.sub_id, "fmt": sub.fmt,
-                                 "wire": wire},
+                                {"sub": sub.sub_id, "gw": self.name,
+                                 "fmt": sub.fmt, "wire": wire},
                                 size_bytes=size,
                                 on_fail=lambda exc: None)
 
     # -- subscription API ------------------------------------------------------------
+
+    def open(self, spec: SubscriptionSpec) -> SubscriptionHandle:
+        """Open a subscription described by ``spec``; the primary API.
+
+        Streaming specs need a resolved delivery path (callback or
+        remote address).  Returns a :class:`SubscriptionHandle`; for
+        callback/handle-buffered delivery, events route through the
+        handle's dispatch so ``handle.events()`` and attached callbacks
+        observe the stream.
+        """
+        spec.validate()
+        streaming = spec.mode is SubscriptionMode.STREAM
+        self._authorize(spec.principal,
+                        "events.stream" if streaming else "events.query")
+        sensor_handle = self._handles.get(spec.sensor)
+        if sensor_handle is None:
+            raise GatewayError(f"gateway {self.name} fronts no sensor "
+                               f"{spec.sensor!r}")
+        event_filter = spec.event_filter or AllEvents()
+        sub = Subscription(sub_id=next(self._sub_ids),
+                           sensor_name=spec.sensor,
+                           mode=spec.mode.value,
+                           event_filter=event_filter,
+                           fmt=spec.fmt.value,
+                           principal=spec.principal,
+                           events_at_subscribe=sensor_handle.events_in,
+                           indexed=(streaming
+                                    and type(event_filter) is EventNames))
+        handle = SubscriptionHandle(self, spec, sub.sub_id)
+        delivery = spec.delivery or Delivery.none()
+        if delivery.kind == "callback":
+            sub.callback = handle._dispatch
+        elif delivery.kind == "remote":
+            sub.remote = delivery.address
+        was_empty = not sensor_handle.subscriptions
+        sensor_handle.subscriptions.append(sub)
+        sensor_handle.reindex()
+        sensor_handle.sensor.consumer_count = len(sensor_handle.subscriptions)
+        self._subs[sub.sub_id] = sub
+        if was_empty:
+            self._set_forwarding(sensor_handle, True)
+        return handle
 
     def subscribe(self, sensor_name: str, *, mode: str = "stream",
                   event_filter: Optional[EventFilter] = None,
@@ -265,37 +343,22 @@ class EventGateway:
                   callback: Optional[Callable] = None,
                   remote: Optional[tuple] = None,
                   principal: Any = None) -> int:
-        """Open a channel (stream) or register interest (query).
+        """Deprecated kwarg shim over :meth:`open`.
 
-        Returns the subscription id.  Exactly one of ``callback`` /
-        ``remote`` must be given for streaming subscriptions.
+        Returns the bare subscription id, as the pre-spec API did.
+        New code should build a :class:`SubscriptionSpec` and call
+        :meth:`open` (or go through :mod:`repro.client`).
         """
-        self._authorize(principal, "events.stream" if mode == "stream"
-                        else "events.query")
-        if mode not in ("stream", "query"):
-            raise GatewayError(f"bad mode {mode!r}")
-        if fmt not in ("ulm", "xml", "binary"):
-            raise GatewayError(f"unknown event format {fmt!r}")
-        if mode == "stream" and callback is None and remote is None:
-            raise GatewayError("streaming subscription needs a delivery path")
-        handle = self._handles.get(sensor_name)
-        if handle is None:
-            raise GatewayError(f"gateway {self.name} fronts no sensor "
-                               f"{sensor_name!r}")
-        sub = Subscription(sub_id=next(_sub_ids), sensor_name=sensor_name,
-                           mode=mode,
-                           event_filter=event_filter or AllEvents(),
-                           fmt=fmt, callback=callback, remote=remote,
-                           principal=principal,
-                           events_at_subscribe=handle.events_in)
-        was_empty = not handle.subscriptions
-        handle.subscriptions.append(sub)
-        handle.reindex()
-        handle.sensor.consumer_count = len(handle.subscriptions)
-        self._subs[sub.sub_id] = sub
-        if was_empty:
-            self._set_forwarding(handle, True)
-        return sub.sub_id
+        warnings.warn("EventGateway.subscribe(**kwargs) is deprecated; "
+                      "build a SubscriptionSpec and call EventGateway.open()",
+                      DeprecationWarning, stacklevel=2)
+        try:
+            spec = SubscriptionSpec.from_legacy(
+                sensor_name, mode=mode, event_filter=event_filter, fmt=fmt,
+                callback=callback, remote=remote, principal=principal)
+            return self.open(spec).sub_id
+        except SpecError as exc:
+            raise GatewayError(str(exc)) from exc
 
     def unsubscribe(self, sub_id: int) -> bool:
         sub = self._subs.pop(sub_id, None)
@@ -303,13 +366,50 @@ class EventGateway:
             return False
         handle = self._handles.get(sub.sensor_name)
         if handle is not None:
-            handle.reconcile_filtered()
+            self.events_filtered += handle.reconcile_filtered()
             handle.subscriptions = [s for s in handle.subscriptions
                                     if s.sub_id != sub_id]
             handle.reindex()
             handle.sensor.consumer_count = len(handle.subscriptions)
             if not handle.subscriptions:
                 self._set_forwarding(handle, False)
+        return True
+
+    # -- flow control --------------------------------------------------------------
+
+    def pause(self, sub_id: int) -> bool:
+        """Stop deliveries for one subscription, keeping it registered.
+
+        Paused subscriptions are dropped from the fan-out index, so the
+        per-event hot path pays nothing for them; events missed while
+        paused count as filtered."""
+        sub = self._subs.get(sub_id)
+        if sub is None or sub.mode != "stream" or sub.paused:
+            return False
+        handle = self._handles.get(sub.sensor_name)
+        sub.paused = True
+        sub.pause_mark = handle.events_in if handle is not None else 0
+        if handle is not None:
+            handle.reindex()
+        return True
+
+    def resume(self, sub_id: int) -> bool:
+        sub = self._subs.get(sub_id)
+        if sub is None or not sub.paused:
+            return False
+        handle = self._handles.get(sub.sensor_name)
+        if handle is not None:
+            # fold the pause gap into the counters: per-sub for generic
+            # subs (indexed ones reconstruct by formula) and aggregate
+            # for both, since ingest() never saw the paused sub
+            gap = handle.events_in - sub.pause_mark
+            self.events_filtered += gap
+            if not sub.indexed:
+                sub.filtered += gap
+            sub.pause_mark = handle.events_in
+        sub.paused = False
+        if handle is not None:
+            handle.reindex()
         return True
 
     def query(self, sensor_name: str, *, principal: Any = None) -> Optional[ULMMessage]:
@@ -367,16 +467,18 @@ class EventGateway:
         op = req.get("op")
         try:
             if op == "subscribe":
-                flt = (filter_from_dict(req["filter"])
-                       if req.get("filter") else None)
-                sub_id = self.subscribe(
-                    req["sensor"], mode=req.get("mode", "stream"),
-                    event_filter=flt, fmt=req.get("fmt", "ulm"),
-                    remote=(msg.src_host, req["port"]) if "port" in req else None,
-                    principal=req.get("principal"))
-                transport.reply(msg, {"ok": True, "sub_id": sub_id})
+                spec = SubscriptionSpec.from_request(req)
+                if "port" in req:
+                    spec = spec.replace(
+                        delivery=Delivery.remote(msg.src_host, req["port"]))
+                handle = self.open(spec)
+                transport.reply(msg, {"ok": True, "sub_id": handle.sub_id})
             elif op == "unsubscribe":
                 transport.reply(msg, {"ok": self.unsubscribe(req["sub_id"])})
+            elif op == "pause":
+                transport.reply(msg, {"ok": self.pause(req["sub_id"])})
+            elif op == "resume":
+                transport.reply(msg, {"ok": self.resume(req["sub_id"])})
             elif op == "query":
                 event = self.query(req["sensor"],
                                    principal=req.get("principal"))
@@ -395,9 +497,22 @@ class EventGateway:
 
     # -- diagnostics ---------------------------------------------------------------------------
 
+    def sub_stats(self, sub_id: int) -> Optional[dict]:
+        """Current counters for one subscription (handles' ``.stats()``)."""
+        sub = self._subs.get(sub_id)
+        if sub is None:
+            return None
+        handle = self._handles.get(sub.sensor_name)
+        if handle is not None:
+            self.events_filtered += handle.reconcile_filtered()
+        return {"sub_id": sub.sub_id, "sensor": sub.sensor_name,
+                "mode": sub.mode, "fmt": sub.fmt,
+                "delivered": sub.delivered, "filtered": sub.filtered,
+                "paused": sub.paused}
+
     def stats(self) -> dict:
         for handle in self._handles.values():
-            handle.reconcile_filtered()
+            self.events_filtered += handle.reconcile_filtered()
         return {"name": self.name,
                 "sensors": len(self._handles),
                 "subscriptions": len(self._subs),

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Optional, Sequence
 
+from .directory import unwrap_directory
+
 __all__ = ["SensorDataGUI", "SensorControlGUI", "PortMonitorGUI",
            "render_table", "ascii_bar_chart"]
 
@@ -55,15 +57,17 @@ class SensorDataGUI:
     """The Sensor Data GUI model: sensors as listed in one directory.
 
     Reads the LDAP tree (not the managers directly), exactly as the
-    real GUI did — so it shows what any remote user would see.
+    real GUI did — so it shows what any remote user would see.  Accepts
+    either a raw directory client or a
+    :class:`repro.client.MonitoringClient` facade (``jamm.client()``).
     """
 
     COLUMNS = ("sensor", "host", "type", "status", "frequency",
                "gateway")
 
-    def __init__(self, directory: Any, *, suffix: str = "o=grid"):
-        self.directory = directory
-        self.suffix = suffix
+    def __init__(self, directory: Any, *, suffix: Optional[str] = None):
+        # suffix=None: the facade's suffix if one is passed, else o=grid
+        self.directory, self.suffix = unwrap_directory(directory, suffix)
 
     def rows(self, filter_text: str = "(objectclass=sensor)") -> list[dict]:
         result = self.directory.search(f"ou=sensors,{self.suffix}",

@@ -8,8 +8,9 @@ The paper's Fig. 1 topology in a few lines::
     gw = jamm.add_gateway("gw-lbl", host=world.host("gw.lbl.gov"))
     config = jamm.standard_config(vmstat=True, netstat=True)
     jamm.add_manager(world.host("dpss1.lbl.gov"), config=config, gateway=gw)
+    client = jamm.client(host=world.host("mems.cairn.net"))
     collector = jamm.collector(host=world.host("mems.cairn.net"))
-    collector.subscribe_all("(sensortype=vmstat)")
+    collector.subscribe_all(client.sensors(type="vmstat"))
     world.run(until=60)
 """
 
@@ -57,6 +58,26 @@ class JAMMDeployment:
         return self.directory.client(host=host, transport=self.world.transport,
                                      principal=principal,
                                      prefer_replica=prefer_replica)
+
+    # -- consumer-facing client facade ------------------------------------------
+
+    def client(self, *, host: Any = None, principal: Any = None,
+               prefer_replica: bool = False):
+        """A :class:`repro.client.MonitoringClient` over this
+        deployment: fluent sensor discovery, subscription sessions,
+        and query/summary point reads.
+
+        Reads go master-first by default so a write through the same
+        facade is immediately visible; pass ``prefer_replica=True`` for
+        read-mostly consumers that can tolerate the replication delay.
+        """
+        from ..client import MonitoringClient  # lazy: avoids import cycle
+        return MonitoringClient(
+            self.sim,
+            directory=self.directory_client(host=host, principal=principal,
+                                            prefer_replica=prefer_replica),
+            resolve_gateway=self.resolve_gateway,
+            host=host, principal=principal, suffix=self.suffix)
 
     # -- gateways ---------------------------------------------------------------
 

@@ -1,0 +1,36 @@
+"""Smoke test: every example under ``examples/`` must run end to end.
+
+Each example is a short simulated scenario (sub-second wall time), so
+running them for real — in a subprocess, like a user would — is the
+cheapest way to catch API regressions in the documented surface.  This
+is exactly where the ``repro.client`` migration lives, so it is tier-1.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_are_present():
+    assert len(EXAMPLES) == 6, "examples/*.py changed; update this test"
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(example):
+    proc = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True, text=True, timeout=120,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"})
+    assert proc.returncode == 0, (
+        f"{example.name} failed\n--- stdout ---\n{proc.stdout[-2000:]}"
+        f"\n--- stderr ---\n{proc.stderr[-2000:]}")
+    assert proc.stdout.strip(), f"{example.name} printed nothing"
+    # the examples are the documented surface of the new client API —
+    # a deprecation warning here means one regressed to the legacy shim
+    assert "DeprecationWarning" not in proc.stderr, proc.stderr[-2000:]
