@@ -1,0 +1,86 @@
+"""Archive query throughput: queries/s, time-indexed vs seed predicate scan.
+
+Two query populations over one archive of monotonically timestamped
+events:
+
+* ``narrow_window`` — a ~100-event time window at rotating offsets; the
+  time-ordered store resolves it with two binary searches, while the
+  seed engine runs the predicate over every archived message.
+* ``window_host_event`` — the same windows constrained to one host and
+  one event name, composing the sorted-id equality indexes with the
+  window position range.
+"""
+
+from __future__ import annotations
+
+from repro.core.archive import ArchiveQuery, EventArchive
+from repro.ulm import ULMMessage
+
+from . import baseline
+from .timing import best_rate
+
+__all__ = ["run", "build_archive"]
+
+_HOSTS = 20
+_EVENTS = ("CPU_USAGE", "MEM_USAGE", "NET_IO", "DISK_IO", "PROC_COUNT")
+_T0 = 100.0
+_DT = 1e-3  # one event per simulated millisecond
+
+
+def build_archive(n_events: int) -> tuple[EventArchive, baseline.SeedEventArchive]:
+    archive = EventArchive(name="bench-archive")
+    seed = baseline.SeedEventArchive()
+    hosts = [f"host{i:02d}.lbl.gov" for i in range(_HOSTS)]
+    for i in range(n_events):
+        msg = ULMMessage(date=_T0 + i * _DT, host=hosts[i % _HOSTS],
+                         prog="sensor", event=_EVENTS[i % len(_EVENTS)],
+                         fields={"VALUE": str(i % 97)})
+        archive.append(msg)
+        seed.append(msg)
+    return archive, seed
+
+
+def _queries(n_events: int, n_queries: int, *, constrained: bool) -> list[ArchiveQuery]:
+    span = n_events * _DT
+    width = 100 * _DT  # ~100 events per window
+    out = []
+    for i in range(n_queries):
+        t0 = _T0 + (i * 37 % max(n_events - 100, 1)) * _DT
+        q = {"t0": t0, "t1": min(t0 + width, _T0 + span)}
+        if constrained:
+            q["host"] = f"host{i % _HOSTS:02d}.lbl.gov"
+            q["event"] = _EVENTS[i % len(_EVENTS)]
+        out.append(ArchiveQuery(**q))
+    return out
+
+
+def _drive(store, queries: list[ArchiveQuery]) -> int:
+    found = 0
+    for q in queries:
+        found += len(store.query(q))
+    return found
+
+
+def run(quick: bool = False) -> dict:
+    n_events = 2000 if quick else 100000
+    n_queries = 5 if quick else 40
+    repeats = 1 if quick else 3
+    archive, seed = build_archive(n_events)
+
+    out: dict = {"n_events": n_events}
+    for key, constrained in (("narrow_window", False),
+                             ("window_host_event", True)):
+        queries = _queries(n_events, n_queries, constrained=constrained)
+        # parity: binary-searched windows must equal the predicate scan
+        for q in queries[:3]:
+            assert archive.query(q) == seed.query(q), f"mismatch for {q}"
+        row = {
+            "n_queries": n_queries,
+            "queries_per_s": best_rate(
+                lambda: _drive(archive, queries), n_queries, repeats),
+            "seed_queries_per_s": best_rate(
+                lambda: _drive(seed, queries), n_queries, repeats),
+        }
+        row["speedup"] = row["queries_per_s"] / row["seed_queries_per_s"]
+        out[key] = row
+    return out

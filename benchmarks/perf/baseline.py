@@ -20,7 +20,8 @@ from repro.ulm.fields import DATE, HOST, LVL, PROG, is_valid_field_name
 from repro.ulm.parse import ParseError
 
 __all__ = ["seed_serialize", "seed_parse", "seed_parse_stream",
-           "seed_serialize_stream", "seed_fanout", "SeedSummaryWindow"]
+           "seed_serialize_stream", "seed_fanout", "SeedSummaryWindow",
+           "seed_directory_search", "SeedEventArchive"]
 
 
 # -- seed ULM codec: per-character tokenizer, per-event strftime/strptime ----
@@ -160,3 +161,65 @@ class SeedSummaryWindow:
 
     def maximum(self):
         return max((v for _, v in self._samples), default=None)
+
+
+# -- seed directory search: re-parse the filter, linear-scan every entry -----
+
+def seed_directory_search(server, base, filter_text, scope: str = "sub"):
+    """The seed ``search_now`` algorithm: the filter text is re-parsed on
+    every call and every entry in the backend is scanned and matched —
+    no AST cache, no attribute indexes, no planner.  Matches are
+    snapshot-copied, as ``search_now`` returns them."""
+    from repro.core.directory.entry import DN
+    from repro.core.directory.filterlang import parse_filter
+
+    flt = parse_filter(filter_text)
+    base = DN.of(base)
+    out = []
+    for dn, entry in server.backend.entries.items():
+        if not dn.is_under(base):
+            continue
+        if scope == "one" and dn.depth_below(base) != 1:
+            continue
+        if flt.matches(entry):
+            out.append(entry.copy())
+    return out
+
+
+# -- seed event archive: arrival-order storage, per-message predicates -------
+
+class SeedEventArchive:
+    """The seed :class:`EventArchive` query engine: messages in arrival
+    order, positional host/event indexes, and a time window that runs
+    the full predicate against every candidate message."""
+
+    def __init__(self):
+        self.messages: list = []
+        self._by_host: dict = {}
+        self._by_event: dict = {}
+
+    def append(self, msg) -> None:
+        idx = len(self.messages)
+        self.messages.append(msg)
+        self._by_host.setdefault(msg.host, []).append(idx)
+        if msg.event:
+            self._by_event.setdefault(msg.event, []).append(idx)
+
+    def extend(self, messages) -> None:
+        for msg in messages:
+            self.append(msg)
+
+    def query(self, q) -> list:
+        if q.event is not None and q.event in self._by_event:
+            candidates = (self.messages[i] for i in self._by_event[q.event])
+        elif q.host is not None and q.host in self._by_host:
+            candidates = (self.messages[i] for i in self._by_host[q.host])
+        else:
+            candidates = self.messages
+        return [m for m in candidates if q.matches(m)]
+
+    def time_span(self):
+        if not self.messages:
+            return (0.0, 0.0)
+        dates = [m.date for m in self.messages]
+        return (min(dates), max(dates))

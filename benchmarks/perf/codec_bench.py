@@ -29,7 +29,7 @@ def make_events(n: int) -> list[ULMMessage]:
 
 def run(quick: bool = False) -> dict:
     n = 500 if quick else 5000
-    repeats = 1 if quick else 3
+    repeats = 1 if quick else 5
     events = make_events(n)
     wire = serialize_stream(events)
     blob = encode_many(events)

@@ -1,0 +1,96 @@
+"""Directory search throughput: searches/s, indexed planner vs seed scan.
+
+Two query populations against one populated server:
+
+* ``indexed_eq`` — an ``(&(objectclass=sensor)(host=...))`` filter whose
+  host conjunct hits the equality index; the planner touches only the
+  handful of entries on that host while the seed path re-parses the
+  filter and scans every entry.
+* ``full_scan_fallback`` — a substring filter with no indexable
+  conjunct, so both paths scan; this keeps the fallback honest (the
+  planner must not slow the queries it cannot help).
+"""
+
+from __future__ import annotations
+
+from repro.core.directory import DirectoryServer
+from repro.simgrid import Simulator
+
+from . import baseline
+from .timing import best_rate
+
+__all__ = ["run", "build_server"]
+
+_TYPES = ("cpu", "memory", "network", "process", "disk")
+_BASE = "ou=sensors,o=grid"
+
+
+def build_server(n_entries: int) -> tuple[DirectoryServer, list[str]]:
+    """A server holding ``n_entries`` sensor entries spread over
+    ``n_entries / 8`` hosts; returns it plus the host names."""
+    sim = Simulator()
+    server = DirectoryServer(sim, name="bench-dir")
+    server.add_now(_BASE, {"objectclass": "orgunit"})
+    n_hosts = max(n_entries // 8, 1)
+    hosts = [f"host{i:05d}.lbl.gov" for i in range(n_hosts)]
+    for i in range(n_entries):
+        host = hosts[i % n_hosts]
+        stype = _TYPES[i % len(_TYPES)]
+        server.add_now(
+            f"sensor={stype}{i},host={host},{_BASE}",
+            {"objectclass": "sensor", "sensortype": stype, "hostname": host,
+             "status": "running" if i % 7 else "stopped"})
+    return server, hosts
+
+
+def _indexed_filters(hosts: list[str], n_queries: int) -> list[str]:
+    return [f"(&(objectclass=sensor)(host={hosts[i % len(hosts)]}))"
+            for i in range(n_queries)]
+
+
+def _run_queries(server: DirectoryServer, filters: list[str]) -> int:
+    found = 0
+    for flt in filters:
+        found += len(server.search_now(_BASE, flt))
+    return found
+
+
+def _run_seed_queries(server: DirectoryServer, filters: list[str]) -> int:
+    found = 0
+    for flt in filters:
+        found += len(baseline.seed_directory_search(server, _BASE, flt))
+    return found
+
+
+def run(quick: bool = False) -> dict:
+    n_entries = 300 if quick else 10000
+    n_indexed = 10 if quick else 100
+    n_scan = 5 if quick else 20
+    repeats = 1 if quick else 3
+    server, hosts = build_server(n_entries)
+
+    indexed = _indexed_filters(hosts, n_indexed)
+    fallback = ["(sensor=cpu*)"] * n_scan
+
+    # parity: the planner's candidates, AST-verified, must equal the scan
+    for flt in (indexed[0], indexed[len(indexed) // 2], fallback[0]):
+        got = sorted(str(e.dn) for e in server.search_now(_BASE, flt).entries)
+        ref = sorted(str(e.dn)
+                     for e in baseline.seed_directory_search(server, _BASE, flt))
+        assert got == ref, f"index/scan mismatch for {flt!r}"
+
+    out: dict = {"n_entries": n_entries}
+    for key, filters, n_queries in (
+            ("indexed_eq", indexed, n_indexed),
+            ("full_scan_fallback", fallback, n_scan)):
+        row = {
+            "n_queries": n_queries,
+            "searches_per_s": best_rate(
+                lambda: _run_queries(server, filters), n_queries, repeats),
+            "seed_searches_per_s": best_rate(
+                lambda: _run_seed_queries(server, filters), n_queries,
+                repeats),
+        }
+        row["speedup"] = row["searches_per_s"] / row["seed_searches_per_s"]
+        out[key] = row
+    return out

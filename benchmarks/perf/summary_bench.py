@@ -34,7 +34,7 @@ def _drive(make_window, n_samples: int, span: float) -> None:
 
 def run(quick: bool = False) -> dict:
     n = 2000 if quick else 20000
-    repeats = 1 if quick else 3
+    repeats = 1 if quick else 5
     span = 10.0  # seconds; samples arrive every ms -> 10k live samples
 
     # parity check: both windows agree on the triple

@@ -14,16 +14,21 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 
 
+def run_bench(out, *extra):
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "bench.py"),
+         "--quick", "--out", str(out), *extra],
+        capture_output=True, text=True, timeout=300)
+
+
 def test_bench_quick_runs_and_writes_schema(tmp_path):
     out = tmp_path / "BENCH_smoke.json"
-    proc = subprocess.run(
-        [sys.executable, str(REPO_ROOT / "scripts" / "bench.py"),
-         "--quick", "--out", str(out)],
-        capture_output=True, text=True, timeout=300)
+    proc = run_bench(out)
     assert proc.returncode == 0, proc.stderr
     doc = json.loads(out.read_text())
-    assert doc["schema"] == "repro-bench/1"
+    assert doc["schema"] == "repro-bench/2"
     assert doc["quick"] is True
+    assert doc["only"] is None
     benches = doc["benchmarks"]
     codec = benches["ulm_codec"]
     for key in ("parse_msgs_per_s", "serialize_msgs_per_s",
@@ -39,6 +44,16 @@ def test_bench_quick_runs_and_writes_schema(tmp_path):
     summary = benches["summary_ingest"]
     assert summary["samples_per_s"] > 0
     assert summary["speedup"] > 0
+    directory = benches["directory_search"]
+    for key in ("indexed_eq", "full_scan_fallback"):
+        assert directory[key]["searches_per_s"] > 0
+        assert directory[key]["seed_searches_per_s"] > 0
+        assert directory[key]["speedup"] > 0
+    archive = benches["archive_query"]
+    for key in ("narrow_window", "window_host_event"):
+        assert archive[key]["queries_per_s"] > 0
+        assert archive[key]["seed_queries_per_s"] > 0
+        assert archive[key]["speedup"] > 0
     # a fresh output file starts an empty perf history
     assert doc["history"] == []
 
@@ -48,19 +63,18 @@ def test_bench_rerun_appends_history(tmp_path):
     headline rates into ``history`` instead of forgetting them."""
     out = tmp_path / "BENCH_smoke.json"
     previous = {
-        "schema": "repro-bench/1", "name": "event_path", "quick": True,
+        "schema": "repro-bench/2", "name": "event_path", "quick": True,
         "generated_unix": 1700000000,
         "benchmarks": {
             "ulm_codec": {"parse_msgs_per_s": 1.0,
                           "serialize_msgs_per_s": 2.0},
             "gateway_fanout": {"all_events": {"1": {"events_per_s": 3.0}}},
-            "summary_ingest": {"samples_per_s": 4.0}},
+            "summary_ingest": {"samples_per_s": 4.0},
+            "directory_search": {"indexed_eq": {"searches_per_s": 5.0}},
+            "archive_query": {"narrow_window": {"queries_per_s": 6.0}}},
         "history": [{"generated_unix": 1600000000}]}
     out.write_text(json.dumps(previous))
-    proc = subprocess.run(
-        [sys.executable, str(REPO_ROOT / "scripts" / "bench.py"),
-         "--quick", "--out", str(out)],
-        capture_output=True, text=True, timeout=300)
+    proc = run_bench(out)
     assert proc.returncode == 0, proc.stderr
     doc = json.loads(out.read_text())
     assert len(doc["history"]) == 2  # the seeded entry + the previous run
@@ -68,3 +82,64 @@ def test_bench_rerun_appends_history(tmp_path):
     assert doc["history"][1]["generated_unix"] == 1700000000
     assert doc["history"][1]["parse_msgs_per_s"] == 1.0
     assert doc["history"][1]["fanout_events_per_s"] == {"1": 3.0}
+    assert doc["history"][1]["directory_searches_per_s"] == 5.0
+    assert doc["history"][1]["archive_queries_per_s"] == 6.0
+
+
+def test_bench_only_reruns_one_section_and_carries_the_rest(tmp_path):
+    """``--only`` re-measures the named sections and carries every other
+    section forward unchanged from the existing file."""
+    out = tmp_path / "BENCH_smoke.json"
+    previous = {
+        "schema": "repro-bench/2", "name": "event_path", "quick": True,
+        "generated_unix": 1700000000,
+        "benchmarks": {
+            "ulm_codec": {"parse_msgs_per_s": 123.0},
+            "summary_ingest": {"samples_per_s": 4.0}},
+        "history": []}
+    out.write_text(json.dumps(previous))
+    proc = run_bench(out, "--only", "directory_search,archive_query")
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads(out.read_text())
+    assert doc["only"] == ["archive_query", "directory_search"]
+    benches = doc["benchmarks"]
+    # re-measured sections are fresh...
+    assert benches["directory_search"]["indexed_eq"]["searches_per_s"] > 0
+    assert benches["archive_query"]["narrow_window"]["queries_per_s"] > 0
+    # ...and untouched ones carried forward verbatim
+    assert benches["ulm_codec"] == {"parse_msgs_per_s": 123.0}
+    assert benches["summary_ingest"] == {"samples_per_s": 4.0}
+    # sections absent from the previous file stay absent (not re-run)
+    assert "gateway_fanout" not in benches
+
+
+def test_bench_only_rejects_unknown_section(tmp_path):
+    proc = run_bench(tmp_path / "out.json", "--only", "nonsense")
+    assert proc.returncode != 0
+    assert "unknown section" in proc.stderr
+
+
+def test_bench_only_requires_an_existing_document(tmp_path):
+    """--only against a fresh path would write a partial document; it
+    must refuse and point at a full run instead."""
+    out = tmp_path / "BENCH_fresh.json"
+    proc = run_bench(out, "--only", "ulm_codec")
+    assert proc.returncode != 0
+    assert "run a full benchmark first" in proc.stderr
+    assert not out.exists()
+
+
+def test_bench_only_refuses_to_mix_quick_and_full_runs(tmp_path):
+    """Carry-forward must not splice smoke-mode timings into a full
+    document (or vice versa)."""
+    out = tmp_path / "BENCH_smoke.json"
+    full_run = {"schema": "repro-bench/2", "name": "event_path",
+                "quick": False, "generated_unix": 1700000000,
+                "benchmarks": {"ulm_codec": {"parse_msgs_per_s": 1.0}},
+                "history": []}
+    out.write_text(json.dumps(full_run))
+    proc = run_bench(out, "--only", "archive_query")  # run_bench is --quick
+    assert proc.returncode != 0
+    assert "would merge" in proc.stderr
+    # the existing document is left untouched
+    assert json.loads(out.read_text()) == full_run

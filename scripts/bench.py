@@ -1,36 +1,31 @@
 #!/usr/bin/env python
-"""Event-path performance harness.
+"""Event- and query-path performance harness.
 
 Runs the microbenchmarks in ``benchmarks/perf`` (ULM codec, gateway
-fan-out, summary ingest) and writes the results to a ``BENCH_*.json``
-file so successive PRs leave a comparable perf trajectory.
+fan-out, summary ingest, directory search, archive query) and writes
+the results to a ``BENCH_*.json`` file so successive PRs leave a
+comparable perf trajectory.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench.py            # full run
     PYTHONPATH=src python scripts/bench.py --quick    # CI smoke mode
+    PYTHONPATH=src python scripts/bench.py --only directory_search
     PYTHONPATH=src python scripts/bench.py --out path/to/file.json
 
-The JSON schema (``repro-bench/1``)::
+``--only <section>`` (repeatable, or comma-separated) re-measures just
+the named sections; results for the other sections are carried forward
+unchanged from the existing output file, so the document stays complete
+and comparable.
 
-    {
-      "schema": "repro-bench/1",
-      "name": "event_path",
-      "quick": false,
-      "generated_unix": 1690000000,
-      "benchmarks": {
-        "ulm_codec":      {"parse_msgs_per_s": ..., "speedup_parse": ..., ...},
-        "gateway_fanout": {"all_events": {"<n_subs>": {"events_per_s": ...,
-                           "speedup": ..., ...}}, "names_filtered": {...}},
-        "summary_ingest": {"samples_per_s": ..., "speedup": ..., ...}
-      }
-    }
-
-Rates are messages (events, samples) per second, best of N repeats;
-``seed_*`` rates time the seed-equivalent reference implementations in
-``benchmarks/perf/baseline.py`` and ``speedup_*`` is current/seed.
-``--quick`` shrinks workloads to smoke-test the harness itself — its
-timings are not comparable measurements.
+The JSON schema (``repro-bench/2``) adds ``directory_search`` and
+``archive_query`` sections to ``repro-bench/1``; see PERFORMANCE.md for
+the full field list.  Rates are items (events, samples, queries) per
+second, best of N repeats; ``seed_*`` rates time the seed-equivalent
+reference implementations in ``benchmarks/perf/baseline.py`` and
+``speedup_*`` is current/seed.  ``--quick`` shrinks workloads to
+smoke-test the harness itself — its timings are not comparable
+measurements.
 
 Re-running against an existing output file *appends* rather than
 forgets: the previous run's headline rates are folded into a
@@ -48,6 +43,17 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+SCHEMA = "repro-bench/2"
+
+#: section name -> benchmarks.perf module name, in run order
+SECTIONS = {
+    "ulm_codec": "codec_bench",
+    "gateway_fanout": "fanout_bench",
+    "summary_ingest": "summary_bench",
+    "directory_search": "directory_bench",
+    "archive_query": "archive_bench",
+}
+
 
 def _headline(doc: dict) -> dict:
     """The compact per-run record kept in the history list."""
@@ -55,6 +61,8 @@ def _headline(doc: dict) -> dict:
     codec = benches.get("ulm_codec", {})
     fanout = benches.get("gateway_fanout", {}).get("all_events", {})
     summary = benches.get("summary_ingest", {})
+    directory = benches.get("directory_search", {}).get("indexed_eq", {})
+    archive = benches.get("archive_query", {}).get("narrow_window", {})
     return {
         "generated_unix": doc.get("generated_unix"),
         "quick": doc.get("quick"),
@@ -63,18 +71,48 @@ def _headline(doc: dict) -> dict:
         "fanout_events_per_s": {n: row.get("events_per_s")
                                 for n, row in fanout.items()},
         "summary_samples_per_s": summary.get("samples_per_s"),
+        "directory_searches_per_s": directory.get("searches_per_s"),
+        "archive_queries_per_s": archive.get("queries_per_s"),
     }
 
 
-def _load_history(out: Path) -> list:
-    """Previous runs at ``out``: their history plus their headline."""
+def _load_previous(out: Path) -> dict:
     try:
         previous = json.loads(out.read_text())
     except (OSError, ValueError):
-        return []
+        return {}
     if not isinstance(previous, dict) or "benchmarks" not in previous:
-        return []
-    return list(previous.get("history", [])) + [_headline(previous)]
+        return {}
+    return previous
+
+
+def _report(results: dict) -> None:
+    if "ulm_codec" in results:
+        codec = results["ulm_codec"]
+        print(f"[bench] codec: parse {codec['parse_msgs_per_s']:,.0f}/s "
+              f"({codec['speedup_parse']:.1f}x seed), serialize "
+              f"{codec['serialize_msgs_per_s']:,.0f}/s "
+              f"({codec['speedup_serialize']:.1f}x seed)")
+    if "gateway_fanout" in results:
+        fanout = results["gateway_fanout"]["all_events"]
+        for n_subs, row in sorted(fanout.items(), key=lambda kv: int(kv[0])):
+            print(f"[bench] fan-out x{n_subs}: {row['events_per_s']:,.0f} "
+                  f"ev/s ({row['speedup']:.1f}x seed)")
+    if "summary_ingest" in results:
+        summary = results["summary_ingest"]
+        print(f"[bench] summary ingest: {summary['samples_per_s']:,.0f} "
+              f"samples/s ({summary['speedup']:.1f}x seed)")
+    if "directory_search" in results:
+        for key in ("indexed_eq", "full_scan_fallback"):
+            row = results["directory_search"][key]
+            print(f"[bench] directory {key}: "
+                  f"{row['searches_per_s']:,.0f} searches/s "
+                  f"({row['speedup']:.1f}x seed)")
+    if "archive_query" in results:
+        for key in ("narrow_window", "window_host_event"):
+            row = results["archive_query"][key]
+            print(f"[bench] archive {key}: {row['queries_per_s']:,.0f} "
+                  f"queries/s ({row['speedup']:.1f}x seed)")
 
 
 def main(argv=None) -> int:
@@ -82,6 +120,12 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="tiny workloads: verify the harness runs, "
                              "not the timings")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="SECTION",
+                        help="re-measure only this section (repeatable or "
+                             f"comma-separated); one of: "
+                             f"{', '.join(SECTIONS)}.  Other sections are "
+                             "carried forward from the existing output file")
     parser.add_argument("--out", type=Path,
                         default=REPO_ROOT / "BENCH_event_path.json",
                         help="output JSON path (default: "
@@ -90,40 +134,61 @@ def main(argv=None) -> int:
     # fail on an unwritable destination now, not after minutes of timing
     args.out.parent.mkdir(parents=True, exist_ok=True)
 
+    selected = list(SECTIONS)
+    if args.only:
+        selected = [name for spec in args.only for name in spec.split(",")
+                    if name]
+        unknown = [name for name in selected if name not in SECTIONS]
+        if unknown:
+            parser.error(f"unknown section(s) {', '.join(unknown)}; "
+                         f"choose from {', '.join(SECTIONS)}")
+
     sys.path.insert(0, str(REPO_ROOT / "src"))
     sys.path.insert(0, str(REPO_ROOT))
-    from benchmarks.perf import codec_bench, fanout_bench, summary_bench
+    import importlib
 
-    results = {}
-    for name, bench in (("ulm_codec", codec_bench),
-                        ("gateway_fanout", fanout_bench),
-                        ("summary_ingest", summary_bench)):
+    previous = _load_previous(args.out)
+    if args.only and not previous:
+        # without a document to carry the other sections forward from,
+        # --only would silently write a partial (schema-breaking) file
+        parser.error(f"--only needs an existing benchmark document at "
+                     f"{args.out} to carry the other sections forward; "
+                     "run a full benchmark first")
+    if args.only and previous and bool(previous.get("quick")) != args.quick:
+        # carried-forward sections would silently mix quick (smoke-mode)
+        # and full (real) timings inside one document
+        parser.error(
+            f"--only would merge a {'quick' if args.quick else 'full'} run "
+            f"into {args.out}, which holds a "
+            f"{'quick' if previous.get('quick') else 'full'} run; re-run "
+            "without --only (or point --out elsewhere)")
+    history = list(previous.get("history", []))
+    if previous:
+        history.append(_headline(previous))
+
+    results = {name: section for name, section
+               in previous.get("benchmarks", {}).items()
+               if name in SECTIONS and name not in selected}
+    for name in SECTIONS:
+        if name not in selected:
+            continue
+        module = importlib.import_module(f"benchmarks.perf.{SECTIONS[name]}")
         print(f"[bench] {name} ({'quick' if args.quick else 'full'}) ...",
               flush=True)
-        results[name] = bench.run(quick=args.quick)
+        results[name] = module.run(quick=args.quick)
 
     doc = {
-        "schema": "repro-bench/1",
+        "schema": SCHEMA,
         "name": "event_path",
         "quick": args.quick,
+        "only": sorted(selected) if args.only else None,
         "generated_unix": int(time.time()),
         "benchmarks": results,
-        "history": _load_history(args.out),
+        "history": history,
     }
     args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
-    codec = results["ulm_codec"]
-    fanout = results["gateway_fanout"]["all_events"]
-    summary = results["summary_ingest"]
-    print(f"[bench] codec: parse {codec['parse_msgs_per_s']:,.0f}/s "
-          f"({codec['speedup_parse']:.1f}x seed), serialize "
-          f"{codec['serialize_msgs_per_s']:,.0f}/s "
-          f"({codec['speedup_serialize']:.1f}x seed)")
-    for n_subs, row in sorted(fanout.items(), key=lambda kv: int(kv[0])):
-        print(f"[bench] fan-out x{n_subs}: {row['events_per_s']:,.0f} ev/s "
-              f"({row['speedup']:.1f}x seed)")
-    print(f"[bench] summary ingest: {summary['samples_per_s']:,.0f} "
-          f"samples/s ({summary['speedup']:.1f}x seed)")
+    _report({name: results[name] for name in selected if name in results})
     print(f"[bench] wrote {args.out}")
     return 0
 

@@ -24,6 +24,7 @@ same way every consumer does and opens subscriptions through
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Iterable, Iterator, Optional, Sequence, Union
 
 from ..core.consumers.base import Consumer, TeardownError
@@ -56,8 +57,23 @@ def compile_sensor_filter(**criteria: Any) -> str:
     '(&(objectclass=sensor)(sensortype=cpu)(hostname=dpss1.*))'
     """
     objectclass = criteria.pop("objectclass", "sensor")
+    # values are rendered to strings BEFORE the cache key is built:
+    # caching on the raw values would collide equal-but-differently-
+    # rendered ones (True == 1 == 1.0), and stringifying also makes
+    # every value (lists included) hashable
+    return _compile_cached(
+        str(objectclass),
+        tuple((k, None if v is None else str(v))
+              for k, v in criteria.items()))
+
+
+@lru_cache(maxsize=256)
+def _compile_cached(objectclass: str, criteria: tuple) -> str:
+    """Memoized criteria -> filter-text step: fluent poll loops repeat a
+    handful of criteria shapes forever.  The text -> AST step is cached
+    server-side by :func:`repro.core.directory.parse_filter_cached`."""
     parts = [f"(objectclass={objectclass})"]
-    for keyword, value in criteria.items():
+    for keyword, value in criteria:
         if value is None:
             continue
         attr = _CRITERIA_ATTRS.get(keyword, keyword)

@@ -9,13 +9,22 @@ good sampling of both 'normal' and 'abnormal' system operation."
 event-name patterns) are always kept; normal events are kept at a
 configurable sampling fraction.  The archive itself is "just another
 consumer" — see :class:`repro.core.consumers.archiver.ArchiverAgent`.
+
+Storage is kept in time order: sensor streams are monotonic, and
+out-of-order arrivals sit in a pending buffer that is folded in with
+one O(n) merge pass on the next read (or when the buffer outgrows the
+store).  A query's time window therefore resolves with two binary
+searches instead of a per-message predicate pass, and the host/event
+equality indexes — sorted lists of arrival ids — compose with the
+window via sorted-id intersection.
 """
 
 from __future__ import annotations
 
 import fnmatch
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable, Iterator, Optional
 
 from ..ulm import ULMMessage
 
@@ -81,44 +90,217 @@ class ArchiveQuery:
         return True
 
 
+def _intersect_sorted(a: list, b: list) -> list:
+    """Two-pointer intersection of ascending id lists."""
+    out = []
+    i = j = 0
+    na, nb = len(a), len(b)
+    while i < na and j < nb:
+        x, y = a[i], b[j]
+        if x == y:
+            out.append(x)
+            i += 1
+            j += 1
+        elif x < y:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
 class EventArchive:
-    """Append-only archived event store with simple indexes."""
+    """Append-only archived event store, time-ordered with id indexes.
+
+    :attr:`messages` is maintained in ascending ``date`` order (stable
+    for equal dates: later arrivals sort after earlier ones).  Each
+    admitted message gets a monotonically increasing arrival id;
+    ``_by_host`` / ``_by_event`` map attribute values to ascending id
+    lists, and ``_pos_by_id`` locates a message from its id.  Time
+    windows resolve via bisect over the parallel ``_dates`` array.
+
+    Late (out-of-time-order) arrivals land in a pending buffer and are
+    merged in one O(n) pass — on the next read, or when the buffer
+    outgrows ``len/8`` — so ingest stays amortized O(1) even under
+    sustained cross-host clock skew, where an eager per-message insert
+    would be quadratic.
+    """
 
     def __init__(self, name: str = "archive0",
                  policy: Optional[SamplingPolicy] = None):
         self.name = name
         self.policy = policy if policy is not None else SamplingPolicy()
-        self.messages: list[ULMMessage] = []
         self.rejected = 0
+        #: number of out-of-order arrivals (merged in lazily)
+        self.reordered = 0
+        #: number of pending-buffer merge passes performed
+        self.merges = 0
+        self._messages: list[ULMMessage] = []
+        self._dates: list[float] = []      # parallel to _messages
+        self._ids: list[int] = []          # parallel to _messages (arrival id)
+        self._pending: list[tuple[ULMMessage, int]] = []  # late arrivals
+        self._next_id = 0
+        self._pos_by_id: dict[int, int] = {}
         self._by_host: dict[str, list[int]] = {}
         self._by_event: dict[str, list[int]] = {}
+        self._t_min: Optional[float] = None
+        self._t_max: Optional[float] = None
+
+    @property
+    def messages(self) -> list[ULMMessage]:
+        """Archived messages in time order (late arrivals merged in)."""
+        self._merge_pending()
+        return self._messages
+
+    # -- ingest ---------------------------------------------------------------
 
     def append(self, msg: ULMMessage) -> bool:
         """Offer one event; returns True if archived (policy admits)."""
         if not self.policy.admits(msg):
             self.rejected += 1
             return False
-        idx = len(self.messages)
-        self.messages.append(msg)
-        self._by_host.setdefault(msg.host, []).append(idx)
+        arrival_id = self._next_id
+        self._next_id += 1
+        date = msg.date
+        if not self._dates or date >= self._dates[-1]:
+            # the common (monotonic) case: O(1) append
+            self._pos_by_id[arrival_id] = len(self._messages)
+            self._messages.append(msg)
+            self._dates.append(date)
+            self._ids.append(arrival_id)
+        else:
+            self.reordered += 1
+            self._pending.append((msg, arrival_id))
+            if len(self._pending) > max(1024, len(self._messages) // 8):
+                self._merge_pending()
+        self._by_host.setdefault(msg.host, []).append(arrival_id)
         if msg.event:
-            self._by_event.setdefault(msg.event, []).append(idx)
+            self._by_event.setdefault(msg.event, []).append(arrival_id)
+        if self._t_min is None or date < self._t_min:
+            self._t_min = date
+        if self._t_max is None or date > self._t_max:
+            self._t_max = date
         return True
 
     def extend(self, messages: Iterable[ULMMessage]) -> int:
         return sum(1 for m in messages if self.append(m))
 
-    def query(self, query: Optional[ArchiveQuery] = None, **kwargs) -> list[ULMMessage]:
-        """Historical search; use the narrowest index available."""
+    def _merge_pending(self) -> None:
+        """Fold the late-arrival buffer into the time-ordered store.
+
+        One O(n + p log p) pass.  Stability: the sort is stable (ties
+        keep arrival order among pending), and the merge takes existing
+        messages first on equal dates — an existing equal-dated message
+        always arrived before anything still pending, because a message
+        only lands in pending when its date is *below* the tail at
+        arrival time.
+        """
+        if not self._pending:
+            return
+        self.merges += 1
+        pending = self._pending
+        self._pending = []
+        pending.sort(key=lambda pair: pair[0].date)
+        messages, dates, ids = self._messages, self._dates, self._ids
+        merged_m: list[ULMMessage] = []
+        merged_d: list[float] = []
+        merged_i: list[int] = []
+        mi, n = 0, len(messages)
+        for msg, arrival_id in pending:
+            date = msg.date
+            while mi < n and dates[mi] <= date:
+                merged_m.append(messages[mi])
+                merged_d.append(dates[mi])
+                merged_i.append(ids[mi])
+                mi += 1
+            merged_m.append(msg)
+            merged_d.append(date)
+            merged_i.append(arrival_id)
+        merged_m.extend(messages[mi:])
+        merged_d.extend(dates[mi:])
+        merged_i.extend(ids[mi:])
+        self._messages, self._dates, self._ids = merged_m, merged_d, merged_i
+        self._pos_by_id = {aid: pos for pos, aid in enumerate(merged_i)}
+
+    # -- query ----------------------------------------------------------------
+
+    def _window(self, t0: float, t1: float, *,
+                end_exclusive: bool = False) -> tuple[int, int]:
+        """Positions [lo, hi) of the time window via binary search."""
+        lo = bisect_left(self._dates, t0) if t0 != float("-inf") else 0
+        if t1 == float("inf"):
+            return lo, len(self._dates)
+        hi = bisect_left(self._dates, t1) if end_exclusive \
+            else bisect_right(self._dates, t1)
+        return lo, hi
+
+    def iter_query(self, query: Optional[ArchiveQuery] = None, *,
+                   end_exclusive: bool = False,
+                   **kwargs) -> Iterator[ULMMessage]:
+        """Stream matches in time order without materializing a list.
+
+        ``end_exclusive`` makes the window half-open ``[t0, t1)`` — the
+        period-summary convention — instead of the query's inclusive
+        ``[t0, t1]``.
+        """
         q = query if query is not None else ArchiveQuery(**kwargs)
-        candidates: Iterable[ULMMessage]
-        if q.event is not None and q.event in self._by_event:
-            candidates = (self.messages[i] for i in self._by_event[q.event])
-        elif q.host is not None and q.host in self._by_host:
-            candidates = (self.messages[i] for i in self._by_host[q.host])
+        self._merge_pending()
+        lo, hi = self._window(q.t0, q.t1, end_exclusive=end_exclusive)
+        if lo >= hi:
+            return
+        lvl = q.lvl
+        messages = self._messages
+        id_lists = []
+        if q.event is not None:
+            ids = self._by_event.get(q.event)
+            if ids is None:
+                return
+            id_lists.append(ids)
+        if q.host is not None:
+            ids = self._by_host.get(q.host)
+            if ids is None:
+                return
+            id_lists.append(ids)
+        if not id_lists:
+            # pure time window: the slice IS the answer (modulo lvl)
+            for msg in messages[lo:hi]:
+                if lvl is None or msg.lvl == lvl:
+                    yield msg
+            return
+        id_lists.sort(key=len)
+        if hi - lo <= len(id_lists[0]):
+            # the window is the most selective access path: walk the
+            # slice and check the equality constraints per message
+            host, event = q.host, q.event
+            for msg in messages[lo:hi]:
+                if host is not None and msg.host != host:
+                    continue
+                if event is not None and msg.event != event:
+                    continue
+                if lvl is None or msg.lvl == lvl:
+                    yield msg
+            return
+        # otherwise the equality indexes lead: they compose via sorted-id
+        # intersection, and the window reduces to a position-range check
+        candidate = id_lists[0]
+        for ids in id_lists[1:]:
+            candidate = _intersect_sorted(candidate, ids)
+        pos_by_id = self._pos_by_id
+        if lo > 0 or hi < len(messages):
+            positions = [p for p in map(pos_by_id.__getitem__, candidate)
+                         if lo <= p < hi]
         else:
-            candidates = self.messages
-        return [m for m in candidates if q.matches(m)]
+            positions = list(map(pos_by_id.__getitem__, candidate))
+        positions.sort()  # id order is arrival order; emit in time order
+        for pos in positions:
+            msg = messages[pos]
+            if lvl is None or msg.lvl == lvl:
+                yield msg
+
+    def query(self, query: Optional[ArchiveQuery] = None, **kwargs) -> list[ULMMessage]:
+        """Historical search; returns matches in time order."""
+        return list(self.iter_query(query, **kwargs))
+
+    # -- catalog --------------------------------------------------------------
 
     def hosts(self) -> list[str]:
         return sorted(self._by_host)
@@ -127,10 +309,16 @@ class EventArchive:
         return sorted(self._by_event)
 
     def time_span(self) -> tuple[float, float]:
-        if not self.messages:
+        if self._t_min is None:
             return (0.0, 0.0)
-        dates = [m.date for m in self.messages]
-        return (min(dates), max(dates))
+        return (self._t_min, self._t_max)
+
+    def stats(self) -> dict:
+        """Catalog counters for the archiver's directory entry."""
+        t0, t1 = self.time_span()
+        return {"count": len(self), "rejected": self.rejected,
+                "reordered": self.reordered, "hosts": len(self._by_host),
+                "events": len(self._by_event), "tstart": t0, "tend": t1}
 
     def __len__(self) -> int:
-        return len(self.messages)
+        return len(self._messages) + len(self._pending)

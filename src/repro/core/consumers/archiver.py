@@ -62,12 +62,14 @@ class ArchiverAgent(Consumer):
         """Upsert the directory entry describing the archive contents."""
         if self.directory is None:
             return
-        t0, t1 = self.archive.time_span()
+        stats = self.archive.stats()  # O(1): span/counters are incremental
         attrs = {"objectclass": "archive",
                  "events": self.archive.event_names() or ["none"],
                  "hosts": self.archive.hosts() or ["none"],
-                 "count": len(self.archive),
-                 "tstart": f"{t0:.6f}", "tend": f"{t1:.6f}"}
+                 "count": stats["count"],
+                 "rejected": stats["rejected"],
+                 "tstart": f"{stats['tstart']:.6f}",
+                 "tend": f"{stats['tend']:.6f}"}
         try:
             self.directory.publish(self.catalog_dn(), attrs)
         except Exception:

@@ -10,18 +10,20 @@ from .entry import DN, DNError, Entry
 from .filterlang import (AndFilter, CompareFilter, EqualityFilter,
                          FilterSyntaxError, NotFilter, OrFilter,
                          PresenceFilter, SearchFilter, SubstringFilter,
-                         parse_filter)
-from .replication import ReplicatedDirectory, deploy_replicated_directory
-from .server import (Backend, DirectoryError, DirectoryServer, LDAP_PORT,
-                     LDAPBackend, MDSBackend, PersistentSearch, Referral,
-                     SearchResult)
+                         parse_filter, parse_filter_cached)
+from .replication import (DirectoryReplicator, ReplicatedDirectory,
+                          deploy_replicated_directory)
+from .server import (Backend, DEFAULT_INDEXED_ATTRS, DirectoryError,
+                     DirectoryServer, LDAP_PORT, LDAPBackend, MDSBackend,
+                     PersistentSearch, Referral, SearchResult)
 
 __all__ = [
-    "AndFilter", "Backend", "CompareFilter", "DirectoryClient",
-    "DirectoryError", "DirectoryServer", "DN", "DNError", "EqualityFilter",
-    "Entry", "FilterSyntaxError", "LDAP_PORT", "LDAPBackend", "MDSBackend",
+    "AndFilter", "Backend", "CompareFilter", "DEFAULT_INDEXED_ATTRS",
+    "DirectoryClient", "DirectoryError", "DirectoryReplicator",
+    "DirectoryServer", "DN", "DNError", "EqualityFilter", "Entry",
+    "FilterSyntaxError", "LDAP_PORT", "LDAPBackend", "MDSBackend",
     "NotFilter", "OrFilter", "PersistentSearch", "PresenceFilter",
     "Referral", "ReplicatedDirectory", "SearchFilter", "SearchResult",
     "SubstringFilter", "deploy_replicated_directory", "parse_filter",
-    "unwrap_directory",
+    "parse_filter_cached", "unwrap_directory",
 ]

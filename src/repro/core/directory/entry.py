@@ -128,8 +128,20 @@ class Entry:
 
     # -- access ----------------------------------------------------------------
 
+    _NO_VALUES: tuple = ()
+
     def get(self, name: str) -> list[str]:
         return list(self.attributes.get(name.lower(), []))
+
+    def values(self, name: str):
+        """The value list for ``name`` *without* a defensive copy.
+
+        Callers must not mutate the result; this is the accessor filter
+        evaluation and index maintenance use on the search hot path,
+        where :meth:`get`'s per-call list copy dominates.  ``name`` must
+        already be lower-case (attribute names are stored folded).
+        """
+        return self.attributes.get(name, self._NO_VALUES)
 
     def first(self, name: str, default: Optional[str] = None) -> Optional[str]:
         values = self.attributes.get(name.lower())

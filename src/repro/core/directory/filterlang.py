@@ -16,13 +16,15 @@ from __future__ import annotations
 
 import fnmatch
 import re
+from functools import lru_cache
 from typing import Optional
 
 from .entry import Entry
 
-__all__ = ["SearchFilter", "parse_filter", "FilterSyntaxError",
-           "AndFilter", "OrFilter", "NotFilter", "CompareFilter",
-           "PresenceFilter", "SubstringFilter", "EqualityFilter"]
+__all__ = ["SearchFilter", "parse_filter", "parse_filter_cached",
+           "FilterSyntaxError", "AndFilter", "OrFilter", "NotFilter",
+           "CompareFilter", "PresenceFilter", "SubstringFilter",
+           "EqualityFilter"]
 
 
 class FilterSyntaxError(ValueError):
@@ -89,7 +91,7 @@ class EqualityFilter(SearchFilter):
         self.value = value
 
     def matches(self, entry: Entry) -> bool:
-        return self.value in entry.get(self.attr)
+        return self.value in entry.values(self.attr)
 
     def __repr__(self) -> str:
         return f"({self.attr}={self.value})"
@@ -102,7 +104,7 @@ class SubstringFilter(SearchFilter):
 
     def matches(self, entry: Entry) -> bool:
         return any(fnmatch.fnmatchcase(v, self.pattern)
-                   for v in entry.get(self.attr))
+                   for v in entry.values(self.attr))
 
     def __repr__(self) -> str:
         return f"({self.attr}={self.pattern})"
@@ -127,7 +129,7 @@ class CompareFilter(SearchFilter):
         return a >= b if self.op == ">=" else a <= b
 
     def matches(self, entry: Entry) -> bool:
-        return any(self._cmp(v) for v in entry.get(self.attr))
+        return any(self._cmp(v) for v in entry.values(self.attr))
 
     def __repr__(self) -> str:
         return f"({self.attr}{self.op}{self.value})"
@@ -218,3 +220,17 @@ def parse_filter(text: str) -> SearchFilter:
     if not text or not text.strip():
         raise FilterSyntaxError("empty filter")
     return _Parser(text.strip()).parse()
+
+
+@lru_cache(maxsize=512)
+def parse_filter_cached(text: str) -> SearchFilter:
+    """:func:`parse_filter` behind a bounded LRU.
+
+    Filter ASTs are immutable after construction and evaluation is
+    stateless, so one shared AST can serve every caller issuing the
+    same filter text — consumers poll the directory with a handful of
+    distinct filters, so the text → AST step vanishes from the search
+    hot path.  Syntax errors are not cached (``lru_cache`` does not
+    memoize raising calls), so a bad filter fails every time.
+    """
+    return parse_filter(text)

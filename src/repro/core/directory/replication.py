@@ -4,6 +4,12 @@
 directory server could take down the entire system" (§2.2).  These
 helpers stand up a master plus N replicas on given hosts and build
 failover-aware clients.
+
+:class:`DirectoryReplicator` is the master-side shipping engine: every
+committed write becomes one incremental (generation, op, dn, payload)
+delta, and a full snapshot is sent only when a replica's generation
+does not line up (fresh attach, missed deltas while down, or detected
+divergence) — the slapd model of a changelog with out-of-band resync.
 """
 
 from __future__ import annotations
@@ -11,9 +17,101 @@ from __future__ import annotations
 from typing import Any, Iterable, Optional, Sequence
 
 from .client import DirectoryClient
-from .server import Backend, DirectoryServer, LDAPBackend
+from .server import Backend, DirectoryError, DirectoryServer, LDAPBackend
 
-__all__ = ["ReplicatedDirectory", "deploy_replicated_directory"]
+__all__ = ["DirectoryReplicator", "ReplicatedDirectory",
+           "deploy_replicated_directory"]
+
+
+class DirectoryReplicator:
+    """Ships incremental write deltas from one master to its replicas.
+
+    The master stamps each committed write with a monotonically
+    increasing ``generation``.  A replica applies a delta only when it
+    extends its ``applied_generation`` by exactly one:
+
+    * delta ``generation <= applied_generation`` — already covered by a
+      snapshot that raced the delta; dropped as stale;
+    * delta ``generation == applied_generation + 1`` — applied
+      incrementally (the steady-state path; no snapshot traffic);
+    * anything later — the replica missed deltas (it was down, or was
+      just attached), so incremental replay is unsafe and a full
+      :meth:`snapshot` resync runs instead.
+
+    Apply-time :class:`DirectoryError` (e.g. a duplicate add against a
+    diverged tree) also heals via snapshot rather than being silently
+    swallowed.
+    """
+
+    def __init__(self, master: DirectoryServer):
+        self.master = master
+        self.deltas_shipped = 0
+        self.deltas_applied = 0
+        self.snapshots = 0
+        self.stale_dropped = 0
+
+    # -- master side -------------------------------------------------------
+
+    def ship(self, op: str, dn: Any, payload: Optional[dict]) -> None:
+        """Commit one write into the replication stream."""
+        self.master.generation += 1
+        generation = self.master.generation
+        for replica in self.master.replicas:
+            self.deltas_shipped += 1
+            self.master.sim.call_in(self.master.replication_delay,
+                                    self.deliver, replica, generation,
+                                    op, dn, payload)
+
+    def snapshot(self, replica: DirectoryServer) -> None:
+        """Full resync: replace the replica's tree with the master's and
+        fast-forward its generation high-water mark."""
+        self.snapshots += 1
+        replica.backend.clear()
+        for entry in self.master.backend.entries.values():
+            replica.backend.put(entry.copy())
+        replica.applied_generation = self.master.generation
+        replica.sync_source = self
+
+    # -- replica side ------------------------------------------------------
+
+    def deliver(self, replica: DirectoryServer, generation: int, op: str,
+                dn: Any, payload: Optional[dict]) -> None:
+        if not replica.is_replica:
+            # the target was promoted while this delta was in flight; a
+            # master never applies (or snapshots from) another stream
+            self.stale_dropped += 1
+            return
+        if not replica.up:
+            return  # the generation gap forces a snapshot after recovery
+        if replica.sync_source is not self:
+            # the replica is synced to a different stream (a promotion
+            # happened, or it was never snapshot): generations do not
+            # compare across masters.  If it is still ours, adopt it
+            # with a snapshot; an in-flight delta from a demoted master
+            # is simply dropped.
+            if replica in self.master.replicas and not self.master.is_replica:
+                self.snapshot(replica)
+            else:
+                self.stale_dropped += 1
+            return
+        if generation <= replica.applied_generation:
+            self.stale_dropped += 1
+            return  # a snapshot already covered this write
+        if generation > replica.applied_generation + 1:
+            self.snapshot(replica)
+            return
+        try:
+            if op == "add":
+                replica.add_now(dn, payload, _from_master=True)
+            elif op == "modify":
+                replica.modify_now(dn, payload or {}, upsert=True,
+                                   _from_master=True)
+            elif op == "delete":
+                replica.delete_now(dn, _from_master=True)
+            replica.applied_generation = generation
+            self.deltas_applied += 1
+        except DirectoryError:
+            self.snapshot(replica)  # diverged tree: heal with a full sync
 
 
 class ReplicatedDirectory:
@@ -47,28 +145,47 @@ class ReplicatedDirectory:
         self.resync()
 
     def resync(self) -> None:
-        """Full resync of every up replica from the master's tree (the
+        """Full snapshot of every up replica from the master's tree (the
         out-of-band catch-up real slapd replication performs)."""
         for replica in self.replicas:
             if not replica.up:
                 continue
-            replica.backend.entries.clear()
-            for entry in self.master.backend.entries.values():
-                replica.backend.put(entry.copy())
+            self.master.replicator.snapshot(replica)
 
     def promote_replica(self) -> Optional[DirectoryServer]:
         """Promote the first up replica to master (manual failover)."""
         for replica in self.replicas:
             if replica.up:
                 replica.is_replica = False
+                # shed the replica-side stream state: generations from
+                # the dead master's stream are meaningless to a master
+                replica.sync_source = None
+                replica.applied_generation = 0
+                # every other replica — down ones included — follows the
+                # new master's stream from here on
                 replica.replicas = [s for s in self.servers
-                                    if s is not replica and s.up and s.is_replica]
+                                    if s is not replica and s.is_replica]
+                for follower in replica.replicas:
+                    if follower.up:
+                        # up survivors are assumed current as of the
+                        # promotion point; deltas extend the new stream
+                        follower.applied_generation = replica.generation
+                        follower.sync_source = replica.replicator
+                    # a down follower keeps its old sync source: the
+                    # first delta it sees after recovery comes from a
+                    # foreign stream and snapshot-adopts it
                 self.replicas = [s for s in self.replicas if s is not replica]
                 old_master = self.master
                 self.master = replica
-                if old_master.up:
-                    old_master.is_replica = True
-                    self.replicas.append(old_master)
+                # the demoted master must stop shipping: its queued
+                # deltas carry generations from a dead stream
+                old_master.replicas = []
+                # ...and it rejoins the group as a replica (even while
+                # down: the sync-source/generation checks snapshot it
+                # back to health at its first delta after recovery)
+                old_master.is_replica = True
+                self.replicas.append(old_master)
+                replica.replicas.append(old_master)
                 return replica
         return None
 

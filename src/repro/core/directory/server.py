@@ -23,15 +23,16 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from ...simgrid.kernel import EventFlag, Simulator, Timeout
 from .entry import DN, Entry
-from .filterlang import SearchFilter, parse_filter
+from .filterlang import (AndFilter, EqualityFilter, OrFilter, SearchFilter,
+                         parse_filter_cached)
 
 __all__ = ["DirectoryServer", "DirectoryError", "Backend", "LDAPBackend",
            "MDSBackend", "Referral", "SearchResult", "LDAP_PORT",
-           "PersistentSearch"]
+           "PersistentSearch", "DEFAULT_INDEXED_ATTRS"]
 
 LDAP_PORT = 389
 _psearch_ids = itertools.count(1)
@@ -61,8 +62,24 @@ class SearchResult:
         return len(self.entries)
 
 
+#: equality-indexed attributes: the discriminating conjuncts consumer
+#: filters use — object class, host (both spellings the tree publishes),
+#: and the sensor type/name
+DEFAULT_INDEXED_ATTRS = ("objectclass", "host", "hostname", "sensortype",
+                         "sensor")
+
+
 class Backend:
-    """Storage engine with a per-operation service-time cost model."""
+    """Storage engine with a per-operation service-time cost model.
+
+    Beyond the DN-keyed entry map, the backend maintains incremental
+    attribute-equality indexes (``attr -> value -> {DN}``) that are
+    updated on every put/remove — never rebuilt — and a small query
+    planner (:meth:`search`) that picks the most selective index to
+    produce a candidate set before the filter AST (always the source of
+    truth) evaluates.  Full scans survive only for filters with no
+    indexable conjunct.
+    """
 
     #: service time charged per read operation (search)
     read_cost = 0.3e-3
@@ -70,10 +87,22 @@ class Backend:
     write_cost = 0.3e-3
     name = "base"
 
-    def __init__(self) -> None:
+    def __init__(self, indexed_attrs: Iterable[str] = DEFAULT_INDEXED_ATTRS) -> None:
         self.entries: dict[DN, Entry] = {}
         self.reads = 0
         self.writes = 0
+        self.indexed_attrs = frozenset(a.lower() for a in indexed_attrs)
+        #: attr -> value -> insertion-ordered {DN: None} of carriers.  A
+        #: dict, not a set: candidate iteration must be deterministic
+        #: (hash-randomized order would leak into search results and
+        #: break seeded-simulation reproducibility)
+        self._indexes: dict[str, dict[str, dict[DN, None]]] = {
+            attr: {} for attr in self.indexed_attrs}
+        #: DN -> {attr: values} as last indexed, so modifies can unindex
+        #: stale postings without a rebuild
+        self._posted: dict[DN, dict[str, tuple[str, ...]]] = {}
+        self.index_hits = 0
+        self.full_scans = 0
 
     # -- primitive ops -----------------------------------------------------
 
@@ -83,12 +112,110 @@ class Backend:
     def put(self, entry: Entry) -> None:
         self.writes += 1
         self.entries[entry.dn] = entry
+        self._reindex(entry)
 
     def remove(self, dn: DN) -> bool:
         self.writes += 1
-        return self.entries.pop(dn, None) is not None
+        existed = self.entries.pop(dn, None) is not None
+        if existed:
+            self._unpost(dn, self._posted.pop(dn, {}))
+        return existed
+
+    def clear(self) -> None:
+        """Drop every entry (and its postings) — snapshot-resync reset."""
+        self.entries.clear()
+        self._posted.clear()
+        for postings in self._indexes.values():
+            postings.clear()
+
+    # -- incremental index maintenance ----------------------------------------
+
+    def _reindex(self, entry: Entry) -> None:
+        dn = entry.dn
+        old = self._posted.get(dn, {})
+        new: dict[str, tuple[str, ...]] = {}
+        for attr in self.indexed_attrs:
+            values = entry.values(attr)
+            if values:
+                new[attr] = tuple(values)
+        if new == old:
+            return
+        self._unpost(dn, old)
+        for attr, values in new.items():
+            postings = self._indexes[attr]
+            for value in values:
+                postings.setdefault(value, {})[dn] = None
+        self._posted[dn] = new
+
+    def _unpost(self, dn: DN, posted: dict) -> None:
+        for attr, values in posted.items():
+            postings = self._indexes[attr]
+            for value in values:
+                bucket = postings.get(value)
+                if bucket is not None:
+                    bucket.pop(dn, None)
+                    if not bucket:
+                        del postings[value]
+
+    # -- planned search --------------------------------------------------------
+
+    def _candidates(self, node: SearchFilter) -> Optional[dict]:
+        """The most selective indexed candidate DNs covering ``node``
+        (an insertion-ordered {DN: None}), or None when no indexable
+        conjunct exists.  The result may be an internal index bucket —
+        callers must not mutate it."""
+        if isinstance(node, EqualityFilter):
+            if node.attr in self.indexed_attrs:
+                return self._indexes[node.attr].get(node.value, _EMPTY_DNS)
+            return None
+        if isinstance(node, AndFilter):
+            best = None
+            for part in node.parts:
+                cand = self._candidates(part)
+                if cand is not None and (best is None or len(cand) < len(best)):
+                    best = cand
+                    if not best:
+                        break  # an empty conjunct decides the AND
+            return best
+        if isinstance(node, OrFilter):
+            union: dict = {}
+            for part in node.parts:
+                cand = self._candidates(part)
+                if cand is None:
+                    return None  # one unindexable arm forces the scan
+                union.update(cand)
+            return union
+        return None
+
+    def search(self, base: DN, scope: str, flt: SearchFilter) -> list[Entry]:
+        """Matching entries under ``base``: planner-selected candidates,
+        verified by full AST evaluation."""
+        self.reads += 1
+        if scope == "base":
+            entry = self.entries.get(base)
+            return [entry] if entry is not None and flt.matches(entry) else []
+        cand = self._candidates(flt)
+        if cand is None:
+            self.full_scans += 1
+            pool: Iterable[Entry] = self.entries.values()
+        else:
+            self.index_hits += 1
+            entries = self.entries
+            pool = (entries[dn] for dn in cand)
+        one = scope == "one"
+        out = []
+        for entry in pool:
+            dn = entry.dn
+            if not dn.is_under(base):
+                continue
+            if one and dn.depth_below(base) != 1:
+                continue
+            if flt.matches(entry):
+                out.append(entry)
+        return out
 
     def scan(self, base: DN, scope: str) -> list[Entry]:
+        """Unplanned subtree scan (kept as the brute-force reference)."""
         self.reads += 1
         if scope == "base":
             entry = self.entries.get(base)
@@ -105,6 +232,9 @@ class Backend:
 
     def __len__(self) -> int:
         return len(self.entries)
+
+
+_EMPTY_DNS: dict = {}
 
 
 class LDAPBackend(Backend):
@@ -154,6 +284,17 @@ class DirectoryServer:
         self.replication_delay = replication_delay
         self.up = True
         self.replicas: list["DirectoryServer"] = []
+        #: master-side write counter: every committed write bumps it, and
+        #: the replicator stamps the shipped delta with the new value
+        self.generation = 0
+        #: replica-side high-water mark of contiguously applied deltas
+        self.applied_generation = 0
+        #: the replicator whose stream ``applied_generation`` counts —
+        #: generations are meaningless across masters, so a delta from
+        #: any other stream can never advance the mark
+        self.sync_source: Any = None
+        from .replication import DirectoryReplicator  # avoid import cycle
+        self.replicator = DirectoryReplicator(self)
         self.referrals: list[Referral] = []
         self._psearches: dict[int, PersistentSearch] = {}
         # networked-request queue served by a single worker
@@ -179,12 +320,11 @@ class DirectoryServer:
         self.up = True
 
     def add_replica(self, replica: "DirectoryServer") -> None:
-        """Attach a replica; it receives the full current tree and then
-        every subsequent write after ``replication_delay``."""
+        """Attach a replica; it receives one full snapshot and then
+        incremental write deltas after ``replication_delay``."""
         replica.is_replica = True
         self.replicas.append(replica)
-        for entry in self.backend.entries.values():
-            replica.backend.put(entry.copy())
+        self.replicator.snapshot(replica)
 
     def add_referral(self, base: str, server: str) -> None:
         self.referrals.append(Referral(base=base, server=server))
@@ -260,14 +400,14 @@ class DirectoryServer:
         self._check_up()
         self._authorize(principal, "directory.read")
         base = DN.of(base)
-        flt = parse_filter(filter_text) if isinstance(filter_text, str) else filter_text
+        flt = parse_filter_cached(filter_text) if isinstance(filter_text, str) \
+            else filter_text
         referrals = [r for r in self.referrals
                      if DN.parse(r.base).is_under(base) or base.is_under(DN.parse(r.base))]
         entries: list[Entry] = []
         if base.is_under(self.suffix) or self.suffix.is_under(base):
             scan_base = base if base.is_under(self.suffix) else self.suffix
-            entries = [e for e in self.backend.scan(scan_base, scope)
-                       if flt.matches(e)]
+            entries = self.backend.search(scan_base, scope, flt)
         self.op_counts["search"] += 1
         return SearchResult(entries=[e.copy() for e in entries],
                             referrals=referrals)
@@ -275,25 +415,8 @@ class DirectoryServer:
     # -- replication -----------------------------------------------------------
 
     def _propagate(self, op: str, dn: DN, payload: Optional[dict]) -> None:
-        for replica in self.replicas:
-            self.sim.call_in(self.replication_delay,
-                             self._apply_on_replica, replica, op, dn, payload)
-
-    @staticmethod
-    def _apply_on_replica(replica: "DirectoryServer", op: str, dn: DN,
-                          payload: Optional[dict]) -> None:
-        if not replica.up:
-            return  # real deployments resync on recovery; modelled in tests
-        try:
-            if op == "add":
-                replica.add_now(dn, payload, _from_master=True)
-            elif op == "modify":
-                replica.modify_now(dn, payload or {}, upsert=True,
-                                   _from_master=True)
-            elif op == "delete":
-                replica.delete_now(dn, _from_master=True)
-        except DirectoryError:
-            pass  # replays of duplicate adds after a resync are benign
+        if not self.is_replica:
+            self.replicator.ship(op, dn, payload)
 
     # -- persistent search (LDAPv3 event notification) ----------------------------
 
@@ -303,7 +426,7 @@ class DirectoryServer:
         """Register interest; returns an id usable with :meth:`cancel_psearch`."""
         ps = PersistentSearch(
             psearch_id=next(_psearch_ids), base=DN.of(base),
-            search_filter=parse_filter(filter_text),
+            search_filter=parse_filter_cached(filter_text),
             callback=callback, remote=remote)
         self._psearches[ps.psearch_id] = ps
         return ps.psearch_id

@@ -51,30 +51,39 @@ class PeriodSummary:
 
 def summarize_period(archive: EventArchive, t0: float, t1: float, *,
                      host: Optional[str] = None) -> PeriodSummary:
-    """Per-event-type counts/rates/means over the half-open [t0, t1)."""
+    """Per-event-type counts/rates/means over the half-open [t0, t1).
+
+    One streaming pass over the window: per-event counters accumulate
+    as messages flow by, so no intermediate message or group lists are
+    materialized (the window can be most of a large archive).
+    """
     if t1 <= t0:
         raise ValueError("need t1 > t0")
-    messages = [m for m in archive.query(ArchiveQuery(t0=t0, t1=t1, host=host))
-                if m.date < t1]
-    by_event: dict[str, EventTypeStats] = {}
-    groups: dict[str, list] = {}
-    for msg in messages:
-        groups.setdefault(msg.event or "?", []).append(msg)
+    total = 0
+    counts: dict[str, int] = {}
+    value_sums: dict[str, float] = {}
+    value_counts: dict[str, int] = {}
+    for msg in archive.iter_query(ArchiveQuery(t0=t0, t1=t1, host=host),
+                                  end_exclusive=True):
+        total += 1
+        event = msg.event or "?"
+        counts[event] = counts.get(event, 0) + 1
+        raw = msg.fields.get("VALUE")
+        if raw is not None:
+            try:
+                value = float(raw)
+            except ValueError:
+                continue
+            value_sums[event] = value_sums.get(event, 0.0) + value
+            value_counts[event] = value_counts.get(event, 0) + 1
     span = t1 - t0
-    for event, msgs in groups.items():
-        values = []
-        for msg in msgs:
-            raw = msg.fields.get("VALUE")
-            if raw is not None:
-                try:
-                    values.append(float(raw))
-                except ValueError:
-                    pass
-        by_event[event] = EventTypeStats(
-            event=event, count=len(msgs), rate_per_s=len(msgs) / span,
-            value_mean=(sum(values) / len(values)) if values else None)
-    return PeriodSummary(t0=t0, t1=t1, total_events=len(messages),
-                         by_event=by_event)
+    by_event = {
+        event: EventTypeStats(
+            event=event, count=count, rate_per_s=count / span,
+            value_mean=(value_sums[event] / value_counts[event]
+                        if value_counts.get(event) else None))
+        for event, count in counts.items()}
+    return PeriodSummary(t0=t0, t1=t1, total_events=total, by_event=by_event)
 
 
 @dataclass(frozen=True)

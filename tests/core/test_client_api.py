@@ -395,6 +395,25 @@ class TestFluentDiscovery:
         assert len(client.sensors(host="dpss1.*")) == 2
         assert len(client.sensors(host="nosuch.*")) == 0
 
+    def test_filter_compilation_is_cached(self):
+        from repro.client import facade
+        facade._compile_cached.cache_clear()
+        first = compile_sensor_filter(type="cpu", host="dpss1.*")
+        again = compile_sensor_filter(type="cpu", host="dpss1.*")
+        assert first == again
+        info = facade._compile_cached.cache_info()
+        assert info.hits == 1 and info.misses == 1
+        # unhashable values stringify and compile (and cache) fine
+        assert compile_sensor_filter(tags=["a"]) == \
+            "(&(objectclass=sensor)(tags=['a']))"
+        # equal-but-differently-rendered values must not share a slot
+        assert compile_sensor_filter(port=1) == \
+            "(&(objectclass=sensor)(port=1))"
+        assert compile_sensor_filter(port=True) == \
+            "(&(objectclass=sensor)(port=True))"
+        assert compile_sensor_filter(port=1.0) == \
+            "(&(objectclass=sensor)(port=1.0))"
+
     def test_filter_text_and_criteria_are_exclusive(self):
         _w, _sh, monitor, jamm, _gw = deployed()
         client = jamm.client(host=monitor)

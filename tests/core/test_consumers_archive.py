@@ -83,6 +83,100 @@ class TestEventArchive:
         assert archive.rejected == 1
 
 
+class TestTimeIndexedArchive:
+    """The time-ordered store: bisect windows, merge-in of late
+    arrivals, incremental span, and index/window composition."""
+
+    def test_out_of_order_appends_merge_into_time_order(self):
+        archive = EventArchive()
+        for t in (1.0, 3.0, 2.0, 5.0, 4.0, 4.5):
+            archive.append(msg("CPU_USAGE", t=t))
+        assert [m.date for m in archive.messages] == \
+            [1.0, 2.0, 3.0, 4.0, 4.5, 5.0]
+        assert archive.reordered == 3
+        assert archive.time_span() == (1.0, 5.0)
+
+    def test_equal_dates_keep_arrival_order(self):
+        archive = EventArchive()
+        first = msg("A_EVENT", t=1.0)
+        second = msg("B_EVENT", t=1.0)
+        archive.append(first)
+        archive.append(msg("C_EVENT", t=2.0))
+        archive.append(second)  # late arrival, equal date: sorts after first
+        assert archive.messages[0] is first
+        assert archive.messages[1] is second
+
+    def test_sustained_clock_skew_ingest_is_amortized(self):
+        """Two hosts with a constant clock offset interleave late
+        arrivals forever; the pending buffer must keep ingest amortized
+        O(1) (bounded merge passes), not re-insert per message."""
+        archive = EventArchive()
+        n = 20000
+        skew = 500  # host b's clock runs 0.5 time units behind
+        for i in range(n // 2):
+            archive.append(msg("CPU_USAGE", host="a", t=1000.0 + i))
+            archive.append(msg("CPU_USAGE", host="b", t=1000.0 + i - skew))
+        assert archive.reordered == n // 2
+        # merges are amortized: a handful of passes, not one per message
+        assert archive.merges < 20
+        dates = [m.date for m in archive.messages]
+        assert dates == sorted(dates)
+        assert len(archive) == n
+        # indexes still compose correctly over the merged store
+        out = archive.query(host="b", t0=1100.0, t1=1110.0)
+        assert [m.date for m in out] == [float(t) for t in range(1100, 1111)]
+
+    def test_window_query_after_reorder(self):
+        archive = EventArchive()
+        for t in (1.0, 4.0, 2.0, 3.0, 5.0):
+            archive.append(msg("CPU_USAGE", host="a" if t < 3 else "b", t=t))
+        out = archive.query(t0=2.0, t1=4.0)
+        assert [m.date for m in out] == [2.0, 3.0, 4.0]
+        assert [m.date for m in archive.query(t0=2.0, t1=4.0, host="b")] == \
+            [3.0, 4.0]
+
+    def test_composed_query_results_in_time_order(self):
+        archive = EventArchive()
+        for i in range(50):
+            archive.append(msg("CPU_USAGE" if i % 2 else "MEM_USAGE",
+                               host=f"h{i % 3}", t=float(i)))
+        out = archive.query(event="CPU_USAGE", host="h1", t0=5.0, t1=45.0)
+        assert out
+        assert [m.date for m in out] == sorted(m.date for m in out)
+        for m in out:
+            assert m.event == "CPU_USAGE" and m.host == "h1"
+            assert 5.0 <= m.date <= 45.0
+
+    def test_iter_query_streams_and_honors_end_exclusive(self):
+        archive = EventArchive()
+        for t in range(5):
+            archive.append(msg("CPU_USAGE", t=float(t)))
+        inclusive = list(archive.iter_query(ArchiveQuery(t0=1.0, t1=3.0)))
+        half_open = list(archive.iter_query(ArchiveQuery(t0=1.0, t1=3.0),
+                                            end_exclusive=True))
+        assert [m.date for m in inclusive] == [1.0, 2.0, 3.0]
+        assert [m.date for m in half_open] == [1.0, 2.0]
+
+    def test_time_span_is_incremental_and_matches_dates(self):
+        archive = EventArchive()
+        assert archive.time_span() == (0.0, 0.0)
+        for t in (3.0, 1.0, 2.0):
+            archive.append(msg("CPU_USAGE", t=t))
+        assert archive.time_span() == (1.0, 3.0)
+
+    def test_stats_catalog(self):
+        archive = EventArchive(policy=SamplingPolicy(normal_fraction=0.0,
+                                                     always_keep=("CPU_*",)))
+        archive.append(msg("CPU_USAGE", host="a", t=1.0))
+        archive.append(msg("MEM_USAGE", host="b", t=2.0))  # rejected
+        stats = archive.stats()
+        assert stats["count"] == 1
+        assert stats["rejected"] == 1
+        assert stats["hosts"] == 1
+        assert stats["events"] == 1
+        assert (stats["tstart"], stats["tend"]) == (1.0, 1.0)
+
+
 def deployed_world():
     world = GridWorld(seed=13)
     sensor_host = world.add_host("dpss1.lbl.gov")

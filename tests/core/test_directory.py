@@ -1,11 +1,14 @@
 """Unit tests for the directory service: DNs, filters, server, replication."""
 
+import random
+
 import pytest
 
 from repro.core.directory import (DN, DirectoryClient, DirectoryError,
                                   DirectoryServer, DNError, Entry,
                                   FilterSyntaxError, LDAPBackend, MDSBackend,
-                                  deploy_replicated_directory, parse_filter)
+                                  deploy_replicated_directory, parse_filter,
+                                  parse_filter_cached)
 from repro.simgrid import Simulator
 
 
@@ -258,6 +261,297 @@ class TestReferrals:
         client = DirectoryClient([root], all_servers={"site-lbl": site})
         result = client.search("o=grid", "(objectclass=host)")
         assert len(result) == 1
+
+
+class TestIndexedSearch:
+    """The query planner: candidate sets from the equality indexes,
+    verified by full AST evaluation."""
+
+    def populated(self, n=30):
+        _, srv = server()
+        srv.add_now("ou=sensors,o=grid", {"objectclass": "orgunit"})
+        for i in range(n):
+            srv.add_now(f"sensor=s{i},host=h{i % 5},ou=sensors,o=grid",
+                        {"objectclass": "sensor",
+                         "sensortype": ("cpu", "mem", "net")[i % 3],
+                         "status": "running" if i % 4 else "stopped"})
+        return srv
+
+    def test_indexable_filter_skips_the_scan(self):
+        srv = self.populated()
+        before = srv.backend.full_scans
+        result = srv.search_now("ou=sensors,o=grid",
+                                "(&(objectclass=sensor)(host=h2))")
+        assert len(result) == 6
+        assert srv.backend.full_scans == before
+        assert srv.backend.index_hits > 0
+
+    def test_unindexable_filter_falls_back_to_scan(self):
+        srv = self.populated()
+        before = srv.backend.full_scans
+        assert len(srv.search_now("ou=sensors,o=grid", "(sensor=s1*)")) == 11
+        assert srv.backend.full_scans == before + 1
+
+    def test_or_of_indexable_arms_uses_index_union(self):
+        srv = self.populated()
+        before = srv.backend.full_scans
+        result = srv.search_now("ou=sensors,o=grid",
+                                "(|(host=h0)(host=h1))")
+        assert len(result) == 12
+        assert srv.backend.full_scans == before
+
+    def test_or_with_unindexable_arm_scans(self):
+        srv = self.populated()
+        before = srv.backend.full_scans
+        srv.search_now("ou=sensors,o=grid", "(|(host=h0)(status=running))")
+        assert srv.backend.full_scans == before + 1
+
+    def test_index_respects_scope_and_base(self):
+        srv = self.populated()
+        # host=h0 entries live below ou=sensors; a sibling base sees none
+        srv.add_now("ou=archives,o=grid", {"objectclass": "orgunit"})
+        assert len(srv.search_now("ou=archives,o=grid", "(host=h0)")) == 0
+        assert len(srv.search_now("ou=sensors,o=grid", "(host=h0)",
+                                  scope="one")) == 0  # sensors sit at depth 2
+
+    def test_modify_moves_index_postings(self):
+        srv = self.populated(6)
+        assert len(srv.search_now("o=grid", "(sensortype=cpu)")) == 2
+        srv.modify_now("sensor=s1,host=h1,ou=sensors,o=grid",
+                       {"sensortype": "cpu"})
+        assert len(srv.search_now("o=grid", "(sensortype=cpu)")) == 3
+        srv.modify_now("sensor=s0,host=h0,ou=sensors,o=grid",
+                       {"sensortype": None})
+        assert len(srv.search_now("o=grid", "(sensortype=cpu)")) == 2
+
+    def test_delete_removes_postings(self):
+        srv = self.populated(6)
+        srv.delete_now("sensor=s0,host=h0,ou=sensors,o=grid")
+        assert len(srv.search_now("o=grid", "(sensortype=cpu)")) == 1
+        assert not srv.search_now("o=grid", "(sensor=s0)").entries
+
+    def test_indexed_results_follow_insertion_order(self):
+        """Candidate iteration must be deterministic (insertion order),
+        not hash-set order — seeded simulations pick entries[0]."""
+        srv = self.populated()
+        result = srv.search_now("ou=sensors,o=grid",
+                                "(&(objectclass=sensor)(host=h2))")
+        names = [e.first("sensor") for e in result.entries]
+        assert names == ["s2", "s7", "s12", "s17", "s22", "s27"]
+
+    def test_parse_filter_cached_shares_the_ast(self):
+        assert parse_filter_cached("(host=h1)") is \
+            parse_filter_cached("(host=h1)")
+        with pytest.raises(FilterSyntaxError):
+            parse_filter_cached("(host=h1")
+
+
+class TestIndexChurnProperty:
+    """Property-style: under add/modify/delete churn, the planner's
+    results always equal a brute-force AST scan over every entry."""
+
+    FILTERS = [
+        "(objectclass=sensor)",
+        "(host=h3)",
+        "(&(objectclass=sensor)(host=h1))",
+        "(&(objectclass=sensor)(sensortype=cpu))",
+        "(|(sensortype=cpu)(sensortype=mem))",
+        "(&(objectclass=sensor)(!(status=stopped)))",
+        "(sensor=s1*)",
+        "(&(host=h2)(status=running))",
+        "(|(host=h1)(sensor=s2*))",
+        "(nosuchattr=x)",
+    ]
+
+    @staticmethod
+    def brute_force(srv, base, filter_text):
+        flt = parse_filter(filter_text)
+        return sorted(str(e.dn)
+                      for e in srv.backend.scan(DN.parse(base), "sub")
+                      if flt.matches(e))
+
+    def test_indexed_equals_brute_force_under_churn(self):
+        rng = random.Random(20260727)
+        _, srv = server()
+        srv.add_now("ou=sensors,o=grid", {"objectclass": "orgunit"})
+        alive = []
+        types = ("cpu", "mem", "net")
+        for step in range(250):
+            op = rng.choice(("add", "add", "modify", "modify", "delete"))
+            if op == "add" or not alive:
+                dn = (f"sensor=s{rng.randrange(40)},"
+                      f"host=h{rng.randrange(5)},ou=sensors,o=grid")
+                if srv.backend.get(DN.parse(dn)) is None:
+                    srv.add_now(dn, {
+                        "objectclass": "sensor",
+                        "sensortype": rng.choice(types),
+                        "status": rng.choice(("running", "stopped"))})
+                    alive.append(dn)
+            elif op == "modify":
+                dn = rng.choice(alive)
+                changes = rng.choice((
+                    {"status": rng.choice(("running", "stopped"))},
+                    {"sensortype": rng.choice(types)},
+                    {"sensortype": None},
+                    {"extra": rng.randrange(10)}))
+                srv.modify_now(dn, changes)
+            else:
+                dn = alive.pop(rng.randrange(len(alive)))
+                srv.delete_now(dn)
+            for filter_text in self.FILTERS:
+                got = sorted(
+                    str(e.dn)
+                    for e in srv.search_now("o=grid", filter_text).entries)
+                assert got == self.brute_force(srv, "o=grid", filter_text), \
+                    f"divergence after step {step} ({op}) for {filter_text}"
+        # the postings must also be exact: no dead DNs, no stale values
+        for attr, postings in srv.backend._indexes.items():
+            for value, dns in postings.items():
+                assert dns, f"empty bucket left for {attr}={value}"
+                for dn in dns:
+                    entry = srv.backend.get(dn)
+                    assert entry is not None
+                    assert value in entry.values(attr)
+
+
+class TestReplicator:
+    def test_steady_state_ships_incremental_deltas(self):
+        sim = Simulator()
+        group = deploy_replicated_directory(sim, n_replicas=2)
+        replicator = group.master.replicator
+        assert replicator.snapshots == 2  # one per attach
+        group.master.add_now("x=1,o=grid")
+        group.master.modify_now("x=1,o=grid", {"v": 2})
+        group.master.delete_now("x=1,o=grid")
+        sim.run(until=1.0)
+        assert replicator.deltas_applied == 6  # 3 writes x 2 replicas
+        assert replicator.snapshots == 2  # still no snapshot traffic
+        for replica in group.replicas:
+            assert replica.applied_generation == group.master.generation
+
+    def test_generation_gap_falls_back_to_snapshot(self):
+        sim = Simulator()
+        group = deploy_replicated_directory(sim, n_replicas=1)
+        replica = group.replicas[0]
+        group.master.add_now("x=1,o=grid")
+        sim.run(until=1.0)
+        replica.fail()
+        group.master.add_now("x=2,o=grid")  # delta dropped: replica down
+        sim.run(until=2.0)
+        replica.recover()
+        snapshots_before = group.master.replicator.snapshots
+        group.master.add_now("x=3,o=grid")  # gap detected on delivery
+        sim.run(until=3.0)
+        assert group.master.replicator.snapshots == snapshots_before + 1
+        assert len(replica.search_now("o=grid", "(x=*)")) == 3
+        assert replica.applied_generation == group.master.generation
+
+    def test_snapshot_covers_in_flight_deltas(self):
+        sim = Simulator()
+        group = deploy_replicated_directory(sim, n_replicas=1,
+                                            replication_delay=0.5)
+        group.master.add_now("x=1,o=grid")
+        group.resync()  # snapshot while the x=1 delta is still in flight
+        sim.run(until=1.0)
+        assert group.master.replicator.stale_dropped == 1
+        assert len(group.replicas[0].search_now("o=grid", "(x=*)")) == 1
+
+    def test_in_flight_delta_from_demoted_master_cannot_poison_follower(self):
+        """Generations do not compare across masters: a delta still in
+        flight from the old master at promotion time must not advance
+        (or snapshot-inflate) a follower's high-water mark and cause the
+        new master's writes to be dropped as stale."""
+        sim = Simulator()
+        group = deploy_replicated_directory(sim, n_replicas=2,
+                                            replication_delay=0.5)
+        for i in range(5):
+            group.master.add_now(f"x={i},o=grid")
+        sim.run(until=2.0)
+        group.master.add_now("x=late,o=grid")  # delta in flight...
+        promoted = group.promote_replica()     # ...when the master demotes
+        assert promoted is not None
+        follower = group.replicas[0]
+        for i in range(6):
+            promoted.add_now(f"n={i},o=grid")
+        sim.run(until=5.0)
+        found = sorted(e.first("n")
+                       for e in follower.search_now("o=grid", "(n=*)").entries)
+        assert found == ["0", "1", "2", "3", "4", "5"]
+
+    def test_demoted_master_rejoins_and_heals_after_recovery(self):
+        """The failed old master becomes a replica of the promoted one;
+        after it recovers, the first delta it sees snapshot-adopts it
+        into the new master's stream (no explicit resync needed)."""
+        sim = Simulator()
+        group = deploy_replicated_directory(sim, n_replicas=1)
+        group.master.add_now("x=0,o=grid")
+        sim.run(until=1.0)
+        group.fail_master()
+        old = [s for s in group.servers if not s.up][0]
+        promoted = group.promote_replica()
+        assert old in group.replicas and old.is_replica
+        promoted.add_now("n=0,o=grid")
+        sim.run(until=2.0)
+        old.recover()
+        promoted.add_now("n=1,o=grid")
+        sim.run(until=3.0)
+        assert len(old.search_now("o=grid", "(n=*)")) == 2
+
+    def test_in_flight_delta_cannot_clobber_promoted_master(self):
+        """A delta (or snapshot fallback) from the demoted master's
+        stream must never touch the server that was just promoted —
+        masters do not apply foreign deltas, ever."""
+        sim = Simulator()
+        group = deploy_replicated_directory(sim, n_replicas=1,
+                                            replication_delay=0.5)
+        replica = group.replicas[0]
+        group.master.add_now("x=0,o=grid")
+        sim.run(until=1.0)
+        replica.fail()
+        group.master.add_now("x=1,o=grid")  # missed: generation gap
+        sim.run(until=2.0)
+        replica.recover()
+        group.master.add_now("x=2,o=grid")  # in flight at promotion time
+        group.fail_master()
+        promoted = group.promote_replica()
+        assert promoted is replica
+        promoted.add_now("n=0,o=grid")
+        sim.run(until=5.0)
+        # without the guard, the gap triggers a snapshot from the DEMOTED
+        # master that clobbers the new master's tree (erasing n=0)
+        assert len(promoted.search_now("o=grid", "(n=*)")) == 1
+        assert promoted.sync_source is None
+
+    def test_down_replica_at_promotion_heals_on_recovery(self):
+        """A replica that is down during failover still joins the new
+        master's stream; its first post-recovery delta snapshot-adopts
+        it (foreign sync source), so it does not serve stale reads."""
+        sim = Simulator()
+        group = deploy_replicated_directory(sim, n_replicas=2)
+        group.master.add_now("x=0,o=grid")
+        sim.run(until=1.0)
+        down = group.replicas[1]
+        down.fail()
+        group.fail_master()
+        promoted = group.promote_replica()
+        assert promoted is not None and down in promoted.replicas
+        down.recover()
+        promoted.add_now("n=0,o=grid")
+        sim.run(until=2.0)
+        assert len(down.search_now("o=grid", "(n=*)")) == 1
+        assert len(down.search_now("o=grid", "(x=*)")) == 1
+
+    def test_promoted_master_resumes_delta_stream(self):
+        sim = Simulator()
+        group = deploy_replicated_directory(sim, n_replicas=2)
+        group.fail_master()
+        promoted = group.promote_replica()
+        assert promoted is not None
+        survivor = group.replicas[0]
+        promoted.add_now("x=1,o=grid")
+        sim.run(until=1.0)
+        assert survivor.search_now("x=1,o=grid", scope="base").entries
+        assert promoted.replicator.deltas_applied == 1
 
 
 class TestBackendCosts:

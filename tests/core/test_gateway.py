@@ -223,7 +223,9 @@ class TestRenderOnceFanOut:
         real_render = gateway_mod._render
 
         def counting_render(msg, fmt):
-            calls.append((id(msg), fmt))
+            # hold the message itself: a bare id() could be reused by a
+            # later event once this one is garbage-collected
+            calls.append((msg, fmt))
             return real_render(msg, fmt)
 
         monkeypatch.setattr(gateway_mod, "_render", counting_render)
@@ -235,8 +237,8 @@ class TestRenderOnceFanOut:
         assert gw.events_in > 0
         assert gw.events_delivered == 10 * gw.events_in
         per_event = {}
-        for msg_id, fmt in calls:
-            per_event.setdefault(msg_id, []).append(fmt)
+        for msg, fmt in calls:
+            per_event.setdefault(id(msg), []).append(fmt)
         assert per_event, "no renders recorded"
         for fmts in per_event.values():
             # each format rendered at most once per event
