@@ -52,7 +52,8 @@ class _StubTransport:
     def __init__(self):
         self.sent = 0
 
-    def send(self, src, dst, dst_port, payload, *, size_bytes=0, on_fail=None):
+    def send(self, src, dst, dst_port, payload, *, size_bytes=0,
+             on_fail=None, on_delivered=None):
         self.sent += 1
 
 

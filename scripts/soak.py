@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Soak the fault-scenario invariants over many random seeds.
+
+Runs N random fault scenarios (200-step plans by default) and dumps
+every invariant-violating plan to ``tests/scenarios/corpus/`` as JSON,
+where ``tests/scenarios/test_corpus.py`` replays it forever after.
+
+Usage::
+
+    python scripts/soak.py --runs 100
+    python scripts/soak.py --runs 50 --steps 300 --start-seed 1000
+    python scripts/soak.py --runs 20 --horizon 90 --keep-passing-digests
+
+Exit status is the number of failing seeds (0 = clean soak).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.scenarios import Scenario, run_scenario  # noqa: E402
+
+CORPUS = ROOT / "tests" / "scenarios" / "corpus"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=25,
+                        help="number of seeds to soak (default 25)")
+    parser.add_argument("--start-seed", type=int, default=0,
+                        help="first seed (seeds are sequential from here)")
+    parser.add_argument("--steps", type=int, default=200,
+                        help="fault-plan length per scenario")
+    parser.add_argument("--horizon", type=float, default=60.0)
+    parser.add_argument("--drain", type=float, default=20.0)
+    parser.add_argument("--hosts", type=int, default=3,
+                        help="sensor hosts in the scenario world")
+    parser.add_argument("--keep-passing-digests", action="store_true",
+                        help="print each passing run's digest (for "
+                             "cross-machine determinism spot checks)")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    t_start = time.time()
+    for seed in range(args.start_seed, args.start_seed + args.runs):
+        scenario = Scenario(name=f"soak-{seed}", seed=seed,
+                            horizon=args.horizon, drain=args.drain,
+                            n_sensor_hosts=args.hosts,
+                            random_steps=args.steps)
+        result = run_scenario(scenario)
+        if result.ok:
+            extra = f" digest={result.digest()[:16]}" \
+                if args.keep_passing_digests else ""
+            print(f"seed {seed:>6}: ok  committed={len(result.committed):>4}"
+                  f"{extra}")
+            continue
+        failures += 1
+        CORPUS.mkdir(parents=True, exist_ok=True)
+        dump = CORPUS / f"plan_seed{seed}.json"
+        dump.write_text(json.dumps({
+            "scenario": {"seed": seed, "horizon": args.horizon,
+                         "drain": args.drain,
+                         "n_sensor_hosts": args.hosts,
+                         "random_steps": args.steps},
+            "plan": result.plan.to_dict(),
+            "violations": result.violations,
+        }, indent=2, sort_keys=True) + "\n")
+        print(f"seed {seed:>6}: FAIL -> {dump.relative_to(ROOT)}")
+        for violation in result.violations:
+            print(f"    {violation}")
+
+    elapsed = time.time() - t_start
+    print(f"\n{args.runs} scenario(s) in {elapsed:.1f}s, "
+          f"{failures} failure(s)")
+    if failures:
+        print("failing plans dumped to tests/scenarios/corpus/ — "
+              "replayed by tests/scenarios/test_corpus.py")
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

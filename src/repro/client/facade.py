@@ -13,7 +13,13 @@ typed API:
   whose exit tears every subscription down (idempotently, surfacing
   per-handle errors after all have been attempted);
 * point reads: ``client.latest(sensor)`` (query mode) and
-  ``client.summary(sensor, field)`` without opening a channel.
+  ``client.summary(sensor, field)`` without opening a channel;
+* self-healing: :meth:`ClientSession.enable_auto_heal` runs a watchdog
+  that notices reaped/crash-dropped handles, re-resolves the sensor
+  through the (failover-capable) directory, resubscribes with backoff,
+  and replays missed events from an archive watermark — at-least-once
+  delivery with per-stream duplicate suppression, so committed events
+  survive gateway crashes and network partitions.
 
 The facade never talks to gateway internals: it resolves gateways the
 same way every consumer does and opens subscriptions through
@@ -131,6 +137,52 @@ class SensorSelection(Sequence):
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<SensorSelection {len(self._infos)} sensor(s) "
                 f"filter={self.filter_text!r}>")
+
+
+class _StreamTracker:
+    """Per-subscription delivery state for self-healing sessions.
+
+    Tracks the replay watermark and suppresses duplicate deliveries
+    across the replay/live overlap by ULM message identity
+    (µs-quantized — the codec's own equality).  One tracker per
+    subscription *lineage*: a replacement handle opened by the healer
+    inherits its dead predecessor's tracker, while two independent
+    subscriptions to the same sensor keep independent state (sharing
+    one would starve every handle after the first).
+    """
+
+    __slots__ = ("last_date", "_seen", "duplicates", "replay_floor",
+                 "fast_forward")
+
+    def __init__(self) -> None:
+        self.last_date = float("-inf")
+        self._seen: dict[int, float] = {}   # identity hash -> event date
+        self.duplicates = 0
+        #: archive time up to which catch-up replay has already scanned;
+        #: each watchdog pass covers [floor - slack, now] and advances it
+        self.replay_floor = 0.0
+        #: set while the handle is paused: the next scan advances the
+        #: floor without dispatching, so the paused-over window (which
+        #: the gateway counts as filtered) is never resurrected
+        self.fast_forward = False
+
+    def admit(self, event: Any) -> bool:
+        key = hash(event)
+        if key in self._seen:
+            self.duplicates += 1
+            return False
+        self._seen[key] = event.date
+        if event.date > self.last_date:
+            self.last_date = event.date
+        return True
+
+    def prune(self, min_date: float) -> None:
+        """Drop identity entries replay can never re-deliver (older
+        than the scan floor), keeping memory O(replay overlap) instead
+        of O(stream lifetime)."""
+        if self._seen:
+            self._seen = {k: d for k, d in self._seen.items()
+                          if d >= min_date}
 
 
 class MonitoringClient:
@@ -251,6 +303,21 @@ class ClientSession:
             principal=principal if principal is not None else client.principal,
             suffix=client.suffix)
         self.closed = False
+        # -- self-healing state (inert until enable_auto_heal) -------------
+        self._heal_enabled = False
+        self._heal_archive: Any = None
+        self._heal_interval = 2.0
+        self._heal_backoff_base = 1.0
+        self._heal_backoff_max = 30.0
+        self._replay_slack = 1.0
+        self._heal_proc = None
+        self._trackers: list[_StreamTracker] = []
+        self._retry_at: dict[str, float] = {}
+        self._backoff: dict[str, float] = {}
+        #: True while missed events are being replayed from the archive
+        self.in_replay = False
+        self.resubscribes = 0
+        self.replayed = 0
 
     @property
     def handles(self) -> list[SubscriptionHandle]:
@@ -279,6 +346,8 @@ class ClientSession:
             info, spec=spec, event_filter=event_filter, mode=mode, fmt=fmt)
         if on_event is not None:
             handle.attach(on_event)
+        if self._heal_enabled:
+            self._track(handle)
         return handle
 
     def subscribe_all(self, selection: Union[None, str, Iterable] = None, *,
@@ -309,10 +378,231 @@ class ClientSession:
                                           mode=mode, fmt=fmt))
         return handles
 
+    # -- self-healing ------------------------------------------------------------------
+
+    def enable_auto_heal(self, *, archive: Any = None,
+                         check_interval: float = 2.0,
+                         backoff_base: float = 1.0,
+                         backoff_max: float = 30.0,
+                         replay_slack: float = 1.0) -> "ClientSession":
+        """Keep this session's subscriptions alive across faults.
+
+        A watchdog process wakes every ``check_interval`` seconds and,
+        for every handle the gateway reaped (dead-consumer reap or
+        gateway-host crash), re-resolves the sensor through the
+        directory — which itself fails over master→replica — and opens
+        a replacement subscription carrying over the old handle's
+        callbacks.  With an ``archive`` (the gateway-side event store),
+        events missed while disconnected are replayed from the
+        stream's time watermark minus ``replay_slack`` (clock-skew
+        margin); duplicate deliveries across the replay/live overlap
+        are suppressed by message identity, so the combined stream is
+        at-least-once with exact-duplicate suppression.  Failed
+        resubscribe attempts back off exponentially per stream.
+
+        Returns self for chaining.  Costs the fault-free delivery path
+        one admission check per event on healing sessions and nothing
+        at all on sessions that never call this.
+        """
+        self._require_open()
+        self._heal_enabled = True
+        self._heal_archive = archive
+        self._heal_interval = check_interval
+        self._heal_backoff_base = backoff_base
+        self._heal_backoff_max = backoff_max
+        self._replay_slack = replay_slack
+        for handle in self.handles:
+            if not handle.closed:
+                self._track(handle)
+        if self._heal_proc is None or not self._heal_proc.alive:
+            self._heal_proc = self.client.sim.spawn(
+                self._heal_loop(), name=f"session-heal[{self._consumer.name}]")
+        return self
+
+    def _track(self, handle: SubscriptionHandle,
+               tracker: Optional[_StreamTracker] = None) -> None:
+        """Give ``handle`` delivery tracking — a fresh tracker, or a
+        predecessor's (resubscribe) so dedupe spans the reconnect."""
+        if tracker is None:
+            if getattr(handle, "_heal_tracker", None) is not None:
+                return
+            tracker = _StreamTracker()
+            self._trackers.append(tracker)
+        handle._heal_tracker = tracker
+        handle._admit = tracker.admit
+
+    def _heal_loop(self):
+        from ..simgrid.kernel import Timeout  # local: avoid module cycle
+        while not self.closed:
+            yield Timeout(self._heal_interval)
+            if not self.closed:
+                self.heal_now()
+
+    def heal_now(self) -> int:
+        """One watchdog pass; returns the number of resubscriptions.
+
+        Public so scenario harnesses (and impatient callers) can force
+        a pass at a deterministic point instead of waiting a tick.
+        """
+        host = self.client.host
+        if host is not None and not host.up:
+            return 0  # a crashed consumer host runs no watchdog
+        healed = 0
+        now = self.client.sim.now
+        for handle in list(self.handles):
+            if not handle.reaped or getattr(handle, "superseded", False):
+                continue
+            key = handle.spec.sensor
+            if now < self._retry_at.get(key, 0.0):
+                continue
+            if self._resubscribe(handle):
+                healed += 1
+                self._backoff.pop(key, None)
+                self._retry_at.pop(key, None)
+            else:
+                backoff = self._backoff.get(key, self._heal_backoff_base)
+                self._retry_at[key] = now + backoff
+                self._backoff[key] = min(self._heal_backoff_max,
+                                         backoff * 2.0)
+        # catch-up pass: even a live subscription can have lost events
+        # (drops below the gateway's reap threshold leave it open), so
+        # every pass also replays the archive window since the last one
+        # — duplicate suppression makes over-delivery free
+        if self._heal_archive is not None:
+            for handle in list(self.handles):
+                if handle.closed:
+                    continue
+                tracker = getattr(handle, "_heal_tracker", None)
+                if tracker is None:
+                    continue
+                if handle.paused:
+                    # pause means "drop" (gateway counts the gap as
+                    # filtered): mark the tracker so the first scan
+                    # after resume swallows the paused-over window
+                    # instead of resurrecting it
+                    tracker.fast_forward = True
+                    continue
+                if self._gateway_reachable(handle.gateway):
+                    self._replay(handle)
+        return healed
+
+    def _gateway_reachable(self, gateway: Any) -> bool:
+        """Would a real consumer reach this gateway right now?  The
+        facade talks to gateway objects in-process, so reconnects must
+        check the simulated network explicitly — resubscribing across a
+        partition would be cheating."""
+        if gateway is None or not getattr(gateway, "up", True):
+            return False
+        host = self.client.host
+        gw_host = getattr(gateway, "host", None)
+        if host is None or gw_host is None:
+            return True
+        if not host.up or not gw_host.up:
+            return False
+        try:
+            host.network.route(host.node, gw_host.node)
+        except Exception:
+            return False
+        return True
+
+    def _resubscribe(self, dead: SubscriptionHandle) -> bool:
+        """Replace one reaped handle: directory re-lookup (with replica
+        failover), fresh subscription, callback carry-over, archive
+        replay.  Returns False when any step fails (the stream backs
+        off and the next pass retries)."""
+        key = dead.spec.sensor
+        try:
+            info = self.client.find(key)
+            if info is None:
+                return False
+            if not self._gateway_reachable(self.client.gateway_for(info)):
+                return False
+            respec = dead.spec.replace(delivery=None).clone()
+            replacement = self.subscribe(info, spec=respec)
+        except Exception:
+            return False
+        accept = self._consumer._accept
+        for callback in dead._callbacks:
+            if callback is not accept and callback not in \
+                    replacement._callbacks:
+                replacement.attach(callback)
+        # the replacement continues the dead handle's stream: it takes
+        # over the tracker (watermark + dedupe state spans the
+        # reconnect), and the dead handle leaves the session entirely
+        # so repeated crashes don't grow the watchdog's scan set
+        dead_tracker = getattr(dead, "_heal_tracker", None)
+        if dead_tracker is not None:
+            fresh = getattr(replacement, "_heal_tracker", None)
+            if fresh is not None and fresh in self._trackers:
+                self._trackers.remove(fresh)
+            self._track(replacement, tracker=dead_tracker)
+        dead.superseded = True
+        if dead in self._consumer.handles:
+            self._consumer.handles.remove(dead)
+        self._consumer._wire_handles.pop(
+            (dead.gateway.name, dead.sub_id), None)
+        self.resubscribes += 1
+        self._replay(replacement)
+        return True
+
+    def _replay(self, handle: SubscriptionHandle) -> None:
+        """Deliver committed-but-missed events from the archive into the
+        replacement handle.  The stream tracker suppresses everything
+        already seen, so over-replaying (the slack window) is safe."""
+        if self._heal_archive is None or handle.paused:
+            return
+        key = handle.spec.sensor
+        tracker = getattr(handle, "_heal_tracker", None)
+        floor = tracker.replay_floor if tracker is not None else 0.0
+        t0 = max(0.0, floor - self._replay_slack)
+        max_seen = floor
+        # replay must honor the subscription's filter like the live
+        # path does; stateful filters (change/threshold) are evaluated
+        # on a fresh clone so the gateway's live instance isn't skewed
+        flt = handle.spec.event_filter
+        replay_filter = flt.clone() if flt is not None else None
+        fast_forward = tracker is not None and tracker.fast_forward
+        self.in_replay = True
+        try:
+            for msg in self._heal_archive.iter_query(t0=t0):
+                if msg.prog != key:
+                    continue
+                # the floor is per-STREAM: hosts' clocks are skewed
+                # relative to each other, so a cross-stream max date
+                # would prune identities (and skip scan windows) for
+                # streams whose clocks run behind
+                if msg.date > max_seen:
+                    max_seen = msg.date
+                if fast_forward:
+                    continue  # swallowing a paused-over window
+                if replay_filter is not None and \
+                        not replay_filter.accept(msg):
+                    continue
+                before = tracker.duplicates if tracker is not None else 0
+                handle._dispatch(msg)
+                if tracker is None or tracker.duplicates == before:
+                    self.replayed += 1
+        finally:
+            self.in_replay = False
+        if tracker is not None:
+            tracker.fast_forward = False
+            tracker.replay_floor = max_seen
+            # 2x slack: a live copy can arrive a little behind the
+            # archive commit it duplicates; keep its identity around
+            tracker.prune(max_seen - 2.0 * self._replay_slack)
+
     # -- introspection -----------------------------------------------------------------
 
     def stats(self) -> list[dict]:
         return [handle.stats() for handle in self.handles]
+
+    def heal_stats(self) -> dict:
+        """Self-healing counters (zeros when auto-heal is off)."""
+        return {"enabled": self._heal_enabled,
+                "resubscribes": self.resubscribes,
+                "replayed": self.replayed,
+                "duplicates_suppressed": sum(t.duplicates
+                                             for t in self._trackers)}
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -327,6 +617,9 @@ class ClientSession:
         if self.closed:
             return
         self.closed = True
+        if self._heal_proc is not None and self._heal_proc.alive:
+            self._heal_proc.kill()
+        self._heal_proc = None
         self._consumer.close()
 
     def __enter__(self) -> "ClientSession":

@@ -49,6 +49,27 @@ class DirectoryReplicator:
         self.deltas_applied = 0
         self.snapshots = 0
         self.stale_dropped = 0
+        #: deltas lost to partitions / down hosts (each one forces a
+        #: generation gap, which heals via snapshot once reachable)
+        self.deltas_lost = 0
+
+    def reachable(self, replica: DirectoryServer) -> bool:
+        """Can the master's host currently reach the replica's host?
+
+        In-process groups (no hosts) are always reachable.  A down host
+        on either side, or no surviving route, means delta/snapshot
+        traffic is lost — the partition model."""
+        m_host = self.master.host
+        r_host = replica.host
+        if m_host is None or r_host is None:
+            return True
+        if not m_host.up or not r_host.up:
+            return False
+        try:
+            m_host.network.route(m_host.node, r_host.node)
+        except Exception:
+            return False
+        return True
 
     # -- master side -------------------------------------------------------
 
@@ -83,6 +104,12 @@ class DirectoryReplicator:
             return
         if not replica.up:
             return  # the generation gap forces a snapshot after recovery
+        if not self.reachable(replica):
+            # partitioned mid-stream: the delta is lost on the wire.
+            # The replica's generation now lags; the first delta that
+            # arrives after the heal sees the gap and snapshot-resyncs.
+            self.deltas_lost += 1
+            return
         if replica.sync_source is not self:
             # the replica is synced to a different stream (a promotion
             # happened, or it was never snapshot): generations do not
@@ -121,6 +148,14 @@ class ReplicatedDirectory:
                  replicas: Sequence[DirectoryServer]):
         self.master = master
         self.replicas = list(replicas)
+        #: automatic failovers performed by the self-healing monitor
+        self.auto_promotions = 0
+        self.anti_entropy_snapshots = 0
+        self._healer = None
+        #: replica name -> applied_generation at the last healthy check,
+        #: so anti-entropy only resyncs replicas that made NO progress
+        #: (in-flight deltas are not "lag")
+        self._lag_marks: dict[str, int] = {}
 
     @property
     def servers(self) -> list[DirectoryServer]:
@@ -151,6 +186,67 @@ class ReplicatedDirectory:
             if not replica.up:
                 continue
             self.master.replicator.snapshot(replica)
+
+    # -- self-healing monitor ------------------------------------------------
+
+    def start_self_healing(self, *, check_interval: float = 5.0,
+                           master_grace: int = 2) -> None:
+        """Supervise the group: auto-promote a replica when the master
+        stays dead for ``master_grace`` consecutive checks, and run an
+        anti-entropy pass that snapshot-resyncs reachable replicas
+        stuck off the master's stream (recovered crashes, healed
+        partitions with no subsequent write traffic)."""
+        if self._healer is not None and self._healer.alive:
+            return
+        self._healer = self.master.sim.spawn(
+            self._heal_loop(check_interval, master_grace),
+            name="directory-self-heal")
+
+    def stop_self_healing(self) -> None:
+        if self._healer is not None and self._healer.alive:
+            self._healer.kill()
+        self._healer = None
+
+    def _master_dead(self) -> bool:
+        master = self.master
+        if not master.up:
+            return True
+        return master.host is not None and not master.host.up
+
+    def _heal_loop(self, interval: float, grace: int):
+        from ...simgrid.kernel import Timeout  # local: avoid module cycle
+        misses = 0
+        while True:
+            yield Timeout(interval)
+            if self._master_dead():
+                misses += 1
+                if misses >= grace and self.promote_replica() is not None:
+                    self.auto_promotions += 1
+                    misses = 0
+                continue
+            misses = 0
+            self._anti_entropy_pass()
+
+    def _anti_entropy_pass(self) -> None:
+        """Resync replicas that are stuck: off the master's stream
+        (foreign/none sync source) or behind with no progress since the
+        last check.  Reachability-gated, so a partitioned replica is
+        left alone until the partition heals."""
+        replicator = self.master.replicator
+        for replica in list(self.replicas):
+            if not replica.up or not replicator.reachable(replica):
+                continue
+            prev = self._lag_marks.get(replica.name)
+            self._lag_marks[replica.name] = replica.applied_generation
+            if replica.sync_source is not replicator:
+                stuck = True   # foreign stream: generations don't compare
+            else:
+                behind = replica.applied_generation < self.master.generation
+                stuck = behind and prev == replica.applied_generation
+            if stuck:
+                replicator.snapshot(replica)
+                self.anti_entropy_snapshots += 1
+                self._lag_marks[replica.name] = replica.applied_generation
 
     def promote_replica(self) -> Optional[DirectoryServer]:
         """Promote the first up replica to master (manual failover)."""

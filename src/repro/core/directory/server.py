@@ -319,6 +319,16 @@ class DirectoryServer:
     def recover(self) -> None:
         self.up = True
 
+    # host fault hooks (Host.crash/restart): the server dies with its
+    # host.  Recovery resync is driven by the replication layer — a
+    # recovered replica snapshot-adopts at its first delta, or the
+    # group's self-healing monitor anti-entropy pass picks it up.
+    def on_host_down(self) -> None:
+        self.fail()
+
+    def on_host_up(self) -> None:
+        self.recover()
+
     def add_replica(self, replica: "DirectoryServer") -> None:
         """Attach a replica; it receives one full snapshot and then
         incremental write deltas after ``replication_delay``."""

@@ -95,6 +95,18 @@ class Subscription:
     #: sensor events_in when the current pause began (missed events are
     #: folded into ``filtered`` on resume / reconcile)
     pause_mark: int = 0
+    #: the SubscriptionHandle this subscription was opened as — notified
+    #: when the gateway tears the subscription down (reap, crash, or an
+    #: out-of-band unsubscribe), so handle state can never go stale
+    handle: Any = None
+    #: consecutive undeliverable sends (dead-consumer detection; reset
+    #: by the transport's delivery ack, so a flapping link that heals
+    #: before ``reap_threshold`` failures never reaps a live consumer)
+    fail_count: int = 0
+    #: per-subscription failure/ack callbacks, built once at open time
+    #: so the per-event remote path allocates nothing extra
+    fail_cb: Optional[Callable] = None
+    ok_cb: Optional[Callable] = None
 
 
 @dataclass
@@ -163,13 +175,20 @@ class EventGateway:
     def __init__(self, sim: Simulator, *, name: str = "gw0",
                  host: Any = None, transport: Any = None,
                  directory: Any = None, authz: Any = None,
-                 summary_spans=None):
+                 summary_spans=None, reap_threshold: int = 3):
         self.sim = sim
         self.name = name
         self.host = host
         self.transport = transport
         self.directory = directory
         self.authz = authz
+        #: False while the gateway's host is crashed; nothing is
+        #: ingested or accepted while down
+        self.up = True
+        #: undeliverable sends before a subscription is declared dead
+        self.reap_threshold = reap_threshold
+        self.subs_reaped = 0
+        self.subs_dropped_on_crash = 0
         self._handles: dict[str, _SensorHandle] = {}
         self._subs: dict[int, Subscription] = {}
         # per-gateway id sequence: ids must not depend on how many
@@ -239,6 +258,8 @@ class EventGateway:
 
     def ingest(self, sensor_name: str, msg: ULMMessage) -> None:
         """One event arrives from a sensor."""
+        if not self.up:
+            return  # a crashed gateway commits nothing
         handle = self._handles.get(sensor_name)
         if handle is None:
             return
@@ -291,7 +312,8 @@ class EventGateway:
                                 {"sub": sub.sub_id, "gw": self.name,
                                  "fmt": sub.fmt, "wire": wire},
                                 size_bytes=size,
-                                on_fail=lambda exc: None)
+                                on_fail=sub.fail_cb,
+                                on_delivered=sub.ok_cb)
 
     # -- subscription API ------------------------------------------------------------
 
@@ -304,6 +326,8 @@ class EventGateway:
         handle's dispatch so ``handle.events()`` and attached callbacks
         observe the stream.
         """
+        if not self.up:
+            raise GatewayError(f"gateway {self.name} is down")
         spec.validate()
         streaming = spec.mode is SubscriptionMode.STREAM
         self._authorize(spec.principal,
@@ -323,11 +347,14 @@ class EventGateway:
                            indexed=(streaming
                                     and type(event_filter) is EventNames))
         handle = SubscriptionHandle(self, spec, sub.sub_id)
+        sub.handle = handle
         delivery = spec.delivery or Delivery.none()
         if delivery.kind == "callback":
             sub.callback = handle._dispatch
         elif delivery.kind == "remote":
             sub.remote = delivery.address
+            sub.fail_cb = lambda exc, _s=sub: self._note_send_failure(_s)
+            sub.ok_cb = lambda _msg, _s=sub: setattr(_s, "fail_count", 0)
         was_empty = not sensor_handle.subscriptions
         sensor_handle.subscriptions.append(sub)
         sensor_handle.reindex()
@@ -361,9 +388,11 @@ class EventGateway:
             raise GatewayError(str(exc)) from exc
 
     def unsubscribe(self, sub_id: int) -> bool:
-        sub = self._subs.pop(sub_id, None)
+        sub = self._subs.get(sub_id)
         if sub is None:
             return False
+        final_stats = self.sub_stats(sub_id)
+        del self._subs[sub_id]
         handle = self._handles.get(sub.sensor_name)
         if handle is not None:
             self.events_filtered += handle.reconcile_filtered()
@@ -373,7 +402,51 @@ class EventGateway:
             handle.sensor.consumer_count = len(handle.subscriptions)
             if not handle.subscriptions:
                 self._set_forwarding(handle, False)
+        if sub.handle is not None:
+            # whatever tore the subscription down (handle.close, a reap,
+            # an out-of-band unsubscribe), the handle ends consistent:
+            # closed, with its final counters frozen
+            sub.handle._mark_detached(final_stats)
         return True
+
+    # -- dead-consumer reaping ---------------------------------------------------
+
+    def _note_send_failure(self, sub: Subscription) -> None:
+        """One undeliverable event for ``sub`` (down host / dead port /
+        no route).  After ``reap_threshold`` *consecutive* failures
+        (delivery acks reset the count) the consumer is declared dead
+        and the subscription reaped — consumers reconnect and
+        resubscribe through :mod:`repro.client`."""
+        sub.fail_count += 1
+        if sub.fail_count >= self.reap_threshold \
+                and sub.sub_id in self._subs:
+            self._reap(sub)
+
+    def _reap(self, sub: Subscription) -> None:
+        self.subs_reaped += 1
+        handle = sub.handle
+        self.unsubscribe(sub.sub_id)
+        if handle is not None:
+            handle.reaped = True
+
+    # -- host fault hooks (called by Host.crash/restart) ----------------------------
+
+    def on_host_down(self) -> None:
+        """Gateway host crash: consumer-facing state (subscriptions) is
+        ephemeral and dies with the process.  The sensor registry and
+        summary specs survive — they are configuration, re-established
+        by managers — but every consumer must resubscribe."""
+        self.up = False
+        for sub_id in list(self._subs):
+            sub = self._subs[sub_id]
+            self.subs_dropped_on_crash += 1
+            handle = sub.handle
+            self.unsubscribe(sub_id)
+            if handle is not None:
+                handle.reaped = True
+
+    def on_host_up(self) -> None:
+        self.up = True
 
     # -- flow control --------------------------------------------------------------
 
@@ -518,7 +591,10 @@ class EventGateway:
                 "subscriptions": len(self._subs),
                 "events_in": self.events_in,
                 "events_delivered": self.events_delivered,
-                "events_filtered": self.events_filtered}
+                "events_filtered": self.events_filtered,
+                "subs_reaped": self.subs_reaped,
+                "subs_dropped_on_crash": self.subs_dropped_on_crash,
+                "up": self.up}
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<EventGateway {self.name} sensors={len(self._handles)}>"

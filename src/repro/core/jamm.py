@@ -53,6 +53,15 @@ class JAMMDeployment:
 
     # -- directory ------------------------------------------------------------
 
+    def enable_self_healing(self, *, check_interval: float = 5.0,
+                            master_grace: int = 2) -> None:
+        """Turn on the directory group's self-healing monitor
+        (auto-failover + anti-entropy resync).  Sensor supervision is
+        already on by default in every :class:`SensorManager`; gateway
+        dead-consumer reaping is always on."""
+        self.directory.start_self_healing(check_interval=check_interval,
+                                          master_grace=master_grace)
+
     def directory_client(self, *, host: Any = None, principal: Any = None,
                          prefer_replica: bool = False) -> DirectoryClient:
         return self.directory.client(host=host, transport=self.world.transport,

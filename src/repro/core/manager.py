@@ -13,6 +13,15 @@ publishing them in the sensor directory."
 The manager also owns the sensor→gateway forwarding switches: data
 leaves the monitored host only while the gateway reports at least one
 interested consumer (§2.3).
+
+Self-healing: the manager *supervises* its sensors.  Each sensor's
+sampling loop stamps a heartbeat (:attr:`Sensor.last_beat`); a
+supervision pass every ``supervision_interval`` seconds restarts
+sensors whose loop died (killed process) or went silent (wedged), with
+per-sensor exponential backoff so a crash-looping sensor cannot hog
+the host.  Host crash/restart is handled through the
+``on_host_down``/``on_host_up`` service hooks: a restart brings back
+exactly the sensors that were running and republishes the directory.
 """
 
 from __future__ import annotations
@@ -42,7 +51,10 @@ class SensorManager:
                  config_http: Optional[tuple] = None,
                  refresh_interval: float = 120.0,
                  sensor_context: Optional[dict] = None,
-                 suffix: str = "o=grid"):
+                 suffix: str = "o=grid",
+                 supervision_interval: Optional[float] = 5.0,
+                 restart_backoff: float = 1.0,
+                 restart_backoff_max: float = 60.0):
         self.sim = sim
         self.host = host
         self.gateway = gateway
@@ -62,6 +74,17 @@ class SensorManager:
         self.config_reloads = 0
         self.start_requests: list[tuple] = []
         self._refresher = None
+        #: None disables supervision entirely (no process is spawned)
+        self.supervision_interval = supervision_interval
+        self.restart_backoff = restart_backoff
+        self.restart_backoff_max = restart_backoff_max
+        #: supervisor restarts performed (crash-loop visibility)
+        self.sensor_restarts = 0
+        self._supervisor = None
+        self._backoff: dict[str, float] = {}
+        self._retry_at: dict[str, float] = {}
+        #: sensors that were running when the host crashed
+        self._resume_after_crash: list[str] = []
         host.register_service("sensor-manager", self)
 
     # -- lifecycle -----------------------------------------------------------
@@ -76,15 +99,24 @@ class SensorManager:
         if self.config_http is not None:
             self._refresher = self.sim.spawn(
                 self._refresh_loop(), name=f"mgr-refresh[{self.host.name}]")
+        if self.supervision_interval is not None:
+            self._supervisor = self.sim.spawn(
+                self._supervise_loop(), name=f"mgr-supervise[{self.host.name}]")
 
     def stop(self) -> None:
         self.running = False
-        if self._refresher is not None and self._refresher.alive:
-            self._refresher.kill()
+        self._kill_loops()
         if self.port_monitor is not None:
             self.port_monitor.stop()
         for name in list(self.sensors):
             self.stop_sensor(name)
+
+    def _kill_loops(self) -> None:
+        for proc in (self._refresher, self._supervisor):
+            if proc is not None and proc.alive:
+                proc.kill()
+        self._refresher = None
+        self._supervisor = None
 
     # -- configuration -------------------------------------------------------------
 
@@ -211,6 +243,97 @@ class SensorManager:
     def list_sensors(self) -> list:
         """Sensor Data GUI surface: status of every managed sensor."""
         return [self.sensors[name].info() for name in sorted(self.sensors)]
+
+    # -- supervision (self-healing) ------------------------------------------------
+
+    def _supervise_loop(self):
+        while self.running:
+            yield Timeout(self.supervision_interval)
+            if self.running:
+                self.check_sensors()
+
+    def _sensor_dead(self, sensor) -> bool:
+        """A sensor that should be running but whose loop died or went
+        silent.  The heartbeat tolerance is generous (three periods, or
+        one supervision interval if that is longer) so slow sensors are
+        never restarted spuriously."""
+        proc = getattr(sensor, "_proc", None)
+        if proc is None or not proc.alive:
+            return True
+        beat = sensor.last_beat if sensor.last_beat is not None \
+            else sensor.started_at
+        tolerance = max(3.0 * sensor.period, self.supervision_interval or 0.0)
+        return (self.sim.now - beat) > tolerance
+
+    def check_sensors(self) -> int:
+        """One supervision pass; returns the number of restarts.
+
+        Dead sensors are restarted immediately the first time; a sensor
+        that keeps dying waits out an exponentially growing per-sensor
+        backoff between attempts (reset when it is seen healthy).
+        """
+        restarted = 0
+        now = self.sim.now
+        for name in sorted(self.sensors):
+            sensor = self.sensors[name]
+            if not sensor.running:
+                continue  # stopped on purpose — not the supervisor's call
+            if not self._sensor_dead(sensor):
+                self._backoff.pop(name, None)
+                self._retry_at.pop(name, None)
+                continue
+            if now < self._retry_at.get(name, 0.0):
+                continue  # backing off after a recent failed restart
+            sensor.stop()
+            sensor.start()
+            sensor.restarts += 1
+            self.sensor_restarts += 1
+            restarted += 1
+            backoff = self._backoff.get(name, self.restart_backoff)
+            self._retry_at[name] = now + backoff
+            self._backoff[name] = min(self.restart_backoff_max, backoff * 2.0)
+            self._directory_publish(name, sensor, status="running")
+        return restarted
+
+    # -- host fault hooks (called by Host.crash/restart) ------------------------------
+
+    def on_host_down(self) -> None:
+        """The host died: every local loop dies with it.  Sensor state
+        is snapshotted so a restart resumes exactly what was running;
+        nothing is published (a dead host cannot reach the directory).
+        """
+        self._resume_after_crash = [n for n in sorted(self.sensors)
+                                    if self.sensors[n].running]
+        self.running = False
+        self._kill_loops()
+        if self.port_monitor is not None:
+            self.port_monitor.stop()
+        for name in self._resume_after_crash:
+            self.sensors[name].stop()
+        self._backoff.clear()
+        self._retry_at.clear()
+
+    def on_host_up(self) -> None:
+        """Host restart: resume the pre-crash sensor set, restart the
+        refresh/supervision loops, and republish directory entries."""
+        if self.running:
+            return
+        self.running = True
+        for name in self._resume_after_crash:
+            if name in self.sensors:
+                self.start_sensor(name, requested_by="host-restart")
+        self._resume_after_crash = []
+        for name in sorted(self.sensors):
+            status = "running" if self.sensors[name].running else "stopped"
+            self._directory_publish(name, self.sensors[name], status=status)
+        if self.port_monitor is not None:
+            self.port_monitor.start()
+        if self.config_http is not None:
+            self._refresher = self.sim.spawn(
+                self._refresh_loop(), name=f"mgr-refresh[{self.host.name}]")
+        if self.supervision_interval is not None:
+            self._supervisor = self.sim.spawn(
+                self._supervise_loop(), name=f"mgr-supervise[{self.host.name}]")
 
     # -- forwarding switches (called by the gateway) ------------------------------------
 

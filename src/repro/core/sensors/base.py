@@ -57,6 +57,13 @@ class Sensor:
         self.events_dropped = 0
         self.last_message: Optional[ULMMessage] = None
         self.consumer_count = 0  # maintained by the gateway
+        #: heartbeat: stamped at the top of every sampling pass.  The
+        #: supervisor reads it to tell a wedged/killed loop ("running"
+        #: but silent) from a healthy one — no extra events are emitted
+        #: for it, so the fault-free event path pays nothing.
+        self.last_beat: Optional[float] = None
+        #: restarts performed on this sensor by a supervisor
+        self.restarts = 0
         self._proc = None
 
     # -- lifecycle ------------------------------------------------------------
@@ -88,6 +95,7 @@ class Sensor:
 
     def _loop(self):
         while self.running:
+            self.last_beat = self.sim.now
             for event_name, fields in self.sample() or ():
                 self.emit(event_name, fields)
             yield Timeout(self.period)
@@ -137,6 +145,8 @@ class Sensor:
             "startup_time": self.started_at,
             "consumers": self.consumer_count,
             "events_emitted": self.events_emitted,
+            "last_beat": self.last_beat,
+            "restarts": self.restarts,
             "last_message": (self.last_message and
                              str(self.last_message.event)),
         }

@@ -218,6 +218,13 @@ class SubscriptionHandle:
         self.spec = spec
         self.sub_id = sub_id
         self.closed = False
+        #: True when the *gateway* tore the subscription down (dead
+        #: consumer reap, gateway-host crash) rather than the consumer
+        #: closing it — the signal self-healing sessions resubscribe on
+        self.reaped = False
+        #: optional admission predicate installed by self-healing
+        #: sessions (watermark/dup suppression); None costs one check
+        self._admit: Optional[Callable] = None
         self._final_stats: Optional[dict] = None
         self._callbacks: list[Callable] = []
         # buffer_limit == 0 keeps nothing (callback-only consumption)
@@ -249,9 +256,20 @@ class SubscriptionHandle:
     def _dispatch(self, event: Any) -> None:
         if self.closed:
             return
+        if self._admit is not None and not self._admit(event):
+            return
         self._buffer.append(event)
         for callback in self._callbacks:
             callback(event)
+
+    def _mark_detached(self, final_stats: Optional[dict]) -> None:
+        """The gateway removed this subscription (any teardown path).
+
+        Idempotent; freezes the final counters so :meth:`stats` stays
+        truthful after the registration is gone."""
+        if self._final_stats is None and final_stats is not None:
+            self._final_stats = final_stats
+        self.closed = True
 
     # -- consumer surface -----------------------------------------------------------
 
@@ -290,15 +308,21 @@ class SubscriptionHandle:
     # -- flow control -------------------------------------------------------------
 
     def pause(self) -> bool:
-        """Stop deliveries without giving up the subscription."""
+        """Stop deliveries without giving up the subscription.  False
+        once the subscription is closed or was reaped."""
+        if self.closed:
+            return False
         return self.gateway.pause(self.sub_id)
 
     def resume(self) -> bool:
+        if self.closed:
+            return False
         return self.gateway.resume(self.sub_id)
 
     def close(self) -> bool:
         """Tear the subscription down.  Idempotent: the second and
-        later calls return False and do nothing."""
+        later calls — and calls racing a gateway-side reap — return
+        False and do nothing."""
         if self.closed:
             return False
         self.closed = True
@@ -315,7 +339,8 @@ class SubscriptionHandle:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover
-        state = "closed" if self.closed else (
-            "paused" if self.paused else "open")
+        state = ("reaped" if self.reaped else
+                 "closed" if self.closed else
+                 "paused" if self.paused else "open")
         return (f"<SubscriptionHandle #{self.sub_id} {self.spec.sensor!r} "
                 f"{self.spec.mode.value}/{self.spec.fmt.value} {state}>")

@@ -1,0 +1,27 @@
+"""Declarative end-to-end fault scenarios.
+
+A :class:`Scenario` describes a standard two-site monitoring world plus
+a :class:`~repro.simgrid.faults.FaultPlan`; :class:`ScenarioRunner`
+builds it, runs it, and evaluates the system-wide invariants every
+fault schedule must preserve:
+
+* **no committed-event loss** — every event that reached the
+  gateway-side archive is eventually delivered to the (self-healing)
+  consumer session;
+* **monotonic per-stream ids** — live deliveries of one sensor stream
+  never reorder, and no stream ever delivers the same id twice;
+* **directory convergence** — after the world heals, every replica's
+  tree equals the master's.
+
+See ``docs/FAULTS.md`` for the fault model and how to write a scenario
+test; ``scripts/soak.py`` runs random plans in bulk and dumps failing
+schedules to ``tests/scenarios/corpus/``.
+"""
+
+from .runner import (Scenario, ScenarioResult, ScenarioRunner, SeqSensor,
+                     check_directory_convergence, check_monotonic_streams,
+                     check_no_committed_loss, run_scenario)
+
+__all__ = ["Scenario", "ScenarioResult", "ScenarioRunner", "SeqSensor",
+           "check_directory_convergence", "check_monotonic_streams",
+           "check_no_committed_loss", "run_scenario"]

@@ -1,0 +1,403 @@
+"""The scenario harness: build a world, run a fault plan, check invariants.
+
+The standard scenario world is a two-site deployment shaped like the
+paper's testbed:
+
+* **site A** — N sensor hosts (one :class:`SeqSensor` each, under a
+  supervised :class:`~repro.core.manager.SensorManager`), the gateway
+  host (gateway + co-located archiver whose
+  :class:`~repro.core.archive.EventArchive` is the *commit log*), and
+  the directory master;
+* **site B** — the consumer host (a self-healing
+  :class:`~repro.client.ClientSession`) and the directory replica;
+* an OC-12 WAN path through a router joins the sites.
+
+"Committed" means *admitted to the gateway-side archive*: an event the
+monitoring system accepted and durably stored.  Events a sensor emits
+while its gateway is unreachable are never committed and may be lost —
+exactly the paper's §2.3 contract ("event data is not sent anywhere
+unless it is requested") extended to faults.  The invariants then say:
+whatever was committed survives any schedule of host crashes, process
+kills, partitions, loss/latency spikes, and clock skew.
+
+Every run is deterministic in ``scenario.seed``; :meth:`ScenarioResult
+.digest` hashes the full observable outcome (archive bytes, delivery
+records, directory trees) so a determinism audit is one string compare.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..core import JAMMDeployment
+from ..core.archive import EventArchive, SamplingPolicy
+from ..core.config import JAMMConfig
+from ..core.sensors.base import Sensor
+from ..core.sensors.registry import _REGISTRY, register_sensor
+from ..simgrid import FaultPlan, GridWorld
+from ..ulm import serialize
+
+__all__ = ["Scenario", "ScenarioResult", "ScenarioRunner", "SeqSensor",
+           "check_no_committed_loss", "check_monotonic_streams",
+           "check_directory_convergence", "run_scenario"]
+
+#: base clock offset for scenario hosts, so negative skew injections can
+#: never drive a host clock (and thus ULM dates) below zero
+BASE_CLOCK_OFFSET = 5.0
+
+
+class SeqSensor(Sensor):
+    """Emits ``SEQ_TICK`` events carrying a per-stream sequence id.
+
+    The id is owned by the sensor *object*, so it keeps increasing
+    across supervisor restarts and host crash/restart cycles — which is
+    what lets the invariant checkers speak about per-stream gaps and
+    ordering without any out-of-band bookkeeping.
+    """
+
+    sensor_type = "seq"
+    default_period = 0.5
+
+    def __init__(self, host: Any, **kwargs: Any):
+        super().__init__(host, **kwargs)
+        self.seq = 0
+
+    def sample(self):
+        self.seq += 1
+        return (("SEQ_TICK", {"SEQ": self.seq, "VALUE": self.seq % 10}),)
+
+
+if "seq" not in _REGISTRY:  # idempotent under re-import
+    register_sensor(SeqSensor)
+
+
+@dataclass
+class Scenario:
+    """One declarative fault scenario."""
+
+    name: str
+    seed: int = 0
+    plan: Optional[FaultPlan] = None   # None -> FaultPlan.random(seed, ...)
+    n_sensor_hosts: int = 3
+    horizon: float = 60.0
+    drain: float = 20.0                # post-heal settle time
+    sensor_period: float = 0.5
+    random_steps: int = 50             # plan size when plan is None
+    supervision_interval: float = 2.0
+    heal_interval: float = 2.0
+    heal_backoff_max: float = 4.0
+    directory_heal_interval: float = 2.0
+    replication_delay: float = 0.05
+    #: extra fault targets protected from random crashes (the consumer
+    #: host always is — the invariants read its records)
+    protect: tuple = ()
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a scenario run observed, plus the invariant verdicts."""
+
+    scenario: Scenario
+    plan: FaultPlan
+    committed: set = field(default_factory=set)       # {(stream, seq)}
+    #: stream -> [(seq, channel)] in delivery order; channel is
+    #: "live" or "replay"
+    received: dict = field(default_factory=dict)
+    received_set: set = field(default_factory=set)
+    archive_bytes: bytes = b""
+    directory_trees: dict = field(default_factory=dict)  # server -> tree
+    stats: dict = field(default_factory=dict)
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def digest(self) -> str:
+        """Stable hash of the observable outcome (determinism audits)."""
+        h = hashlib.sha256()
+        h.update(self.archive_bytes)
+        for stream in sorted(self.received):
+            h.update(stream.encode())
+            for seq, channel in self.received[stream]:
+                h.update(f"{seq}:{channel};".encode())
+        for server in sorted(self.directory_trees):
+            h.update(server.encode())
+            h.update(repr(self.directory_trees[server]).encode())
+        return h.hexdigest()
+
+    def repro_line(self) -> str:
+        sc = self.scenario
+        args = (f"name={sc.name!r}, seed={sc.seed}, horizon={sc.horizon}, "
+                f"drain={sc.drain}, n_sensor_hosts={sc.n_sensor_hosts}, "
+                f"random_steps={sc.random_steps}")
+        return (f"scenario={sc.name!r} seed={sc.seed} "
+                f"(rerun: run_scenario(Scenario({args})))")
+
+    def check(self) -> "ScenarioResult":
+        """Raise AssertionError (with seed + full plan) on any violation."""
+        if self.violations:
+            detail = "\n".join(f"  - {v}" for v in self.violations)
+            raise AssertionError(
+                f"scenario invariants violated — {self.repro_line()}\n"
+                f"{detail}\n{self.plan.describe()}")
+        return self
+
+
+# ---------------------------------------------------------------------------
+# invariant checkers
+# ---------------------------------------------------------------------------
+
+
+def check_no_committed_loss(result: ScenarioResult) -> list[str]:
+    """Every committed (stream, seq) was delivered to the consumer."""
+    lost = sorted(result.committed - result.received_set)
+    if not lost:
+        return []
+    sample = ", ".join(f"{s}#{q}" for s, q in lost[:10])
+    return [f"committed-event loss: {len(lost)} committed events never "
+            f"reached the consumer (e.g. {sample})"]
+
+
+def check_monotonic_streams(result: ScenarioResult) -> list[str]:
+    """Live deliveries never reorder within a stream; no id repeats."""
+    problems = []
+    for stream in sorted(result.received):
+        last_live = 0
+        seen: set[int] = set()
+        for seq, channel in result.received[stream]:
+            if seq in seen:
+                problems.append(f"{stream}: id {seq} delivered twice")
+                break
+            seen.add(seq)
+            if channel == "live":
+                if seq <= last_live:
+                    problems.append(
+                        f"{stream}: live stream reordered "
+                        f"({seq} after {last_live})")
+                    break
+                last_live = seq
+    return problems
+
+
+def check_directory_convergence(result: ScenarioResult) -> list[str]:
+    """After heal, every replica's tree equals the master's."""
+    trees = result.directory_trees
+    master_tree = trees.get("master")
+    problems = []
+    for server, tree in sorted(trees.items()):
+        if server == "master":
+            continue
+        if tree != master_tree:
+            missing = [dn for dn in master_tree if dn not in tree]
+            extra = [dn for dn in tree if dn not in master_tree]
+            diff = [dn for dn in master_tree
+                    if dn in tree and tree[dn] != master_tree[dn]]
+            problems.append(
+                f"directory replica {server} diverged from master: "
+                f"{len(missing)} missing, {len(extra)} extra, "
+                f"{len(diff)} differing entries")
+    return problems
+
+
+DEFAULT_CHECKERS = (check_no_committed_loss, check_monotonic_streams,
+                    check_directory_convergence)
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+
+
+class ScenarioRunner:
+    """Builds the standard scenario world and drives one fault plan."""
+
+    def __init__(self, scenario: Scenario, *,
+                 checkers: tuple = DEFAULT_CHECKERS):
+        self.scenario = scenario
+        self.checkers = checkers
+        self.world: Optional[GridWorld] = None
+        self.deployment: Optional[JAMMDeployment] = None
+        self.session = None
+        self.commit_session = None
+        self.archive: Optional[EventArchive] = None
+        self.injector = None
+        self._records: dict[str, list] = {}
+
+    # -- world construction --------------------------------------------------
+
+    def build(self) -> "ScenarioRunner":
+        sc = self.scenario
+        # faults crash processes on purpose; non-strict keeps the kernel
+        # running and lets the self-healing layers do their job
+        world = GridWorld(seed=sc.seed, strict=False)
+        self.world = world
+        clock = {"clock_offset": BASE_CLOCK_OFFSET}
+        sensor_hosts = [world.add_host(f"s{i}.siteA", **clock)
+                        for i in range(sc.n_sensor_hosts)]
+        gw_host = world.add_host("gw.siteA", **clock)
+        dir_a = world.add_host("dir.siteA", **clock)
+        consumer_host = world.add_host("consumer.siteB", **clock)
+        dir_b = world.add_host("dir.siteB", **clock)
+        world.lan(sensor_hosts + [gw_host, dir_a], switch="siteA-sw")
+        world.lan([consumer_host, dir_b], switch="siteB-sw")
+        world.wan_path("siteA-sw", "siteB-sw", routers=["wan-r1"],
+                       latency_s=10e-3)
+
+        deployment = JAMMDeployment(
+            world, directory_hosts=(dir_a, dir_b), n_directory_replicas=1,
+            replication_delay=sc.replication_delay)
+        self.deployment = deployment
+        deployment.enable_self_healing(
+            check_interval=sc.directory_heal_interval, master_grace=2)
+        gateway = deployment.add_gateway("gw0", host=gw_host)
+
+        config = JAMMConfig()
+        config.add_sensor("seq", "seq", period=sc.sensor_period)
+        for host in sensor_hosts:
+            manager = deployment.add_manager(host, config=config,
+                                             gateway=gateway)
+            manager.supervision_interval = sc.supervision_interval
+
+        # the commit log: a session beside the gateway whose callback
+        # appends to an archive that keeps everything.  "The archive is
+        # just another consumer" (§2.2) — so it self-heals like one:
+        # its subscriptions die in the gateway crash and the watchdog
+        # reopens them once the gateway is back.  Same-host delivery is
+        # an in-process callback, so the commit point is effectively
+        # gateway ingest.
+        self.archive = EventArchive(
+            name="commit-log", policy=SamplingPolicy(normal_fraction=1.0))
+        commit_client = deployment.client(host=gw_host)
+        self.commit_session = commit_client.session(name="commit-log")
+        self.commit_session.subscribe_all(
+            commit_client.sensors(type="seq"),
+            on_event=self.archive.append)
+        self.commit_session.enable_auto_heal(
+            check_interval=sc.heal_interval,
+            backoff_max=sc.heal_backoff_max)
+
+        # the consumer: a self-healing session recording every delivery,
+        # resuming from the commit log's watermark after reconnects
+        client = deployment.client(host=consumer_host)
+        self.session = client.session(name="scenario-consumer")
+        self.session.subscribe_all(client.sensors(type="seq"),
+                                   on_event=self._record)
+        self.session.enable_auto_heal(
+            archive=self.archive,
+            check_interval=sc.heal_interval,
+            backoff_max=sc.heal_backoff_max,
+            replay_slack=1.0)
+        return self
+
+    def _record(self, event: Any) -> None:
+        seq = event.get_int("SEQ") if hasattr(event, "get_int") \
+            else int(event.fields["SEQ"])
+        channel = "replay" if self.session.in_replay else "live"
+        self._records.setdefault(event.prog, []).append((seq, channel))
+
+    # -- execution ------------------------------------------------------------
+
+    def _resolve_plan(self) -> FaultPlan:
+        sc = self.scenario
+        if sc.plan is not None:
+            return sc.plan
+        hosts = [h for h in sorted(self.world.hosts)
+                 if h != "consumer.siteB"]
+        links = [l.name for l in self.world.network.links()]
+        return FaultPlan.random(
+            sc.seed, hosts=hosts, links=links, n_steps=sc.random_steps,
+            horizon=sc.horizon,
+            protect=set(sc.protect) | {"consumer.siteB"})
+
+    def run(self) -> ScenarioResult:
+        if self.world is None:
+            self.build()
+        sc = self.scenario
+        plan = self._resolve_plan()
+        self.injector = self.world.inject(plan)
+        self.world.run(until=sc.horizon)
+        # force the world back to health, then drain: restart every
+        # down host and heal every injector-cut link, exactly what the
+        # plan's own tail does for well-formed plans
+        for name in sorted(self.world.hosts):
+            host = self.world.hosts[name]
+            if not host.up:
+                host.restart()
+        for link in list(self.injector._downed_links):
+            self.injector._restore(link)
+        for link in list(self.injector._pristine):
+            self.injector._restore(link)
+        self.world.run(until=sc.horizon + sc.drain)
+        # freeze the commit set (stop emission) and flush: in-flight
+        # deliveries land and the healing sessions run their final
+        # catch-up passes, so "committed but still on the wire at the
+        # horizon" never reads as loss
+        for name in sorted(self.deployment.managers):
+            manager = self.deployment.managers[name]
+            for sensor_name in sorted(manager.sensors):
+                manager.sensors[sensor_name].stop()
+        flush = 2.0 * max(sc.heal_interval, sc.supervision_interval) + 1.0
+        self.world.run(until=sc.horizon + sc.drain + flush)
+        return self.collect()
+
+    # -- result collection ------------------------------------------------------
+
+    def collect(self) -> ScenarioResult:
+        archive = self.archive
+        committed = set()
+        chunks = []
+        for msg in archive.messages:
+            chunks.append(serialize(msg).encode())
+            seq = msg.fields.get("SEQ")
+            if seq is not None:
+                committed.add((msg.prog, int(seq)))
+        directory = self.deployment.directory
+
+        def tree(server) -> dict:
+            return {str(dn): {attr: list(entry.attributes[attr])
+                              for attr in sorted(entry.attributes)}
+                    for dn, entry in sorted(
+                        server.backend.entries.items(), key=lambda kv:
+                        str(kv[0]))}
+
+        trees = {"master": tree(directory.master)}
+        for i, replica in enumerate(directory.replicas):
+            trees[f"replica{i}:{replica.name}"] = tree(replica)
+
+        result = ScenarioResult(
+            scenario=self.scenario,
+            plan=self.injector.plan,
+            committed=committed,
+            received={k: list(v) for k, v in self._records.items()},
+            received_set={(stream, seq)
+                          for stream, recs in self._records.items()
+                          for seq, _channel in recs},
+            archive_bytes=b"\n".join(chunks),
+            directory_trees=trees,
+            stats={
+                "gateway": {n: g.stats()
+                            for n, g in self.deployment.gateways.items()},
+                "session": self.session.heal_stats(),
+                "commit_session": self.commit_session.heal_stats(),
+                "sensor_restarts": {n: m.sensor_restarts for n, m in
+                                    self.deployment.managers.items()},
+                "replication": {
+                    "deltas_lost": directory.master.replicator.deltas_lost,
+                    "snapshots": directory.master.replicator.snapshots,
+                    "auto_promotions": directory.auto_promotions,
+                    "anti_entropy": directory.anti_entropy_snapshots,
+                },
+                "crashes": len(self.world.sim.crashes),
+            })
+        for checker in self.checkers:
+            result.violations.extend(checker(result))
+        return result
+
+
+def run_scenario(scenario: Scenario, *,
+                 checkers: tuple = DEFAULT_CHECKERS) -> ScenarioResult:
+    """Build + run + collect in one call (the test-facing entry point)."""
+    return ScenarioRunner(scenario, checkers=checkers).run()

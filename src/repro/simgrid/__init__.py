@@ -10,6 +10,8 @@ Entry point for most users: :class:`repro.simgrid.world.GridWorld`.
 """
 
 from .clocks import HostClock, NTPDaemon, NTPServer
+from .faults import (FAULT_KINDS, FaultError, FaultEvent, FaultInjector,
+                     FaultPlan)
 from .host import Host, NICModel, PortActivity, PortTable
 from .httpd import HTTPClient, HTTPError, HTTPServer
 from .kernel import (AllOf, AnyOf, EventFlag, Interrupt, Process,
@@ -29,7 +31,8 @@ from .world import GridWorld
 
 __all__ = [
     "AllOf", "AnyOf", "ActivationSpec", "CPUModel", "CPUSample",
-    "DeliveryError", "EventFlag", "GridWorld", "Host", "HostClock",
+    "DeliveryError", "EventFlag", "FAULT_KINDS", "FaultError", "FaultEvent",
+    "FaultInjector", "FaultPlan", "GridWorld", "Host", "HostClock",
     "HTTPClient", "HTTPError", "HTTPServer", "InterfaceCounters",
     "Interrupt", "Link", "Message", "MessageTransport", "MemoryModel",
     "MemorySample", "NetNode", "Network", "NICModel", "NoRouteError",

@@ -1,0 +1,455 @@
+"""Deterministic fault injection for simulated Grids.
+
+The paper's whole premise is monitoring a grid whose hosts, links, and
+sensors fail; this module makes those failures first-class, scheduled
+simulation inputs instead of ad-hoc test pokes.  A :class:`FaultPlan`
+is an ordered list of :class:`FaultEvent` records — host crash/restart,
+process kill, network partition/heal, per-link loss and latency spikes,
+clock skew — that a :class:`FaultInjector` turns into kernel-scheduled
+callbacks against a :class:`~repro.simgrid.world.GridWorld`.
+
+Design constraints:
+
+* **Reproducible.**  Plans are plain data; :meth:`FaultPlan.random`
+  derives a plan purely from ``(seed, n_steps, horizon)`` and the
+  world's *names* (hosts/links sorted by name), never from object
+  identity or iteration order, so any scenario replays bit-identically
+  from its seed.  Plans round-trip through JSON
+  (:meth:`FaultPlan.to_json` / :meth:`FaultPlan.from_json`) so failing
+  schedules can be dumped into a corpus and replayed as regression
+  tests.
+* **Kernel-driven.**  Application of every event goes through
+  ``Simulator.call_at``, so faults interleave with ordinary events
+  under the kernel's deterministic same-time FIFO tie-break.
+* **Model-level.**  A "host crash" flips :attr:`Host.up` and notifies
+  the host's registered services (``on_host_down``/``on_host_up``
+  hooks); the transport refuses traffic to/from down hosts.  Nothing
+  reaches into private service state — self-healing layers react to
+  the same observable signals real ones would.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional
+
+__all__ = ["FaultEvent", "FaultPlan", "FaultInjector", "FaultError",
+           "FAULT_KINDS"]
+
+#: every fault kind the injector knows how to apply
+FAULT_KINDS = ("host_crash", "host_restart", "process_kill",
+               "partition", "heal", "link_down", "link_up",
+               "link_loss", "link_latency", "clock_skew")
+
+
+class FaultError(RuntimeError):
+    """A fault event references an unknown target or bad parameters."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``target`` names a host, a link, or (for ``partition``) the ``|``
+    separated two node-name groups; ``params`` carries kind-specific
+    knobs (loss rate, latency factor, clock offset/drift, ...).
+    """
+
+    at: float
+    kind: str
+    target: str = ""
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0:
+            raise FaultError(f"fault scheduled before t=0: {self.at}")
+
+    def to_dict(self) -> dict:
+        out = {"at": self.at, "kind": self.kind}
+        if self.target:
+            out["target"] = self.target
+        if self.params:
+            out["params"] = dict(self.params)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        return cls(at=float(data["at"]), kind=data["kind"],
+                   target=data.get("target", ""),
+                   params=dict(data.get("params", {})))
+
+
+class FaultPlan:
+    """An ordered, reproducible schedule of fault events.
+
+    Build one fluently::
+
+        plan = (FaultPlan(seed=7)
+                .crash_host(10.0, "gw.lbl.gov")
+                .restart_host(25.0, "gw.lbl.gov")
+                .partition(40.0, ["siteA"], ["siteB"])
+                .heal(55.0))
+
+    or generate a random-but-deterministic one with
+    :meth:`FaultPlan.random`.  ``seed`` is carried for provenance (test
+    failure repro lines print it); it does not affect a hand-built
+    plan.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = (), *, seed: int = 0):
+        self.seed = int(seed)
+        self.events: list[FaultEvent] = sorted(events, key=lambda e: e.at)
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        self.events.append(event)
+        self.events.sort(key=lambda e: e.at)
+        return self
+
+    def crash_host(self, at: float, host: str) -> "FaultPlan":
+        return self.add(FaultEvent(at, "host_crash", host))
+
+    def restart_host(self, at: float, host: str) -> "FaultPlan":
+        return self.add(FaultEvent(at, "host_restart", host))
+
+    def kill_process(self, at: float, host: str, *,
+                     sensor: str = "") -> "FaultPlan":
+        """Kill one sensor's sampling process on ``host`` (the sensor
+        object survives — exactly the wedge a supervisor must detect)."""
+        return self.add(FaultEvent(at, "process_kill", host,
+                                   {"sensor": sensor}))
+
+    def partition(self, at: float, group_a: Iterable[str],
+                  group_b: Iterable[str]) -> "FaultPlan":
+        """Cut every link crossing between the two node-name groups."""
+        target = ",".join(sorted(group_a)) + "|" + ",".join(sorted(group_b))
+        return self.add(FaultEvent(at, "partition", target))
+
+    def heal(self, at: float) -> "FaultPlan":
+        """Bring every injector-downed link back up."""
+        return self.add(FaultEvent(at, "heal"))
+
+    def link_down(self, at: float, link: str) -> "FaultPlan":
+        return self.add(FaultEvent(at, "link_down", link))
+
+    def link_up(self, at: float, link: str) -> "FaultPlan":
+        return self.add(FaultEvent(at, "link_up", link))
+
+    def link_loss(self, at: float, link: str, loss_rate: float) -> "FaultPlan":
+        return self.add(FaultEvent(at, "link_loss", link,
+                                   {"loss_rate": float(loss_rate)}))
+
+    def link_latency(self, at: float, link: str, factor: float) -> "FaultPlan":
+        """Scale a link's propagation latency (a congestion spike)."""
+        return self.add(FaultEvent(at, "link_latency", link,
+                                   {"factor": float(factor)}))
+
+    def skew_clock(self, at: float, host: str, *, offset: float = 0.0,
+                   drift: float = 0.0) -> "FaultPlan":
+        return self.add(FaultEvent(at, "clock_skew", host,
+                                   {"offset": float(offset),
+                                    "drift": float(drift)}))
+
+    # -- random generation ---------------------------------------------------
+
+    @classmethod
+    def random(cls, seed: int, *, hosts: Iterable[str],
+               links: Iterable[str] = (), n_steps: int = 50,
+               horizon: float = 60.0,
+               protect: Iterable[str] = (),
+               max_down_fraction: float = 0.67) -> "FaultPlan":
+        """A deterministic random schedule of ``n_steps`` events.
+
+        The draw depends only on ``seed`` and the *sorted* host/link
+        name lists, never on object identity.  ``protect`` names hosts
+        that are never crashed (e.g. the consumer host whose records
+        the invariants read).  Crashed hosts are always restarted
+        within the horizon and partitions always heal, so every plan
+        ends in a recoverable state; ``max_down_fraction`` caps how
+        many hosts may be down at once so the world never fully halts.
+        """
+        rng = random.Random(seed)
+        host_names = sorted(set(hosts))
+        link_names = sorted(set(links))
+        protected = set(protect)
+        crashable = [h for h in host_names if h not in protected]
+        plan = cls(seed=seed)
+        #: host -> [(crash_at, restart_at)] — a host may crash many
+        #: times per plan, just never with overlapping down intervals
+        down_spans: dict[str, list[tuple[float, float]]] = {}
+        partitioned_until = -1.0
+        max_down = max(1, int(len(crashable) * max_down_fraction)) \
+            if crashable else 0
+
+        def hosts_down_at(t: float) -> int:
+            return sum(1 for spans in down_spans.values()
+                       for lo, hi in spans if lo <= t < hi)
+
+        kinds = ["host_crash", "process_kill", "partition",
+                 "link_loss", "link_latency", "clock_skew"]
+        for _ in range(max(0, int(n_steps))):
+            at = round(rng.uniform(0.0, horizon * 0.8), 3)
+            kind = rng.choice(kinds)
+            if kind == "host_crash" and crashable:
+                host = rng.choice(crashable)
+                down = round(rng.uniform(1.0, horizon * 0.15), 3)
+                restart_at = min(at + down, horizon * 0.95)
+                spans = down_spans.setdefault(host, [])
+                if any(lo <= restart_at and at <= hi for lo, hi in spans):
+                    continue  # overlaps one of this host's down windows
+                if hosts_down_at(at) >= max_down:
+                    continue  # too many hosts down at once
+                plan.crash_host(at, host)
+                plan.restart_host(restart_at, host)
+                spans.append((at, restart_at))
+            elif kind == "process_kill":
+                plan.kill_process(at, rng.choice(host_names))
+            elif kind == "partition" and len(host_names) >= 2:
+                if at <= partitioned_until:
+                    continue
+                cut = rng.randint(1, len(host_names) - 1)
+                group_a = host_names[:cut]
+                group_b = host_names[cut:]
+                heal_at = min(at + round(rng.uniform(1.0, horizon * 0.2), 3),
+                              horizon * 0.95)
+                plan.partition(at, group_a, group_b)
+                plan.heal(heal_at)
+                partitioned_until = heal_at
+            elif kind == "link_loss" and link_names:
+                plan.link_loss(at, rng.choice(link_names),
+                               round(rng.uniform(0.0, 0.2), 4))
+            elif kind == "link_latency" and link_names:
+                plan.link_latency(at, rng.choice(link_names),
+                                  round(rng.uniform(0.5, 20.0), 3))
+            elif kind == "clock_skew":
+                plan.skew_clock(at, rng.choice(host_names),
+                                offset=round(rng.uniform(-0.5, 0.5), 6),
+                                drift=round(rng.uniform(-1e-4, 1e-4), 9))
+        # every random plan converges: restart stragglers, heal, settle
+        for host in down_spans:
+            plan.restart_host(horizon * 0.96, host)
+        plan.heal(horizon * 0.96)
+        return plan
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed,
+                "events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls((FaultEvent.from_dict(e) for e in data.get("events", [])),
+                   seed=int(data.get("seed", 0)))
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    # -- introspection -------------------------------------------------------
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def describe(self) -> str:
+        """Human-readable schedule (printed by failing scenario tests)."""
+        lines = [f"FaultPlan seed={self.seed} ({len(self.events)} events)"]
+        for e in self.events:
+            extra = f" {e.params}" if e.params else ""
+            lines.append(f"  t={e.at:9.3f}  {e.kind:<12} {e.target}{extra}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultPlan seed={self.seed} events={len(self.events)}>"
+
+
+class FaultInjector:
+    """Schedules a :class:`FaultPlan` against a GridWorld.
+
+    The injector owns the bookkeeping a plan needs to be reversible:
+    which links it took down (for ``heal``), and each link's pristine
+    loss/latency (restored on ``heal``/``link_up``).  Faults targeting
+    unknown hosts/links raise :class:`FaultError` at :meth:`arm` time —
+    a plan must be entirely valid before any of it runs.
+    """
+
+    def __init__(self, world: Any, plan: FaultPlan):
+        self.world = world
+        self.plan = plan
+        self.applied: list[tuple[float, FaultEvent]] = []
+        self._downed_links: dict[Any, None] = {}   # insertion-ordered set
+        self._pristine: dict[Any, tuple[float, float]] = {}
+        self._armed = False
+
+    # -- lookup ---------------------------------------------------------------
+
+    def _host(self, name: str) -> Any:
+        host = self.world.hosts.get(name)
+        if host is None:
+            raise FaultError(f"fault targets unknown host {name!r}")
+        return host
+
+    def _link(self, name: str) -> Any:
+        for link in self.world.network.links():
+            if link.name == name:
+                return link
+        raise FaultError(f"fault targets unknown link {name!r}")
+
+    def _validate(self) -> None:
+        for event in self.plan:
+            if event.kind in ("host_crash", "host_restart", "process_kill",
+                              "clock_skew"):
+                self._host(event.target)
+            elif event.kind in ("link_down", "link_up", "link_loss",
+                                "link_latency"):
+                self._link(event.target)
+            elif event.kind == "partition":
+                if "|" not in event.target:
+                    raise FaultError(
+                        f"partition target needs 'a,b|c,d': {event.target!r}")
+
+    # -- scheduling ------------------------------------------------------------
+
+    def arm(self) -> "FaultInjector":
+        """Validate the plan and schedule every event on the kernel."""
+        if self._armed:
+            raise FaultError("injector already armed")
+        self._validate()
+        self._armed = True
+        sim = self.world.sim
+        for event in self.plan:
+            when = max(event.at, sim.now)
+            sim.call_at(when, self._apply, event)
+        return self
+
+    # -- application ------------------------------------------------------------
+
+    def _apply(self, event: FaultEvent) -> None:
+        handler = getattr(self, f"_apply_{event.kind}")
+        handler(event)
+        self.applied.append((self.world.sim.now, event))
+
+    def _apply_host_crash(self, event: FaultEvent) -> None:
+        self._host(event.target).crash()
+
+    def _apply_host_restart(self, event: FaultEvent) -> None:
+        self._host(event.target).restart()
+
+    def _apply_process_kill(self, event: FaultEvent) -> None:
+        """Kill a sensor's sampling process without touching the sensor
+        object — the supervisor's heartbeat check must notice."""
+        host = self._host(event.target)
+        manager = host.service("sensor-manager")
+        if manager is None or not getattr(manager, "sensors", None):
+            return
+        wanted = event.params.get("sensor", "")
+        names = sorted(manager.sensors)
+        name = wanted if wanted in manager.sensors else names[0]
+        sensor = manager.sensors[name]
+        proc = getattr(sensor, "_proc", None)
+        if proc is not None and proc.alive:
+            proc.kill()
+
+    def _cut(self, link: Any) -> None:
+        if link.up:
+            self.world.network.set_link_state(link, False)
+            self._downed_links[link] = None
+
+    def _restore(self, link: Any) -> None:
+        self._downed_links.pop(link, None)
+        pristine = self._pristine.pop(link, None)
+        if pristine is not None:
+            link.loss_rate, link.latency_s = pristine
+        if not link.up:
+            self.world.network.set_link_state(link, True)
+
+    def _apply_partition(self, event: FaultEvent) -> None:
+        """Cut links until no group-A node can route to any group-B node.
+
+        Each pass finds a surviving cross-group route and cuts one link
+        on it, preferring *infrastructure* links (neither endpoint in
+        either group — switch/router trunks) so intra-group
+        connectivity survives where the topology allows; when a path
+        has none (two hosts on one switch), the B-side access link is
+        cut instead.  Iteration order is name-sorted, so the cut set is
+        deterministic.
+        """
+        spec_a, _, spec_b = event.target.partition("|")
+        group_a = sorted(n for n in spec_a.split(",") if n)
+        group_b = sorted(n for n in spec_b.split(",") if n)
+        members = set(group_a) | set(group_b)
+        network = self.world.network
+        while True:
+            path = None
+            for a in group_a:
+                if network.get(a) is None:
+                    continue
+                for b in group_b:
+                    if network.get(b) is None:
+                        continue
+                    try:
+                        path = network.route(a, b)
+                    except Exception:
+                        continue
+                    break
+                if path is not None:
+                    break
+            if path is None:
+                return
+            infra = [l for l in path.links
+                     if l.a.name not in members and l.b.name not in members]
+            if infra:
+                self._cut(infra[len(infra) // 2])
+            else:
+                self._cut(path.links[-1])
+
+    def _apply_heal(self, event: FaultEvent) -> None:
+        for link in list(self._downed_links):
+            self._restore(link)
+        for link in list(self._pristine):
+            self._restore(link)
+
+    def _apply_link_down(self, event: FaultEvent) -> None:
+        self._cut(self._link(event.target))
+
+    def _apply_link_up(self, event: FaultEvent) -> None:
+        self._restore(self._link(event.target))
+
+    def _remember_pristine(self, link: Any) -> None:
+        if link not in self._pristine:
+            self._pristine[link] = (link.loss_rate, link.latency_s)
+
+    def _apply_link_loss(self, event: FaultEvent) -> None:
+        link = self._link(event.target)
+        self._remember_pristine(link)
+        link.loss_rate = min(0.99, max(0.0, event.params["loss_rate"]))
+
+    def _apply_link_latency(self, event: FaultEvent) -> None:
+        link = self._link(event.target)
+        self._remember_pristine(link)
+        link.latency_s = self._pristine[link][1] * max(0.0,
+                                                       event.params["factor"])
+
+    def _apply_clock_skew(self, event: FaultEvent) -> None:
+        host = self._host(event.target)
+        offset = event.params.get("offset", 0.0)
+        drift = event.params.get("drift")
+        if offset:
+            host.clock.adjust(offset)
+        if drift is not None:
+            host.clock.set_drift(drift)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<FaultInjector plan={self.plan!r} "
+                f"applied={len(self.applied)}>")

@@ -195,6 +195,12 @@ class Host:
         self.sim = sim
         self.name = name
         self.network = network
+        #: False while the host is crashed: the transport drops traffic
+        #: to/from down hosts, and services get on_host_down/on_host_up
+        self.up = True
+        #: times the host has been crashed / restarted (fault layer)
+        self.crashes = 0
+        self.restarts = 0
         self.node = attach_to if attach_to is not None else network.node(name)
         self.cpu = CPUModel(sim, ncpus=ncpus)
         self.memory = MemoryModel(total_kb=memory_kb)
@@ -219,6 +225,38 @@ class Host:
 
     def service(self, name: str) -> Any:
         return self.services.get(name)
+
+    # -- fault lifecycle ------------------------------------------------------
+
+    def crash(self) -> None:
+        """Take the host down (fault injection).
+
+        Services registered on the host are notified through their
+        ``on_host_down`` hook in registration order (deterministic).
+        Until :meth:`restart`, the transport refuses new sends to/from
+        the host and drops in-flight messages *to* it; messages already
+        on the wire *from* it still arrive (a crash can't recall
+        packets).  Idempotent.
+        """
+        if not self.up:
+            return
+        self.up = False
+        self.crashes += 1
+        for service in list(self.services.values()):
+            hook = getattr(service, "on_host_down", None)
+            if hook is not None:
+                hook()
+
+    def restart(self) -> None:
+        """Bring a crashed host back; services get ``on_host_up``."""
+        if self.up:
+            return
+        self.up = True
+        self.restarts += 1
+        for service in list(self.services.values()):
+            hook = getattr(service, "on_host_up", None)
+            if hook is not None:
+                hook()
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Host {self.name!r}>"

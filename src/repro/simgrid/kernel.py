@@ -437,6 +437,13 @@ class Simulator:
         events = 0
         try:
             while self._queue and not self._stopped:
+                # discard cancelled heads before the horizon check: a
+                # cancelled call at t <= until must not let step() run a
+                # live event scheduled past the horizon
+                while self._queue and self._queue[0].cancelled:
+                    heapq.heappop(self._queue)
+                if not self._queue:
+                    break
                 if until is not None and self._queue[0].time > until:
                     self.now = until
                     break

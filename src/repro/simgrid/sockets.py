@@ -78,15 +78,27 @@ class MessageTransport:
 
     def send(self, src: Host, dst: Host, dst_port: int, payload: Any, *,
              size_bytes: int = 256, src_port: Optional[int] = None,
-             on_fail: Optional[Callable[[Exception], None]] = None) -> Optional[Message]:
+             on_fail: Optional[Callable[[Exception], None]] = None,
+             on_delivered: Optional[Callable[["Message"], None]] = None) -> Optional[Message]:
         """Send a message; returns it (delivery is scheduled) or None if
-        undeliverable and ``on_fail`` was given."""
+        undeliverable and ``on_fail`` was given.  ``on_delivered`` fires
+        when the message reaches a live listener — the success signal
+        failure detectors (e.g. the gateway's dead-consumer reaper) pair
+        with ``on_fail`` to count *consecutive* failures."""
         size = size_bytes + self.HEADER_BYTES
         if src_port is None:
             src_port = next(self._ephemeral)
         msg = Message(src_host=src, dst_host=dst, src_port=src_port,
                       dst_port=dst_port, payload=payload, size_bytes=size,
                       sent_at=self.sim.now)
+        if not src.up or not dst.up:
+            down = src.name if not src.up else dst.name
+            self.messages_dropped += 1
+            exc = DeliveryError(f"host {down} is down")
+            if on_fail is not None:
+                on_fail(exc)
+                return None
+            raise exc
         try:
             path = self.network.route(src.node, dst.node)
         except NoRouteError as exc:
@@ -108,11 +120,18 @@ class MessageTransport:
         self.per_host_bytes[src.name] = self.per_host_bytes.get(src.name, 0) + size
         delay = path.latency_s + (size * 8.0) / path.bottleneck_bps if path.links \
             else 1e-6
-        self.sim.call_in(delay, self._deliver, msg, on_fail)
+        self.sim.call_in(delay, self._deliver, msg, on_fail, on_delivered)
         return msg
 
-    def _deliver(self, msg: Message, on_fail: Optional[Callable]) -> None:
+    def _deliver(self, msg: Message, on_fail: Optional[Callable],
+                 on_delivered: Optional[Callable] = None) -> None:
         msg.delivered_at = self.sim.now
+        if not msg.dst_host.up:
+            # the destination crashed while the message was in flight
+            self.messages_dropped += 1
+            if on_fail is not None:
+                on_fail(DeliveryError(f"host {msg.dst_host.name} is down"))
+            return
         handler = msg.dst_host.ports.listener(msg.dst_port)
         if handler is None:
             self.messages_dropped += 1
@@ -120,6 +139,8 @@ class MessageTransport:
                 on_fail(DeliveryError(
                     f"no listener on {msg.dst_host.name}:{msg.dst_port}"))
             return
+        if on_delivered is not None:
+            on_delivered(msg)
         handler(msg, self)
 
     # -- RPC helper ---------------------------------------------------------

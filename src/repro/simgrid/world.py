@@ -143,6 +143,16 @@ class GridWorld:
                 watcher.attach(flow)
         return flow
 
+    # -- fault injection ---------------------------------------------------------
+
+    def inject(self, plan) -> "FaultInjector":
+        """Arm a :class:`~repro.simgrid.faults.FaultPlan` against this
+        world; every event is validated and kernel-scheduled now."""
+        from .faults import FaultInjector
+        injector = FaultInjector(self, plan)
+        injector.arm()
+        return injector
+
     # -- execution ----------------------------------------------------------------
 
     def run(self, until: Optional[float] = None, **kwargs) -> float:

@@ -1,0 +1,99 @@
+"""Self-healing ClientSession semantics (auto-heal watchdog).
+
+Regression tests for the review findings on the healing path: per-
+lineage (not per-sensor) dedupe trackers, filter/pause-respecting
+replay, and bounded tracker memory.
+"""
+
+from __future__ import annotations
+
+from repro.core import JAMMConfig, JAMMDeployment
+from repro.core.archive import EventArchive, SamplingPolicy
+from repro.core.filters import EventNames
+from repro.scenarios import SeqSensor  # noqa: F401 - registers "seq"
+from repro.simgrid import GridWorld
+
+
+def build():
+    world = GridWorld(seed=17)
+    sensor_host = world.add_host("s0")
+    gw_host = world.add_host("gw0h")
+    monitor = world.add_host("mon")
+    world.lan([sensor_host, gw_host, monitor], switch="sw")
+    jamm = JAMMDeployment(world)
+    gateway = jamm.add_gateway("gw0", host=gw_host)
+    config = JAMMConfig()
+    config.add_sensor("seq", "seq", period=0.5)
+    jamm.add_manager(sensor_host, config=config, gateway=gateway)
+
+    archive = EventArchive(policy=SamplingPolicy(normal_fraction=1.0))
+    commit_client = jamm.client(host=gw_host)
+    commit = commit_client.session(name="commit")
+    commit.subscribe_all(commit_client.sensors(type="seq"),
+                         on_event=archive.append)
+    commit.enable_auto_heal(check_interval=1.0)
+
+    client = jamm.client(host=monitor)
+    session = client.session(name="consumer")
+    return world, jamm, archive, client, session
+
+
+def test_two_handles_on_one_sensor_both_receive():
+    """Trackers are per subscription lineage: a second subscription to
+    the same sensor must not be starved by the first one's dedupe."""
+    world, jamm, archive, client, session = build()
+    info = client.sensors(type="seq")[0]
+    h1 = session.subscribe(info)
+    h2 = session.subscribe(info)
+    session.enable_auto_heal(archive=archive, check_interval=1.0)
+    world.run(until=5.0)
+    n1 = len(list(h1.events()))
+    n2 = len(list(h2.events()))
+    assert n1 > 0 and n2 > 0
+    assert abs(n1 - n2) <= 1
+
+
+def test_replay_respects_event_filter():
+    """The catch-up replay must not deliver events the subscription's
+    filter excludes from the live stream."""
+    world, jamm, archive, client, session = build()
+    info = client.sensors(type="seq")[0]
+    matching = session.subscribe(info,
+                                 event_filter=EventNames(["SEQ_TICK"]))
+    excluded = session.subscribe(info,
+                                 event_filter=EventNames(["NO_SUCH_EVENT"]))
+    session.enable_auto_heal(archive=archive, check_interval=1.0)
+    world.run(until=10.0)
+    assert len(list(matching.events())) > 0
+    assert list(excluded.events()) == []
+
+
+def test_replay_does_not_resurrect_paused_gap():
+    """Events missed while paused count as filtered (gateway
+    semantics); resume must not replay them from the archive."""
+    world, jamm, archive, client, session = build()
+    info = client.sensors(type="seq")[0]
+    handle = session.subscribe(info)
+    session.enable_auto_heal(archive=archive, check_interval=1.0)
+    world.run(until=4.0)
+    seen_before = {e.fields["SEQ"] for e in handle.events()}
+    assert handle.pause()
+    world.run(until=8.0)
+    assert handle.resume()
+    world.run(until=12.0)
+    seqs = sorted(int(e.fields["SEQ"]) for e in handle.events(drain=True))
+    # a contiguous gap covering the paused window must remain
+    assert len(seqs) < 24  # 12s at 2 events/s, minus the paused gap
+    assert seen_before, "no events before the pause"
+
+
+def test_tracker_memory_is_bounded_by_replay_window():
+    world, jamm, archive, client, session = build()
+    info = client.sensors(type="seq")[0]
+    handle = session.subscribe(info)
+    session.enable_auto_heal(archive=archive, check_interval=1.0,
+                             replay_slack=1.0)
+    world.run(until=30.0)
+    tracker = handle._heal_tracker
+    # ~60 events delivered; only the slack window's worth is retained
+    assert 0 < len(tracker._seen) <= 10

@@ -1,0 +1,20 @@
+"""Shared config for scenario tests.
+
+Every test under this directory is an end-to-end fault-injection run
+and carries the ``scenario`` marker (applied here, directory-wide, so
+``-m scenario`` / ``-m "not scenario"`` select them).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_HERE = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if _HERE in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.scenario)

@@ -1,0 +1,39 @@
+"""Replay every fault plan in the corpus as a regression test.
+
+``scripts/soak.py`` dumps any invariant-violating plan here; replaying
+the corpus keeps those counterexamples fixed.  An empty corpus (the
+happy steady state) collects zero parametrized cases and one sanity
+check that the loader works.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.scenarios import Scenario, run_scenario
+from repro.simgrid import FaultPlan
+
+CORPUS = sorted(pathlib.Path(__file__).parent.glob("corpus/*.json"))
+
+
+def _load(path: pathlib.Path) -> Scenario:
+    doc = json.loads(path.read_text())
+    params = doc.get("scenario", {})
+    return Scenario(name=f"corpus:{path.stem}",
+                    seed=int(params.get("seed", 0)),
+                    plan=FaultPlan.from_dict(doc["plan"]),
+                    horizon=float(params.get("horizon", 60.0)),
+                    drain=float(params.get("drain", 20.0)),
+                    n_sensor_hosts=int(params.get("n_sensor_hosts", 3)))
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_plan_holds_invariants(path):
+    run_scenario(_load(path)).check()
+
+
+def test_corpus_directory_exists():
+    assert (pathlib.Path(__file__).parent / "corpus" / "README.md").exists()

@@ -1,0 +1,43 @@
+"""Property test: ANY random fault schedule preserves the invariants.
+
+Random 200-step :class:`FaultPlan` schedules against the standard
+3-sensor-host world must never lose a committed event, reorder a live
+stream, or leave the directory diverged after heal.  The failing seed
+(and the full plan) is printed by ``result.check()`` so any example
+reproduces with ``run_scenario(Scenario(name=..., seed=<seed>))``.
+
+A small sample runs in tier-1; the wide matrix is ``slow`` (enable
+with ``--runslow`` / ``RUN_SLOW=1``, or use ``scripts/soak.py`` for
+open-ended soaking that dumps failing plans to the corpus).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.scenarios import Scenario, run_scenario
+
+
+def _run(seed: int) -> None:
+    scenario = Scenario(name="property-random", seed=seed,
+                        horizon=60.0, drain=20.0, random_steps=200)
+    result = run_scenario(scenario)
+    # .check() raises with the seed and the full fault plan on failure
+    result.check()
+    assert result.committed, f"seed {seed}: scenario committed nothing"
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=5, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_200_step_plans_fast(seed):
+    _run(seed)
+
+
+@pytest.mark.slow
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_200_step_plans_matrix(seed):
+    _run(seed)

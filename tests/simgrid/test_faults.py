@@ -1,0 +1,140 @@
+"""Unit tests for the fault-injection layer itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simgrid import (FaultError, FaultEvent, FaultPlan, GridWorld,
+                           NoRouteError)
+
+
+def two_site_world():
+    world = GridWorld(seed=3)
+    a1 = world.add_host("a1")
+    a2 = world.add_host("a2")
+    b1 = world.add_host("b1")
+    world.lan([a1, a2], switch="sw-a")
+    world.lan([b1], switch="sw-b")
+    world.wan_path("sw-a", "sw-b", routers=["r1"], latency_s=5e-3)
+    return world
+
+
+class TestFaultPlan:
+    def test_events_sorted_and_round_trip(self):
+        plan = (FaultPlan(seed=4)
+                .restart_host(20.0, "a1")
+                .crash_host(10.0, "a1")
+                .link_loss(15.0, "a1--sw-a", 0.05))
+        assert [e.at for e in plan] == [10.0, 15.0, 20.0]
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.to_dict() == plan.to_dict()
+        assert clone.seed == 4
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError):
+            FaultEvent(1.0, "meteor_strike", "a1")
+
+    def test_random_plans_always_recover(self):
+        """Every crashed host is restarted and partitions heal within
+        the horizon, so random plans always end in a live world."""
+        plan = FaultPlan.random(99, hosts=["a1", "a2", "b1"],
+                                n_steps=100, horizon=50.0)
+        crashed, restarted = set(), set()
+        last_partition, last_heal = -1.0, -1.0
+        for e in plan:
+            if e.kind == "host_crash":
+                crashed.add(e.target)
+            elif e.kind == "host_restart":
+                restarted.add(e.target)
+            elif e.kind == "partition":
+                last_partition = max(last_partition, e.at)
+            elif e.kind == "heal":
+                last_heal = max(last_heal, e.at)
+        assert crashed <= restarted
+        if last_partition >= 0:
+            assert last_heal >= last_partition
+
+    def test_protected_hosts_never_crash(self):
+        plan = FaultPlan.random(1, hosts=["a1", "a2", "b1"], n_steps=200,
+                                horizon=60.0, protect=["b1"])
+        assert all(e.target != "b1" for e in plan
+                   if e.kind == "host_crash")
+
+
+class TestFaultInjector:
+    def test_arm_validates_targets_up_front(self):
+        world = two_site_world()
+        with pytest.raises(FaultError):
+            world.inject(FaultPlan().crash_host(1.0, "nope"))
+        with pytest.raises(FaultError):
+            world.inject(FaultPlan().link_down(1.0, "no-such-link"))
+
+    def test_host_crash_drops_traffic_and_restart_restores(self):
+        world = two_site_world()
+        a1, b1 = world.host("a1"), world.host("b1")
+        world.inject(FaultPlan().crash_host(1.0, "b1").restart_host(3.0, "b1"))
+        got = []
+        b1.ports.bind(4000, lambda m, _t: got.append(m))
+        for t in (0.5, 2.0, 4.0):
+            world.sim.call_at(t, lambda: world.transport.send(
+                a1, b1, 4000, {"n": 1}, on_fail=lambda exc: None))
+        world.run(until=6.0)
+        assert len(got) == 2  # the t=2.0 send died with the host down
+        assert b1.crashes == 1 and b1.restarts == 1
+
+    def test_partition_cuts_cross_site_routes_only(self):
+        world = two_site_world()
+        plan = FaultPlan().partition(1.0, ["a1", "a2"], ["b1"])
+        injector = world.inject(plan)
+        world.run(until=2.0)
+        with pytest.raises(NoRouteError):
+            world.network.route("a1", "b1")
+        # intra-site connectivity survives (an infra link was cut)
+        assert world.network.route("a1", "a2").hops == 2
+
+    def test_heal_restores_routes_and_link_params(self):
+        world = two_site_world()
+        link = next(l for l in world.network.links()
+                    if l.name == "sw-a--r1")
+        base_latency = link.latency_s
+        plan = (FaultPlan()
+                .partition(1.0, ["a1", "a2"], ["b1"])
+                .link_loss(1.5, "sw-a--r1", 0.2)
+                .link_latency(1.5, "sw-a--r1", 10.0)
+                .heal(3.0))
+        world.inject(plan)
+        world.run(until=2.0)
+        assert link.loss_rate == pytest.approx(0.2)
+        world.run(until=4.0)
+        assert world.network.route("a1", "b1").hops == 4
+        assert link.loss_rate == 0.0
+        assert link.latency_s == pytest.approx(base_latency)
+
+    def test_clock_skew_applies_offset_and_drift(self):
+        world = two_site_world()
+        world.inject(FaultPlan().skew_clock(1.0, "a1", offset=0.25,
+                                            drift=1e-3))
+        world.run(until=2.0)
+        clock = world.host("a1").clock
+        assert clock.error() == pytest.approx(0.25 + 1e-3 * 1.0)
+
+    def test_process_kill_targets_a_sensor_loop(self):
+        from repro.core import JAMMDeployment, JAMMConfig
+        world = two_site_world()
+        jamm = JAMMDeployment(world)
+        gw = jamm.add_gateway("gw", host=world.host("b1"))
+        config = JAMMConfig()
+        config.add_sensor("cpu", "cpu", period=0.5)
+        manager = jamm.add_manager(world.host("a1"), config=config,
+                                   gateway=gw)
+        manager.supervision_interval = 2.0
+        sensor = manager.sensors["cpu"]
+        # kill between supervision ticks (2.0, 4.0, ...) so the wedged
+        # state — "running" with a dead loop — is observable
+        world.inject(FaultPlan().kill_process(2.5, "a1", sensor="cpu"))
+        world.run(until=3.0)
+        assert sensor.running and not sensor._proc.alive  # wedged
+        world.run(until=6.0)
+        assert sensor._proc.alive  # the supervisor restarted it
+        assert sensor.restarts == 1
+        assert manager.sensor_restarts == 1

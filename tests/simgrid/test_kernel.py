@@ -288,6 +288,25 @@ class TestEventFlag:
         assert order == ["waiter", "callback"]
 
 
+class TestRunHorizon:
+    def test_cancelled_head_does_not_leak_events_past_until(self):
+        """Regression: a cancelled call at the queue head used to pass
+        run()'s horizon check, letting step() skip it and execute a
+        live event scheduled PAST `until` (hit whenever Process.kill
+        cancelled a pending timeout — i.e. constantly under fault
+        injection)."""
+        sim = Simulator()
+        fired = []
+        doomed = sim.call_in(2.6, lambda: fired.append("doomed"))
+        sim.call_in(4.0, lambda: fired.append("late"))
+        doomed.cancel()
+        sim.run(until=3.0)
+        assert fired == []
+        assert sim.now == 3.0
+        sim.run(until=5.0)
+        assert fired == ["late"]
+
+
 class TestDeterminism:
     def test_identical_runs_produce_identical_traces(self):
         def run_once():
