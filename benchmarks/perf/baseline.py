@@ -12,16 +12,22 @@ not "fix" their performance.
 from __future__ import annotations
 
 import datetime as _dt
+import heapq
 from collections import deque
+from dataclasses import dataclass
+from dataclasses import field as _dc_field
+from typing import Any, Callable, Generator, Optional
 
 from repro.core.gateway import _render
+from repro.simgrid.kernel import Interrupt, Timeout
 from repro.ulm import EPOCH, ULMMessage
 from repro.ulm.fields import DATE, HOST, LVL, PROG, is_valid_field_name
 from repro.ulm.parse import ParseError
 
 __all__ = ["seed_serialize", "seed_parse", "seed_parse_stream",
            "seed_serialize_stream", "seed_fanout", "SeedSummaryWindow",
-           "seed_directory_search", "SeedEventArchive"]
+           "seed_directory_search", "SeedEventArchive", "SeedSimulator",
+           "SeedEventFlag", "SeedProcess", "SeedScheduledCall"]
 
 
 # -- seed ULM codec: per-character tokenizer, per-event strftime/strptime ----
@@ -184,6 +190,205 @@ def seed_directory_search(server, base, filter_text, scope: str = "sub"):
         if flt.matches(entry):
             out.append(entry.copy())
     return out
+
+
+# -- seed discrete-event kernel: one heap, dataclass calls, no fast path -----
+#
+# The kernel the seed tree shipped: every scheduled call — including the
+# zero-delay wake-ups behind EventFlag.trigger, process steps, and bare
+# yields — is a heap push/pop of an order-comparable dataclass; `throw`
+# allocates a wrapper lambda per call; cancelled entries linger in the
+# heap until popped; pending_events is an O(n) scan.  The sim_kernel
+# benchmarks assert output parity against repro.simgrid.kernel and
+# report speedup = current/seed.  Wait conditions (Timeout) are shared
+# with the current kernel so only dispatch cost is compared.
+
+
+@dataclass(order=True)
+class SeedScheduledCall:
+    time: float
+    seq: int
+    fn: Callable = _dc_field(compare=False)
+    args: tuple = _dc_field(compare=False, default=())
+    cancelled: bool = _dc_field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class SeedEventFlag:
+    __slots__ = ("sim", "name", "reusable", "_triggered", "_value",
+                 "_waiters", "_callbacks")
+
+    def __init__(self, sim: "SeedSimulator", name: str = "", *,
+                 reusable: bool = False):
+        self.sim = sim
+        self.name = name
+        self.reusable = reusable
+        self._triggered = False
+        self._value: Any = None
+        self._waiters: list = []
+        self._callbacks: list = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def on_trigger(self, callback: Callable[[Any], None]) -> None:
+        if self._triggered and not self.reusable:
+            self.sim.call_in(0.0, callback, self._value)
+        else:
+            self._callbacks.append(callback)
+
+    def _add_waiter(self, resume: Callable[[Any], None]) -> None:
+        if self._triggered and not self.reusable:
+            self.sim.call_in(0.0, resume, self._value)
+        else:
+            self._waiters.append(resume)
+
+    def trigger(self, value: Any = None) -> None:
+        if self._triggered and not self.reusable:
+            raise RuntimeError(f"flag {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            self.sim.call_in(0.0, resume, value)
+        callbacks = list(self._callbacks)
+        if not self.reusable:
+            self._callbacks.clear()
+        for cb in callbacks:
+            self.sim.call_in(0.0, cb, value)
+        if self.reusable:
+            self._triggered = False
+
+
+class SeedProcess:
+    __slots__ = ("sim", "name", "gen", "done", "alive",
+                 "_pending_cancel")
+
+    def __init__(self, sim: "SeedSimulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self.name = name or "process"
+        self.gen = gen
+        self.done = SeedEventFlag(sim, name=f"{self.name}.done")
+        self.alive = True
+        self._pending_cancel: Optional[SeedScheduledCall] = None
+
+    def _start(self) -> None:
+        self.sim.call_in(0.0, self._step, None)
+
+    def _step(self, send_value: Any, *,
+              throw: Optional[BaseException] = None) -> None:
+        if not self.alive:
+            return
+        self._pending_cancel = None
+        try:
+            if throw is not None:
+                condition = self.gen.throw(throw)
+            else:
+                condition = self.gen.send(send_value)
+        except (StopIteration, Interrupt):
+            self._finish()
+            return
+        if isinstance(condition, Timeout):
+            self._pending_cancel = self.sim.call_in(
+                condition.delay, self._step, None)
+        elif isinstance(condition, SeedEventFlag):
+            condition._add_waiter(self._step)
+        elif isinstance(condition, SeedProcess):
+            condition.done._add_waiter(self._step)
+        elif condition is None:
+            self._pending_cancel = self.sim.call_in(0.0, self._step, None)
+        else:
+            raise RuntimeError(f"unsupported condition {condition!r}")
+
+    def _finish(self) -> None:
+        self.alive = False
+        self.done.trigger(None)
+
+    def interrupt(self, cause: Any = None) -> None:
+        if not self.alive:
+            return
+        if self._pending_cancel is not None:
+            self._pending_cancel.cancel()
+            self._pending_cancel = None
+        self.sim.call_in(0.0, self._step, None, throw=Interrupt(cause))
+
+    def kill(self) -> None:
+        if not self.alive:
+            return
+        if self._pending_cancel is not None:
+            self._pending_cancel.cancel()
+        self.gen.close()
+        self._finish()
+
+
+class SeedSimulator:
+    """The seed event loop, byte-for-byte the pre-fast-path algorithm."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.events_executed = 0
+        self._queue: list = []
+        self._seq = 0
+
+    def call_at(self, when: float, fn: Callable, *args: Any,
+                throw: Optional[BaseException] = None) -> SeedScheduledCall:
+        if when < self.now:
+            raise RuntimeError("cannot schedule into the past")
+        self._seq += 1
+        if throw is not None:
+            orig = fn
+            fn = lambda _v, _orig=orig, _t=throw: _orig(_v, throw=_t)  # noqa: E731
+        call = SeedScheduledCall(when, self._seq, fn, args)
+        heapq.heappush(self._queue, call)
+        return call
+
+    def call_in(self, delay: float, fn: Callable, *args: Any,
+                throw: Optional[BaseException] = None) -> SeedScheduledCall:
+        return self.call_at(self.now + delay, fn, *args, throw=throw)
+
+    def spawn(self, gen: Generator, name: str = "") -> SeedProcess:
+        proc = SeedProcess(self, gen, name=name)
+        proc._start()
+        return proc
+
+    def flag(self, name: str = "", *, reusable: bool = False) -> SeedEventFlag:
+        return SeedEventFlag(self, name=name, reusable=reusable)
+
+    def step(self) -> bool:
+        while self._queue:
+            call = heapq.heappop(self._queue)
+            if call.cancelled:
+                continue
+            self.now = call.time
+            self.events_executed += 1
+            call.fn(*call.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        while self._queue:
+            while self._queue and self._queue[0].cancelled:
+                heapq.heappop(self._queue)
+            if not self._queue:
+                break
+            if until is not None and self._queue[0].time > until:
+                self.now = until
+                break
+            self.step()
+        if until is not None and not self._queue and self.now < until:
+            self.now = until
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for c in self._queue if not c.cancelled)
 
 
 # -- seed event archive: arrival-order storage, per-message predicates -------

@@ -1,0 +1,166 @@
+"""``sim_kernel``: discrete-event kernel dispatch throughput.
+
+Four workloads exercise the kernel paths the monitoring stack leans on,
+each against the seed-equivalent kernel in :mod:`benchmarks.perf
+.baseline` (one heap of order-comparable dataclasses, zero-delay calls
+through the heap, O(n) ``pending_events``):
+
+* ``immediate_dispatch`` — processes spinning on bare ``yield``: the
+  pure zero-delay path (the acceptance headline; every EventFlag
+  wake-up and process step rides it).
+* ``flag_wakeups`` — a producer triggering a reusable flag that W
+  waiters block on: trigger fan-out + waiter resume.
+* ``timer_churn`` — processes sleeping on spread-out Timeouts: the
+  pure heap path (tuple entries vs dataclass compares).
+* ``cancel_churn`` — schedule/cancel storms with ``pending_events``
+  polls: lazy deletion + compaction + the O(1) counter vs linger-until-
+  pop + O(n) scans.
+
+Every workload runs once on both kernels first and asserts parity
+(identical event counts and final clocks) before timing.
+"""
+
+from __future__ import annotations
+
+from benchmarks.perf.baseline import SeedSimulator
+from benchmarks.perf.timing import best_rate
+from repro.simgrid.kernel import Simulator, Timeout
+
+__all__ = ["run"]
+
+
+# -- workloads, generic over the kernel -------------------------------------
+
+
+def _spin(n_yields: int):
+    def body():
+        for _ in range(n_yields):
+            yield
+    return body()
+
+
+def _immediate(make_sim, n_procs: int, n_yields: int):
+    sim = make_sim()
+    for i in range(n_procs):
+        sim.spawn(_spin(n_yields), name=f"spin{i}")
+    sim.run()
+    return sim
+
+
+def _flag_wakeups(make_sim, n_waiters: int, n_triggers: int):
+    sim = make_sim()
+    flag = sim.flag("tick", reusable=True)
+
+    def waiter():
+        for _ in range(n_triggers):
+            yield flag
+
+    def producer():
+        for _ in range(n_triggers):
+            yield Timeout(0.001)
+            flag.trigger("tick")
+
+    for i in range(n_waiters):
+        sim.spawn(waiter(), name=f"w{i}")
+    sim.spawn(producer(), name="producer")
+    sim.run()
+    return sim
+
+
+def _timer_churn(make_sim, n_procs: int, n_sleeps: int):
+    sim = make_sim()
+
+    def sleeper(i: int):
+        for j in range(n_sleeps):
+            yield Timeout(((i * 31 + j * 17) % 97 + 1) * 1e-3)
+
+    for i in range(n_procs):
+        sim.spawn(sleeper(i), name=f"sleep{i}")
+    sim.run()
+    return sim
+
+
+def _noop() -> None:
+    return None
+
+
+def _cancel_churn(make_sim, n_timers: int, poll_every: int):
+    sim = make_sim()
+    polls = 0
+    for i in range(n_timers):
+        call = sim.call_in(1.0 + (i % 89) * 0.01, _noop)
+        if i % 10 != 0:
+            call.cancel()  # interrupt/kill-heavy fault runs in miniature
+        if i % poll_every == 0:
+            polls += sim.pending_events
+    sim.run()
+    return sim, polls
+
+
+# -- the benchmark ----------------------------------------------------------
+
+
+def _row(fn_current, fn_seed, n_items: int, repeats: int) -> dict:
+    rate = best_rate(fn_current, n_items, repeats)
+    seed_rate = best_rate(fn_seed, n_items, repeats)
+    return {
+        "events": n_items,
+        "events_per_s": rate,
+        "seed_events_per_s": seed_rate,
+        "speedup": rate / seed_rate,
+    }
+
+
+def run(quick: bool = False) -> dict:
+    repeats = 2 if quick else 5
+    scale = 10 if quick else 1
+    # simulation-scale concurrency: soak worlds keep hundreds of
+    # processes and timers pending at once
+    n_procs, n_yields = 500, 400 // scale
+    n_waiters, n_triggers = 100, 500 // scale
+    n_sleepers, n_sleeps = 200, 250 // scale
+    n_timers, poll_every = 50000 // scale, 200
+
+    # parity: both kernels must do identical work before we time them
+    cur, seed = _immediate(Simulator, n_procs, n_yields), \
+        _immediate(SeedSimulator, n_procs, n_yields)
+    assert cur.events_executed == seed.events_executed, "immediate parity"
+    immediate_events = cur.events_executed
+
+    cur, seed = _flag_wakeups(Simulator, n_waiters, n_triggers), \
+        _flag_wakeups(SeedSimulator, n_waiters, n_triggers)
+    assert cur.events_executed == seed.events_executed, "flag parity"
+    assert cur.now == seed.now, "flag clock parity"
+    flag_events = cur.events_executed
+
+    cur, seed = _timer_churn(Simulator, n_sleepers, n_sleeps), \
+        _timer_churn(SeedSimulator, n_sleepers, n_sleeps)
+    assert cur.events_executed == seed.events_executed, "timer parity"
+    assert cur.now == seed.now, "timer clock parity"
+    timer_events = cur.events_executed
+
+    (cur, cur_polls), (seed, seed_polls) = \
+        _cancel_churn(Simulator, n_timers, poll_every), \
+        _cancel_churn(SeedSimulator, n_timers, poll_every)
+    assert cur.events_executed == seed.events_executed, "cancel parity"
+    assert cur_polls == seed_polls, "pending_events parity"
+    assert cur.pending_events == seed.pending_events == 0
+
+    return {
+        "immediate_dispatch": _row(
+            lambda: _immediate(Simulator, n_procs, n_yields),
+            lambda: _immediate(SeedSimulator, n_procs, n_yields),
+            immediate_events, repeats),
+        "flag_wakeups": _row(
+            lambda: _flag_wakeups(Simulator, n_waiters, n_triggers),
+            lambda: _flag_wakeups(SeedSimulator, n_waiters, n_triggers),
+            flag_events, repeats),
+        "timer_churn": _row(
+            lambda: _timer_churn(Simulator, n_sleepers, n_sleeps),
+            lambda: _timer_churn(SeedSimulator, n_sleepers, n_sleeps),
+            timer_events, repeats),
+        "cancel_churn": _row(
+            lambda: _cancel_churn(Simulator, n_timers, poll_every),
+            lambda: _cancel_churn(SeedSimulator, n_timers, poll_every),
+            n_timers, repeats),
+    }

@@ -26,7 +26,7 @@ def test_bench_quick_runs_and_writes_schema(tmp_path):
     proc = run_bench(out)
     assert proc.returncode == 0, proc.stderr
     doc = json.loads(out.read_text())
-    assert doc["schema"] == "repro-bench/2"
+    assert doc["schema"] == "repro-bench/3"
     assert doc["quick"] is True
     assert doc["only"] is None
     benches = doc["benchmarks"]
@@ -54,6 +54,18 @@ def test_bench_quick_runs_and_writes_schema(tmp_path):
         assert archive[key]["queries_per_s"] > 0
         assert archive[key]["seed_queries_per_s"] > 0
         assert archive[key]["speedup"] > 0
+    kernel = benches["sim_kernel"]
+    for key in ("immediate_dispatch", "flag_wakeups", "timer_churn",
+                "cancel_churn"):
+        assert kernel[key]["events"] > 0
+        assert kernel[key]["events_per_s"] > 0
+        assert kernel[key]["seed_events_per_s"] > 0
+        assert kernel[key]["speedup"] > 0
+    scenario = benches["scenario_throughput"]
+    assert scenario["events"] > 0
+    assert scenario["events_per_s"] > 0
+    assert scenario["wall_s"] > 0
+    assert scenario["digest"]
     # a fresh output file starts an empty perf history
     assert doc["history"] == []
 
@@ -63,7 +75,7 @@ def test_bench_rerun_appends_history(tmp_path):
     headline rates into ``history`` instead of forgetting them."""
     out = tmp_path / "BENCH_smoke.json"
     previous = {
-        "schema": "repro-bench/2", "name": "event_path", "quick": True,
+        "schema": "repro-bench/3", "name": "event_path", "quick": True,
         "generated_unix": 1700000000,
         "benchmarks": {
             "ulm_codec": {"parse_msgs_per_s": 1.0,
@@ -71,7 +83,9 @@ def test_bench_rerun_appends_history(tmp_path):
             "gateway_fanout": {"all_events": {"1": {"events_per_s": 3.0}}},
             "summary_ingest": {"samples_per_s": 4.0},
             "directory_search": {"indexed_eq": {"searches_per_s": 5.0}},
-            "archive_query": {"narrow_window": {"queries_per_s": 6.0}}},
+            "archive_query": {"narrow_window": {"queries_per_s": 6.0}},
+            "sim_kernel": {"immediate_dispatch": {"events_per_s": 7.0}},
+            "scenario_throughput": {"events_per_s": 8.0}},
         "history": [{"generated_unix": 1600000000}]}
     out.write_text(json.dumps(previous))
     proc = run_bench(out)
@@ -84,6 +98,8 @@ def test_bench_rerun_appends_history(tmp_path):
     assert doc["history"][1]["fanout_events_per_s"] == {"1": 3.0}
     assert doc["history"][1]["directory_searches_per_s"] == 5.0
     assert doc["history"][1]["archive_queries_per_s"] == 6.0
+    assert doc["history"][1]["kernel_dispatch_events_per_s"] == 7.0
+    assert doc["history"][1]["scenario_events_per_s"] == 8.0
 
 
 def test_bench_only_reruns_one_section_and_carries_the_rest(tmp_path):
@@ -91,7 +107,7 @@ def test_bench_only_reruns_one_section_and_carries_the_rest(tmp_path):
     section forward unchanged from the existing file."""
     out = tmp_path / "BENCH_smoke.json"
     previous = {
-        "schema": "repro-bench/2", "name": "event_path", "quick": True,
+        "schema": "repro-bench/3", "name": "event_path", "quick": True,
         "generated_unix": 1700000000,
         "benchmarks": {
             "ulm_codec": {"parse_msgs_per_s": 123.0},
@@ -111,6 +127,32 @@ def test_bench_only_reruns_one_section_and_carries_the_rest(tmp_path):
     assert benches["summary_ingest"] == {"samples_per_s": 4.0}
     # sections absent from the previous file stay absent (not re-run)
     assert "gateway_fanout" not in benches
+
+
+def test_bench_only_sim_kernel(tmp_path):
+    """``--only sim_kernel`` re-measures the kernel section (with its
+    seed-parity asserts) and carries the rest forward."""
+    out = tmp_path / "BENCH_smoke.json"
+    previous = {
+        "schema": "repro-bench/3", "name": "event_path", "quick": True,
+        "generated_unix": 1700000000,
+        "benchmarks": {
+            "ulm_codec": {"parse_msgs_per_s": 123.0},
+            "scenario_throughput": {"events_per_s": 8.0}},
+        "history": []}
+    out.write_text(json.dumps(previous))
+    proc = run_bench(out, "--only", "sim_kernel")
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads(out.read_text())
+    assert doc["only"] == ["sim_kernel"]
+    benches = doc["benchmarks"]
+    kernel = benches["sim_kernel"]
+    for key in ("immediate_dispatch", "flag_wakeups", "timer_churn",
+                "cancel_churn"):
+        assert kernel[key]["events_per_s"] > 0
+        assert kernel[key]["speedup"] > 0
+    assert benches["ulm_codec"] == {"parse_msgs_per_s": 123.0}
+    assert benches["scenario_throughput"] == {"events_per_s": 8.0}
 
 
 def test_bench_only_rejects_unknown_section(tmp_path):
@@ -133,7 +175,7 @@ def test_bench_only_refuses_to_mix_quick_and_full_runs(tmp_path):
     """Carry-forward must not splice smoke-mode timings into a full
     document (or vice versa)."""
     out = tmp_path / "BENCH_smoke.json"
-    full_run = {"schema": "repro-bench/2", "name": "event_path",
+    full_run = {"schema": "repro-bench/3", "name": "event_path",
                 "quick": False, "generated_unix": 1700000000,
                 "benchmarks": {"ulm_codec": {"parse_msgs_per_s": 1.0}},
                 "history": []}

@@ -1,10 +1,11 @@
 #!/usr/bin/env python
-"""Event- and query-path performance harness.
+"""Event-, query-, and simulation-path performance harness.
 
 Runs the microbenchmarks in ``benchmarks/perf`` (ULM codec, gateway
-fan-out, summary ingest, directory search, archive query) and writes
-the results to a ``BENCH_*.json`` file so successive PRs leave a
-comparable perf trajectory.
+fan-out, summary ingest, directory search, archive query, sim kernel
+dispatch, end-to-end scenario throughput) and writes the results to a
+``BENCH_*.json`` file so successive PRs leave a comparable perf
+trajectory.
 
 Usage::
 
@@ -18,14 +19,14 @@ the named sections; results for the other sections are carried forward
 unchanged from the existing output file, so the document stays complete
 and comparable.
 
-The JSON schema (``repro-bench/2``) adds ``directory_search`` and
-``archive_query`` sections to ``repro-bench/1``; see PERFORMANCE.md for
-the full field list.  Rates are items (events, samples, queries) per
-second, best of N repeats; ``seed_*`` rates time the seed-equivalent
-reference implementations in ``benchmarks/perf/baseline.py`` and
-``speedup_*`` is current/seed.  ``--quick`` shrinks workloads to
-smoke-test the harness itself — its timings are not comparable
-measurements.
+The JSON schema (``repro-bench/3``) adds ``sim_kernel`` and
+``scenario_throughput`` sections to ``repro-bench/2``; see
+PERFORMANCE.md for the full field list.  Rates are items (events,
+samples, queries) per second, best of N repeats; ``seed_*`` rates time
+the seed-equivalent reference implementations in
+``benchmarks/perf/baseline.py`` and ``speedup_*`` is current/seed.
+``--quick`` shrinks workloads to smoke-test the harness itself — its
+timings are not comparable measurements.
 
 Re-running against an existing output file *appends* rather than
 forgets: the previous run's headline rates are folded into a
@@ -43,7 +44,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-SCHEMA = "repro-bench/2"
+SCHEMA = "repro-bench/3"
 
 #: section name -> benchmarks.perf module name, in run order
 SECTIONS = {
@@ -52,6 +53,8 @@ SECTIONS = {
     "summary_ingest": "summary_bench",
     "directory_search": "directory_bench",
     "archive_query": "archive_bench",
+    "sim_kernel": "kernel_bench",
+    "scenario_throughput": "scenario_bench",
 }
 
 
@@ -63,6 +66,8 @@ def _headline(doc: dict) -> dict:
     summary = benches.get("summary_ingest", {})
     directory = benches.get("directory_search", {}).get("indexed_eq", {})
     archive = benches.get("archive_query", {}).get("narrow_window", {})
+    kernel = benches.get("sim_kernel", {}).get("immediate_dispatch", {})
+    scenario = benches.get("scenario_throughput", {})
     return {
         "generated_unix": doc.get("generated_unix"),
         "quick": doc.get("quick"),
@@ -73,6 +78,8 @@ def _headline(doc: dict) -> dict:
         "summary_samples_per_s": summary.get("samples_per_s"),
         "directory_searches_per_s": directory.get("searches_per_s"),
         "archive_queries_per_s": archive.get("queries_per_s"),
+        "kernel_dispatch_events_per_s": kernel.get("events_per_s"),
+        "scenario_events_per_s": scenario.get("events_per_s"),
     }
 
 
@@ -113,6 +120,14 @@ def _report(results: dict) -> None:
             row = results["archive_query"][key]
             print(f"[bench] archive {key}: {row['queries_per_s']:,.0f} "
                   f"queries/s ({row['speedup']:.1f}x seed)")
+    if "sim_kernel" in results:
+        for key, row in results["sim_kernel"].items():
+            print(f"[bench] kernel {key}: {row['events_per_s']:,.0f} "
+                  f"ev/s ({row['speedup']:.1f}x seed)")
+    if "scenario_throughput" in results:
+        row = results["scenario_throughput"]
+        print(f"[bench] scenario throughput: {row['events_per_s']:,.0f} "
+              f"ev/s ({row['events']:,} events, {row['wall_s']:.2f}s wall)")
 
 
 def main(argv=None) -> int:

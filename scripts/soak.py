@@ -48,6 +48,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     failures = 0
+    total_events = 0
+    total_wall = 0.0
     t_start = time.time()
     for seed in range(args.start_seed, args.start_seed + args.runs):
         scenario = Scenario(name=f"soak-{seed}", seed=seed,
@@ -55,11 +57,16 @@ def main(argv=None) -> int:
                             n_sensor_hosts=args.hosts,
                             random_steps=args.steps)
         result = run_scenario(scenario)
+        perf = result.stats.get("perf") or {}
+        total_events += perf.get("events", 0)
+        total_wall += perf.get("wall_s", 0.0)
         if result.ok:
             extra = f" digest={result.digest()[:16]}" \
                 if args.keep_passing_digests else ""
             print(f"seed {seed:>6}: ok  committed={len(result.committed):>4}"
-                  f"{extra}")
+                  f"  {perf.get('events', 0):>6} ev in "
+                  f"{perf.get('wall_s', 0.0):6.3f}s "
+                  f"({perf.get('events_per_s', 0.0):>9,.0f} ev/s){extra}")
             continue
         failures += 1
         CORPUS.mkdir(parents=True, exist_ok=True)
@@ -77,8 +84,10 @@ def main(argv=None) -> int:
             print(f"    {violation}")
 
     elapsed = time.time() - t_start
+    rate = total_events / total_wall if total_wall > 0 else 0.0
     print(f"\n{args.runs} scenario(s) in {elapsed:.1f}s, "
-          f"{failures} failure(s)")
+          f"{failures} failure(s); {total_events:,} simulated events "
+          f"at {rate:,.0f} ev/s inside the runs")
     if failures:
         print("failing plans dumped to tests/scenarios/corpus/ — "
               "replayed by tests/scenarios/test_corpus.py")

@@ -28,6 +28,7 @@ records, directory trees) so a determinism audit is one string compare.
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -225,6 +226,7 @@ class ScenarioRunner:
         self.archive: Optional[EventArchive] = None
         self.injector = None
         self._records: dict[str, list] = {}
+        self._perf: Optional[dict] = None
 
     # -- world construction --------------------------------------------------
 
@@ -316,6 +318,8 @@ class ScenarioRunner:
         if self.world is None:
             self.build()
         sc = self.scenario
+        wall_start = time.perf_counter()
+        events_start = self.world.sim.events_executed
         plan = self._resolve_plan()
         self.injector = self.world.inject(plan)
         self.world.run(until=sc.horizon)
@@ -341,6 +345,16 @@ class ScenarioRunner:
                 manager.sensors[sensor_name].stop()
         flush = 2.0 * max(sc.heal_interval, sc.supervision_interval) + 1.0
         self.world.run(until=sc.horizon + sc.drain + flush)
+        # wall-clock throughput of the run itself (build excluded);
+        # digests never cover stats, so this cannot perturb determinism
+        wall = time.perf_counter() - wall_start
+        events = self.world.sim.events_executed - events_start
+        self._perf = {
+            "events": events,
+            "wall_s": wall,
+            "events_per_s": events / wall if wall > 0 else 0.0,
+            "sim_time": self.world.sim.now,
+        }
         return self.collect()
 
     # -- result collection ------------------------------------------------------
@@ -391,6 +405,7 @@ class ScenarioRunner:
                     "anti_entropy": directory.anti_entropy_snapshots,
                 },
                 "crashes": len(self.world.sim.crashes),
+                "perf": self._perf,
             })
         for checker in self.checkers:
             result.violations.extend(checker(result))

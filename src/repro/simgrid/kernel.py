@@ -18,16 +18,29 @@ scheduling (stable tie-break by a monotonically increasing sequence
 number), so a run with a fixed RNG seed is fully reproducible.  Tests
 and benchmarks rely on this.
 
-The kernel is intentionally simple and allocation-light: the hot loop is
-``heapq`` push/pop of small tuples, per the "make it work, measure, then
-optimize the bottleneck" workflow the project follows.
+The kernel is allocation-light and split into two queues that together
+form one totally ordered event sequence:
+
+* a ``heapq`` of ``(time, seq, call)`` tuples for future events, and
+* an O(1) FIFO *immediate queue* (a deque) for calls scheduled at the
+  current instant — :meth:`EventFlag.trigger` wake-ups, process steps,
+  and bare ``yield`` s never touch the heap.
+
+Because virtual time never decreases, immediate-queue entries are
+already sorted by ``(time, seq)``; dispatch is a two-way merge of two
+sorted sequences, so the executed order is *identical* to the single
+heap's ``(time, seq)`` order (the determinism audit in
+``tests/scenarios/test_determinism_audit.py`` proves this bit-for-bit).
+Cancelled calls are discarded lazily on pop; when cancelled entries
+come to dominate the heap (interrupt/kill-heavy fault runs) it is
+compacted in place, and ``pending_events`` is a live O(1) counter.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -65,51 +78,63 @@ class Interrupt(Exception):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
 class Timeout:
     """Yielded by a process to sleep for ``delay`` units of virtual time."""
 
-    delay: float
+    __slots__ = ("delay",)
 
-    def __post_init__(self) -> None:
-        if self.delay < 0 or math.isnan(self.delay):
-            raise SimulationError(f"negative or NaN timeout: {self.delay!r}")
+    def __init__(self, delay: float):
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"negative or NaN timeout: {delay!r}")
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay!r})"
 
 
-@dataclass(frozen=True)
 class WaitEvent:
     """Yielded by a process to block until ``flag`` is triggered.
 
     The process resumes with the value the flag was triggered with.
     """
 
-    flag: "EventFlag"
+    __slots__ = ("flag",)
+
+    def __init__(self, flag: "EventFlag"):
+        self.flag = flag
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WaitEvent({self.flag!r})"
 
 
-@dataclass(frozen=True)
 class AllOf:
     """Wait until *all* of the given flags have triggered.
 
     Resumes with a list of the flags' values in the order given.
     """
 
-    flags: tuple
+    __slots__ = ("flags",)
 
     def __init__(self, flags: Iterable["EventFlag"]):
-        object.__setattr__(self, "flags", tuple(flags))
+        self.flags = tuple(flags)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AllOf({self.flags!r})"
 
 
-@dataclass(frozen=True)
 class AnyOf:
     """Wait until *any* of the given flags triggers.
 
     Resumes with a ``(flag, value)`` tuple for the first one to fire.
     """
 
-    flags: tuple
+    __slots__ = ("flags",)
 
     def __init__(self, flags: Iterable["EventFlag"]):
-        object.__setattr__(self, "flags", tuple(flags))
+        self.flags = tuple(flags)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AnyOf({self.flags!r})"
 
 
 class EventFlag:
@@ -149,30 +174,35 @@ class EventFlag:
         immediately via a zero-delay event to preserve ordering.
         """
         if self._triggered and not self.reusable:
-            self.sim.call_in(0.0, callback, self._value)
+            self.sim.call_soon(callback, self._value)
         else:
             self._callbacks.append(callback)
 
     def _add_waiter(self, resume: Callable[[Any], None]) -> None:
         if self._triggered and not self.reusable:
-            self.sim.call_in(0.0, resume, self._value)
+            self.sim.call_soon(resume, self._value)
         else:
             self._waiters.append(resume)
 
     def trigger(self, value: Any = None) -> None:
-        """Trigger the flag, waking waiters and firing callbacks."""
+        """Trigger the flag, waking waiters and firing callbacks.
+
+        Wake-ups go through the O(1) immediate queue — triggering a
+        flag with W waiters never touches the heap.
+        """
         if self._triggered and not self.reusable:
             raise SimulationError(f"flag {self.name!r} triggered twice")
         self._triggered = True
         self._value = value
+        call_soon = self.sim.call_soon
         waiters, self._waiters = self._waiters, []
         for resume in waiters:
-            self.sim.call_in(0.0, resume, value)
+            call_soon(resume, value)
         callbacks = list(self._callbacks)
         if not self.reusable:
             self._callbacks.clear()
         for cb in callbacks:
-            self.sim.call_in(0.0, cb, value)
+            call_soon(cb, value)
         if self.reusable:
             # re-arm for the next trigger
             self._triggered = False
@@ -182,19 +212,42 @@ class EventFlag:
         return f"<EventFlag {self.name!r} {state}>"
 
 
-@dataclass(order=True)
 class ScheduledCall:
-    """Handle for a scheduled callback; allows cancellation."""
+    """Handle for a scheduled callback; allows cancellation.
 
-    time: float
-    seq: int
-    fn: Callable = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    A plain slotted object: heap ordering lives in the ``(time, seq,
+    call)`` tuples the simulator enqueues (``(time, seq)`` is unique,
+    so the call object itself is never compared), and the optional
+    ``throw`` is a field dispatched by the event loop rather than a
+    per-call closure.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "throw", "cancelled", "sim",
+                 "in_heap")
+
+    def __init__(self, sim: "Simulator", time: float, seq: int, fn: Callable,
+                 args: tuple = (), throw: Optional[BaseException] = None,
+                 in_heap: bool = True):
+        self.sim = sim
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.throw = throw
+        self.cancelled = False
+        self.in_heap = in_heap
 
     def cancel(self) -> None:
         """Prevent the call from firing (no-op if it already fired)."""
+        if self.cancelled or self.sim is None:
+            return
         self.cancelled = True
+        self.sim._on_cancel(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else (
+            "fired" if self.sim is None else "pending")
+        return f"<ScheduledCall t={self.time:.6f} seq={self.seq} {state}>"
 
 
 class Process:
@@ -206,7 +259,7 @@ class Process:
     """
 
     __slots__ = ("sim", "name", "gen", "done", "alive", "failed", "error",
-                 "_pending_cancel", "_waiting")
+                 "_pending_cancel", "_wait_token")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         self.sim = sim
@@ -217,18 +270,29 @@ class Process:
         self.failed = False
         self.error: Optional[BaseException] = None
         self._pending_cancel: Optional[ScheduledCall] = None
-        self._waiting = False
+        #: bumped at every step; flag-waiter resumes registered under an
+        #: older token are stale (the wait was abandoned by an interrupt)
+        #: and must not step the process
+        self._wait_token = 0
 
     # -- lifecycle ----------------------------------------------------------
 
     def _start(self) -> None:
-        self.sim.call_in(0.0, self._step, None)
+        self.sim.call_soon(self._step, None)
 
     def _step(self, send_value: Any, *, throw: Optional[BaseException] = None) -> None:
         if not self.alive:
             return
+        if throw is not None and self._pending_cancel is not None:
+            # a same-instant resume ran between interrupt() and this
+            # throw-step and parked the process on a fresh timer; cancel
+            # it instead of orphaning it (an orphaned timer would later
+            # spuriously step the process at an unrelated wait point).
+            # Ordinary resumes ARE the pending call (already fired, so
+            # cancel would be a no-op) — only the throw path pays this.
+            self._pending_cancel.cancel()
         self._pending_cancel = None
-        self._waiting = False
+        self._wait_token += 1
         try:
             if throw is not None:
                 condition = self.gen.throw(throw)
@@ -244,25 +308,52 @@ class Process:
         except BaseException as exc:  # noqa: BLE001 - surfaced via .done/.error
             self._finish(None, error=exc, failed=True)
             return
-        self._wait_on(condition)
+        # the hottest waits, inline: bare `yield` (cooperative yield
+        # point, rescheduled through the O(1) immediate queue), Timeout,
+        # and a directly yielded EventFlag.  Timer waits are cancelled
+        # outright by interrupt()/kill(); flag waits instead go stale
+        # via the wait token (flags keep no per-waiter handles).
+        if condition is None:
+            self._pending_cancel = self.sim.call_soon(self._step, None)
+        elif type(condition) is Timeout:
+            self._pending_cancel = self.sim.call_in(
+                condition.delay, self._step, None)
+        elif type(condition) is EventFlag:
+            condition._add_waiter(self._flag_resume())
+        else:
+            self._wait_on(condition)
+
+    def _flag_resume(self) -> Callable[[Any], None]:
+        """A waiter callback valid only for the current wait.
+
+        If the process moved on before the flag fired (an interrupt
+        threw it out of the wait, or it was killed), the token no
+        longer matches and the wake-up is dropped instead of stepping
+        the process at some unrelated wait point.
+        """
+        token = self._wait_token
+
+        def resume(value: Any) -> None:
+            if token == self._wait_token and self.alive:
+                self._step(value)
+        return resume
 
     def _wait_on(self, condition: Any) -> None:
-        self._waiting = True
         if isinstance(condition, Timeout):
             self._pending_cancel = self.sim.call_in(condition.delay, self._step, None)
         elif isinstance(condition, WaitEvent):
-            condition.flag._add_waiter(self._step)
+            condition.flag._add_waiter(self._flag_resume())
         elif isinstance(condition, EventFlag):
-            condition._add_waiter(self._step)
+            condition._add_waiter(self._flag_resume())
         elif isinstance(condition, Process):
-            condition.done._add_waiter(self._step)
+            condition.done._add_waiter(self._flag_resume())
         elif isinstance(condition, AllOf):
             self._wait_all(condition.flags)
         elif isinstance(condition, AnyOf):
             self._wait_any(condition.flags)
         elif condition is None:
             # bare `yield` — reschedule immediately (cooperative yield point)
-            self._pending_cancel = self.sim.call_in(0.0, self._step, None)
+            self._pending_cancel = self.sim.call_soon(self._step, None)
         else:
             self._step(None, throw=SimulationError(
                 f"process {self.name!r} yielded unsupported condition {condition!r}"))
@@ -271,13 +362,16 @@ class Process:
         remaining = len(flags)
         values: list[Any] = [None] * len(flags)
         if remaining == 0:
-            self._pending_cancel = self.sim.call_in(0.0, self._step, [])
+            self._pending_cancel = self.sim.call_soon(self._step, [])
             return
         resumed = [False]
+        token = self._wait_token
 
         def make_cb(i: int) -> Callable[[Any], None]:
             def cb(value: Any) -> None:
                 nonlocal remaining
+                if token != self._wait_token or not self.alive:
+                    return  # stale: the wait was interrupted away
                 values[i] = value
                 remaining -= 1
                 if remaining == 0 and not resumed[0]:
@@ -292,12 +386,14 @@ class Process:
         if len(flags) == 0:
             raise SimulationError("AnyOf of zero flags would wait forever")
         resumed = [False]
+        token = self._wait_token
 
         def make_cb(flag: EventFlag) -> Callable[[Any], None]:
             def cb(value: Any) -> None:
-                if not resumed[0] and self.alive:
-                    resumed[0] = True
-                    self._step((flag, value))
+                if token != self._wait_token or resumed[0] or not self.alive:
+                    return
+                resumed[0] = True
+                self._step((flag, value))
             return cb
 
         for flag in flags:
@@ -322,7 +418,7 @@ class Process:
         if self._pending_cancel is not None:
             self._pending_cancel.cancel()
             self._pending_cancel = None
-        self.sim.call_in(0.0, self._step, None, throw=Interrupt(cause))
+        self.sim.call_soon(self._step, None, throw=Interrupt(cause))
 
     def kill(self) -> None:
         """Terminate the process without running any more of its body."""
@@ -353,13 +449,28 @@ class Simulator:
         sim.run(until=100.0)
     """
 
+    #: heap compaction: rebuild once cancelled entries exceed this count
+    #: AND at least half the heap (lazy deletion stays O(1) per cancel,
+    #: but interrupt/kill-heavy fault runs must not leak cancelled calls
+    #: until their pop time comes around)
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, *, strict: bool = True):
         #: current virtual time (seconds)
         self.now: float = 0.0
         #: raise on process crash immediately (strict) or record and continue
         self.strict = strict
-        self._queue: list[ScheduledCall] = []
+        #: total events dispatched over this simulator's lifetime
+        self.events_executed: int = 0
+        #: future events: (time, seq, ScheduledCall) tuples
+        self._heap: list[tuple[float, int, ScheduledCall]] = []
+        #: calls scheduled at the current instant, FIFO.  Virtual time
+        #: never decreases, so this deque is always (time, seq)-sorted
+        #: and dispatch is a two-way sorted merge with the heap.
+        self._immediate: deque[ScheduledCall] = deque()
         self._seq = 0
+        self._pending = 0          # live (non-cancelled) scheduled calls
+        self._heap_cancelled = 0   # cancelled entries still in the heap
         self._serials: dict[str, int] = {}
         self._live_processes: set[Process] = set()
         self._crashes: list[tuple[Process, BaseException]] = []
@@ -382,21 +493,56 @@ class Simulator:
     def call_at(self, when: float, fn: Callable, *args: Any,
                 throw: Optional[BaseException] = None) -> ScheduledCall:
         """Schedule ``fn(*args)`` at absolute virtual time ``when``."""
-        if when < self.now:
+        now = self.now
+        if when < now:
             raise SimulationError(
-                f"cannot schedule into the past ({when} < now={self.now})")
-        self._seq += 1
-        if throw is not None:
-            orig = fn
-            fn = lambda _v, _orig=orig, _t=throw: _orig(_v, throw=_t)  # noqa: E731
-        call = ScheduledCall(when, self._seq, fn, args)
-        heapq.heappush(self._queue, call)
+                f"cannot schedule into the past ({when} < now={now})")
+        self._seq = seq = self._seq + 1
+        # allocation fast path: __new__ + slot stores skips the __init__
+        # call frame, which is measurable at millions of events/run
+        call = ScheduledCall.__new__(ScheduledCall)
+        call.sim = self
+        call.time = when
+        call.seq = seq
+        call.fn = fn
+        call.args = args
+        call.throw = throw
+        call.cancelled = False
+        if when == now:
+            call.in_heap = False
+            self._immediate.append(call)
+        else:
+            call.in_heap = True
+            heapq.heappush(self._heap, (when, seq, call))
+        self._pending += 1
         return call
 
     def call_in(self, delay: float, fn: Callable, *args: Any,
                 throw: Optional[BaseException] = None) -> ScheduledCall:
         """Schedule ``fn(*args)`` ``delay`` seconds from now."""
         return self.call_at(self.now + delay, fn, *args, throw=throw)
+
+    def call_soon(self, fn: Callable, *args: Any,
+                  throw: Optional[BaseException] = None) -> ScheduledCall:
+        """Schedule ``fn(*args)`` at the current instant — O(1), no heap.
+
+        Equivalent to ``call_in(0.0, ...)`` (which also takes this
+        path); same-instant calls fire in FIFO scheduling order, after
+        every event already queued for this instant.
+        """
+        self._seq = seq = self._seq + 1
+        call = ScheduledCall.__new__(ScheduledCall)
+        call.sim = self
+        call.time = self.now
+        call.seq = seq
+        call.fn = fn
+        call.args = args
+        call.throw = throw
+        call.cancelled = False
+        call.in_heap = False
+        self._immediate.append(call)
+        self._pending += 1
+        return call
 
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Start a new process from a generator."""
@@ -411,19 +557,52 @@ class Simulator:
 
     # -- execution ----------------------------------------------------------
 
+    def _pop_next(self) -> Optional[ScheduledCall]:
+        """Pop the next live call in (time, seq) order, or None.
+
+        Cancelled heads are discarded lazily from both queues.
+        """
+        imm = self._immediate
+        heap = self._heap
+        while imm and imm[0].cancelled:
+            imm.popleft()
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._heap_cancelled -= 1
+        if imm:
+            call = imm[0]
+            if heap:
+                head = heap[0]
+                if head[0] < call.time or (head[0] == call.time
+                                           and head[1] < call.seq):
+                    heapq.heappop(heap)
+                    return head[2]
+            imm.popleft()
+            return call
+        if heap:
+            return heapq.heappop(heap)[2]
+        return None
+
+    def _execute(self, call: ScheduledCall) -> None:
+        self.now = call.time
+        self._pending -= 1
+        self.events_executed += 1
+        call.sim = None  # fired: cancel() is a no-op from here on
+        if call.throw is not None:
+            call.fn(*call.args, throw=call.throw)
+        else:
+            call.fn(*call.args)
+
     def step(self) -> bool:
         """Run the single next event.  Returns False when queue is empty."""
-        while self._queue:
-            call = heapq.heappop(self._queue)
-            if call.cancelled:
-                continue
-            if call.time < self.now:  # pragma: no cover - defensive
-                raise SimulationError("event queue time went backwards")
-            self.now = call.time
-            call.fn(*call.args)
-            self._maybe_raise_crash()
-            return True
-        return False
+        call = self._pop_next()
+        if call is None:
+            return False
+        if call.time < self.now:  # pragma: no cover - defensive
+            raise SimulationError("event queue time went backwards")
+        self._execute(call)
+        self._maybe_raise_crash()
+        return True
 
     def run(self, until: Optional[float] = None, *, max_events: Optional[int] = None) -> float:
         """Run until the queue drains, ``until`` is reached, or ``max_events``.
@@ -435,25 +614,59 @@ class Simulator:
         self._running = True
         self._stopped = False
         events = 0
+        # hot loop: a deliberate inline of _pop_next + _execute (minus
+        # the defensive backwards-time check) — keep the three in sync
+        imm = self._immediate
+        heap = self._heap
+        heappop = heapq.heappop
+        unbounded = until is None and max_events is None
         try:
-            while self._queue and not self._stopped:
+            while not self._stopped:
                 # discard cancelled heads before the horizon check: a
-                # cancelled call at t <= until must not let step() run a
-                # live event scheduled past the horizon
-                while self._queue and self._queue[0].cancelled:
-                    heapq.heappop(self._queue)
-                if not self._queue:
+                # cancelled call at t <= until must not let the loop run
+                # a live event scheduled past the horizon — this holds
+                # for the immediate queue exactly as it did for the heap
+                while imm and imm[0].cancelled:
+                    imm.popleft()
+                while heap and heap[0][2].cancelled:
+                    heappop(heap)
+                    self._heap_cancelled -= 1
+                # next live event: two-way merge of the sorted queues
+                if imm:
+                    call = imm[0]
+                    if heap:
+                        head = heap[0]
+                        if head[0] < call.time or (head[0] == call.time
+                                                   and head[1] < call.seq):
+                            call = head[2]
+                elif heap:
+                    call = heap[0][2]
+                else:
                     break
-                if until is not None and self._queue[0].time > until:
-                    self.now = until
-                    break
-                if max_events is not None and events >= max_events:
-                    break
-                if self.step():
-                    events += 1
+                if not unbounded:
+                    if until is not None and call.time > until:
+                        self.now = until
+                        break
+                    if max_events is not None and events >= max_events:
+                        break
+                if call.in_heap:
+                    heappop(heap)
+                else:
+                    imm.popleft()
+                events += 1
+                self.now = call.time
+                self._pending -= 1
+                call.sim = None  # fired: cancel() is a no-op from here on
+                if call.throw is not None:
+                    call.fn(*call.args, throw=call.throw)
+                else:
+                    call.fn(*call.args)
+                if self._crashes and self.strict:
+                    self._maybe_raise_crash()
         finally:
             self._running = False
-        if until is not None and not self._queue and self.now < until:
+            self.events_executed += events
+        if until is not None and not imm and not heap and self.now < until:
             # drained early: advance the clock to the requested horizon
             self.now = until
         return self.now
@@ -462,11 +675,35 @@ class Simulator:
         """Stop :meth:`run` after the current event completes."""
         self._stopped = True
 
+    # -- cancellation accounting -------------------------------------------
+
+    def _on_cancel(self, call: ScheduledCall) -> None:
+        """Bookkeeping for :meth:`ScheduledCall.cancel` (lazy deletion)."""
+        self._pending -= 1
+        if call.in_heap:
+            n = self._heap_cancelled = self._heap_cancelled + 1
+            if n >= self.COMPACT_MIN_CANCELLED and 2 * n >= len(self._heap):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In-place (slice assignment) because :meth:`run` holds a local
+        reference to the heap list.  (time, seq) keys are unique, so
+        pop order — and therefore determinism — is unaffected by the
+        rebuilt layout.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._heap_cancelled = 0
+
     # -- diagnostics --------------------------------------------------------
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for c in self._queue if not c.cancelled)
+        """Live (non-cancelled) scheduled calls — an O(1) counter."""
+        return self._pending
 
     @property
     def live_processes(self) -> frozenset:

@@ -90,7 +90,10 @@ def _link_bucket(sim: Simulator, link) -> TokenBucket:
 
 def _nic_bucket(sim: Simulator, host: Host) -> TokenBucket:
     bucket = getattr(host.nic, "_bucket", None)
-    if bucket is None:
+    # rebuild on a rate change (fault-injected NIC degradation), exactly
+    # like _link_bucket — a stale bucket would keep granting at the old
+    # rx_bandwidth_bps forever
+    if bucket is None or bucket.rate_bps != host.nic.rx_bandwidth_bps:
         bucket = TokenBucket(sim, host.nic.rx_bandwidth_bps)
         host.nic._bucket = bucket
     return bucket

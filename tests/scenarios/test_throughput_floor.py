@@ -1,0 +1,52 @@
+"""Tier-1 guard: simulated-events-per-second must not fall off a cliff.
+
+The fast scenario suite leans on the kernel/transport fast path (PR 5);
+a regression that re-introduces per-event heap round-trips or O(n)
+scans would show up here as an order-of-magnitude throughput drop long
+before the slow soak matrices run.
+
+The floor is deliberately generous — about an order of magnitude below
+what the reference container sustains (~35-50k ev/s end to end) — so
+CI noise and slow boxes never trip it, while a real fast-path
+regression (which costs 5-10x) still does.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios import Scenario, run_scenario
+from repro.simgrid import FaultPlan
+
+#: events/second, wall clock, end to end through the full stack
+FLOOR_EVENTS_PER_S = 4000.0
+#: the workload must be big enough that constant costs amortize
+MIN_EVENTS = 5000
+
+
+def test_scenario_events_per_second_floor():
+    result = run_scenario(Scenario(
+        name="throughput-floor", seed=77,
+        plan=FaultPlan(seed=77),          # fault-free steady state
+        n_sensor_hosts=4, sensor_period=0.05,
+        horizon=30.0, drain=4.0))
+    result.check()
+    perf = result.stats["perf"]
+    assert perf["events"] >= MIN_EVENTS, \
+        f"workload shrank: only {perf['events']} simulated events"
+    assert perf["events_per_s"] >= FLOOR_EVENTS_PER_S, (
+        f"simulated-event throughput regressed: "
+        f"{perf['events_per_s']:,.0f} ev/s < floor "
+        f"{FLOOR_EVENTS_PER_S:,.0f} ev/s "
+        f"({perf['events']} events in {perf['wall_s']:.2f}s)")
+
+
+def test_perf_stats_shape():
+    """Every scenario run reports its perf block (soak.py and the bench
+    harness read it)."""
+    result = run_scenario(Scenario(
+        name="perf-shape", seed=3, plan=FaultPlan(seed=3),
+        n_sensor_hosts=1, horizon=5.0, drain=1.0))
+    perf = result.stats["perf"]
+    assert set(perf) == {"events", "wall_s", "events_per_s", "sim_time"}
+    assert perf["events"] > 0
+    assert perf["wall_s"] > 0
+    assert perf["sim_time"] > 0

@@ -288,6 +288,226 @@ class TestEventFlag:
         assert order == ["waiter", "callback"]
 
 
+class TestImmediateQueue:
+    """The O(1) zero-delay fast path must be observationally identical
+    to the old all-heap kernel (FIFO seq ordering included)."""
+
+    def test_call_soon_runs_this_instant_in_fifo(self, sim):
+        order = []
+        sim.call_soon(order.append, 1)
+        sim.call_in(0.0, order.append, 2)     # same path as call_soon
+        sim.call_soon(order.append, 3)
+        sim.run()
+        assert order == [1, 2, 3]
+        assert sim.now == 0.0
+
+    def test_zero_delay_interleaves_with_same_time_heap_events(self, sim):
+        """An immediate call queued at time t fires after heap events
+        already scheduled for exactly t with smaller seq — the merged
+        order is the single heap's (time, seq) order, not 'immediate
+        first'."""
+        order = []
+
+        def a():
+            order.append("a")
+            sim.call_soon(order.append, "b")  # seq AFTER c's
+
+        sim.call_at(1.0, a)
+        sim.call_at(1.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "c", "b"]
+
+    def test_cancelled_immediate_head_does_not_leak_events_past_until(self):
+        """The immediate-queue analog of the PR-4 heap regression: a
+        cancelled zero-delay call at the queue head must not let run()
+        execute a live event scheduled past the horizon."""
+        sim = Simulator()
+        fired = []
+        doomed = sim.call_soon(fired.append, "doomed")
+        sim.call_in(4.0, fired.append, "late")
+        doomed.cancel()
+        sim.run(until=3.0)
+        assert fired == []
+        assert sim.now == 3.0
+        sim.run(until=5.0)
+        assert fired == ["late"]
+
+    def test_interrupt_races_zero_delay_resume(self, sim):
+        """A process parked on a bare `yield` (zero-delay resume already
+        queued) that is interrupted in the same instant sees exactly one
+        Interrupt — the cancelled resume must not also step it."""
+        trace = []
+
+        def proc():
+            try:
+                yield          # zero-delay resume goes on the immediate queue
+                trace.append("resumed")
+                yield Timeout(1.0)
+            except Interrupt as exc:
+                trace.append(("interrupted", exc.cause))
+
+        p = sim.spawn(proc())
+        sim.call_soon(p.interrupt, "now")  # same instant as the pending resume
+        sim.run()
+        assert trace == [("interrupted", "now")]
+
+    def test_interrupted_flag_wait_leaves_no_stale_waiter(self, sim):
+        """A process thrown out of a flag wait by interrupt() must not be
+        resumed by a later trigger of that flag (the stale registration
+        is invalidated, not left to fire at an unrelated wait point)."""
+        flag = sim.flag("never-mind")
+        trace = []
+
+        def proc():
+            try:
+                yield flag
+                trace.append("flag-resumed")
+            except Interrupt:
+                yield Timeout(10.0)
+                trace.append(("timeout-done", sim.now))
+
+        p = sim.spawn(proc())
+        sim.call_in(1.0, p.interrupt)
+        sim.call_in(2.0, flag.trigger, "late")   # stale for p
+        sim.run()
+        assert trace == [("timeout-done", 11.0)]
+
+    def test_same_instant_flag_resume_then_interrupt_cancels_new_timer(self, sim):
+        """If a flag resume and an interrupt land in the same instant
+        (resume first), the resumed step may park the process on a fresh
+        Timeout before the throw-step runs.  The throw-step must cancel
+        that timer, not orphan it — an orphaned timer would later
+        spuriously step the process at an unrelated wait point."""
+        f = sim.flag("f")
+        g = sim.flag("g")
+        trace = []
+
+        def proc():
+            try:
+                v = yield f
+                trace.append(("f", v, sim.now))
+                yield Timeout(10.0)          # parked again, same instant
+                trace.append(("timeout", sim.now))
+            except Interrupt:
+                trace.append(("interrupted", sim.now))
+                got = yield g                # g never triggers
+                trace.append(("g", got, sim.now))
+
+        p = sim.spawn(proc())
+
+        def fire():
+            f.trigger("v")    # resume queued first ...
+            p.interrupt()     # ... throw queued second, same instant
+
+        sim.call_in(5.0, fire)
+        sim.run(until=30.0)
+        # the interrupt wins; the orphan timer must NOT fire at t=15
+        assert trace == [("f", "v", 5.0), ("interrupted", 5.0)]
+        assert sim.pending_events == 0
+
+    def test_interrupted_anyof_wait_leaves_no_stale_waiters(self, sim):
+        a, b = sim.flag("a"), sim.flag("b")
+        trace = []
+
+        def proc():
+            try:
+                yield AnyOf([a, b])
+                trace.append("anyof-resumed")
+            except Interrupt:
+                yield Timeout(10.0)
+                trace.append(("timeout-done", sim.now))
+
+        p = sim.spawn(proc())
+        sim.call_in(1.0, p.interrupt)
+        sim.call_in(2.0, a.trigger, "late")
+        sim.call_in(3.0, b.trigger, "later")
+        sim.run()
+        assert trace == [("timeout-done", 11.0)]
+
+    def test_reusable_flag_same_instant_trigger_ordering(self, sim):
+        """Two same-instant triggers of a reusable flag keep FIFO order:
+        each trigger's wake-ups fire before the next trigger's."""
+        flag = sim.flag("tick", reusable=True)
+        seen = []
+        flag.on_trigger(lambda v: seen.append(("cb", v)))
+
+        def waiter():
+            seen.append(("wait", (yield flag)))
+
+        sim.spawn(waiter())
+
+        def fire_twice():
+            flag.trigger(1)
+            flag.trigger(2)
+
+        sim.call_in(1.0, fire_twice)
+        sim.run()
+        # the waiter was waiting only for the first trigger; the callback
+        # sees both, in trigger order
+        assert seen == [("wait", 1), ("cb", 1), ("cb", 2)]
+
+
+class TestAccounting:
+    def test_pending_events_is_live_counter(self, sim):
+        calls = [sim.call_in(float(i + 1), lambda: None) for i in range(5)]
+        imm = sim.call_soon(lambda: None)
+        assert sim.pending_events == 6
+        calls[2].cancel()
+        assert sim.pending_events == 5
+        calls[2].cancel()  # idempotent
+        assert sim.pending_events == 5
+        imm.cancel()
+        assert sim.pending_events == 4
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_fire_is_a_noop(self, sim):
+        fired = []
+        call = sim.call_in(1.0, fired.append, "x")
+        sim.run()
+        call.cancel()  # already fired: must not corrupt the counter
+        assert fired == ["x"]
+        assert sim.pending_events == 0
+
+    def test_events_executed_counts_live_events_only(self, sim):
+        for i in range(4):
+            sim.call_in(float(i + 1), lambda: None)
+        sim.call_in(2.5, lambda: None).cancel()
+        sim.call_soon(lambda: None)
+        sim.run()
+        assert sim.events_executed == 5
+
+    def test_heap_compaction_reclaims_cancelled_entries(self):
+        """Interrupt/kill-heavy runs cancel far-future timers en masse;
+        the heap must shrink without waiting for their pop time."""
+        sim = Simulator()
+        keep = []
+        calls = [sim.call_in(1000.0 + i, keep.append, i) for i in range(500)]
+        for i, call in enumerate(calls):
+            if i % 10 != 0:
+                call.cancel()
+        # lazy deletion compacted the heap in place (50 live + slack)
+        assert sim.pending_events == 50
+        assert len(sim._heap) < 200
+        sim.run()
+        assert keep == [i for i in range(500) if i % 10 == 0]
+
+    def test_compaction_preserves_order_and_counter(self):
+        sim = Simulator()
+        order = []
+        calls = [sim.call_in(1.0 + (i * 37 % 101), order.append, i)
+                 for i in range(300)]
+        cancelled = {i for i in range(300) if i % 3 != 0}
+        for i in sorted(cancelled):
+            calls[i].cancel()
+        assert sim.pending_events == 300 - len(cancelled)
+        sim.run()
+        expected = sorted((i for i in range(300) if i not in cancelled),
+                          key=lambda i: (1.0 + (i * 37 % 101), i))
+        assert order == expected
+        assert sim.pending_events == 0
+
+
 class TestRunHorizon:
     def test_cancelled_head_does_not_leak_events_past_until(self):
         """Regression: a cancelled call at the queue head used to pass
