@@ -152,7 +152,7 @@ class _StreamTracker:
     """
 
     __slots__ = ("last_date", "_seen", "duplicates", "replay_floor",
-                 "fast_forward")
+                 "fast_forward", "live_date")
 
     def __init__(self) -> None:
         self.last_date = float("-inf")
@@ -161,6 +161,13 @@ class _StreamTracker:
         #: archive time up to which catch-up replay has already scanned;
         #: each watchdog pass covers [floor - slack, now] and advances it
         self.replay_floor = 0.0
+        #: the LIVE channel's own progress watermark.  The gateway-side
+        #: outbox is FIFO per subscription, so once a live delivery with
+        #: date D arrives, no earlier live copy can still be queued —
+        #: identities may be pruned up to here, but never past it:
+        #: under backpressure a live copy can trail its archive commit
+        #: by the whole queue, not just the clock-skew slack
+        self.live_date = float("-inf")
         #: set while the handle is paused: the next scan advances the
         #: floor without dispatching, so the paused-over window (which
         #: the gateway counts as filtered) is never resurrected
@@ -429,7 +436,15 @@ class ClientSession:
             tracker = _StreamTracker()
             self._trackers.append(tracker)
         handle._heal_tracker = tracker
-        handle._admit = tracker.admit
+
+        def admit(event: Any, _tracker=tracker) -> bool:
+            # any live-channel arrival — admitted or suppressed — is
+            # proof of live-FIFO progress up to its date
+            if not self.in_replay and event.date > _tracker.live_date:
+                _tracker.live_date = event.date
+            return _tracker.admit(event)
+
+        handle._admit = admit
 
     def _heal_loop(self):
         from ..simgrid.kernel import Timeout  # local: avoid module cycle
@@ -588,8 +603,12 @@ class ClientSession:
             tracker.fast_forward = False
             tracker.replay_floor = max_seen
             # 2x slack: a live copy can arrive a little behind the
-            # archive commit it duplicates; keep its identity around
-            tracker.prune(max_seen - 2.0 * self._replay_slack)
+            # archive commit it duplicates; keep its identity around.
+            # Under backpressure "a little behind" is unbounded — the
+            # copy may still be sitting in the gateway outbox — so the
+            # prune floor also never passes the live watermark
+            tracker.prune(min(max_seen, tracker.live_date)
+                          - 2.0 * self._replay_slack)
 
     # -- introspection -----------------------------------------------------------------
 
@@ -603,6 +622,23 @@ class ClientSession:
                 "replayed": self.replayed,
                 "duplicates_suppressed": sum(t.duplicates
                                              for t in self._trackers)}
+
+    def backpressure_stats(self) -> dict:
+        """Aggregate overload posture across this session's handles:
+        how much is queued gateway-side, how much was shed (by any
+        overflow policy), and whether any stream is currently in an
+        overflow/blocked/degraded state.  Per-handle detail stays on
+        ``handle.stats()``."""
+        queued = dropped = overflowing = 0
+        for handle in self.handles:
+            stats = handle.stats()
+            queued += stats.get("queued", 0)
+            dropped += stats.get("dropped", 0)
+            if stats.get("overflow", False):
+                overflowing += 1
+        return {"queued": queued, "dropped": dropped,
+                "handles_overflowing": overflowing,
+                "handles": len(self.handles)}
 
     # -- lifecycle ---------------------------------------------------------------------
 

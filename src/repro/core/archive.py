@@ -90,6 +90,25 @@ class ArchiveQuery:
         return True
 
 
+#: fixed per-record overhead (header + length prefixes), mirroring the
+#: binary wire format closely enough for budget arithmetic
+_RECORD_OVERHEAD = 16
+_FIELD_OVERHEAD = 3
+
+
+def _msg_bytes(msg: ULMMessage) -> int:
+    """Stored-size estimate for one message.
+
+    A model of the binary record layout (header + length-prefixed
+    strings), not an actual encode — budget accounting must not put a
+    serializer on the ingest path.
+    """
+    size = _RECORD_OVERHEAD + len(msg.host) + len(msg.prog) + len(msg.lvl)
+    for name, value in msg.fields.items():
+        size += _FIELD_OVERHEAD + len(name) + len(value)
+    return size
+
+
 def _intersect_sorted(a: list, b: list) -> list:
     """Two-pointer intersection of ascending id lists."""
     out = []
@@ -134,6 +153,19 @@ class EventArchive:
         self.reordered = 0
         #: number of pending-buffer merge passes performed
         self.merges = 0
+        # -- storage budget (disk-full degradation) ----------------------
+        #: byte ceiling, or None for unbounded.  Hitting it flips the
+        #: archive into read-only degraded mode: the oldest retention is
+        #: shed down to the budget, reads keep working, and every append
+        #: is refused (and counted) until the budget is lifted.
+        self.byte_budget: Optional[int] = None
+        self.degraded = False
+        #: messages shed from the front to fit the budget
+        self.shed = 0
+        #: appends refused while degraded (never silent loss)
+        self.dropped_degraded = 0
+        self._bytes_stored = 0
+        self._bytes_current = False  # lazily accounted: only with a budget
         self._messages: list[ULMMessage] = []
         self._dates: list[float] = []      # parallel to _messages
         self._ids: list[int] = []          # parallel to _messages (arrival id)
@@ -154,10 +186,24 @@ class EventArchive:
     # -- ingest ---------------------------------------------------------------
 
     def append(self, msg: ULMMessage) -> bool:
-        """Offer one event; returns True if archived (policy admits)."""
+        """Offer one event; returns True if archived (policy admits,
+        and the archive is not in degraded read-only mode)."""
+        if self.degraded:
+            self.dropped_degraded += 1
+            return False
         if not self.policy.admits(msg):
             self.rejected += 1
             return False
+        if self.byte_budget is not None:
+            size = _msg_bytes(msg)
+            if self._bytes_stored + size > self.byte_budget:
+                # disk full: go read-only, shed the oldest retention so
+                # the freshest window keeps serving reads under budget
+                self.degraded = True
+                self.dropped_degraded += 1
+                self._shed_to(self.byte_budget)
+                return False
+            self._bytes_stored += size
         arrival_id = self._next_id
         self._next_id += 1
         date = msg.date
@@ -220,6 +266,74 @@ class EventArchive:
         merged_i.extend(ids[mi:])
         self._messages, self._dates, self._ids = merged_m, merged_d, merged_i
         self._pos_by_id = {aid: pos for pos, aid in enumerate(merged_i)}
+
+    # -- storage budget (disk-full degradation) --------------------------------
+
+    @property
+    def bytes_stored(self) -> int:
+        """Estimated stored bytes (0 until a budget forces accounting)."""
+        return self._bytes_stored if self._bytes_current else 0
+
+    def set_byte_budget(self, budget: Optional[int]) -> None:
+        """Cap (or uncap, with ``None``) the archive's storage bytes.
+
+        Setting ``None`` lifts the cap and heals degraded mode — the
+        archive accepts appends again.  Setting a budget the current
+        contents already exceed sheds down to it and degrades
+        immediately.
+        """
+        if budget is None:
+            self.byte_budget = None
+            self.degraded = False
+            self._bytes_current = False  # unbudgeted appends skip accounting
+            return
+        budget = int(budget)
+        if budget <= 0:
+            raise ValueError(f"byte budget must be positive, got {budget}")
+        self.byte_budget = budget
+        if not self._bytes_current:
+            self._merge_pending()
+            self._bytes_stored = sum(map(_msg_bytes, self._messages))
+            self._bytes_current = True
+        if self._bytes_stored > budget:
+            self.degraded = True
+            self._shed_to(budget)
+        elif self.degraded:
+            # budget raised above usage: that heals too
+            self.degraded = False
+
+    def _shed_to(self, target: int) -> None:
+        """Drop the oldest messages until the store fits ``target``.
+
+        Retention shedding keeps the freshest window readable; every
+        dropped message is counted in :attr:`shed`.  Rare (fault-path
+        only), so a full index rebuild is acceptable.
+        """
+        self._merge_pending()
+        messages, dates, ids = self._messages, self._dates, self._ids
+        cut = 0
+        n = len(messages)
+        while cut < n and self._bytes_stored > target:
+            self._bytes_stored -= _msg_bytes(messages[cut])
+            cut += 1
+        if cut == 0:
+            return
+        self.shed += cut
+        self._messages = messages[cut:]
+        self._dates = dates[cut:]
+        self._ids = ids[cut:]
+        self._pos_by_id = {aid: pos for pos, aid in enumerate(self._ids)}
+        kept = set(self._ids)
+        for index in (self._by_host, self._by_event):
+            for key in list(index):
+                pruned = [aid for aid in index[key] if aid in kept]
+                if pruned:
+                    index[key] = pruned
+                else:
+                    del index[key]
+        self._t_min = self._dates[0] if self._dates else None
+        if not self._dates:
+            self._t_max = None
 
     # -- query ----------------------------------------------------------------
 
@@ -318,7 +432,10 @@ class EventArchive:
         t0, t1 = self.time_span()
         return {"count": len(self), "rejected": self.rejected,
                 "reordered": self.reordered, "hosts": len(self._by_host),
-                "events": len(self._by_event), "tstart": t0, "tend": t1}
+                "events": len(self._by_event), "tstart": t0, "tend": t1,
+                "degraded": self.degraded, "byte_budget": self.byte_budget,
+                "bytes": self.bytes_stored, "shed": self.shed,
+                "dropped_degraded": self.dropped_degraded}
 
     def __len__(self) -> int:
         return len(self._messages) + len(self._pending)

@@ -52,6 +52,8 @@ class ArchiverAgent(Consumer):
         if self.archive.append(event):
             self.archived += 1
             self._dirty = True
+        elif self.archive.degraded:
+            self._dirty = True  # degradation is catalog-worthy news
 
     # -- archive directory entry ---------------------------------------------------
 
@@ -69,7 +71,11 @@ class ArchiverAgent(Consumer):
                  "count": stats["count"],
                  "rejected": stats["rejected"],
                  "tstart": f"{stats['tstart']:.6f}",
-                 "tend": f"{stats['tend']:.6f}"}
+                 "tend": f"{stats['tend']:.6f}",
+                 # disk-full visibility: clients planning historical
+                 # queries can see the archive is read-only/shedding
+                 "degraded": "true" if stats["degraded"] else "false",
+                 "shed": stats["shed"]}
         try:
             self.directory.publish(self.catalog_dn(), attrs)
         except Exception:

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import itertools
 import warnings
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -107,6 +108,36 @@ class Subscription:
     #: so the per-event remote path allocates nothing extra
     fail_cb: Optional[Callable] = None
     ok_cb: Optional[Callable] = None
+    # -- backpressure (remote delivery only) --------------------------------
+    #: bounded queue of rendered-but-unsent events; the fast path (no
+    #: throttle, empty queue) bypasses it entirely
+    outbox: deque = field(default_factory=deque)
+    outbox_limit: int = 256
+    overflow_policy: str = "drop_oldest"
+    #: events/s the drain pump releases; None = unthrottled
+    drain_rate: Optional[float] = None
+    #: True from the moment the outbox hits its cap until the consumer
+    #: drains it to half (hysteresis, so the flag doesn't flap)
+    overflow: bool = False
+    blocked: bool = False       # block policy engaged (intake shed)
+    degraded: bool = False      # degrade policy engaged (summary-only)
+    outbox_peak: int = 0
+    overflow_events: int = 0    # times the outbox hit its cap
+    dropped_oldest: int = 0
+    dropped_newest: int = 0
+    dropped_blocked: int = 0
+    shed_degraded: int = 0
+    summaries_sent: int = 0
+    #: degrade-window accounting feeding the summary event
+    degrade_from: float = 0.0
+    degrade_shed_mark: int = 0
+    #: the scheduled drain-pump call, if one is pending
+    pump: Any = None
+
+    @property
+    def shed_total(self) -> int:
+        return (self.dropped_oldest + self.dropped_newest
+                + self.dropped_blocked + self.shed_degraded)
 
 
 @dataclass
@@ -164,8 +195,12 @@ class _SensorHandle:
                 if not sub.indexed:
                     sub.filtered += gap
             if sub.indexed:
+                # queued and shed events were routed to the sub but not
+                # (or not yet) delivered — they are neither "filtered"
+                # nor "delivered", so both subtract out
                 sub.filtered = (self.events_in - sub.events_at_subscribe
-                                - sub.delivered)
+                                - sub.delivered - sub.shed_total
+                                - len(sub.outbox))
         return pause_gap
 
 
@@ -201,6 +236,16 @@ class EventGateway:
         self.events_in = 0
         self.events_delivered = 0
         self.events_filtered = 0
+        # backpressure accounting — every shed event lands in exactly
+        # one policy bucket, so drops are never silent
+        self.events_shed = 0
+        self.shed_by_policy = {"drop_oldest": 0, "drop_newest": 0,
+                               "block": 0, "degrade": 0}
+        self.sub_overflows = 0
+        self.outbox_peak = 0
+        self.outbox_limit_max = 0
+        #: events still queued when their subscription was torn down
+        self.outbox_abandoned = 0
         if host is not None and transport is not None:
             host.ports.bind(GATEWAY_PORT, self._handle_request)
             host.ports.bind(INTAKE_PORT, self._handle_intake)
@@ -297,23 +342,147 @@ class EventGateway:
 
     def _deliver(self, sub: Subscription, msg: ULMMessage,
                  rendered: dict) -> None:
-        sub.delivered += 1
-        self.events_delivered += 1
         if sub.callback is not None:
+            sub.delivered += 1
+            self.events_delivered += 1
             self.sim.call_in(0.0, sub.callback, msg)
         elif sub.remote is not None and self.transport is not None \
                 and self.host is not None:
-            dst_host, dst_port = sub.remote
             wire = rendered.get(sub.fmt)
             if wire is None:
                 wire = rendered[sub.fmt] = _render(msg, sub.fmt)
-            size = len(wire) if isinstance(wire, (str, bytes)) else 256
-            self.transport.send(self.host, dst_host, dst_port,
-                                {"sub": sub.sub_id, "gw": self.name,
-                                 "fmt": sub.fmt, "wire": wire},
-                                size_bytes=size,
-                                on_fail=sub.fail_cb,
-                                on_delivered=sub.ok_cb)
+            if sub.drain_rate is None and not sub.outbox \
+                    and not sub.blocked and not sub.degraded:
+                # fast path: unthrottled and nothing queued ahead
+                sub.delivered += 1
+                self.events_delivered += 1
+                self._send_wire(sub, wire)
+            else:
+                self._enqueue(sub, msg, wire)
+
+    def _send_wire(self, sub: Subscription, wire: Any) -> None:
+        dst_host, dst_port = sub.remote
+        size = len(wire) if isinstance(wire, (str, bytes)) else 256
+        self.transport.send(self.host, dst_host, dst_port,
+                            {"sub": sub.sub_id, "gw": self.name,
+                             "fmt": sub.fmt, "wire": wire},
+                            size_bytes=size,
+                            on_fail=sub.fail_cb,
+                            on_delivered=sub.ok_cb)
+
+    # -- backpressure: bounded outboxes + drain pump -----------------------------
+
+    def _enqueue(self, sub: Subscription, msg: ULMMessage, wire: Any) -> None:
+        """Queue one rendered event for a throttled/backed-up consumer,
+        applying the subscription's overflow policy at the cap."""
+        if sub.degraded:
+            # summary-only until the queue drains: shed, but remember
+            sub.shed_degraded += 1
+            self.events_shed += 1
+            self.shed_by_policy["degrade"] += 1
+            self._ensure_pump(sub)
+            return
+        if sub.blocked:
+            sub.dropped_blocked += 1
+            self.events_shed += 1
+            self.shed_by_policy["block"] += 1
+            self._ensure_pump(sub)
+            return
+        if len(sub.outbox) >= sub.outbox_limit:
+            sub.overflow = True
+            sub.overflow_events += 1
+            self.sub_overflows += 1
+            self.events_shed += 1
+            policy = sub.overflow_policy
+            if policy == "drop_oldest":
+                sub.outbox.popleft()
+                sub.outbox.append(wire)
+                sub.dropped_oldest += 1
+                self.shed_by_policy["drop_oldest"] += 1
+            elif policy == "drop_newest":
+                sub.dropped_newest += 1
+                self.shed_by_policy["drop_newest"] += 1
+            elif policy == "block":
+                # stop intake until the consumer drains to half the cap
+                sub.blocked = True
+                sub.dropped_blocked += 1
+                self.shed_by_policy["block"] += 1
+            else:  # degrade: stream becomes summary-only until drained
+                sub.degraded = True
+                sub.degrade_from = msg.date
+                sub.degrade_shed_mark = sub.shed_degraded
+                sub.shed_degraded += 1
+                self.shed_by_policy["degrade"] += 1
+        else:
+            sub.outbox.append(wire)
+            depth = len(sub.outbox)
+            if depth > sub.outbox_peak:
+                sub.outbox_peak = depth
+                if depth > self.outbox_peak:
+                    self.outbox_peak = depth
+        self._ensure_pump(sub)
+
+    def _ensure_pump(self, sub: Subscription) -> None:
+        if sub.pump is not None or sub.paused or not self.up:
+            return
+        if not sub.outbox and not sub.degraded:
+            return
+        if sub.drain_rate is None:
+            sub.pump = self.sim.call_soon(self._pump_one, sub)
+        else:
+            sub.pump = self.sim.call_in(1.0 / sub.drain_rate,
+                                        self._pump_one, sub)
+
+    def _pump_one(self, sub: Subscription) -> None:
+        sub.pump = None
+        if sub.sub_id not in self._subs or sub.paused or not self.up:
+            return
+        if sub.outbox:
+            wire = sub.outbox.popleft()
+            sub.delivered += 1
+            self.events_delivered += 1
+            self._send_wire(sub, wire)
+        depth = len(sub.outbox)
+        if depth * 2 <= sub.outbox_limit:
+            sub.blocked = False
+            sub.overflow = sub.overflow and sub.degraded
+        if depth == 0 and sub.degraded:
+            self._send_degrade_summary(sub)
+            sub.degraded = False
+            sub.overflow = False
+        if sub.outbox:
+            self._ensure_pump(sub)
+
+    def _send_degrade_summary(self, sub: Subscription) -> None:
+        """The degrade policy's catch-up event: one synthetic summary
+        covering everything shed while the stream was summary-only."""
+        shed = sub.shed_degraded - sub.degrade_shed_mark
+        now = self.host.timestamp() if self.host is not None else self.sim.now
+        summary = ULMMessage(
+            date=now, host=self.host.name if self.host else self.name,
+            prog=sub.sensor_name, lvl="Warning",
+            event="SUB_DEGRADED_SUMMARY",
+            fields={"SHED": shed, "FROM": sub.degrade_from, "TO": now})
+        sub.summaries_sent += 1
+        self._send_wire(sub, _render(summary, sub.fmt))
+
+    def throttle_consumer(self, host_name: str,
+                          rate: Optional[float]) -> int:
+        """Cap (or with ``None``, uncap) the drain rate of every remote
+        subscription delivering to ``host_name``.  Returns how many
+        subscriptions were touched.  This is the ``slow_consumer``
+        fault's hook, and a deliberate knob for staged rollouts."""
+        touched = 0
+        for sub in self._subs.values():
+            if sub.remote is None:
+                continue
+            dst = sub.remote[0]
+            if getattr(dst, "name", dst) != host_name:
+                continue
+            sub.drain_rate = rate
+            touched += 1
+            self._ensure_pump(sub)
+        return touched
 
     # -- subscription API ------------------------------------------------------------
 
@@ -345,7 +514,9 @@ class EventGateway:
                            principal=spec.principal,
                            events_at_subscribe=sensor_handle.events_in,
                            indexed=(streaming
-                                    and type(event_filter) is EventNames))
+                                    and type(event_filter) is EventNames),
+                           outbox_limit=spec.outbox_limit,
+                           overflow_policy=spec.overflow)
         handle = SubscriptionHandle(self, spec, sub.sub_id)
         sub.handle = handle
         delivery = spec.delivery or Delivery.none()
@@ -355,6 +526,8 @@ class EventGateway:
             sub.remote = delivery.address
             sub.fail_cb = lambda exc, _s=sub: self._note_send_failure(_s)
             sub.ok_cb = lambda _msg, _s=sub: setattr(_s, "fail_count", 0)
+            if sub.outbox_limit > self.outbox_limit_max:
+                self.outbox_limit_max = sub.outbox_limit
         was_empty = not sensor_handle.subscriptions
         sensor_handle.subscriptions.append(sub)
         sensor_handle.reindex()
@@ -393,6 +566,14 @@ class EventGateway:
             return False
         final_stats = self.sub_stats(sub_id)
         del self._subs[sub_id]
+        if sub.pump is not None:
+            sub.pump.cancel()
+            sub.pump = None
+        if sub.outbox:
+            # queued events die with the channel — accounted, and
+            # recoverable via auto-heal replay since they were committed
+            self.outbox_abandoned += len(sub.outbox)
+            sub.outbox.clear()
         handle = self._handles.get(sub.sensor_name)
         if handle is not None:
             self.events_filtered += handle.reconcile_filtered()
@@ -462,6 +643,11 @@ class EventGateway:
         handle = self._handles.get(sub.sensor_name)
         sub.paused = True
         sub.pause_mark = handle.events_in if handle is not None else 0
+        if sub.pump is not None:
+            # the outbox holds its contents across the pause; the pump
+            # restarts on resume
+            sub.pump.cancel()
+            sub.pump = None
         if handle is not None:
             handle.reindex()
         return True
@@ -483,6 +669,7 @@ class EventGateway:
         sub.paused = False
         if handle is not None:
             handle.reindex()
+        self._ensure_pump(sub)
         return True
 
     def query(self, sensor_name: str, *, principal: Any = None) -> Optional[ULMMessage]:
@@ -581,7 +768,22 @@ class EventGateway:
         return {"sub_id": sub.sub_id, "sensor": sub.sensor_name,
                 "mode": sub.mode, "fmt": sub.fmt,
                 "delivered": sub.delivered, "filtered": sub.filtered,
-                "paused": sub.paused}
+                "paused": sub.paused,
+                # backpressure surface (zeros for in-process delivery)
+                "queued": len(sub.outbox),
+                "outbox_limit": sub.outbox_limit,
+                "outbox_peak": sub.outbox_peak,
+                "overflow_policy": sub.overflow_policy,
+                "overflow": (sub.overflow or sub.blocked or sub.degraded),
+                "blocked": sub.blocked,
+                "degraded": sub.degraded,
+                "drain_rate": sub.drain_rate,
+                "dropped": sub.shed_total,
+                "dropped_oldest": sub.dropped_oldest,
+                "dropped_newest": sub.dropped_newest,
+                "dropped_blocked": sub.dropped_blocked,
+                "shed_degraded": sub.shed_degraded,
+                "summaries_sent": sub.summaries_sent}
 
     def stats(self) -> dict:
         for handle in self._handles.values():
@@ -592,6 +794,13 @@ class EventGateway:
                 "events_in": self.events_in,
                 "events_delivered": self.events_delivered,
                 "events_filtered": self.events_filtered,
+                "events_shed": self.events_shed,
+                "shed_by_policy": dict(self.shed_by_policy),
+                "sub_overflows": self.sub_overflows,
+                "outbox_peak": self.outbox_peak,
+                "outbox_limit_max": self.outbox_limit_max,
+                "outbox_abandoned": self.outbox_abandoned,
+                "queued": sum(len(s.outbox) for s in self._subs.values()),
                 "subs_reaped": self.subs_reaped,
                 "subs_dropped_on_crash": self.subs_dropped_on_crash,
                 "up": self.up}

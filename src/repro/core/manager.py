@@ -80,6 +80,9 @@ class SensorManager:
         self.restart_backoff_max = restart_backoff_max
         #: supervisor restarts performed (crash-loop visibility)
         self.sensor_restarts = 0
+        #: the subset of restarts triggered by sample-quality wedges
+        #: (lossy-but-alive sensors), not dead/silent loops
+        self.quality_restarts = 0
         self._supervisor = None
         self._backoff: dict[str, float] = {}
         self._retry_at: dict[str, float] = {}
@@ -265,12 +268,35 @@ class SensorManager:
         tolerance = max(3.0 * sensor.period, self.supervision_interval or 0.0)
         return (self.sim.now - beat) > tolerance
 
+    def _sensor_lossy(self, sensor) -> bool:
+        """A lossy-but-alive sensor: the loop beats (so
+        :meth:`_sensor_dead` says healthy) but its *samples* went bad —
+        corrupt or stale fields, or samples silently vanishing.  Judged
+        purely from the quality heartbeats the sensor derives from its
+        own output: the last good sample has gone stale while bad
+        emissions are fresh.  A legitimately quiet sensor (no emissions
+        at all) never trips this — there must be recent evidence of
+        badness, not mere silence."""
+        good = getattr(sensor, "last_good_beat", None)
+        if good is None:
+            return False  # never emitted a good sample; nothing to compare
+        bad = getattr(sensor, "last_bad_emit", None)
+        if bad is None:
+            return False
+        now = self.sim.now
+        tolerance = max(3.0 * sensor.period,
+                        self.supervision_interval or 0.0)
+        return (now - good) > tolerance and (now - bad) <= tolerance
+
     def check_sensors(self) -> int:
         """One supervision pass; returns the number of restarts.
 
         Dead sensors are restarted immediately the first time; a sensor
         that keeps dying waits out an exponentially growing per-sensor
         backoff between attempts (reset when it is seen healthy).
+        Lossy-but-alive sensors (wedged output quality, live loop) take
+        the same restart path — a fresh sampling process sheds whatever
+        was corrupting the old one.
         """
         restarted = 0
         now = self.sim.now
@@ -278,7 +304,9 @@ class SensorManager:
             sensor = self.sensors[name]
             if not sensor.running:
                 continue  # stopped on purpose — not the supervisor's call
-            if not self._sensor_dead(sensor):
+            dead = self._sensor_dead(sensor)
+            lossy = not dead and self._sensor_lossy(sensor)
+            if not dead and not lossy:
                 self._backoff.pop(name, None)
                 self._retry_at.pop(name, None)
                 continue
@@ -288,6 +316,8 @@ class SensorManager:
             sensor.start()
             sensor.restarts += 1
             self.sensor_restarts += 1
+            if lossy:
+                self.quality_restarts += 1
             restarted += 1
             backoff = self._backoff.get(name, self.restart_backoff)
             self._retry_at[name] = now + backoff

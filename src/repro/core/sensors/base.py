@@ -14,10 +14,11 @@ consumers, and last message".
 
 from __future__ import annotations
 
+import random
 from typing import Any, Callable, Iterable, Optional
 
 from ...simgrid.kernel import Timeout
-from ...ulm import ULMMessage
+from ...ulm import NL_EVNT, ULMMessage
 
 __all__ = ["Sensor", "SensorError"]
 
@@ -65,6 +66,23 @@ class Sensor:
         #: restarts performed on this sensor by a supervisor
         self.restarts = 0
         self._proc = None
+        # -- sample-quality heartbeats ----------------------------------
+        #: when the sensor last emitted a *good* sample (fresh stamp,
+        #: non-empty data).  ``last_beat`` proves the loop runs;
+        #: ``last_good_beat`` proves the output is worth anything — the
+        #: signal that catches lossy-but-alive sensors.
+        self.last_good_beat: Optional[float] = None
+        self.last_bad_emit: Optional[float] = None
+        self.emits_ok = 0
+        self.emits_bad = 0
+        # -- injected degradation (gray faults) -------------------------
+        #: None, or "corrupt" | "partial" | "stale"; cleared by stop(),
+        #: so a supervisor restart cures the sensor
+        self.degrade_mode: Optional[str] = None
+        self.degrade_rate = 0.0
+        self.degraded_emits = 0
+        self._degrade_rng: Optional[random.Random] = None
+        self._stale_date: Optional[float] = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -82,10 +100,35 @@ class Sensor:
             return
         self.running = False
         self.stopped_at = self.sim.now
+        # a restart spawns a fresh sampling process: whatever was
+        # corrupting this one's samples does not survive it
+        self.clear_degraded()
         self.on_stop()
         if self._proc is not None and self._proc.alive:
             self._proc.kill()
             self._proc = None
+
+    # -- injected degradation (gray faults) ----------------------------------
+
+    def set_degraded(self, mode: str, *, rate: float = 1.0,
+                     seed: int = 0) -> None:
+        """Make this sensor lossy-but-alive: each :meth:`emit` is
+        degraded with probability ``rate`` — ``corrupt`` strips the
+        data fields, ``partial`` swallows the sample entirely,
+        ``stale`` freezes the timestamp at the current clock reading.
+        The loop keeps running and heartbeating throughout."""
+        if mode not in ("corrupt", "partial", "stale"):
+            raise SensorError(f"unknown degrade mode {mode!r}")
+        self.degrade_mode = mode
+        self.degrade_rate = float(rate)
+        self._degrade_rng = random.Random(seed)
+        self._stale_date = self.host.timestamp()
+
+    def clear_degraded(self) -> None:
+        self.degrade_mode = None
+        self.degrade_rate = 0.0
+        self._degrade_rng = None
+        self._stale_date = None
 
     def on_start(self) -> None:
         """Subclass hook (attach to host structures)."""
@@ -112,12 +155,38 @@ class Sensor:
         Events emitted with no sink attached are counted as dropped —
         "event data is not sent anywhere unless it is requested by a
         consumer" (§2.3).
+
+        Every emission updates the sample-quality heartbeat
+        (:attr:`last_good_beat` / :attr:`last_bad_emit`) so supervision
+        can tell a healthy sensor from a lossy-but-alive one by its
+        observable output alone.
         """
-        msg = ULMMessage(date=self.host.timestamp(), host=self.host.name,
+        stamp = self.host.timestamp()
+        date = stamp
+        mode = self.degrade_mode
+        if mode is not None \
+                and self._degrade_rng.random() < self.degrade_rate:
+            self.degraded_emits += 1
+            if mode == "partial":
+                # the sample silently vanishes; the loop beats on
+                self.emits_bad += 1
+                self.last_bad_emit = self.sim.now
+                return None
+            if mode == "stale":
+                date = self._stale_date
+            else:  # corrupt: the data payload is garbled away
+                fields = None
+        msg = ULMMessage(date=date, host=self.host.name,
                          prog=self.name, lvl=self.lvl, event=event_name)
         if fields:
             for key, value in fields.items():
                 msg.set(key, value)
+        if self.sample_quality(msg, now=stamp):
+            self.emits_ok += 1
+            self.last_good_beat = self.sim.now
+        else:
+            self.emits_bad += 1
+            self.last_bad_emit = self.sim.now
         self.last_message = msg
         if self.sink is None:
             self.events_dropped += 1
@@ -125,6 +194,26 @@ class Sensor:
         self.events_emitted += 1
         self.sink(msg)
         return msg
+
+    #: how stale a sample's stamp may be, in periods, before it counts
+    #: as bad (floored at one second for fast sensors)
+    QUALITY_STALENESS_PERIODS = 3.0
+
+    def sample_quality(self, msg: ULMMessage, *,
+                       now: Optional[float] = None) -> bool:
+        """Observable validity of one sample: it carries data beyond
+        the event name, and its stamp is fresh against the host clock.
+        Supervision judges sensors by this — by their output — never by
+        reading the fault injector's state."""
+        if now is None:
+            now = self.host.timestamp()
+        for key in msg.fields:
+            if key != NL_EVNT:
+                break
+        else:
+            return False
+        limit = max(self.QUALITY_STALENESS_PERIODS * self.period, 1.0)
+        return abs(now - msg.date) <= limit
 
     # -- status (Sensor Data GUI surface) -----------------------------------------------
 
@@ -146,6 +235,9 @@ class Sensor:
             "consumers": self.consumer_count,
             "events_emitted": self.events_emitted,
             "last_beat": self.last_beat,
+            "last_good_beat": self.last_good_beat,
+            "emits_ok": self.emits_ok,
+            "emits_bad": self.emits_bad,
             "restarts": self.restarts,
             "last_message": (self.last_message and
                              str(self.last_message.event)),

@@ -30,10 +30,21 @@ from .filters import EventFilter, filter_from_dict
 
 __all__ = ["SubscriptionMode", "WireFormat", "Delivery", "SubscriptionSpec",
            "SubscriptionHandle", "SpecError", "DEFAULT_BUFFER_LIMIT",
-           "sensor_key_for"]
+           "DEFAULT_OUTBOX_LIMIT", "OVERFLOW_POLICIES", "sensor_key_for"]
 
 #: how many delivered events a handle retains for ``.events()``
 DEFAULT_BUFFER_LIMIT = 256
+
+#: gateway-side outbox cap for remote subscriptions (events queued for
+#: a consumer that drains slower than the sensor produces)
+DEFAULT_OUTBOX_LIMIT = 256
+
+#: what a gateway does when a remote subscription's outbox is full:
+#: ``drop_oldest``/``drop_newest`` shed one event (auto-heal replay
+#: recovers committed ones), ``block`` stops intake until the consumer
+#: drains to half the cap, ``degrade`` flips the stream to summary-only
+#: until the queue empties.  All four account every shed event.
+OVERFLOW_POLICIES = ("block", "drop_oldest", "drop_newest", "degrade")
 
 
 def sensor_key_for(entry: Any) -> str:
@@ -124,6 +135,10 @@ class SubscriptionSpec:
     delivery: Optional[Delivery] = None
     principal: Any = None
     buffer_limit: int = DEFAULT_BUFFER_LIMIT
+    #: gateway-side queue cap for remote delivery (backpressure)
+    outbox_limit: int = DEFAULT_OUTBOX_LIMIT
+    #: one of :data:`OVERFLOW_POLICIES`
+    overflow: str = "drop_oldest"
 
     def __post_init__(self) -> None:
         if not self.sensor or not isinstance(self.sensor, str):
@@ -141,6 +156,10 @@ class SubscriptionSpec:
             raise SpecError("event_filter must be an EventFilter")
         if self.buffer_limit < 0:
             raise SpecError("buffer_limit must be >= 0")
+        if self.outbox_limit < 1:
+            raise SpecError("outbox_limit must be >= 1")
+        if self.overflow not in OVERFLOW_POLICIES:
+            raise SpecError(f"unknown overflow policy {self.overflow!r}")
 
     # -- shaping -------------------------------------------------------------
 
@@ -251,6 +270,27 @@ class SubscriptionHandle:
         record = self.gateway._subs.get(self.sub_id)
         return bool(record is not None and record.paused)
 
+    @property
+    def overflow(self) -> bool:
+        """True while the gateway is shedding or holding this
+        subscription's events (full outbox, block, or degrade state) —
+        the signal auto-heal replay uses to know there is catching up
+        to do beyond reaps."""
+        record = self.gateway._subs.get(self.sub_id)
+        return bool(record is not None
+                    and (record.overflow or record.blocked
+                         or record.degraded))
+
+    @property
+    def dropped(self) -> int:
+        """Events the gateway shed for this subscription (all overflow
+        policies combined); every drop is accounted, never silent."""
+        record = self.gateway._subs.get(self.sub_id)
+        if record is not None:
+            return record.shed_total
+        stats = self._final_stats or {}
+        return int(stats.get("dropped", 0))
+
     # -- event intake (called by the gateway / consumer demux) ------------------
 
     def _dispatch(self, event: Any) -> None:
@@ -299,7 +339,8 @@ class SubscriptionHandle:
                  or {"sub_id": self.sub_id, "sensor": self.spec.sensor,
                      "mode": self.spec.mode.value,
                      "fmt": self.spec.fmt.value,
-                     "delivered": 0, "filtered": 0, "paused": False})
+                     "delivered": 0, "filtered": 0, "paused": False,
+                     "queued": 0, "dropped": 0, "overflow": False})
         stats = dict(stats)
         stats["buffered"] = len(self._buffer)
         stats["closed"] = self.closed

@@ -11,7 +11,10 @@ fault schedule must preserve:
 * **monotonic per-stream ids** — live deliveries of one sensor stream
   never reorder, and no stream ever delivers the same id twice;
 * **directory convergence** — after the world heals, every replica's
-  tree equals the master's.
+  tree equals the master's;
+* **bounded, accounted backpressure** — gateway outboxes never exceed
+  their caps and every shed event lands in exactly one overflow-policy
+  bucket.
 
 See ``docs/FAULTS.md`` for the fault model and how to write a scenario
 test; ``scripts/soak.py`` runs random plans in bulk and dumps failing
@@ -19,9 +22,11 @@ schedules to ``tests/scenarios/corpus/``.
 """
 
 from .runner import (Scenario, ScenarioResult, ScenarioRunner, SeqSensor,
-                     check_directory_convergence, check_monotonic_streams,
-                     check_no_committed_loss, run_scenario)
+                     check_bounded_queues, check_directory_convergence,
+                     check_monotonic_streams, check_no_committed_loss,
+                     run_scenario)
 
 __all__ = ["Scenario", "ScenarioResult", "ScenarioRunner", "SeqSensor",
-           "check_directory_convergence", "check_monotonic_streams",
-           "check_no_committed_loss", "run_scenario"]
+           "check_bounded_queues", "check_directory_convergence",
+           "check_monotonic_streams", "check_no_committed_loss",
+           "run_scenario"]

@@ -37,12 +37,14 @@ from ..core.archive import EventArchive, SamplingPolicy
 from ..core.config import JAMMConfig
 from ..core.sensors.base import Sensor
 from ..core.sensors.registry import _REGISTRY, register_sensor
+from ..core.subscriptions import SubscriptionSpec
 from ..simgrid import FaultPlan, GridWorld
 from ..ulm import serialize
 
 __all__ = ["Scenario", "ScenarioResult", "ScenarioRunner", "SeqSensor",
            "check_no_committed_loss", "check_monotonic_streams",
-           "check_directory_convergence", "run_scenario"]
+           "check_directory_convergence", "check_bounded_queues",
+           "run_scenario"]
 
 #: base clock offset for scenario hosts, so negative skew injections can
 #: never drive a host clock (and thus ULM dates) below zero
@@ -94,6 +96,9 @@ class Scenario:
     #: extra fault targets protected from random crashes (the consumer
     #: host always is — the invariants read its records)
     protect: tuple = ()
+    #: consumer-session backpressure knobs (None -> spec defaults)
+    outbox_limit: Optional[int] = None
+    overflow_policy: Optional[str] = None
 
 
 @dataclass
@@ -203,8 +208,28 @@ def check_directory_convergence(result: ScenarioResult) -> list[str]:
     return problems
 
 
+def check_bounded_queues(result: ScenarioResult) -> list[str]:
+    """Backpressure accounting closed: gateway outboxes never grew past
+    their caps, and every shed event landed in exactly one overflow-
+    policy bucket — overload degrades loudly, never silently."""
+    problems = []
+    for name, gw in sorted(result.stats.get("gateway", {}).items()):
+        limit = gw.get("outbox_limit_max", 0)
+        peak = gw.get("outbox_peak", 0)
+        if limit and peak > limit:
+            problems.append(
+                f"gateway {name}: outbox peak {peak} exceeded cap {limit}")
+        shed = gw.get("events_shed", 0)
+        accounted = sum(gw.get("shed_by_policy", {}).values())
+        if shed != accounted:
+            problems.append(
+                f"gateway {name}: {shed} events shed but only {accounted} "
+                f"accounted to an overflow policy")
+    return problems
+
+
 DEFAULT_CHECKERS = (check_no_committed_loss, check_monotonic_streams,
-                    check_directory_convergence)
+                    check_directory_convergence, check_bounded_queues)
 
 
 # ---------------------------------------------------------------------------
@@ -226,6 +251,8 @@ class ScenarioRunner:
         self.archive: Optional[EventArchive] = None
         self.injector = None
         self._records: dict[str, list] = {}
+        #: deliveries with no usable SEQ (corrupt samples, summaries)
+        self.malformed = 0
         self._perf: Optional[dict] = None
 
     # -- world construction --------------------------------------------------
@@ -272,6 +299,8 @@ class ScenarioRunner:
         # gateway ingest.
         self.archive = EventArchive(
             name="commit-log", policy=SamplingPolicy(normal_fraction=1.0))
+        # registered by name so disk_full fault events can find it
+        world.register_archive(self.archive)
         commit_client = deployment.client(host=gw_host)
         self.commit_session = commit_client.session(name="commit-log")
         self.commit_session.subscribe_all(
@@ -285,8 +314,15 @@ class ScenarioRunner:
         # resuming from the commit log's watermark after reconnects
         client = deployment.client(host=consumer_host)
         self.session = client.session(name="scenario-consumer")
+        proto = None
+        if sc.outbox_limit is not None or sc.overflow_policy is not None:
+            proto = SubscriptionSpec(
+                sensor="_proto_",  # replaced per sensor at subscribe time
+                outbox_limit=sc.outbox_limit
+                if sc.outbox_limit is not None else 256,
+                overflow=sc.overflow_policy or "drop_oldest")
         self.session.subscribe_all(client.sensors(type="seq"),
-                                   on_event=self._record)
+                                   spec=proto, on_event=self._record)
         self.session.enable_auto_heal(
             archive=self.archive,
             check_interval=sc.heal_interval,
@@ -295,8 +331,13 @@ class ScenarioRunner:
         return self
 
     def _record(self, event: Any) -> None:
-        seq = event.get_int("SEQ") if hasattr(event, "get_int") \
-            else int(event.fields["SEQ"])
+        # corrupted samples and degrade summaries carry no SEQ; they are
+        # counted, never recorded — a gray sensor must not poison the
+        # stream invariants with fabricated ids
+        if not hasattr(event, "get") or event.get("SEQ") is None:
+            self.malformed += 1
+            return
+        seq = event.get_int("SEQ")
         channel = "replay" if self.session.in_replay else "live"
         self._records.setdefault(event.prog, []).append((seq, channel))
 
@@ -312,6 +353,7 @@ class ScenarioRunner:
         return FaultPlan.random(
             sc.seed, hosts=hosts, links=links, n_steps=sc.random_steps,
             horizon=sc.horizon,
+            consumers=("consumer.siteB",), archives=("commit-log",),
             protect=set(sc.protect) | {"consumer.siteB"})
 
     def run(self) -> ScenarioResult:
@@ -334,6 +376,16 @@ class ScenarioRunner:
             self.injector._restore(link)
         for link in list(self.injector._pristine):
             self.injector._restore(link)
+        # ... and clear residual gray state (degraded sensors, consumer
+        # throttles, archive byte caps) the same way a plan heal would
+        for sensor in list(self.injector._degraded_sensors):
+            sensor.clear_degraded()
+        self.injector._degraded_sensors.clear()
+        for host_name in list(self.injector._throttled_hosts):
+            self.injector._set_drain_rate(host_name, None)
+        for capped in list(self.injector._capped_archives):
+            capped.set_byte_budget(None)
+        self.injector._capped_archives.clear()
         self.world.run(until=sc.horizon + sc.drain)
         # freeze the commit set (stop emission) and flush: in-flight
         # deliveries land and the healing sessions run their final
@@ -398,6 +450,15 @@ class ScenarioRunner:
                 "commit_session": self.commit_session.heal_stats(),
                 "sensor_restarts": {n: m.sensor_restarts for n, m in
                                     self.deployment.managers.items()},
+                "quality_restarts": {n: m.quality_restarts for n, m in
+                                     self.deployment.managers.items()},
+                "backpressure": self.session.backpressure_stats(),
+                "malformed": self.malformed,
+                "transport": {
+                    "messages_sent": self.world.transport.messages_sent,
+                    "messages_lost": self.world.transport.messages_lost,
+                },
+                "archive": self.archive.stats(),
                 "replication": {
                     "deltas_lost": directory.master.replicator.deltas_lost,
                     "snapshots": directory.master.replicator.snapshots,

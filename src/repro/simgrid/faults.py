@@ -36,12 +36,18 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Optional
 
 __all__ = ["FaultEvent", "FaultPlan", "FaultInjector", "FaultError",
-           "FAULT_KINDS"]
+           "FAULT_KINDS", "SENSOR_DEGRADE_MODES"]
 
 #: every fault kind the injector knows how to apply
 FAULT_KINDS = ("host_crash", "host_restart", "process_kill",
                "partition", "heal", "link_down", "link_up",
-               "link_loss", "link_latency", "clock_skew")
+               "link_loss", "link_latency", "clock_skew",
+               # gray failures: the component stays "up" but misbehaves
+               "sensor_degrade", "asymmetric_partition",
+               "slow_consumer", "disk_full")
+
+#: sample-corruption modes a degraded sensor can exhibit
+SENSOR_DEGRADE_MODES = ("corrupt", "partial", "stale")
 
 
 class FaultError(RuntimeError):
@@ -140,9 +146,15 @@ class FaultPlan:
     def link_up(self, at: float, link: str) -> "FaultPlan":
         return self.add(FaultEvent(at, "link_up", link))
 
-    def link_loss(self, at: float, link: str, loss_rate: float) -> "FaultPlan":
-        return self.add(FaultEvent(at, "link_loss", link,
-                                   {"loss_rate": float(loss_rate)}))
+    def link_loss(self, at: float, link: str, loss_rate: float, *,
+                  toward: str = "") -> "FaultPlan":
+        """Set a link's random-loss rate (1.0 = true blackhole).  With
+        ``toward`` (an endpoint node name) only that direction loses
+        packets — the building block of asymmetric partitions."""
+        params: dict = {"loss_rate": float(loss_rate)}
+        if toward:
+            params["toward"] = toward
+        return self.add(FaultEvent(at, "link_loss", link, params))
 
     def link_latency(self, at: float, link: str, factor: float) -> "FaultPlan":
         """Scale a link's propagation latency (a congestion spike)."""
@@ -155,6 +167,62 @@ class FaultPlan:
                                    {"offset": float(offset),
                                     "drift": float(drift)}))
 
+    # -- gray faults ---------------------------------------------------------
+
+    def degrade_sensor(self, at: float, host: str, *, sensor: str = "",
+                       mode: str = "corrupt", rate: float = 1.0,
+                       seed: int = 0) -> "FaultPlan":
+        """Make a sensor on ``host`` lossy-but-alive: its loop keeps
+        running and heartbeating, but each sample is degraded with
+        probability ``rate`` — ``corrupt`` garbles the fields,
+        ``partial`` silently swallows the sample, ``stale`` freezes the
+        timestamp.  Cured by a sensor restart (supervision) or
+        :meth:`restore_sensor`/:meth:`heal`."""
+        if mode not in SENSOR_DEGRADE_MODES:
+            raise FaultError(f"unknown sensor degrade mode {mode!r}")
+        return self.add(FaultEvent(at, "sensor_degrade", host,
+                                   {"sensor": sensor, "mode": mode,
+                                    "rate": float(rate), "seed": int(seed)}))
+
+    def restore_sensor(self, at: float, host: str, *,
+                       sensor: str = "") -> "FaultPlan":
+        """Clear a sensor degradation (params carry no ``mode``)."""
+        return self.add(FaultEvent(at, "sensor_degrade", host,
+                                   {"sensor": sensor}))
+
+    def asymmetric_partition(self, at: float, group_a: Iterable[str],
+                             group_b: Iterable[str]) -> "FaultPlan":
+        """Blackhole A->B traffic while B->A stays clean.  Links stay
+        *up* (routing unchanged, no ``on_fail`` at senders) — the gray
+        twin of :meth:`partition`.  Recovered by :meth:`heal`."""
+        target = ",".join(sorted(group_a)) + "|" + ",".join(sorted(group_b))
+        return self.add(FaultEvent(at, "asymmetric_partition", target))
+
+    def slow_consumer(self, at: float, host: str,
+                      rate: float) -> "FaultPlan":
+        """Throttle the drain rate (events/s) of every gateway
+        subscription delivering to ``host`` — the classic slow-consumer
+        overload that backpressure must absorb."""
+        return self.add(FaultEvent(at, "slow_consumer", host,
+                                   {"rate": float(rate)}))
+
+    def restore_consumer(self, at: float, host: str) -> "FaultPlan":
+        """Lift a consumer drain-rate throttle."""
+        return self.add(FaultEvent(at, "slow_consumer", host,
+                                   {"rate": None}))
+
+    def disk_full(self, at: float, archive: str,
+                  budget_bytes: int) -> "FaultPlan":
+        """Cap a registered :class:`EventArchive`'s byte budget: the
+        archive sheds oldest records to fit, then serves reads in a
+        read-only ``degraded`` mode until the budget is lifted."""
+        return self.add(FaultEvent(at, "disk_full", archive,
+                                   {"budget_bytes": int(budget_bytes)}))
+
+    def restore_disk(self, at: float, archive: str) -> "FaultPlan":
+        """Lift an archive byte budget (params carry no budget)."""
+        return self.add(FaultEvent(at, "disk_full", archive))
+
     # -- random generation ---------------------------------------------------
 
     @classmethod
@@ -162,20 +230,33 @@ class FaultPlan:
                links: Iterable[str] = (), n_steps: int = 50,
                horizon: float = 60.0,
                protect: Iterable[str] = (),
-               max_down_fraction: float = 0.67) -> "FaultPlan":
+               max_down_fraction: float = 0.67,
+               consumers: Iterable[str] = (),
+               archives: Iterable[str] = ()) -> "FaultPlan":
         """A deterministic random schedule of ``n_steps`` events.
 
         The draw depends only on ``seed`` and the *sorted* host/link
-        name lists, never on object identity.  ``protect`` names hosts
-        that are never crashed (e.g. the consumer host whose records
-        the invariants read).  Crashed hosts are always restarted
-        within the horizon and partitions always heal, so every plan
-        ends in a recoverable state; ``max_down_fraction`` caps how
-        many hosts may be down at once so the world never fully halts.
+        name lists, never from object identity.  ``protect`` names
+        hosts that are never crashed (e.g. the consumer host whose
+        records the invariants read).  Crashed hosts are always
+        restarted within the horizon and partitions always heal, so
+        every plan ends in a recoverable state; ``max_down_fraction``
+        caps how many hosts may be down at once so the world never
+        fully halts.
+
+        Gray kinds ride along: ``sensor_degrade`` and
+        ``asymmetric_partition`` draw from ``hosts`` (always restored
+        before the final heal; stale mode is excluded — frozen
+        timestamps are indistinguishable from ancient events to replay
+        floors, so it stays a targeted-test-only mode); passing
+        ``consumers``/``archives`` additionally enables
+        ``slow_consumer``/``disk_full`` against those names.
         """
         rng = random.Random(seed)
         host_names = sorted(set(hosts))
         link_names = sorted(set(links))
+        consumer_names = sorted(set(consumers))
+        archive_names = sorted(set(archives))
         protected = set(protect)
         crashable = [h for h in host_names if h not in protected]
         plan = cls(seed=seed)
@@ -190,8 +271,17 @@ class FaultPlan:
             return sum(1 for spans in down_spans.values()
                        for lo, hi in spans if lo <= t < hi)
 
+        def recover_at(at: float) -> float:
+            return min(at + round(rng.uniform(2.0, horizon * 0.2), 3),
+                       horizon * 0.95)
+
         kinds = ["host_crash", "process_kill", "partition",
-                 "link_loss", "link_latency", "clock_skew"]
+                 "link_loss", "link_latency", "clock_skew",
+                 "sensor_degrade", "asymmetric_partition"]
+        if consumer_names:
+            kinds.append("slow_consumer")
+        if archive_names:
+            kinds.append("disk_full")
         for _ in range(max(0, int(n_steps))):
             at = round(rng.uniform(0.0, horizon * 0.8), 3)
             kind = rng.choice(kinds)
@@ -230,6 +320,34 @@ class FaultPlan:
                 plan.skew_clock(at, rng.choice(host_names),
                                 offset=round(rng.uniform(-0.5, 0.5), 6),
                                 drift=round(rng.uniform(-1e-4, 1e-4), 9))
+            elif kind == "sensor_degrade":
+                pool = crashable or host_names
+                host = rng.choice(pool)
+                plan.degrade_sensor(
+                    at, host,
+                    mode=rng.choice(["corrupt", "partial"]),
+                    rate=round(rng.uniform(0.5, 1.0), 3),
+                    seed=rng.randrange(2**31))
+                plan.restore_sensor(recover_at(at), host)
+            elif kind == "asymmetric_partition" and len(host_names) >= 2:
+                if at <= partitioned_until:
+                    continue
+                cut = rng.randint(1, len(host_names) - 1)
+                heal_at = recover_at(at)
+                plan.asymmetric_partition(at, host_names[:cut],
+                                          host_names[cut:])
+                plan.heal(heal_at)
+                partitioned_until = heal_at
+            elif kind == "slow_consumer":
+                host = rng.choice(consumer_names)
+                plan.slow_consumer(at, host,
+                                   rate=round(rng.uniform(1.0, 10.0), 3))
+                plan.restore_consumer(recover_at(at), host)
+            elif kind == "disk_full":
+                archive = rng.choice(archive_names)
+                plan.disk_full(at, archive,
+                               budget_bytes=rng.randrange(8_000, 64_000))
+                plan.restore_disk(recover_at(at), archive)
         # every random plan converges: restart stragglers, heal, settle
         for host in down_spans:
             plan.restart_host(horizon * 0.96, host)
@@ -289,7 +407,12 @@ class FaultInjector:
         self.plan = plan
         self.applied: list[tuple[float, FaultEvent]] = []
         self._downed_links: dict[Any, None] = {}   # insertion-ordered set
-        self._pristine: dict[Any, tuple[float, float]] = {}
+        #: link -> ((loss_toward_b, loss_toward_a), latency_s)
+        self._pristine: dict[Any, tuple[tuple, float]] = {}
+        # gray-fault state, all cleared by heal
+        self._degraded_sensors: dict[Any, None] = {}
+        self._throttled_hosts: dict[str, None] = {}
+        self._capped_archives: dict[Any, None] = {}
         self._armed = False
 
     # -- lookup ---------------------------------------------------------------
@@ -306,18 +429,34 @@ class FaultInjector:
                 return link
         raise FaultError(f"fault targets unknown link {name!r}")
 
+    def _archive(self, name: str) -> Any:
+        archive = getattr(self.world, "archives", {}).get(name)
+        if archive is None:
+            raise FaultError(f"fault targets unknown archive {name!r}")
+        return archive
+
     def _validate(self) -> None:
         for event in self.plan:
             if event.kind in ("host_crash", "host_restart", "process_kill",
-                              "clock_skew"):
+                              "clock_skew", "sensor_degrade",
+                              "slow_consumer"):
                 self._host(event.target)
             elif event.kind in ("link_down", "link_up", "link_loss",
                                 "link_latency"):
-                self._link(event.target)
-            elif event.kind == "partition":
+                link = self._link(event.target)
+                toward = event.params.get("toward")
+                if toward:
+                    node = self.world.network.get(toward)
+                    if node is None or node not in (link.a, link.b):
+                        raise FaultError(
+                            f"'toward' {toward!r} is not an endpoint of "
+                            f"link {event.target!r}")
+            elif event.kind in ("partition", "asymmetric_partition"):
                 if "|" not in event.target:
                     raise FaultError(
                         f"partition target needs 'a,b|c,d': {event.target!r}")
+            elif event.kind == "disk_full":
+                self._archive(event.target)
 
     # -- scheduling ------------------------------------------------------------
 
@@ -370,7 +509,8 @@ class FaultInjector:
         self._downed_links.pop(link, None)
         pristine = self._pristine.pop(link, None)
         if pristine is not None:
-            link.loss_rate, link.latency_s = pristine
+            link.restore_loss(pristine[0])
+            link.latency_s = pristine[1]
         if not link.up:
             self.world.network.set_link_state(link, True)
 
@@ -419,6 +559,14 @@ class FaultInjector:
             self._restore(link)
         for link in list(self._pristine):
             self._restore(link)
+        for sensor in list(self._degraded_sensors):
+            sensor.clear_degraded()
+        self._degraded_sensors.clear()
+        for host_name in list(self._throttled_hosts):
+            self._set_drain_rate(host_name, None)
+        for archive in list(self._capped_archives):
+            archive.set_byte_budget(None)
+        self._capped_archives.clear()
 
     def _apply_link_down(self, event: FaultEvent) -> None:
         self._cut(self._link(event.target))
@@ -428,12 +576,17 @@ class FaultInjector:
 
     def _remember_pristine(self, link: Any) -> None:
         if link not in self._pristine:
-            self._pristine[link] = (link.loss_rate, link.latency_s)
+            self._pristine[link] = (link.loss_state(), link.latency_s)
 
     def _apply_link_loss(self, event: FaultEvent) -> None:
         link = self._link(event.target)
         self._remember_pristine(link)
-        link.loss_rate = min(0.99, max(0.0, event.params["loss_rate"]))
+        rate = min(1.0, max(0.0, event.params["loss_rate"]))
+        toward = event.params.get("toward")
+        if toward:
+            link.set_loss(rate, toward=self.world.network.get(toward))
+        else:
+            link.set_loss(rate)
 
     def _apply_link_latency(self, event: FaultEvent) -> None:
         link = self._link(event.target)
@@ -449,6 +602,87 @@ class FaultInjector:
             host.clock.adjust(offset)
         if drift is not None:
             host.clock.set_drift(drift)
+
+    # -- gray faults ------------------------------------------------------------
+
+    def _apply_sensor_degrade(self, event: FaultEvent) -> None:
+        """Degrade (or, with no ``mode`` param, restore) one sensor's
+        sample quality.  The sensor object keeps running and
+        heartbeating — only sample-quality supervision can tell."""
+        host = self._host(event.target)
+        manager = host.service("sensor-manager")
+        if manager is None or not getattr(manager, "sensors", None):
+            return
+        wanted = event.params.get("sensor", "")
+        names = sorted(manager.sensors)
+        name = wanted if wanted in manager.sensors else names[0]
+        sensor = manager.sensors[name]
+        mode = event.params.get("mode")
+        if mode is None:
+            sensor.clear_degraded()
+            self._degraded_sensors.pop(sensor, None)
+            return
+        sensor.set_degraded(mode, rate=float(event.params.get("rate", 1.0)),
+                            seed=int(event.params.get("seed", 0)))
+        self._degraded_sensors[sensor] = None
+
+    def _apply_asymmetric_partition(self, event: FaultEvent) -> None:
+        """Blackhole every A->B route while leaving B->A (and routing)
+        intact: for each cross pair, one link on the path — preferring
+        infrastructure links, mirroring :meth:`_apply_partition`'s cut
+        heuristic — gets directional loss 1.0 toward the B side.  The
+        links stay up, so senders keep getting "successful" sends."""
+        spec_a, _, spec_b = event.target.partition("|")
+        group_a = sorted(n for n in spec_a.split(",") if n)
+        group_b = sorted(n for n in spec_b.split(",") if n)
+        members = set(group_a) | set(group_b)
+        network = self.world.network
+        for a in group_a:
+            if network.get(a) is None:
+                continue
+            for b in group_b:
+                if network.get(b) is None:
+                    continue
+                try:
+                    path = network.route(a, b)
+                except Exception:
+                    continue
+                if not path.links or path.loss_rate >= 1.0:
+                    continue  # same node, or already black this way
+                infra = [l for l in path.links
+                         if l.a.name not in members and l.b.name not in members]
+                chosen = infra[len(infra) // 2] if infra else path.links[-1]
+                for node, link in zip(path.nodes[:-1], path.links):
+                    if link is chosen:
+                        self._remember_pristine(link)
+                        link.set_loss(1.0, toward=link.other(node))
+                        break
+
+    def _set_drain_rate(self, host_name: str, rate: Optional[float]) -> None:
+        for name in sorted(self.world.hosts):
+            gw = self.world.hosts[name].service("gateway")
+            if gw is not None and hasattr(gw, "throttle_consumer"):
+                gw.throttle_consumer(host_name, rate)
+        if rate is None:
+            self._throttled_hosts.pop(host_name, None)
+        else:
+            self._throttled_hosts[host_name] = None
+
+    def _apply_slow_consumer(self, event: FaultEvent) -> None:
+        self._host(event.target)  # fail loudly on unknown hosts
+        rate = event.params.get("rate")
+        self._set_drain_rate(event.target,
+                             None if rate is None else float(rate))
+
+    def _apply_disk_full(self, event: FaultEvent) -> None:
+        archive = self._archive(event.target)
+        budget = event.params.get("budget_bytes")
+        if budget is None:
+            archive.set_byte_budget(None)
+            self._capped_archives.pop(archive, None)
+        else:
+            archive.set_byte_budget(int(budget))
+            self._capped_archives[archive] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<FaultInjector plan={self.plan!r} "

@@ -104,13 +104,17 @@ class Link:
             raise ValueError("bandwidth must be positive")
         if latency_s < 0:
             raise ValueError("latency must be non-negative")
-        if not (0.0 <= loss_rate < 1.0):
-            raise ValueError("loss rate must be in [0, 1)")
+        if not (0.0 <= loss_rate <= 1.0):
+            raise ValueError("loss rate must be in [0, 1]")
         self.a = a
         self.b = b
         self.bandwidth_bps = float(bandwidth_bps)
         self.latency_s = float(latency_s)
-        self.loss_rate = float(loss_rate)
+        #: per-direction random-loss rates: [toward b, toward a].  1.0 is
+        #: a true blackhole — packets die but the link stays "up", so
+        #: routing still uses it (the gray-failure case, as opposed to
+        #: ``set_up(False)`` which reroutes around the link).
+        self._loss = [float(loss_rate), float(loss_rate)]
         self.name = name or f"{a.name}--{b.name}"
         self.up = True
         a.links.append(self)
@@ -122,6 +126,46 @@ class Link:
         if node is self.b:
             return self.a
         raise ValueError(f"{node!r} not an endpoint of {self!r}")
+
+    # -- loss ----------------------------------------------------------------
+
+    @property
+    def loss_rate(self) -> float:
+        """Worst-direction loss rate (the only rate, for symmetric links)."""
+        return max(self._loss)
+
+    @loss_rate.setter
+    def loss_rate(self, rate: float) -> None:
+        self.set_loss(rate)
+
+    def _dir_index(self, toward: NetNode) -> int:
+        if toward is self.b:
+            return 0
+        if toward is self.a:
+            return 1
+        raise ValueError(f"{toward!r} not an endpoint of {self!r}")
+
+    def loss_toward(self, dst: NetNode) -> float:
+        """Loss rate for traffic flowing toward endpoint ``dst``."""
+        return self._loss[self._dir_index(dst)]
+
+    def set_loss(self, rate: float, *, toward: Optional[NetNode] = None) -> None:
+        """Set the loss rate — both directions, or only ``toward`` one
+        endpoint (asymmetric faults: A->B black, B->A clean)."""
+        rate = float(rate)
+        if not (0.0 <= rate <= 1.0):
+            raise ValueError("loss rate must be in [0, 1]")
+        if toward is None:
+            self._loss[0] = self._loss[1] = rate
+        else:
+            self._loss[self._dir_index(toward)] = rate
+
+    def loss_state(self) -> tuple:
+        """Opaque snapshot of both directions (pair with :meth:`restore_loss`)."""
+        return (self._loss[0], self._loss[1])
+
+    def restore_loss(self, state: tuple) -> None:
+        self._loss = [float(state[0]), float(state[1])]
 
     def set_up(self, up: bool) -> None:
         self.up = up
@@ -174,10 +218,18 @@ class Path:
 
     @property
     def loss_rate(self) -> float:
-        """Combined link loss along the path."""
+        """Combined *directional* loss along the path (src toward dst).
+
+        ``nodes``/``links`` are ordered src -> dst, so link *i* is
+        traversed from ``nodes[i]`` toward its far endpoint — an
+        asymmetric fault on a link only affects paths crossing it in
+        the lossy direction."""
         keep = 1.0
-        for l in self.links:
-            keep *= 1.0 - l.loss_rate
+        for node, link in zip(self.nodes[:-1], self.links):
+            loss = link._loss
+            if loss[0] == 0.0 and loss[1] == 0.0:
+                continue        # clean link: skip the direction lookup
+            keep *= 1.0 - (loss[0] if node is link.a else loss[1])
         return 1.0 - keep
 
 

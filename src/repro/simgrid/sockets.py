@@ -14,6 +14,7 @@ use the congestion-controlled :mod:`repro.simgrid.tcp` model.
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -62,12 +63,19 @@ class MessageTransport:
     #: approximate packetization for counter purposes
     MTU = 1500
 
-    def __init__(self, sim: Simulator, network):
+    def __init__(self, sim: Simulator, network, *,
+                 rng: Optional[random.Random] = None):
         self.sim = sim
         self.network = network
         self.messages_sent = 0
         self.bytes_sent = 0
         self.messages_dropped = 0
+        #: messages silently lost in flight to link loss.  Unlike
+        #: ``messages_dropped`` (sender-visible failures that fire
+        #: ``on_fail``), lost messages invoke NEITHER callback: the
+        #: sender believes the send worked — the gray-failure case.
+        self.messages_lost = 0
+        self._loss_rng = rng
         #: per-source-host message/byte counters — used to measure the
         #: monitoring load a host bears (paper §2.3 scalability claims)
         self.per_host_sent: dict[str, int] = {}
@@ -118,16 +126,35 @@ class MessageTransport:
                 return None
             raise DeliveryError(str(exc)) from exc
         npackets = max(1, (size + self.MTU - 1) // self.MTU)
-        # account the traffic
-        src.ports.record(src_port, bytes_out=size, packets_out=npackets)
-        if src is not dst:
-            for node, link in zip(path.nodes[:-1], path.links):
-                link.record_transit(node, size, npackets)
-        dst.ports.record(dst_port, bytes_in=size, packets_in=npackets)
         self.messages_sent += 1
         self.bytes_sent += size
         self.per_host_sent[src.name] = self.per_host_sent.get(src.name, 0) + 1
         self.per_host_bytes[src.name] = self.per_host_bytes.get(src.name, 0) + size
+        src.ports.record(src_port, bytes_out=size, packets_out=npackets)
+        loss = path.loss_rate if src is not dst else 0.0
+        if loss > 0.0:
+            rng = self._loss_rng
+            if rng is None:
+                rng = self._loss_rng = random.Random(1905)
+            if rng.random() < loss:
+                # the message dies in flight on the first lossy hop.
+                # The sender saw a successful send, so NEITHER callback
+                # fires — failure detectors counting consecutive
+                # on_fail events stay quiet (the asymmetric-partition
+                # gray case); only interface discard counters notice.
+                for node, link in zip(path.nodes[:-1], path.links):
+                    link.record_transit(node, size, npackets)
+                    receiver = link.other(node)
+                    if link.loss_toward(receiver) > 0.0:
+                        receiver.interface(link).discards += npackets
+                        break
+                self.messages_lost += 1
+                return msg
+        # account the delivered traffic
+        if src is not dst:
+            for node, link in zip(path.nodes[:-1], path.links):
+                link.record_transit(node, size, npackets)
+        dst.ports.record(dst_port, bytes_in=size, packets_in=npackets)
         delay = path.latency_s + (size * 8.0) / path.bottleneck_bps if path.links \
             else 1e-6
         when = self.sim.now + delay

@@ -40,12 +40,16 @@ class GridWorld:
     def __init__(self, *, seed: int = 0, strict: bool = True):
         self.sim = Simulator(strict=strict)
         self.network = Network()
-        self.transport = MessageTransport(self.sim, self.network)
         self.rng = RandomStreams(seed)
+        self.transport = MessageTransport(self.sim, self.network,
+                                          rng=self.rng.stream("transport"))
         self.snmp = SNMPManager(self.sim, transport=self.transport)
         self.hosts: dict[str, Host] = {}
         self.ntp_server: Optional[NTPServer] = None
         self.ntp_daemons: dict[str, NTPDaemon] = {}
+        #: named archives (e.g. a scenario's commit log) registered so
+        #: fault plans can target them by name (``disk_full``)
+        self.archives: dict[str, object] = {}
 
     # -- hosts & topology ---------------------------------------------------
 
@@ -142,6 +146,16 @@ class GridWorld:
             if watcher is not None:
                 watcher.attach(flow)
         return flow
+
+    # -- archives ----------------------------------------------------------------
+
+    def register_archive(self, archive, *, name: Optional[str] = None) -> None:
+        """Make an :class:`~repro.core.archive.EventArchive` targetable
+        by fault plans (``disk_full``) under ``name``."""
+        key = name or getattr(archive, "name", None)
+        if not key:
+            raise ValueError("archive needs a name to be registered")
+        self.archives[key] = archive
 
     # -- fault injection ---------------------------------------------------------
 

@@ -26,6 +26,11 @@ def _run(seed: int) -> None:
     # .check() raises with the seed and the full fault plan on failure
     result.check()
     assert result.committed, f"seed {seed}: scenario committed nothing"
+    # gray kinds are part of every 200-step draw, not a separate mode
+    kinds = {e.kind for e in result.plan}
+    assert kinds & {"sensor_degrade", "asymmetric_partition",
+                    "slow_consumer", "disk_full"}, \
+        f"seed {seed}: no gray faults in a 200-step plan"
 
 
 @given(seed=st.integers(min_value=0, max_value=2**31 - 1))

@@ -60,6 +60,56 @@ class TestFaultPlan:
         assert all(e.target != "b1" for e in plan
                    if e.kind == "host_crash")
 
+    def test_gray_kinds_round_trip_json(self):
+        plan = (FaultPlan(seed=9)
+                .degrade_sensor(1.0, "a1", mode="partial", rate=0.7, seed=42)
+                .restore_sensor(2.0, "a1")
+                .asymmetric_partition(3.0, ["a1", "a2"], ["b1"])
+                .slow_consumer(4.0, "b1", 2.5)
+                .restore_consumer(5.0, "b1")   # rate None -> JSON null
+                .disk_full(6.0, "arch", 10_000)
+                .restore_disk(7.0, "arch")
+                .heal(8.0))
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.to_dict() == plan.to_dict()
+        lifted = next(e for e in clone if e.kind == "slow_consumer"
+                      and e.at == 5.0)
+        assert lifted.params["rate"] is None
+
+    def test_degrade_mode_validated(self):
+        with pytest.raises(FaultError):
+            FaultPlan().degrade_sensor(1.0, "a1", mode="melt")
+
+    def test_random_plans_include_and_recover_gray_kinds(self):
+        plan = FaultPlan.random(
+            7, hosts=["a1", "a2", "b1"], n_steps=400, horizon=60.0,
+            consumers=["b1"], archives=["arch"])
+        kinds = {e.kind for e in plan}
+        assert {"sensor_degrade", "slow_consumer", "disk_full"} <= kinds
+        # every degradation is restored (a no-mode event) per host
+        degraded = [e for e in plan if e.kind == "sensor_degrade"]
+        assert all(e.params.get("mode") != "stale" for e in degraded)
+        for host in {e.target for e in degraded if "mode" in e.params}:
+            sets = [e for e in degraded if e.target == host
+                    and e.params.get("mode")]
+            clears = [e for e in degraded if e.target == host
+                      and not e.params.get("mode")]
+            assert len(clears) >= 1
+            assert max(e.at for e in clears) <= 60.0
+        # throttles and byte caps are lifted before the horizon
+        for kind, param in (("slow_consumer", "rate"),
+                            ("disk_full", "budget_bytes")):
+            events = [e for e in plan if e.kind == kind]
+            assert events[-1].params.get(param) is None
+
+    def test_random_plans_deterministic_per_seed(self):
+        kwargs = dict(hosts=["a1", "a2", "b1"], n_steps=120, horizon=50.0,
+                      consumers=["b1"], archives=["arch"])
+        assert FaultPlan.random(5, **kwargs).to_dict() == \
+            FaultPlan.random(5, **kwargs).to_dict()
+        assert FaultPlan.random(5, **kwargs).to_dict() != \
+            FaultPlan.random(6, **kwargs).to_dict()
+
 
 class TestFaultInjector:
     def test_arm_validates_targets_up_front(self):
@@ -117,6 +167,94 @@ class TestFaultInjector:
         world.run(until=2.0)
         clock = world.host("a1").clock
         assert clock.error() == pytest.approx(0.25 + 1e-3 * 1.0)
+
+    def test_asymmetric_partition_loses_one_direction_silently(self):
+        world = two_site_world()
+        a1, b1 = world.host("a1"), world.host("b1")
+        world.inject(FaultPlan()
+                     .asymmetric_partition(1.0, ["a1", "a2"], ["b1"])
+                     .heal(4.0))
+        results = {"a_to_b": [], "b_to_a": [], "failed": []}
+        a1.ports.bind(4000, lambda m, _t: results["b_to_a"].append(m))
+        b1.ports.bind(4000, lambda m, _t: results["a_to_b"].append(m))
+
+        def exchange():
+            world.transport.send(a1, b1, 4000, {"d": "a->b"},
+                                 on_fail=results["failed"].append)
+            world.transport.send(b1, a1, 4000, {"d": "b->a"},
+                                 on_fail=results["failed"].append)
+
+        world.sim.call_at(2.0, exchange)   # during the gray partition
+        world.sim.call_at(5.0, exchange)   # after heal
+        world.run(until=6.0)
+        # routing stayed up the whole time, and the cut direction died
+        # SILENTLY: no on_fail at the sender — that's the gray part
+        assert world.network.route("a1", "b1").hops >= 1
+        assert results["failed"] == []
+        assert len(results["a_to_b"]) == 1   # t=2.0 copy blackholed
+        assert len(results["b_to_a"]) == 2   # reverse path never cut
+        assert world.transport.messages_lost == 1
+
+    def test_disk_full_degrades_registered_archive_and_heals(self):
+        from repro.core.archive import EventArchive
+        from repro.ulm import ULMMessage
+
+        world = two_site_world()
+        archive = EventArchive(name="arch")
+        world.register_archive(archive)
+        world.inject(FaultPlan()
+                     .disk_full(1.0, "arch", 2_000)
+                     .restore_disk(3.0, "arch"))
+
+        def feed(n, t):
+            for i in range(n):
+                archive.append(ULMMessage(date=t + i * 1e-3, host="a1",
+                                          prog="s", event="E",
+                                          fields={"PAYLOAD": "x" * 64}))
+
+        world.sim.call_at(0.5, lambda: feed(40, 0.5))
+        world.run(until=2.0)
+        assert archive.degraded
+        assert archive.shed > 0                  # oldest retention shed
+        assert len(archive.query(event="E")) > 0  # still serves reads
+        dropped_while_degraded = archive.dropped_degraded
+        world.sim.call_at(2.5, lambda: feed(5, 2.5))
+        world.run(until=2.8)
+        assert archive.dropped_degraded == dropped_while_degraded + 5
+        world.run(until=4.0)
+        assert not archive.degraded              # budget lifted
+        before = len(archive.messages)
+        feed(3, 5.0)
+        assert len(archive.messages) == before + 3
+
+    def test_unknown_gray_targets_rejected_at_arm(self):
+        world = two_site_world()
+        with pytest.raises(FaultError):
+            world.inject(FaultPlan().degrade_sensor(1.0, "nope"))
+        with pytest.raises(FaultError):
+            world.inject(FaultPlan().slow_consumer(1.0, "nope", 2.0))
+        with pytest.raises(FaultError):
+            world.inject(FaultPlan().disk_full(1.0, "no-arch", 1000))
+
+    def test_sensor_degrade_applies_and_heal_clears(self):
+        from repro.core import JAMMDeployment, JAMMConfig
+        world = two_site_world()
+        jamm = JAMMDeployment(world)
+        gw = jamm.add_gateway("gw", host=world.host("b1"))
+        config = JAMMConfig()
+        config.add_sensor("cpu", "cpu", period=0.5)
+        manager = jamm.add_manager(world.host("a1"), config=config,
+                                   gateway=gw)
+        manager.supervision_interval = 100.0  # park supervision: isolate heal
+        sensor = manager.sensors["cpu"]
+        world.inject(FaultPlan()
+                     .degrade_sensor(1.0, "a1", mode="partial", rate=1.0)
+                     .heal(3.0))
+        world.run(until=2.0)
+        assert sensor.degrade_mode == "partial"
+        assert sensor.running and sensor._proc.alive  # alive, just lossy
+        world.run(until=4.0)
+        assert sensor.degrade_mode is None            # heal cured it
 
     def test_process_kill_targets_a_sensor_loop(self):
         from repro.core import JAMMDeployment, JAMMConfig

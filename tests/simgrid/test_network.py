@@ -75,6 +75,22 @@ class TestPathProperties:
         path = net.route(a, c)
         assert path.loss_rate == pytest.approx(1 - 0.9 * 0.9)
 
+    def test_directional_loss_per_direction(self):
+        net = Network()
+        a, b = net.node("a"), net.node("b")
+        link = net.link(a, b, bandwidth_bps=1e9, latency_s=1e-3)
+        link.set_loss(1.0, toward=b)
+        assert link.loss_toward(b) == 1.0
+        assert link.loss_toward(a) == 0.0
+        assert link.loss_rate == 1.0          # scalar view: worst case
+        assert net.route(a, b).loss_rate == 1.0
+        assert net.route(b, a).loss_rate == 0.0
+        state = link.loss_state()
+        link.set_loss(0.5)                    # no toward: both directions
+        assert link.loss_toward(a) == link.loss_toward(b) == 0.5
+        link.restore_loss(state)
+        assert (link.loss_toward(b), link.loss_toward(a)) == (1.0, 0.0)
+
     def test_router_hops_counted(self):
         net = Network()
         a = net.node("a")
@@ -104,7 +120,11 @@ class TestValidationAndCounters:
         with pytest.raises(ValueError):
             net.link(a, b, bandwidth_bps=1e9, latency_s=-1)
         with pytest.raises(ValueError):
-            net.link(a, b, bandwidth_bps=1e9, latency_s=1e-3, loss_rate=1.0)
+            net.link(a, b, bandwidth_bps=1e9, latency_s=1e-3, loss_rate=1.1)
+        # 1.0 is legal: a true blackhole that stays "up" for routing
+        black = net.link(a, b, bandwidth_bps=1e9, latency_s=1e-3,
+                         loss_rate=1.0)
+        assert black.loss_rate == 1.0
 
     def test_transit_updates_both_interfaces(self):
         net = Network()
