@@ -15,9 +15,17 @@ def pytest_addoption(parser):
     parser.addoption(
         "--runslow", action="store_true", default=False,
         help="run the slow scenario matrices (also: RUN_SLOW=1)")
+    parser.addoption(
+        "--sanitize", action="store_true", default=False,
+        help="run every simulator under the dynamic sanitizer "
+             "(also: REPRO_SANITIZE=1)")
 
 
 def pytest_configure(config):
+    if config.getoption("--sanitize"):
+        # every Simulator() created without an explicit sanitize= picks
+        # this up via repro.analysis.sanitizer.env_enabled()
+        os.environ["REPRO_SANITIZE"] = "1"
     config.addinivalue_line(
         "markers",
         "scenario: end-to-end fault-injection scenario test "

@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Repo lint entry point: the CI `lint` job and pre-commit hook both
+run this.  Thin wrapper over ``python -m repro.analysis`` that pins the
+default target to ``src/`` from any working directory.
+
+Usage::
+
+    python scripts/lint.py             # analyze src/, human report
+    python scripts/lint.py --json      # machine report
+    python scripts/lint.py tests/analysis/fixtures --no-baseline
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.__main__ import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if not any(not a.startswith("-") for a in argv):
+        argv = [str(REPO_ROOT / "src"), *argv]
+    sys.exit(main(argv))

@@ -50,6 +50,9 @@ def main(argv=None) -> int:
     failures = 0
     total_events = 0
     total_wall = 0.0
+    #: aggregated dynamic-sanitizer counters across all runs (scenarios
+    #: run under the sanitizer by default; a violation fails the seed)
+    san_totals: dict[str, int] = {}
     t_start = time.time()
     for seed in range(args.start_seed, args.start_seed + args.runs):
         scenario = Scenario(name=f"soak-{seed}", seed=seed,
@@ -60,6 +63,8 @@ def main(argv=None) -> int:
         perf = result.stats.get("perf") or {}
         total_events += perf.get("events", 0)
         total_wall += perf.get("wall_s", 0.0)
+        for key, value in (result.stats.get("sanitizer") or {}).items():
+            san_totals[key] = san_totals.get(key, 0) + value
         if result.ok:
             extra = f" digest={result.digest()[:16]}" \
                 if args.keep_passing_digests else ""
@@ -88,6 +93,9 @@ def main(argv=None) -> int:
     print(f"\n{args.runs} scenario(s) in {elapsed:.1f}s, "
           f"{failures} failure(s); {total_events:,} simulated events "
           f"at {rate:,.0f} ev/s inside the runs")
+    if san_totals:
+        print("sanitizer: " + "  ".join(
+            f"{key}={san_totals[key]}" for key in sorted(san_totals)))
     if failures:
         print("failing plans dumped to tests/scenarios/corpus/ — "
               "replayed by tests/scenarios/test_corpus.py")

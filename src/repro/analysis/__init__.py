@@ -1,0 +1,43 @@
+"""Determinism & resource-safety static analysis for the reproduction.
+
+The repo's value is its *bit-reproducible* simulation of the paper's
+monitoring stack — and every PR so far has hand-fixed a determinism or
+resource-leak bug after the fact (cross-world id leaks, hash-seed-
+dependent orderings, stale waiters, orphaned timers).  This package
+catches those bug classes *mechanically*:
+
+* a static analyzer (``python -m repro.analysis`` / ``scripts/lint.py``)
+  with an AST rule engine, per-rule inline suppression
+  (``# repro: noqa[RULE]``) and a checked-in baseline file, emitting
+  human and JSON reports — see :mod:`repro.analysis.rules` for the rule
+  catalog and ``docs/ANALYSIS.md`` for the rationale of each rule;
+* a dynamic *sanitizer* mode (:mod:`repro.analysis.sanitizer`,
+  ``Simulator(sanitize=True)`` or ``REPRO_SANITIZE=1``) that asserts
+  kernel/world hygiene at teardown: no leaked subscription handles, no
+  orphaned timers or stale flag waiters, no cross-world object sharing,
+  and event-queue bookkeeping invariants.
+"""
+
+from __future__ import annotations
+
+from .engine import AnalysisResult, Analyzer, FileReport, Finding, analyze_paths
+from .baseline import Baseline
+from .report import render_human, render_json
+from .rules import RULES, Rule, rule_catalog
+from .sanitizer import SanitizeError, SanitizerState
+
+__all__ = [
+    "AnalysisResult",
+    "Analyzer",
+    "Baseline",
+    "FileReport",
+    "Finding",
+    "RULES",
+    "Rule",
+    "SanitizeError",
+    "SanitizerState",
+    "analyze_paths",
+    "render_human",
+    "render_json",
+    "rule_catalog",
+]

@@ -1,0 +1,120 @@
+"""CLI: ``python -m repro.analysis [paths...]``.
+
+Exit status: 0 when no unsuppressed, unbaselined findings (and no parse
+errors); 1 otherwise; 2 on usage errors.
+
+Examples::
+
+    python -m repro.analysis src/
+    python -m repro.analysis src/ --json
+    python -m repro.analysis src/ --rules DET003,DET005
+    python -m repro.analysis src/ --write-baseline   # adopt current findings
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baseline import Baseline, BaselineError
+from .engine import Analyzer
+from .report import render_human, render_json
+from .rules import RULES
+
+DEFAULT_BASELINE = ".repro-analysis-baseline.json"
+
+
+def _find_baseline(paths) -> Path | None:
+    """Walk up from the first path looking for the checked-in baseline."""
+    start = Path(paths[0]).resolve()
+    if start.is_file():
+        start = start.parent
+    for candidate in (start, *start.parents):
+        hit = candidate / DEFAULT_BASELINE
+        if hit.is_file():
+            return hit
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism & resource-safety static analyzer "
+                    "(rule catalog: docs/ANALYSIS.md)")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable report")
+    parser.add_argument("--rules", metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help=f"baseline file (default: nearest "
+                             f"{DEFAULT_BASELINE} above the first path)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="adopt every current finding into the "
+                             "baseline file and exit 0")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also list suppressed/baselined findings")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.code}  {rule.title}")
+        return 0
+
+    paths = args.paths or ["src"]
+    for path in paths:
+        if not Path(path).exists():
+            print(f"error: no such path {path!r}", file=sys.stderr)
+            return 2
+
+    baseline_path = None
+    baseline = Baseline.empty()
+    if not args.no_baseline:
+        baseline_path = Path(args.baseline) if args.baseline \
+            else _find_baseline(paths)
+        if baseline_path is not None and baseline_path.is_file():
+            try:
+                baseline = Baseline.load(baseline_path)
+            except BaselineError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+
+    select = None
+    if args.rules:
+        select = [c.strip() for c in args.rules.split(",") if c.strip()]
+        known = {r.code for r in RULES}
+        unknown = sorted(set(select) - known)
+        if unknown:
+            print(f"error: unknown rule(s) {', '.join(unknown)} "
+                  f"(known: {', '.join(sorted(known))})", file=sys.stderr)
+            return 2
+
+    analyzer = Analyzer(baseline=baseline, select=select)
+    result = analyzer.run([Path(p) for p in paths])
+
+    if args.write_baseline:
+        target = baseline_path or Path(paths[0]).resolve() \
+            .joinpath(DEFAULT_BASELINE)
+        if target.is_dir():  # pragma: no cover - defensive
+            target = target / DEFAULT_BASELINE
+        new_baseline = Baseline.from_findings(
+            result.findings + result.baselined)
+        new_baseline.save(target)
+        print(f"baseline written: {target} ({len(new_baseline)} entries)")
+        return 0
+
+    print(render_json(result) if args.json
+          else render_human(result, verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Baseline files: known findings the analyzer tolerates (and tracks).
+
+A baseline entry pins a finding by ``(rule, path, snippet)`` — the
+stripped source line, not the line number — so unrelated edits above a
+known finding don't invalidate the baseline.  Entries carry a count:
+two identical offending lines in one file need two entries (written
+automatically by ``--write-baseline``).
+
+The checked-in baseline for this repo (``.repro-analysis-baseline.json``)
+is **empty for src/** and must stay that way: real violations get fixed
+or carry an inline ``# repro: noqa[RULE]`` with a justification; the
+baseline exists for bulk-adopting legacy findings when the analyzer is
+pointed at new trees (benchmarks, examples, generated code).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["Baseline", "BaselineError", "SCHEMA"]
+
+SCHEMA = "repro-analysis-baseline/1"
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file."""
+
+
+class Baseline:
+    """A multiset of tolerated findings."""
+
+    def __init__(self, entries: Optional[dict] = None,
+                 path: Optional[Path] = None):
+        #: (rule, path, snippet) -> count
+        self.entries: dict[tuple, int] = dict(entries or {})
+        self.path = path
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls()
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        path = Path(path)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        if doc.get("schema") != SCHEMA:
+            raise BaselineError(
+                f"baseline {path}: unknown schema {doc.get('schema')!r} "
+                f"(expected {SCHEMA!r})")
+        entries: dict[tuple, int] = {}
+        for raw in doc.get("findings", ()):
+            try:
+                key = (raw["rule"], raw["path"], raw["snippet"])
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(
+                    f"baseline {path}: bad entry {raw!r}") from exc
+            entries[key] = entries.get(key, 0) + int(raw.get("count", 1))
+        return cls(entries, path=path)
+
+    @classmethod
+    def from_findings(cls, findings) -> "Baseline":
+        entries: dict[tuple, int] = {}
+        for finding in findings:
+            key = finding.key()
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries)
+
+    # -- persistence --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        findings = [{"rule": rule, "path": path, "snippet": snippet,
+                     "count": count}
+                    for (rule, path, snippet), count
+                    in sorted(self.entries.items())]
+        return {"schema": SCHEMA, "findings": findings}
+
+    def save(self, path) -> None:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2,
+                                   sort_keys=True) + "\n", encoding="utf-8")
+        self.path = path
+
+    # -- matching -----------------------------------------------------------
+
+    def matcher(self) -> "_BaselineMatcher":
+        """A consumable view for one analysis run (counts decrement as
+        findings match, so stale entries can be reported)."""
+        return _BaselineMatcher(dict(self.entries))
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+
+class _BaselineMatcher:
+    def __init__(self, remaining: dict):
+        self._remaining = remaining
+
+    def matches(self, finding) -> bool:
+        key = finding.key()
+        left = self._remaining.get(key, 0)
+        if left <= 0:
+            return False
+        self._remaining[key] = left - 1
+        return True
+
+    def unmatched(self) -> list:
+        """Stale entries: baselined findings that no longer occur."""
+        return [{"rule": rule, "path": path, "snippet": snippet,
+                 "count": count}
+                for (rule, path, snippet), count
+                in sorted(self._remaining.items()) if count > 0]

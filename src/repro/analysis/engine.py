@@ -1,0 +1,311 @@
+"""The analysis engine: discovery, rule dispatch, suppression, baseline.
+
+Pipeline (``Analyzer.run``):
+
+1. discover ``*.py`` files under the given paths (sorted, so reports
+   and baselines are machine-independent);
+2. parse each file once, building a :class:`FileContext` (AST, source
+   lines, import tables, pragmas) and folding per-file facts into the
+   cross-file :class:`ProjectIndex` (e.g. which attribute names are
+   set-typed — DET003 needs to see an attribute assigned in one module
+   and iterated in another);
+3. run every rule over every file;
+4. drop findings suppressed inline (``# repro: noqa[RULE]`` on the
+   offending line) or matched by the baseline file;
+5. report (see :mod:`repro.analysis.report`) and exit non-zero iff any
+   unsuppressed, unbaselined finding remains.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from .baseline import Baseline
+from .rules import RULES, Rule
+
+__all__ = ["Finding", "FileContext", "ProjectIndex", "FileReport",
+           "AnalysisResult", "Analyzer", "analyze_paths"]
+
+#: inline suppression: ``# repro: noqa`` (all rules) or
+#: ``# repro: noqa[DET001]`` / ``# repro: noqa[DET001,RES001]``
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9_,\s]+)\])?")
+
+#: file pragmas: ``# repro: hot-path`` etc.
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*(?P<name>[a-z-]+)\s*$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str              # POSIX-style, relative to the analysis root
+    line: int
+    col: int
+    message: str
+    snippet: str = ""      # the stripped source line (baseline identity)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def key(self) -> tuple[str, str, str]:
+        """Line-number-free identity used for baseline matching: the
+        snippet pins the finding to code, not to a drifting line."""
+        return (self.rule, self.path, self.snippet)
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message,
+                "snippet": self.snippet}
+
+
+class FileContext:
+    """Everything a rule may ask about one parsed file."""
+
+    def __init__(self, path: Path, root: Path, source: str):
+        self.path = path
+        self.rel_path = _relpath(path, root)
+        self.path_posix = path.as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        #: module alias table: real module -> {names it is bound to}
+        #: (``import random`` -> {"random"}, ``import random as rnd``
+        #: -> {"rnd"})
+        self.module_aliases: dict[str, frozenset] = {}
+        #: from-import table: module -> {names imported from it}
+        self.from_imports: dict[str, frozenset] = {}
+        self._pragmas = frozenset(
+            m.group("name")
+            for line in self.lines
+            for m in (_PRAGMA_RE.search(line),) if m is not None)
+        self._index_imports()
+
+    def _index_imports(self) -> None:
+        aliases: dict[str, set] = {}
+        froms: dict[str, set] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    aliases.setdefault(root, set()).add(
+                        (alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".")[0]
+                for alias in node.names:
+                    froms.setdefault(root, set()).add(alias.asname
+                                                      or alias.name)
+        self.module_aliases = {k: frozenset(v) for k, v in aliases.items()}
+        self.from_imports = {k: frozenset(v) for k, v in froms.items()}
+
+    def from_import(self, module: str) -> frozenset:
+        return self.from_imports.get(module, frozenset())
+
+    def has_pragma(self, name: str) -> bool:
+        return name in self._pragmas
+
+    def suppressed_codes(self, line: int) -> Optional[frozenset]:
+        """noqa codes active on ``line`` (1-based); ``frozenset()``
+        means a blanket ``# repro: noqa``; None means no suppression."""
+        if not 1 <= line <= len(self.lines):
+            return None
+        match = _NOQA_RE.search(self.lines[line - 1])
+        if match is None:
+            return None
+        codes = match.group("codes")
+        if codes is None:
+            return frozenset()
+        return frozenset(c.strip() for c in codes.split(",") if c.strip())
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+class ProjectIndex:
+    """Cross-file facts rules can consult (built in pass 1)."""
+
+    def __init__(self) -> None:
+        #: attribute names assigned/annotated as sets anywhere in the
+        #: analyzed tree — DET003's cross-module type oracle
+        self.set_attrs: set[str] = set()
+
+    def index_file(self, ctx: FileContext) -> None:
+        for node in ast.walk(ctx.tree):
+            target = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                value = node.value
+                annotation = None
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+                value = node.value
+                annotation = node.annotation
+            else:
+                continue
+            if not isinstance(target, ast.Attribute):
+                continue
+            from .rules import _annotation_is_set, _call_name
+            is_set = _annotation_is_set(annotation)
+            if not is_set and isinstance(value, ast.Call):
+                is_set = _call_name(value) == "set"
+            if not is_set and isinstance(value, (ast.Set, ast.SetComp)):
+                is_set = True
+            if is_set:
+                self.set_attrs.add(target.attr)
+
+
+@dataclass
+class FileReport:
+    """Per-file outcome: reported + suppressed findings."""
+
+    path: str
+    findings: list = field(default_factory=list)       # unsuppressed
+    suppressed: list = field(default_factory=list)
+    baselined: list = field(default_factory=list)
+    parse_error: Optional[str] = None
+
+
+@dataclass
+class AnalysisResult:
+    """The full run outcome the CLI and tests consume."""
+
+    root: str
+    reports: list = field(default_factory=list)
+    stale_baseline: list = field(default_factory=list)  # unmatched entries
+
+    @property
+    def findings(self) -> list:
+        return [f for rep in self.reports for f in rep.findings]
+
+    @property
+    def suppressed(self) -> list:
+        return [f for rep in self.reports for f in rep.suppressed]
+
+    @property
+    def baselined(self) -> list:
+        return [f for rep in self.reports for f in rep.baselined]
+
+    @property
+    def parse_errors(self) -> list:
+        return [(rep.path, rep.parse_error) for rep in self.reports
+                if rep.parse_error]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def counts(self) -> dict:
+        by_rule: dict[str, int] = {}
+        for finding in self.findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        return {"reported": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "baselined": len(self.baselined),
+                "parse_errors": len(self.parse_errors),
+                "by_rule": dict(sorted(by_rule.items()))}
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def discover(paths: Sequence[Path]) -> list[Path]:
+    """All ``*.py`` files under ``paths``, sorted, caches skipped."""
+    out: list[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            out.extend(p for p in sorted(path.rglob("*.py"))
+                       if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            out.append(path)
+    return sorted(set(out))
+
+
+class Analyzer:
+    """Run the rule catalog over a file set."""
+
+    def __init__(self, *, rules: Sequence[Rule] = RULES,
+                 baseline: Optional[Baseline] = None,
+                 select: Optional[Iterable[str]] = None):
+        self.rules = tuple(rules)
+        if select is not None:
+            wanted = frozenset(select)
+            self.rules = tuple(r for r in self.rules if r.code in wanted)
+        self.baseline = baseline or Baseline.empty()
+
+    def run(self, paths: Sequence[Path],
+            root: Optional[Path] = None) -> AnalysisResult:
+        files = discover([Path(p) for p in paths])
+        root = Path(root) if root is not None else _common_root(files)
+        contexts: list[FileContext] = []
+        result = AnalysisResult(root=str(root))
+        for path in files:
+            try:
+                source = path.read_text(encoding="utf-8")
+                contexts.append(FileContext(path, root, source))
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                report = FileReport(path=_relpath(path, root))
+                report.parse_error = f"{type(exc).__name__}: {exc}"
+                result.reports.append(report)
+        project = ProjectIndex()
+        for ctx in contexts:
+            project.index_file(ctx)
+        matcher = self.baseline.matcher()
+        for ctx in contexts:
+            report = FileReport(path=ctx.rel_path)
+            for rule in self.rules:
+                for line, col, message in rule.check(ctx, project):
+                    finding = Finding(rule=rule.code, path=ctx.rel_path,
+                                      line=line, col=col, message=message,
+                                      snippet=ctx.snippet(line))
+                    codes = ctx.suppressed_codes(line)
+                    if codes is not None and (not codes
+                                              or rule.code in codes):
+                        report.suppressed.append(finding)
+                    elif matcher.matches(finding):
+                        report.baselined.append(finding)
+                    else:
+                        report.findings.append(finding)
+            _sort_report(report)
+            result.reports.append(report)
+        result.reports.sort(key=lambda r: r.path)
+        result.stale_baseline = matcher.unmatched()
+        return result
+
+
+def _sort_report(report: FileReport) -> None:
+    for bucket in (report.findings, report.suppressed, report.baselined):
+        bucket.sort(key=lambda f: (f.line, f.col, f.rule))
+
+
+def _common_root(files: Sequence[Path]) -> Path:
+    if not files:
+        return Path(".")
+    parts = [p.resolve().parent.parts for p in files]
+    prefix = parts[0]
+    for other in parts[1:]:
+        n = 0
+        for a, b in zip(prefix, other):
+            if a != b:
+                break
+            n += 1
+        prefix = prefix[:n]
+    return Path(*prefix) if prefix else Path(".")
+
+
+def analyze_paths(paths: Sequence, *, baseline: Optional[Baseline] = None,
+                  select: Optional[Iterable[str]] = None,
+                  root: Optional[Path] = None) -> AnalysisResult:
+    """One-call API: analyze ``paths`` and return the result."""
+    return Analyzer(baseline=baseline, select=select).run(paths, root=root)

@@ -1,0 +1,64 @@
+"""Human and JSON renderings of an :class:`AnalysisResult`."""
+
+from __future__ import annotations
+
+import json
+
+from .rules import rule_catalog
+
+__all__ = ["render_human", "render_json", "JSON_SCHEMA"]
+
+JSON_SCHEMA = "repro-analysis/1"
+
+
+def render_human(result, *, verbose: bool = False) -> str:
+    """The terminal report: one line per finding, then a summary."""
+    lines: list[str] = []
+    for path, error in result.parse_errors:
+        lines.append(f"{path}: PARSE ERROR: {error}")
+    for finding in result.findings:
+        lines.append(f"{finding.location()}: {finding.rule} "
+                     f"{finding.message}")
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    if verbose:
+        for finding in result.suppressed:
+            lines.append(f"{finding.location()}: {finding.rule} "
+                         f"suppressed inline (noqa)")
+        for finding in result.baselined:
+            lines.append(f"{finding.location()}: {finding.rule} "
+                         f"baselined")
+    for entry in result.stale_baseline:
+        lines.append(f"stale baseline entry: {entry['rule']} "
+                     f"{entry['path']} {entry['snippet']!r} "
+                     f"(x{entry['count']}) — re-run --write-baseline")
+    counts = result.counts()
+    verdict = "clean" if result.ok else "FAILED"
+    summary = (f"repro.analysis: {verdict} — {counts['reported']} reported, "
+               f"{counts['suppressed']} suppressed, "
+               f"{counts['baselined']} baselined"
+               f" across {len(result.reports)} files")
+    if counts["by_rule"]:
+        per_rule = ", ".join(f"{code}: {n}"
+                             for code, n in counts["by_rule"].items())
+        summary += f" ({per_rule})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result) -> str:
+    """The machine report (schema ``repro-analysis/1``)."""
+    doc = {
+        "schema": JSON_SCHEMA,
+        "root": result.root,
+        "ok": result.ok,
+        "counts": result.counts(),
+        "rules": list(rule_catalog()),
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "stale_baseline": list(result.stale_baseline),
+        "parse_errors": [{"path": p, "error": e}
+                         for p, e in result.parse_errors],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Optional
+from types import MappingProxyType
+from typing import Any, Callable, Iterable, Mapping, Optional
 
 from ...simgrid.kernel import EventFlag, Simulator, Timeout
 from .entry import DN, Entry
@@ -35,7 +36,6 @@ __all__ = ["DirectoryServer", "DirectoryError", "Backend", "LDAPBackend",
            "PersistentSearch", "DEFAULT_INDEXED_ATTRS"]
 
 LDAP_PORT = 389
-_psearch_ids = itertools.count(1)
 
 
 class DirectoryError(RuntimeError):
@@ -234,7 +234,9 @@ class Backend:
         return len(self.entries)
 
 
-_EMPTY_DNS: dict = {}
+#: immutable lookup-miss sentinel shared by every backend — a plain
+#: module dict here would be mutable cross-world state
+_EMPTY_DNS: Mapping = MappingProxyType({})
 
 
 class LDAPBackend(Backend):
@@ -297,6 +299,9 @@ class DirectoryServer:
         self.replicator = DirectoryReplicator(self)
         self.referrals: list[Referral] = []
         self._psearches: dict[int, PersistentSearch] = {}
+        # per-server psearch ids (a module counter would leak across
+        # worlds and make ids depend on what ran earlier in the process)
+        self._psearch_ids = itertools.count(1)
         # networked-request queue served by a single worker
         self._queue: list[tuple[float, dict, Any]] = []
         self._queue_flag = EventFlag(sim, name=f"{name}.queue", reusable=True)
@@ -435,7 +440,7 @@ class DirectoryServer:
                           remote: Optional[tuple] = None) -> int:
         """Register interest; returns an id usable with :meth:`cancel_psearch`."""
         ps = PersistentSearch(
-            psearch_id=next(_psearch_ids), base=DN.of(base),
+            psearch_id=next(self._psearch_ids), base=DN.of(base),
             search_filter=parse_filter_cached(filter_text),
             callback=callback, remote=remote)
         self._psearches[ps.psearch_id] = ps

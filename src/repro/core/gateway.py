@@ -69,7 +69,7 @@ def _render(msg: ULMMessage, fmt: str):
     raise GatewayError(f"unknown event format {fmt!r}")
 
 
-@dataclass
+@dataclass(slots=True)
 class Subscription:
     """One consumer's event channel (or query registration)."""
 
@@ -140,7 +140,7 @@ class Subscription:
                 + self.dropped_blocked + self.shed_degraded)
 
 
-@dataclass
+@dataclass(slots=True)
 class _SensorHandle:
     sensor: Any
     manager: Any = None
@@ -204,7 +204,7 @@ class _SensorHandle:
         return pause_gap
 
 
-class EventGateway:
+class EventGateway:  # repro: noqa[SLOT001] — one per world, not per event
     """One gateway instance (usually on its own host, §2.3)."""
 
     def __init__(self, sim: Simulator, *, name: str = "gw0",
@@ -535,6 +535,8 @@ class EventGateway:
         self._subs[sub.sub_id] = sub
         if was_empty:
             self._set_forwarding(sensor_handle, True)
+        if self.sim._sanitize is not None:
+            self.sim._sanitize.track_handle(handle)
         return handle
 
     def subscribe(self, sensor_name: str, *, mode: str = "stream",

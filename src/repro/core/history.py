@@ -125,7 +125,9 @@ def compare_periods(archive: EventArchive, *,
     cur = summarize_period(archive, *current, host=host)
     events = set(base.by_event) | set(cur.by_event)
     deltas = []
-    for event in events:
+    # sorted: the rate-ratio sort below is stable, so tied deltas keep
+    # this order — set order would make report order machine-dependent
+    for event in sorted(events):
         b = base.by_event.get(event)
         c = cur.by_event.get(event)
         deltas.append(PeriodDelta(

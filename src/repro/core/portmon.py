@@ -122,7 +122,9 @@ class PortMonitorAgent:
                     if name in self._triggered:
                         wanted_running.add(name)
         # stop sensors we started whose every trigger port has gone idle
-        for name in list(self._triggered - wanted_running):
+        # sorted: set-difference iteration order is hash-seed dependent,
+        # and stop_sensor schedules kernel events in this order
+        for name in sorted(self._triggered - wanted_running):
             ports = [p for p, names in self.rules.items() if name in names]
             if all(self._port_idle(p) for p in ports):
                 self.manager.stop_sensor(name, requested_by="portmon-idle")

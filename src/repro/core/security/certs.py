@@ -17,13 +17,10 @@ ids, and non-Globus clients ... standard X.509 identity certificates".
 from __future__ import annotations
 
 import hashlib
-import itertools
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 __all__ = ["Certificate", "CertificateAuthority", "CertError", "TrustStore"]
-
-_serials = itertools.count(1000)
 
 
 class CertError(RuntimeError):
@@ -53,6 +50,8 @@ class Certificate:
     signature: str = ""
     #: holder's private secret (never serialized; used to sign proxies)
     _secret: str = field(default="", repr=False)
+    #: proxies minted from this certificate (drives proxy serials)
+    _proxies: int = field(default=0, repr=False)
 
     def content_digest(self) -> str:
         attrs = "|".join(f"{k}={v}" for k, v in sorted(self.attributes.items()))
@@ -73,10 +72,14 @@ class Certificate:
         if not self._secret:
             raise CertError("this certificate object does not hold the "
                             "private secret; only the holder can sign proxies")
+        # proxy serials derive from the parent serial, not a process
+        # counter: serials land in content_digest(), so worlds sharing
+        # the interpreter must mint identical sequences
+        self._proxies += 1
         proxy = Certificate(
             subject=f"{self.subject}/proxy",
             issuer=self.subject,
-            serial=next(_serials),
+            serial=self.serial * 1000 + self._proxies,
             not_before=self.not_before,
             not_after=min(not_after, self.not_after),
             attributes=dict(attributes or {}),
@@ -113,14 +116,18 @@ class CertificateAuthority:
         self.name = name
         self._secret = _digest("ca-secret", name, secret_seed)
         self.issued = 0
+        # per-CA serial space (serials are digested — see issue_proxy)
+        self._next_serial = 1000
 
     def issue(self, subject: str, *, not_before: float = 0.0,
               not_after: float = 1e9,
               attributes: Optional[Mapping[str, str]] = None) -> Certificate:
         if not subject:
             raise CertError("empty subject")
+        serial = self._next_serial
+        self._next_serial += 1
         cert = Certificate(subject=subject, issuer=self.name,
-                           serial=next(_serials), not_before=not_before,
+                           serial=serial, not_before=not_before,
                            not_after=not_after,
                            attributes=dict(attributes or {}))
         cert.signature = _digest(cert.content_digest(), self._secret)

@@ -12,7 +12,9 @@ from typing import Any, Type
 
 __all__ = ["register_sensor", "create_sensor", "sensor_types", "UnknownSensorType"]
 
-_REGISTRY: dict[str, type] = {}
+# import-time plugin registry (name -> class): populated once as sensor
+# modules import, read-only afterwards — not per-world state
+_REGISTRY: dict[str, type] = {}  # repro: noqa[DET005] — import-time plugin registry
 
 
 class UnknownSensorType(KeyError):

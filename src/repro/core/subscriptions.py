@@ -77,7 +77,7 @@ class WireFormat(str, Enum):
     BINARY = "binary"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Delivery:
     """Where a streaming subscription's events go.
 
@@ -115,7 +115,7 @@ class Delivery:
                 raise SpecError("remote delivery needs a (host, port) pair")
 
 
-@dataclass
+@dataclass(slots=True)
 class SubscriptionSpec:
     """Declarative description of one subscription.
 
@@ -232,11 +232,22 @@ class SubscriptionHandle:
     out to every :meth:`attach`-ed callback.
     """
 
+    # handles ride the per-event delivery path; __weakref__ lets the
+    # sanitizer track them without keeping them alive
+    __slots__ = ("gateway", "spec", "sub_id", "closed", "reaped",
+                 "superseded", "_admit", "_final_stats", "_callbacks",
+                 "_buffer", "_heal_tracker", "__weakref__")
+
     def __init__(self, gateway: Any, spec: SubscriptionSpec, sub_id: int):
         self.gateway = gateway
         self.spec = spec
         self.sub_id = sub_id
         self.closed = False
+        #: True once a self-healing session replaced this (reaped)
+        #: handle with a fresh subscription — the watchdog skips it
+        self.superseded = False
+        #: set by ClientSession.enable_auto_heal (resubscribe bookkeeping)
+        self._heal_tracker: Any = None
         #: True when the *gateway* tore the subscription down (dead
         #: consumer reap, gateway-host crash) rather than the consumer
         #: closing it — the signal self-healing sessions resubscribe on

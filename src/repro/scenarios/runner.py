@@ -99,6 +99,9 @@ class Scenario:
     #: consumer-session backpressure knobs (None -> spec defaults)
     outbox_limit: Optional[int] = None
     overflow_policy: Optional[str] = None
+    #: run under the dynamic sanitizer (checks fire at teardown only,
+    #: so digests are unaffected; tier-1 asserts bit-identity)
+    sanitize: bool = True
 
 
 @dataclass
@@ -261,7 +264,7 @@ class ScenarioRunner:
         sc = self.scenario
         # faults crash processes on purpose; non-strict keeps the kernel
         # running and lets the self-healing layers do their job
-        world = GridWorld(seed=sc.seed, strict=False)
+        world = GridWorld(seed=sc.seed, strict=False, sanitize=sc.sanitize)
         self.world = world
         clock = {"clock_offset": BASE_CLOCK_OFFSET}
         sensor_hosts = [world.add_host(f"s{i}.siteA", **clock)
@@ -407,6 +410,9 @@ class ScenarioRunner:
             "events_per_s": events / wall if wall > 0 else 0.0,
             "sim_time": self.world.sim.now,
         }
+        # teardown audit: the run is over, so a violation here is a real
+        # leak/staleness bug, not an in-flight transient
+        self.world.sanitize_check()
         return self.collect()
 
     # -- result collection ------------------------------------------------------
@@ -466,6 +472,7 @@ class ScenarioRunner:
                     "anti_entropy": directory.anti_entropy_snapshots,
                 },
                 "crashes": len(self.world.sim.crashes),
+                "sanitizer": self.world.sanitizer_stats(),
                 "perf": self._perf,
             })
         for checker in self.checkers:

@@ -139,17 +139,20 @@ class NICModel:
         self.multi_socket_loss = multi_socket_loss
         self.per_socket_cpu_factor = per_socket_cpu_factor
         self.pps_budget = pps_budget
-        self._active_rx_flows: set[Any] = set()
+        # insertion-ordered dict-as-set: the TCP model iterates this to
+        # sum flow rates (floats), and set order would make the sums —
+        # and thus packet timings — depend on object addresses
+        self._active_rx_flows: dict[Any, None] = {}
         self._cpu_token: Optional[int] = None
         self._current_pps = 0.0
 
     # -- flow registry ------------------------------------------------------
 
     def register_rx_flow(self, flow: Any) -> None:
-        self._active_rx_flows.add(flow)
+        self._active_rx_flows[flow] = None
 
     def unregister_rx_flow(self, flow: Any) -> None:
-        self._active_rx_flows.discard(flow)
+        self._active_rx_flows.pop(flow, None)
         if not self._active_rx_flows:
             self.set_rx_rate(0.0)
 

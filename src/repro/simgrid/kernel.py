@@ -148,7 +148,9 @@ class EventFlag:
     they wait).
     """
 
-    __slots__ = ("sim", "name", "reusable", "_triggered", "_value", "_waiters", "_callbacks")
+    # __weakref__ lets the sanitizer track live flags without pinning them
+    __slots__ = ("sim", "name", "reusable", "_triggered", "_value", "_waiters",
+                 "_callbacks", "__weakref__")
 
     def __init__(self, sim: "Simulator", name: str = "", *, reusable: bool = False):
         self.sim = sim
@@ -158,6 +160,8 @@ class EventFlag:
         self._value: Any = None
         self._waiters: list[Callable[[Any], None]] = []
         self._callbacks: list[Callable[[Any], None]] = []
+        if sim._sanitize is not None:
+            sim._sanitize.track_flag(self)
 
     @property
     def triggered(self) -> bool:
@@ -319,9 +323,24 @@ class Process:
             self._pending_cancel = self.sim.call_in(
                 condition.delay, self._step, None)
         elif type(condition) is EventFlag:
+            if condition.sim is not self.sim:
+                self._guard_world(condition)
             condition._add_waiter(self._flag_resume())
         else:
             self._wait_on(condition)
+
+    def _guard_world(self, obj: Any) -> None:
+        """A wait target belongs to a different simulator.
+
+        Historically this "worked" silently — the waiter was parked on
+        the other world's flag and either never fired or fired at that
+        world's virtual time, corrupting both event orders.  Under the
+        sanitizer it is a hard error; without it the legacy behavior is
+        preserved (some tests deliberately bridge worlds).
+        """
+        san = self.sim._sanitize
+        if san is not None:
+            san.cross_world(self, obj)
 
     def _flag_resume(self) -> Callable[[Any], None]:
         """A waiter callback valid only for the current wait.
@@ -336,16 +355,27 @@ class Process:
         def resume(value: Any) -> None:
             if token == self._wait_token and self.alive:
                 self._step(value)
+        if self.sim._sanitize is not None:
+            # stamp the closure so the sanitizer can map queued waiters
+            # back to (process, wait-token) at teardown
+            resume.__repro_proc__ = self
+            resume.__repro_token__ = token
         return resume
 
     def _wait_on(self, condition: Any) -> None:
         if isinstance(condition, Timeout):
             self._pending_cancel = self.sim.call_in(condition.delay, self._step, None)
         elif isinstance(condition, WaitEvent):
+            if condition.flag.sim is not self.sim:
+                self._guard_world(condition.flag)
             condition.flag._add_waiter(self._flag_resume())
         elif isinstance(condition, EventFlag):
+            if condition.sim is not self.sim:
+                self._guard_world(condition)
             condition._add_waiter(self._flag_resume())
         elif isinstance(condition, Process):
+            if condition.sim is not self.sim:
+                self._guard_world(condition)
             condition.done._add_waiter(self._flag_resume())
         elif isinstance(condition, AllOf):
             self._wait_all(condition.flags)
@@ -377,9 +407,14 @@ class Process:
                 if remaining == 0 and not resumed[0]:
                     resumed[0] = True
                     self._step(values)
+            if self.sim._sanitize is not None:
+                cb.__repro_proc__ = self
+                cb.__repro_token__ = token
             return cb
 
         for i, flag in enumerate(flags):
+            if flag.sim is not self.sim:
+                self._guard_world(flag)
             flag._add_waiter(make_cb(i))
 
     def _wait_any(self, flags: tuple) -> None:
@@ -394,9 +429,14 @@ class Process:
                     return
                 resumed[0] = True
                 self._step((flag, value))
+            if self.sim._sanitize is not None:
+                cb.__repro_proc__ = self
+                cb.__repro_token__ = token
             return cb
 
         for flag in flags:
+            if flag.sim is not self.sim:
+                self._guard_world(flag)
             flag._add_waiter(make_cb(flag))
 
     def _finish(self, value: Any, *, error: Optional[BaseException] = None,
@@ -434,7 +474,7 @@ class Process:
         return f"<Process {self.name!r} {state}>"
 
 
-class Simulator:
+class Simulator:  # repro: noqa[SLOT001] — one per world, not per event
     """The discrete-event loop.
 
     Typical use::
@@ -455,7 +495,20 @@ class Simulator:
     #: until their pop time comes around)
     COMPACT_MIN_CANCELLED = 64
 
-    def __init__(self, *, strict: bool = True):
+    def __init__(self, *, strict: bool = True,
+                 sanitize: Optional[bool] = None):
+        #: dynamic sanitizer state, or None when off.  ``sanitize=None``
+        #: defers to the ``REPRO_SANITIZE`` environment variable, so a
+        #: whole test run can be put under the sanitizer without code
+        #: changes.  Must be set before any EventFlag is created.
+        if sanitize is None:
+            from ..analysis.sanitizer import env_enabled
+            sanitize = env_enabled()
+        if sanitize:
+            from ..analysis.sanitizer import SanitizerState
+            self._sanitize: Optional[Any] = SanitizerState(self)
+        else:
+            self._sanitize = None
         #: current virtual time (seconds)
         self.now: float = 0.0
         #: raise on process crash immediately (strict) or record and continue
@@ -554,6 +607,27 @@ class Simulator:
     def flag(self, name: str = "", *, reusable: bool = False) -> EventFlag:
         """Create an :class:`EventFlag` bound to this simulator."""
         return EventFlag(self, name=name, reusable=reusable)
+
+    # -- dynamic sanitizer ---------------------------------------------------
+
+    def sanitize_check(self, *, raise_on_violation: bool = True) -> list[str]:
+        """Run the sanitizer's teardown checks (no-op list when off).
+
+        Intended to run after the simulation finishes: verifies queue
+        invariants, and looks for orphaned timers, stale flag waiters,
+        and leaked subscription handles.  Raises
+        :class:`repro.analysis.sanitizer.SanitizeError` on violation
+        unless ``raise_on_violation=False``.
+        """
+        if self._sanitize is None:
+            return []
+        return self._sanitize.check(raise_on_violation=raise_on_violation)
+
+    def sanitizer_stats(self) -> dict:
+        """Counter snapshot from the sanitizer (empty dict when off)."""
+        if self._sanitize is None:
+            return {}
+        return self._sanitize.stats()
 
     # -- execution ----------------------------------------------------------
 

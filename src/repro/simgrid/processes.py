@@ -10,14 +10,11 @@ page — §2.2 event consumers).
 from __future__ import annotations
 
 import enum
-import itertools
 from typing import Any, Callable, Optional
 
 from .kernel import EventFlag, Simulator
 
 __all__ = ["ProcState", "OSProcess", "ProcessTable"]
-
-_pids = itertools.count(100)
 
 
 class ProcState(enum.Enum):
@@ -41,7 +38,9 @@ class OSProcess:
         self.sim = sim
         self.name = name
         self.host = host
-        self.pid = next(_pids)
+        # per-world pid space (starting at 100, unix-style): a second
+        # world in the same process must mint the same pids
+        self.pid = 99 + sim.serial("pid")
         self.state = ProcState.RUNNING
         self.exit_code: Optional[int] = None
         self.started_at = sim.now

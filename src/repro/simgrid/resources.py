@@ -13,15 +13,12 @@ number of CPUs; a time-weighted accumulator supports windowed averages.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Optional
 
 from .kernel import Simulator
 
 __all__ = ["CPUModel", "MemoryModel", "CPUSample", "MemorySample"]
-
-_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -59,6 +56,9 @@ class CPUModel:
         self.sim = sim
         self.ncpus = ncpus
         self._contribs: dict[int, tuple[float, float]] = {}
+        # per-model token sequence: process-global counters would leak
+        # across worlds sharing the interpreter
+        self._next_token = 0
         # time-weighted integrals for windowed averages
         self._last_update = sim.now
         self._user_integral = 0.0
@@ -71,7 +71,8 @@ class CPUModel:
         if user < 0 or system < 0:
             raise ValueError("negative CPU demand")
         self._accumulate()
-        token = next(_ids)
+        self._next_token += 1
+        token = self._next_token
         self._contribs[token] = (user, system)
         return token
 
@@ -145,6 +146,7 @@ class MemoryModel:
             raise ValueError("total_kb must be positive")
         self.total_kb = total_kb
         self._allocs: dict[int, int] = {}
+        self._next_token = 0
 
     @property
     def used_kb(self) -> int:
@@ -160,7 +162,8 @@ class MemoryModel:
             raise ValueError("negative allocation")
         if kb > self.free_kb:
             return None
-        token = next(_ids)
+        self._next_token += 1
+        token = self._next_token
         self._allocs[token] = kb
         return token
 

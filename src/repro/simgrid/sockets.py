@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from .host import Host
@@ -24,16 +24,19 @@ from .network import NoRouteError
 
 __all__ = ["Message", "MessageTransport", "DeliveryError"]
 
-_msg_ids = itertools.count(1)
-
 
 class DeliveryError(RuntimeError):
     """Message could not be delivered (no route / no listener / host down)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
-    """A delivered control-plane message."""
+    """A delivered control-plane message.
+
+    ``msg_id`` is allocated by the sending transport (per-world), never
+    from process-global state: two worlds in one process must mint
+    identical id sequences for identical runs.
+    """
 
     src_host: Host
     dst_host: Host
@@ -41,7 +44,7 @@ class Message:
     dst_port: int
     payload: Any
     size_bytes: int
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    msg_id: int = 0
     sent_at: float = 0.0
     delivered_at: float = 0.0
 
@@ -50,7 +53,7 @@ class Message:
         return self.delivered_at - self.sent_at
 
 
-class MessageTransport:
+class MessageTransport:  # repro: noqa[SLOT001] — one per world, not per event
     """Reliable small-message delivery over a :class:`Network`.
 
     ``handler(message, transport)`` bound via ``host.ports.bind`` is
@@ -81,6 +84,7 @@ class MessageTransport:
         self.per_host_sent: dict[str, int] = {}
         self.per_host_bytes: dict[str, int] = {}
         self._ephemeral = itertools.count(32768)
+        self._msg_ids = itertools.count(1)
         #: arrival-time -> [(msg, on_fail, on_delivered)] — messages due
         #: at the same instant share one scheduled wakeup that drains
         #: the burst FIFO, instead of one kernel event per message.
@@ -108,7 +112,7 @@ class MessageTransport:
             src_port = next(self._ephemeral)
         msg = Message(src_host=src, dst_host=dst, src_port=src_port,
                       dst_port=dst_port, payload=payload, size_bytes=size,
-                      sent_at=self.sim.now)
+                      msg_id=next(self._msg_ids), sent_at=self.sim.now)
         if not src.up or not dst.up:
             down = src.name if not src.up else dst.name
             self.messages_dropped += 1

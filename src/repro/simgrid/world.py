@@ -37,8 +37,9 @@ OC48_BPS = 2400e6
 class GridWorld:
     """A simulated Grid: hosts + topology + shared infrastructure."""
 
-    def __init__(self, *, seed: int = 0, strict: bool = True):
-        self.sim = Simulator(strict=strict)
+    def __init__(self, *, seed: int = 0, strict: bool = True,
+                 sanitize: Optional[bool] = None):
+        self.sim = Simulator(strict=strict, sanitize=sanitize)
         self.network = Network()
         self.rng = RandomStreams(seed)
         self.transport = MessageTransport(self.sim, self.network,
@@ -171,6 +172,13 @@ class GridWorld:
 
     def run(self, until: Optional[float] = None, **kwargs) -> float:
         return self.sim.run(until=until, **kwargs)
+
+    def sanitize_check(self, *, raise_on_violation: bool = True) -> list[str]:
+        """Teardown sanitizer checks (see :meth:`Simulator.sanitize_check`)."""
+        return self.sim.sanitize_check(raise_on_violation=raise_on_violation)
+
+    def sanitizer_stats(self) -> dict:
+        return self.sim.sanitizer_stats()
 
     @property
     def now(self) -> float:

@@ -39,8 +39,10 @@ _HEAD_SIZE = _HEAD.size
 #: across millions of records: HOST/PROG/LVL tokens and field names.
 #: Decoding and validating (regex / whitespace scan) then run once per
 #: distinct byte string, not once per record.
-_token_cache: dict = {}   # str8 bytes -> non-empty whitespace-free token
-_name_cache: dict = {}    # str8 bytes -> valid non-required field name
+# value-keyed caches (input bytes -> decoded value): a hit returns the
+# same string a miss would compute, so cross-world sharing is safe
+_token_cache: dict = {}   # repro: noqa[DET005] str8 bytes -> whitespace-free token
+_name_cache: dict = {}    # repro: noqa[DET005] str8 bytes -> valid field name
 
 
 def _cached_token(raw: bytes, req_name: str) -> str:

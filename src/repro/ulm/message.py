@@ -18,7 +18,9 @@ from .fields import (DATE, FieldError, HOST, LVL, NL_EVNT, PROG,
 
 __all__ = ["ULMMessage"]
 
-_seq = itertools.count()
+# offset-invariant: only *relative* order of seq values within one run
+# matters (same-date tie-break), so the process-global counter is safe
+_seq = itertools.count()  # repro: noqa[DET005] — offset-invariant tie-break
 
 
 class ULMMessage:

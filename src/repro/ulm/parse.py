@@ -46,7 +46,9 @@ def _unescape_repl(m: "re.Match[str]") -> str:
 #: field names that already passed :func:`is_valid_field_name` — sensor
 #: streams reuse a handful of names, so the bare-line fast path skips
 #: the name regex entirely for names it has seen
-_known_names: set = set()
+# membership-only cache: growth changes neither parse results nor any
+# iteration order (never iterated), so cross-world sharing is safe
+_known_names: set = set()  # repro: noqa[DET005] — membership-only cache
 
 
 def _quote(value: str) -> str:

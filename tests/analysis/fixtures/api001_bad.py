@@ -1,0 +1,9 @@
+"""API001 fixture: the deprecated stringly subscribe() shim."""
+
+
+def tap(gateway, sensor_name, sink):
+    return gateway.subscribe(sensor_name, callback=sink)
+
+
+def forward(gateway, sensor_name, address):
+    return gateway.subscribe(sensor_name, remote=address)

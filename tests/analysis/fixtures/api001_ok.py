@@ -1,0 +1,10 @@
+"""API001 clean fixture: typed specs through .open()."""
+
+
+def tap(gateway, spec):
+    return gateway.open(spec)
+
+
+def resubscribe(bus, topic):
+    # non-gateway subscribe() APIs (message buses etc.) are fine
+    return bus.subscribe(topic)

@@ -1,0 +1,20 @@
+"""DET001 fixture: wall-clock reads in simulation code."""
+import time
+from datetime import datetime
+from time import localtime
+
+
+def stamp():
+    return time.time()
+
+
+def pretty():
+    return time.ctime()
+
+
+def when():
+    return datetime.now()
+
+
+def bare():
+    return localtime()

@@ -1,0 +1,12 @@
+"""DET001 clean fixture: perf_counter is sanctioned for measuring."""
+import time
+
+
+def measure(run):
+    start = time.perf_counter()
+    run()
+    return time.perf_counter() - start
+
+
+def timestamp(host):
+    return host.timestamp()

@@ -1,0 +1,20 @@
+"""DET002 fixture: process-global entropy."""
+import random
+import uuid
+from random import randint
+
+
+def jitter():
+    return random.random()
+
+
+def pick(items):
+    return random.choice(items)
+
+
+def roll():
+    return randint(1, 6)
+
+
+def ident():
+    return uuid.uuid4()

@@ -1,0 +1,9 @@
+"""DET002 clean fixture: per-world seeded streams."""
+
+
+def jitter(world):
+    return world.rng.stream("jitter").random()
+
+
+def ident(sim):
+    return sim.serial("ident")

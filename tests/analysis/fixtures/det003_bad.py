@@ -1,0 +1,14 @@
+"""DET003 fixture: iteration over unordered sets."""
+
+
+def down_names(hosts):
+    down = {h for h in hosts if not h.up}
+    out = []
+    for host in down:
+        out.append(host.name)
+    return out
+
+
+def total_rate(flows):
+    active = set(flows)
+    return sum(f.rate for f in active)

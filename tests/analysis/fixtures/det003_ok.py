@@ -1,0 +1,14 @@
+"""DET003 clean fixture: sorted() or order-insensitive sinks."""
+
+
+def down_names(hosts):
+    down = {h for h in hosts if not h.up}
+    out = []
+    for host in sorted(down, key=lambda h: h.name):
+        out.append(host.name)
+    return out
+
+
+def any_down(hosts):
+    down = {h for h in hosts if not h.up}
+    return len(down) > 0

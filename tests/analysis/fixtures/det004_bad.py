@@ -1,0 +1,5 @@
+"""DET004 fixture: id() as identity."""
+
+
+def event_name(obj):
+    return f"evt-{id(obj)}"

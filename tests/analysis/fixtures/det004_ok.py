@@ -1,0 +1,5 @@
+"""DET004 clean fixture: per-world serial numbers."""
+
+
+def event_name(sim):
+    return f"evt-{sim.serial('evt')}"

@@ -1,0 +1,11 @@
+"""DET005 fixture: mutable module-level state."""
+import itertools
+
+_counters = {}
+_ids = itertools.count(1)
+_pending: list = []
+
+
+def bump(name):
+    _counters[name] = _counters.get(name, 0) + 1
+    return _counters[name]

@@ -1,0 +1,7 @@
+"""DET005 clean fixture: constant tables and immutable bindings."""
+
+_OPS = {"lt": 1, "gt": 2}
+
+KINDS = ("crash", "partition", "clock_skew")
+
+_NAMES = frozenset(("a", "b"))

@@ -1,0 +1,13 @@
+"""RES001 fixture: resources opened and never discharged."""
+
+
+def count_once(gateway, spec):
+    handle = gateway.open(spec)
+    total = 0
+    for _msg in handle.events():
+        total += 1
+    return total
+
+
+def fire_and_forget(client, spec):
+    client.session(spec)

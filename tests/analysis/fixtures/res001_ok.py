@@ -1,0 +1,14 @@
+"""RES001 clean fixture: close, return, or store the handle."""
+
+
+def count_once(gateway, spec):
+    handle = gateway.open(spec)
+    try:
+        return sum(1 for _ in handle.events())
+    finally:
+        handle.close()
+
+
+def open_for_caller(gateway, spec):
+    handle = gateway.open(spec)
+    return handle

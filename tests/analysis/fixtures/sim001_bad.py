@@ -1,0 +1,12 @@
+"""SIM001 fixture: real blocking calls / OS concurrency."""
+import threading
+import time
+from socket import create_connection
+
+
+def pause():
+    time.sleep(0.5)
+
+
+def spin():
+    return threading.Thread(target=pause)

@@ -1,0 +1,6 @@
+"""SIM001 clean fixture: virtual-time waits."""
+from repro.simgrid.kernel import Timeout
+
+
+def pause():
+    yield Timeout(0.5)

@@ -1,0 +1,7 @@
+"""SLOT001 fixture: unslotted class on the hot path."""
+# repro: hot-path
+
+
+class PerEventRecord:
+    def __init__(self, seq):
+        self.seq = seq

@@ -1,0 +1,30 @@
+"""SLOT001 clean fixture: slotted / exempt classes on the hot path."""
+# repro: hot-path
+from dataclasses import dataclass
+from enum import Enum
+
+
+class PerEventRecord:
+    __slots__ = ("seq",)
+
+    def __init__(self, seq):
+        self.seq = seq
+
+
+@dataclass(slots=True)
+class WireRecord:
+    seq: int = 0
+
+
+class Mode(Enum):
+    LIVE = 1
+    REPLAY = 2
+
+
+class FixtureError(ValueError):
+    pass
+
+
+class PerWorldRegistry:  # repro: noqa[SLOT001] — one per world
+    def __init__(self):
+        self.entries = {}

@@ -1,0 +1,161 @@
+"""Engine mechanics: suppression, baseline round-trip, JSON schema, CLI."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.__main__ import main as cli_main
+from repro.analysis.baseline import SCHEMA as BASELINE_SCHEMA, Baseline
+from repro.analysis.engine import analyze_paths
+from repro.analysis.report import JSON_SCHEMA, render_human, render_json
+
+BAD_SOURCE = """\
+import time
+
+
+def stamp():
+    return time.time()
+"""
+
+CLEAN_SOURCE = """\
+def stamp(sim):
+    return sim.now
+"""
+
+
+def _write(tmp_path: Path, source: str, name: str = "mod.py") -> Path:
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+# -- inline suppression ------------------------------------------------------
+
+
+def test_noqa_with_matching_code_suppresses(tmp_path):
+    path = _write(tmp_path,
+                  "import time\n\n\ndef stamp():\n"
+                  "    return time.time()  # repro: noqa[DET001]\n")
+    result = analyze_paths([path], root=tmp_path)
+    assert result.ok
+    assert [f.rule for f in result.suppressed] == ["DET001"]
+
+
+def test_blanket_noqa_suppresses_all_rules(tmp_path):
+    path = _write(tmp_path,
+                  "import time\n\n\ndef stamp():\n"
+                  "    return time.time()  # repro: noqa\n")
+    result = analyze_paths([path], root=tmp_path)
+    assert result.ok and result.suppressed
+
+
+def test_noqa_with_other_code_does_not_suppress(tmp_path):
+    path = _write(tmp_path,
+                  "import time\n\n\ndef stamp():\n"
+                  "    return time.time()  # repro: noqa[DET002]\n")
+    result = analyze_paths([path], root=tmp_path)
+    assert not result.ok
+    assert [f.rule for f in result.findings] == ["DET001"]
+
+
+# -- baseline round-trip -----------------------------------------------------
+
+
+def test_baseline_round_trip(tmp_path):
+    path = _write(tmp_path, BAD_SOURCE)
+    first = analyze_paths([path], root=tmp_path)
+    assert first.findings
+
+    baseline = Baseline.from_findings(first.findings)
+    baseline_path = tmp_path / "baseline.json"
+    baseline.save(baseline_path)
+
+    doc = json.loads(baseline_path.read_text())
+    assert doc["schema"] == BASELINE_SCHEMA
+    assert all({"rule", "path", "snippet", "count"} <= set(e)
+               for e in doc["findings"])
+
+    second = analyze_paths([path], root=tmp_path,
+                           baseline=Baseline.load(baseline_path))
+    assert second.ok
+    assert len(second.baselined) == len(first.findings)
+    assert not second.stale_baseline
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    path = _write(tmp_path, BAD_SOURCE)
+    baseline = Baseline.from_findings(analyze_paths([path],
+                                                    root=tmp_path).findings)
+    # add lines above: line numbers move, (rule, path, snippet) doesn't
+    path.write_text("# a new header comment\n# another\n" + BAD_SOURCE)
+    drifted = analyze_paths([path], root=tmp_path, baseline=baseline)
+    assert drifted.ok and drifted.baselined
+
+
+def test_fixed_finding_reports_stale_baseline(tmp_path):
+    path = _write(tmp_path, BAD_SOURCE)
+    baseline = Baseline.from_findings(analyze_paths([path],
+                                                    root=tmp_path).findings)
+    path.write_text(CLEAN_SOURCE)
+    result = analyze_paths([path], root=tmp_path, baseline=baseline)
+    assert result.stale_baseline
+    assert "stale baseline entry" in render_human(result)
+
+
+# -- JSON report schema ------------------------------------------------------
+
+
+def test_json_report_schema(tmp_path):
+    path = _write(tmp_path, BAD_SOURCE)
+    doc = json.loads(render_json(analyze_paths([path], root=tmp_path)))
+    assert doc["schema"] == JSON_SCHEMA
+    assert {"root", "ok", "counts", "rules", "findings", "suppressed",
+            "baselined", "stale_baseline", "parse_errors"} <= set(doc)
+    assert doc["ok"] is False
+    for finding in doc["findings"]:
+        assert set(finding) == {"rule", "path", "line", "col", "message",
+                                "snippet"}
+    assert {"code", "title", "rationale"} <= set(doc["rules"][0])
+    counts = doc["counts"]
+    assert counts["reported"] == len(doc["findings"])
+    assert counts["by_rule"] == {"DET001": 1}
+
+
+# -- CLI exit codes ----------------------------------------------------------
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    bad = _write(tmp_path, BAD_SOURCE, "bad.py")
+    assert cli_main([str(bad), "--no-baseline"]) == 1
+
+    clean = _write(tmp_path, CLEAN_SOURCE, "clean.py")
+    assert cli_main([str(clean), "--no-baseline"]) == 0
+
+    assert cli_main([str(tmp_path / "missing.py")]) == 2
+    assert cli_main([str(bad), "--rules", "NOPE001"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_write_baseline_then_clean(tmp_path, capsys):
+    bad = _write(tmp_path, BAD_SOURCE, "bad.py")
+    baseline_path = tmp_path / "bl.json"
+    assert cli_main([str(bad), "--baseline", str(baseline_path),
+                     "--write-baseline"]) == 0
+    assert baseline_path.is_file()
+    assert cli_main([str(bad), "--baseline", str(baseline_path)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out and "1 baselined" in out
+
+
+def test_cli_json_flag_emits_schema(tmp_path, capsys):
+    bad = _write(tmp_path, BAD_SOURCE, "bad.py")
+    assert cli_main([str(bad), "--no-baseline", "--json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == JSON_SCHEMA
+
+
+def test_parse_error_fails_run(tmp_path, capsys):
+    broken = _write(tmp_path, "def broken(:\n", "broken.py")
+    result = analyze_paths([broken], root=tmp_path)
+    assert not result.ok and result.parse_errors
+    assert cli_main([str(broken), "--no-baseline"]) == 1
+    capsys.readouterr()

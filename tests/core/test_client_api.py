@@ -352,12 +352,21 @@ class TestIdempotentTeardown:
         h2 = collector.subscribe(gw, "vmstat@dpss1.lbl.gov")
         h3 = collector.subscribe(gw, "vmstat@dpss1.lbl.gov")
 
-        def exploding_close():
-            raise RuntimeError("gateway vanished")
+        # SubscriptionHandle is slotted, so patch at class level and
+        # make only h2 explode
+        orig_close = type(h2).close
 
-        h2.close = exploding_close
-        with pytest.raises(TeardownError) as excinfo:
-            collector.unsubscribe_all()
+        def exploding_close(self):
+            if self is h2:
+                raise RuntimeError("gateway vanished")
+            return orig_close(self)
+
+        type(h2).close = exploding_close
+        try:
+            with pytest.raises(TeardownError) as excinfo:
+                collector.unsubscribe_all()
+        finally:
+            type(h2).close = orig_close
         # the broken handle did not strand the others
         assert h1.closed and h3.closed
         assert len(excinfo.value.failures) == 1
