@@ -1,0 +1,182 @@
+"""Segmented archive: windowed queries and month-scale rollup summaries.
+
+One month of monotonically timestamped events lands in a segmented
+:class:`EventArchive` (sealed every ``_SEGMENT_EVENTS`` admissions) and
+in the seed arrival-order store, at two population sizes (~100k and
+~1M, rounded to a whole number of segments so the write head is empty
+and the summaries measure catalog/rollup serving — a partial head adds
+a bounded O(segment_events) raw-scan term to every summary, which at
+these sizes would swamp the sub-millisecond rollup numbers):
+
+* ``windowed_query`` — ~100-event windows at rotating offsets; the
+  catalog binary-search touches only overlapping segments while the
+  seed engine runs the predicate over every archived message.
+* ``summarize_month`` vs ``summarize_minute`` — the same
+  ``summarize_window`` call over the full month and over one minute.
+  Rollup serving makes the month cost about the same as the minute
+  (``month_over_minute`` is the per-call time ratio; the acceptance
+  bar is <= 2); the seed path re-scans all raw events per summary.
+
+Results carry parity asserts: segmented windows must equal the seed
+predicate scan bit-for-bit, and month summaries must match a brute
+accumulation over the raw messages.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.archive import ArchiveQuery, EventArchive
+from repro.ulm import ULMMessage
+
+from . import baseline
+from .timing import best_rate
+
+__all__ = ["run", "build_pair"]
+
+_HOSTS = 20
+_EVENTS = ("CPU_USAGE", "MEM_USAGE", "NET_IO", "DISK_IO", "PROC_COUNT")
+_T0 = 100.0
+_MONTH_S = 30 * 24 * 3600.0
+_MINUTE_S = 60.0
+_SEGMENT_EVENTS = 4096
+
+
+def build_pair(n_events: int,
+               segment_events: int = _SEGMENT_EVENTS
+               ) -> tuple[EventArchive,
+                          "baseline.SeedEventArchive", float]:
+    """One month of events in a segmented archive and the seed store."""
+    dt = _MONTH_S / n_events
+    archive = EventArchive(name="bench-segmented",
+                           segment_events=segment_events)
+    seed = baseline.SeedEventArchive()
+    hosts = [f"host{i:02d}.lbl.gov" for i in range(_HOSTS)]
+    for i in range(n_events):
+        msg = ULMMessage(date=_T0 + i * dt, host=hosts[i % _HOSTS],
+                         prog="sensor", event=_EVENTS[i % len(_EVENTS)],
+                         fields={"VALUE": str(i % 97)})
+        archive.append(msg)
+        seed.append(msg)
+    return archive, seed, dt
+
+
+def _queries(n_events: int, n_queries: int, dt: float) -> list[ArchiveQuery]:
+    width = 100 * dt  # ~100 events per window
+    out = []
+    for i in range(n_queries):
+        t0 = _T0 + (i * 5323 % max(n_events - 100, 1)) * dt
+        out.append(ArchiveQuery(t0=t0, t1=min(t0 + width,
+                                              _T0 + n_events * dt)))
+    return out
+
+
+def _drive_queries(store, queries: list[ArchiveQuery]) -> int:
+    found = 0
+    for q in queries:
+        found += len(store.query(q))
+    return found
+
+
+def _brute_summary(seed, t0: float, t1: float) -> dict:
+    """summarize_window semantics over the seed store's raw messages."""
+    out: dict = {}
+    for msg in seed.messages:
+        if not t0 <= msg.date < t1:
+            continue
+        raw = msg.fields.get("VALUE")
+        try:
+            value = float(raw) if raw is not None else None
+        except ValueError:
+            value = None
+        row = out.setdefault(msg.event or "?",
+                             [0, 0.0, 0, math.inf, -math.inf])
+        row[0] += 1
+        if value is not None:
+            row[1] += value
+            row[2] += 1
+            row[3] = min(row[3], value)
+            row[4] = max(row[4], value)
+    return {event: tuple(row) for event, row in out.items()}
+
+
+def _assert_summary_parity(got: dict, want: dict) -> None:
+    assert set(got) == set(want), f"event sets differ: {got} vs {want}"
+    for event, row in want.items():
+        g = got[event]
+        assert g[0] == row[0] and g[2] == row[2], f"counts differ: {event}"
+        for i in (1, 3, 4):
+            assert math.isclose(g[i], row[i], rel_tol=1e-9, abs_tol=1e-9), \
+                f"{event}[{i}]: {g[i]} != {row[i]}"
+
+
+def _drive_summaries(fn, windows) -> int:
+    total = 0
+    for t0, t1 in windows:
+        total += len(fn(t0, t1))
+    return total
+
+
+def _bench_size(n_events: int, quick: bool) -> dict:
+    n_queries = 5 if quick else (20 if n_events <= 100000 else 8)
+    n_summaries = 2 if quick else (8 if n_events <= 100000 else 4)
+    repeats = 1 if quick else 3
+    # quick mode still needs sealed segments for the rollup path to run
+    seg_events = 128 if quick else _SEGMENT_EVENTS
+    archive, seed, dt = build_pair(n_events, seg_events)
+    t_end = _T0 + n_events * dt
+
+    queries = _queries(n_events, n_queries, dt)
+    for q in queries[:3]:
+        assert archive.query(q) == seed.query(q), f"mismatch for {q}"
+
+    # rotating minute windows so repeated summaries don't ride one warm path
+    month = [(_T0, t_end)] * n_summaries
+    minute = []
+    for i in range(n_summaries):
+        t0 = _T0 + (i * 9973 % max(n_events - 100, 1)) * dt
+        minute.append((t0, t0 + _MINUTE_S))
+    _assert_summary_parity(archive.summarize_window(_T0, t_end),
+                           _brute_summary(seed, _T0, t_end))
+
+    row: dict = {
+        "n_events": n_events,
+        "windowed_query": {
+            "n_queries": n_queries,
+            "queries_per_s": best_rate(
+                lambda: _drive_queries(archive, queries), n_queries,
+                repeats),
+            "seed_queries_per_s": best_rate(
+                lambda: _drive_queries(seed, queries), n_queries, repeats),
+        },
+        "summarize_minute": {
+            "summaries_per_s": best_rate(
+                lambda: _drive_summaries(archive.summarize_window, minute),
+                n_summaries, repeats),
+        },
+        "summarize_month": {
+            "summaries_per_s": best_rate(
+                lambda: _drive_summaries(archive.summarize_window, month),
+                n_summaries, repeats),
+            "seed_summaries_per_s": best_rate(
+                lambda: _drive_summaries(
+                    lambda t0, t1: _brute_summary(seed, t0, t1), month),
+                n_summaries, repeats),
+        },
+    }
+    wq = row["windowed_query"]
+    wq["speedup"] = wq["queries_per_s"] / wq["seed_queries_per_s"]
+    sm = row["summarize_month"]
+    sm["speedup"] = sm["summaries_per_s"] / sm["seed_summaries_per_s"]
+    # per-call time ratio: how much more a month costs than a minute
+    row["month_over_minute"] = (row["summarize_minute"]["summaries_per_s"]
+                                / sm["summaries_per_s"])
+    return row
+
+
+def run(quick: bool = False) -> dict:
+    sizes = (2048,) if quick else (102400, 1048576)
+    out: dict = {"segment_events": 128 if quick else _SEGMENT_EVENTS}
+    for n_events in sizes:
+        out[f"events_{n_events}"] = _bench_size(n_events, quick)
+    return out

@@ -26,7 +26,7 @@ def test_bench_quick_runs_and_writes_schema(tmp_path):
     proc = run_bench(out)
     assert proc.returncode == 0, proc.stderr
     doc = json.loads(out.read_text())
-    assert doc["schema"] == "repro-bench/3"
+    assert doc["schema"] == "repro-bench/4"
     assert doc["quick"] is True
     assert doc["only"] is None
     benches = doc["benchmarks"]
@@ -54,6 +54,18 @@ def test_bench_quick_runs_and_writes_schema(tmp_path):
         assert archive[key]["queries_per_s"] > 0
         assert archive[key]["seed_queries_per_s"] > 0
         assert archive[key]["speedup"] > 0
+    segmented = benches["archive_segmented"]
+    assert segmented["segment_events"] > 0
+    seg_rows = [row for name, row in segmented.items()
+                if name.startswith("events_")]
+    assert seg_rows, "no per-size segmented rows"
+    for row in seg_rows:
+        assert row["windowed_query"]["queries_per_s"] > 0
+        assert row["windowed_query"]["seed_queries_per_s"] > 0
+        assert row["summarize_minute"]["summaries_per_s"] > 0
+        assert row["summarize_month"]["summaries_per_s"] > 0
+        assert row["summarize_month"]["seed_summaries_per_s"] > 0
+        assert row["month_over_minute"] > 0
     kernel = benches["sim_kernel"]
     for key in ("immediate_dispatch", "flag_wakeups", "timer_churn",
                 "cancel_churn"):
@@ -84,6 +96,11 @@ def test_bench_rerun_appends_history(tmp_path):
             "summary_ingest": {"samples_per_s": 4.0},
             "directory_search": {"indexed_eq": {"searches_per_s": 5.0}},
             "archive_query": {"narrow_window": {"queries_per_s": 6.0}},
+            "archive_segmented": {
+                "segment_events": 4096,
+                "events_100000": {
+                    "month_over_minute": 1.5,
+                    "summarize_month": {"summaries_per_s": 9.0}}},
             "sim_kernel": {"immediate_dispatch": {"events_per_s": 7.0}},
             "scenario_throughput": {"events_per_s": 8.0}},
         "history": [{"generated_unix": 1600000000}]}
@@ -98,6 +115,10 @@ def test_bench_rerun_appends_history(tmp_path):
     assert doc["history"][1]["fanout_events_per_s"] == {"1": 3.0}
     assert doc["history"][1]["directory_searches_per_s"] == 5.0
     assert doc["history"][1]["archive_queries_per_s"] == 6.0
+    assert doc["history"][1]["segmented_month_over_minute"] == {
+        "events_100000": 1.5}
+    assert doc["history"][1]["segmented_month_summaries_per_s"] == {
+        "events_100000": 9.0}
     assert doc["history"][1]["kernel_dispatch_events_per_s"] == 7.0
     assert doc["history"][1]["scenario_events_per_s"] == 8.0
 

@@ -19,9 +19,11 @@ the named sections; results for the other sections are carried forward
 unchanged from the existing output file, so the document stays complete
 and comparable.
 
-The JSON schema (``repro-bench/3``) adds ``sim_kernel`` and
-``scenario_throughput`` sections to ``repro-bench/2``; see
-PERFORMANCE.md for the full field list.  Rates are items (events,
+The JSON schema (``repro-bench/4``) adds the ``archive_segmented``
+section (segmented windowed queries plus month-vs-minute rollup
+summaries) to ``repro-bench/3``, which added ``sim_kernel`` and
+``scenario_throughput`` to ``repro-bench/2``; see PERFORMANCE.md for
+the full field list.  Rates are items (events,
 samples, queries) per second, best of N repeats; ``seed_*`` rates time
 the seed-equivalent reference implementations in
 ``benchmarks/perf/baseline.py`` and ``speedup_*`` is current/seed.
@@ -44,7 +46,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-SCHEMA = "repro-bench/3"
+SCHEMA = "repro-bench/4"
 
 #: section name -> benchmarks.perf module name, in run order
 SECTIONS = {
@@ -53,6 +55,7 @@ SECTIONS = {
     "summary_ingest": "summary_bench",
     "directory_search": "directory_bench",
     "archive_query": "archive_bench",
+    "archive_segmented": "archive_segmented_bench",
     "sim_kernel": "kernel_bench",
     "scenario_throughput": "scenario_bench",
 }
@@ -66,6 +69,9 @@ def _headline(doc: dict) -> dict:
     summary = benches.get("summary_ingest", {})
     directory = benches.get("directory_search", {}).get("indexed_eq", {})
     archive = benches.get("archive_query", {}).get("narrow_window", {})
+    segmented = benches.get("archive_segmented", {})
+    seg_rows = {k: v for k, v in segmented.items()
+                if k.startswith("events_")}
     kernel = benches.get("sim_kernel", {}).get("immediate_dispatch", {})
     scenario = benches.get("scenario_throughput", {})
     return {
@@ -78,6 +84,12 @@ def _headline(doc: dict) -> dict:
         "summary_samples_per_s": summary.get("samples_per_s"),
         "directory_searches_per_s": directory.get("searches_per_s"),
         "archive_queries_per_s": archive.get("queries_per_s"),
+        "segmented_month_over_minute": {
+            name: row.get("month_over_minute")
+            for name, row in seg_rows.items()},
+        "segmented_month_summaries_per_s": {
+            name: row.get("summarize_month", {}).get("summaries_per_s")
+            for name, row in seg_rows.items()},
         "kernel_dispatch_events_per_s": kernel.get("events_per_s"),
         "scenario_events_per_s": scenario.get("events_per_s"),
     }
@@ -120,6 +132,18 @@ def _report(results: dict) -> None:
             row = results["archive_query"][key]
             print(f"[bench] archive {key}: {row['queries_per_s']:,.0f} "
                   f"queries/s ({row['speedup']:.1f}x seed)")
+    if "archive_segmented" in results:
+        for name, row in sorted(results["archive_segmented"].items()):
+            if not name.startswith("events_"):
+                continue
+            wq = row["windowed_query"]
+            month = row["summarize_month"]
+            print(f"[bench] segmented {name}: window "
+                  f"{wq['queries_per_s']:,.0f} q/s "
+                  f"({wq['speedup']:.1f}x seed), month summary "
+                  f"{month['summaries_per_s']:,.0f}/s "
+                  f"({month['speedup']:.1f}x seed raw scan), "
+                  f"month/minute cost {row['month_over_minute']:.2f}x")
     if "sim_kernel" in results:
         for key, row in results["sim_kernel"].items():
             print(f"[bench] kernel {key}: {row['events_per_s']:,.0f} "

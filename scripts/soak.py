@@ -10,6 +10,14 @@ Usage::
     python scripts/soak.py --runs 100
     python scripts/soak.py --runs 50 --steps 300 --start-seed 1000
     python scripts/soak.py --runs 20 --horizon 90 --keep-passing-digests
+    python scripts/soak.py --runs 100 --retention-bytes 64000 \\
+        --segment-events 32 --compaction-interval 1.0
+
+The storage knobs shape the commit log under test: random plans draw
+the storage fault kinds (compaction_stall / torn_segment / slow_disk /
+disk_full) against it, and tight retention budgets plus small segments
+put the compactor on the critical path, so the retention-scoped loss,
+accounting, and rollup-consistency invariants soak under pressure.
 
 Exit status is the number of failing seeds (0 = clean soak).
 """
@@ -45,6 +53,23 @@ def main(argv=None) -> int:
     parser.add_argument("--keep-passing-digests", action="store_true",
                         help="print each passing run's digest (for "
                              "cross-machine determinism spot checks)")
+    storage = parser.add_argument_group(
+        "storage", "commit-log shape: segments, retention, compaction")
+    storage.add_argument("--segment-events", type=int, default=64,
+                         help="seal a segment every N admissions "
+                              "(default 64; 0 disables sealing)")
+    storage.add_argument("--retention-bytes", type=int, default=None,
+                         help="byte budget for the commit log (retention "
+                              "pressure + disk_full degradation)")
+    storage.add_argument("--retention-age", type=float, default=None,
+                         help="retire sealed segments older than this "
+                              "many sim-seconds")
+    storage.add_argument("--downsample-after", type=float, default=None,
+                         help="drop raw events (keep rollups) for "
+                              "segments older than this many sim-seconds")
+    storage.add_argument("--compaction-interval", type=float, default=2.0,
+                         help="compactor pass cadence in sim-seconds "
+                              "(default 2.0)")
     args = parser.parse_args(argv)
 
     failures = 0
@@ -58,7 +83,12 @@ def main(argv=None) -> int:
         scenario = Scenario(name=f"soak-{seed}", seed=seed,
                             horizon=args.horizon, drain=args.drain,
                             n_sensor_hosts=args.hosts,
-                            random_steps=args.steps)
+                            random_steps=args.steps,
+                            archive_segment_events=args.segment_events,
+                            archive_retention_bytes=args.retention_bytes,
+                            archive_retention_age=args.retention_age,
+                            archive_downsample_after=args.downsample_after,
+                            compaction_interval=args.compaction_interval)
         result = run_scenario(scenario)
         perf = result.stats.get("perf") or {}
         total_events += perf.get("events", 0)
@@ -80,7 +110,12 @@ def main(argv=None) -> int:
             "scenario": {"seed": seed, "horizon": args.horizon,
                          "drain": args.drain,
                          "n_sensor_hosts": args.hosts,
-                         "random_steps": args.steps},
+                         "random_steps": args.steps,
+                         "archive_segment_events": args.segment_events,
+                         "archive_retention_bytes": args.retention_bytes,
+                         "archive_retention_age": args.retention_age,
+                         "archive_downsample_after": args.downsample_after,
+                         "compaction_interval": args.compaction_interval},
             "plan": result.plan.to_dict(),
             "violations": result.violations,
         }, indent=2, sort_keys=True) + "\n")

@@ -82,6 +82,15 @@ RESOURCE_OPENERS = frozenset(("open", "session"))
 RESOURCE_CLOSERS = frozenset(("close", "stop", "shutdown", "unsubscribe",
                               "unsubscribe_all", "__exit__"))
 
+#: EventArchive catalog internals RES002 fences off.  Sealed-segment
+#: state is owned by the archive: compaction retires, merges, and
+#: quarantines segments on any pass, so handles to these outside
+#: ``repro/core/archive.py`` dangle as soon as the compactor runs.
+SEGMENT_INTERNALS = frozenset((
+    "_segments", "_seal_head", "_quarantined", "_merge_pending",
+    "_seg_bytes", "_seg_tmins", "_rollup_tree", "_sealed_raw_count",
+))
+
 #: the pre-PR-2 stringly delivery kwargs; any ``.subscribe(...)`` call
 #: passing one of these is using the deprecated gateway shim
 LEGACY_SUBSCRIBE_KWARGS = frozenset(("callback", "remote"))
@@ -584,6 +593,46 @@ def _names_in(node: ast.AST) -> Iterator[str]:
 
 
 # ---------------------------------------------------------------------------
+# RES002 — sealed-segment handles escaping the archive catalog
+# ---------------------------------------------------------------------------
+
+
+class SegmentHandleEscapeRule(Rule):
+    code = "RES002"
+    title = "sealed-segment internals accessed outside the archive"
+    rationale = (
+        "Sealed segments are immutable storage units owned by"
+        " EventArchive; compaction retires, merges, and quarantines"
+        " them on any pass, so a _Segment handle (or the private"
+        " catalog lists behind it) held outside repro/core/archive.py"
+        " dangles the moment the compactor runs.  External code reads"
+        " catalog() descriptor dicts, query()/summarize_window(),"
+        " stats(), and the tear_segment()/mend_segments() fault hooks."
+    )
+
+    def check(self, ctx, project):
+        if ctx.path_posix.endswith("repro/core/archive.py"):
+            return
+        for node in self._walk(ctx.tree):
+            if isinstance(node, ast.Attribute) \
+                    and node.attr in SEGMENT_INTERNALS:
+                yield (node.lineno, node.col_offset,
+                       f".{node.attr} is sealed-segment state private to"
+                       f" the archive catalog — read catalog() descriptor"
+                       f" dicts or stats() instead of holding segment"
+                       f" handles")
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.module.split(".")[-1] == "archive":
+                for alias in node.names:
+                    if alias.name == "_Segment":
+                        yield (node.lineno, node.col_offset,
+                               "_Segment is an archive-private storage"
+                               " unit — consume catalog() descriptor"
+                               " dicts; handles dangle across compaction"
+                               " passes")
+
+
+# ---------------------------------------------------------------------------
 # API001 — deprecated stringly subscribe()
 # ---------------------------------------------------------------------------
 
@@ -704,6 +753,7 @@ RULES: tuple[Rule, ...] = (
     ModuleStateRule(),
     BlockingCallRule(),
     ResourceLeakRule(),
+    SegmentHandleEscapeRule(),
     LegacySubscribeRule(),
     HotPathSlotsRule(),
 )

@@ -599,6 +599,17 @@ class ClientSession:
                     self.replayed += 1
         finally:
             self.in_replay = False
+        # quarantined (torn) segments are holes in the archive: events
+        # inside them were committed but not served by the scan above.
+        # Don't advance the floor past the earliest hole in the window,
+        # or those events are lost to replay even after the segment is
+        # mended; the floor still never rewinds (pruned dedupe
+        # identities would re-deliver already-seen events)
+        spans_fn = getattr(self._heal_archive, "quarantined_spans", None)
+        if spans_fn is not None:
+            holes = [a for a, b in spans_fn() if b >= t0]
+            if holes:
+                max_seen = min(max_seen, max(floor, min(holes)))
         if tracker is not None:
             tracker.fast_forward = False
             tracker.replay_floor = max_seen

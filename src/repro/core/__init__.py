@@ -7,7 +7,8 @@ and the security layer.  :class:`repro.core.jamm.JAMMDeployment` wires
 a complete system over a simulated grid.
 """
 
-from .archive import ArchiveQuery, EventArchive, SamplingPolicy
+from .archive import (ArchiveCompactor, ArchiveQuery, EventArchive,
+                      RetentionPolicy, SamplingPolicy)
 from .config import (ConfigError, JAMMConfig, MODES, PortMonitorConfig,
                      SensorConfig)
 from .consumers import (ArchiverAgent, AutoCollector, Consumer, EventCollector,
@@ -31,8 +32,8 @@ from .summaries import (DEFAULT_WINDOWS, SummaryService, SummarySet,
                         SummaryWindow)
 
 __all__ = [
-    "AllEvents", "AndAll", "ArchiveQuery", "ArchiverAgent", "AutoCollector",
-    "ConfigError",
+    "AllEvents", "AndAll", "ArchiveCompactor", "ArchiveQuery",
+    "ArchiverAgent", "AutoCollector", "ConfigError", "RetentionPolicy",
     "Consumer", "DEFAULT_WINDOWS", "Delta", "EventArchive", "EventCollector",
     "EventFilter", "EventGateway", "EventNames", "EventTypeStats",
     "FilterSpecError", "Forecast", "Forecaster", "PeriodDelta",

@@ -10,13 +10,29 @@ event-name patterns) are always kept; normal events are kept at a
 configurable sampling fraction.  The archive itself is "just another
 consumer" — see :class:`repro.core.consumers.archiver.ArchiverAgent`.
 
-Storage is kept in time order: sensor streams are monotonic, and
-out-of-order arrivals sit in a pending buffer that is folded in with
-one O(n) merge pass on the next read (or when the buffer outgrows the
-store).  A query's time window therefore resolves with two binary
-searches instead of a per-message predicate pass, and the host/event
-equality indexes — sorted lists of arrival ids — compose with the
-window via sorted-id intersection.
+Storage is log-structured: an active **write head** absorbs appends
+(time-ordered, with a pending buffer for late arrivals merged in one
+amortized O(n) pass), and every ``segment_events`` admissions the head
+is sealed into an immutable **segment** — its own time span, per-host /
+per-event posting indexes, byte-accounted footprint, and pre-aggregated
+**rollups** (count/sum/min/max per event name, plus per-event prefix
+sums for exact partial-window reads).  A **catalog** ordered by segment
+start time resolves a window query to just the overlapping segments;
+non-overlapping segments chain, overlapping ones merge by
+``(date, arrival id)`` — bit-identical to a flat time-ordered list.
+
+:class:`RetentionPolicy` bounds the store by age and/or bytes; a
+:class:`ArchiveCompactor` (kernel-scheduled, supervised like sensors)
+retires, downsamples, and merges cold segments and maintains a
+multi-resolution rollup tree so ``summarize_window`` over a month costs
+about the same as over a minute.  Storage is also a fault surface:
+segments can be *torn* (checksum fails; queries detect, quarantine, and
+keep serving the rest), compaction can *stall* (ingest continues until
+retention pressure forces degraded mode), and the (simulated) disk can
+go *slow* (compaction cadence stretches).  Every loss path advances
+:attr:`EventArchive.loss_floor`, the watermark below which committed
+events may legitimately be gone — the scenario invariants are scoped to
+it.
 """
 
 from __future__ import annotations
@@ -24,14 +40,21 @@ from __future__ import annotations
 import fnmatch
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
+from heapq import merge as _heap_merge
 from typing import Iterable, Iterator, Optional
 
 from ..ulm import ULMMessage
 
-__all__ = ["EventArchive", "SamplingPolicy", "ArchiveQuery"]
+__all__ = ["EventArchive", "SamplingPolicy", "ArchiveQuery",
+           "RetentionPolicy", "ArchiveCompactor"]
 
 ABNORMAL_LEVELS = frozenset({"Emergency", "Alert", "Error", "Warning",
                              "Security"})
+
+#: default seal threshold (head admissions per segment)
+_DEFAULT_SEGMENT_EVENTS = 4096
+#: children per rollup-tree node (multi-resolution summaries)
+_TREE_ARITY = 8
 
 
 @dataclass
@@ -90,6 +113,43 @@ class ArchiveQuery:
         return True
 
 
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """How much history a segmented archive keeps.
+
+    ``max_age`` retires segments whose span has fallen that far behind
+    the newest ingested date; ``max_bytes`` caps the total (modelled)
+    footprint — the compactor retires oldest-first to fit.  Optional
+    ``downsample_after`` converts segments older than that age to
+    rollup-only form (raw events dropped, summaries kept).  If ingest
+    outruns compaction by ``degrade_factor`` × ``max_bytes`` the archive
+    flips to degraded mode (``degraded_reason="compaction_backlog"``)
+    until the compactor catches up — bounded memory, never silent.
+    """
+
+    max_age: Optional[float] = None
+    max_bytes: Optional[int] = None
+    downsample_after: Optional[float] = None
+    degrade_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_age is not None and self.max_age <= 0:
+            raise ValueError("max_age must be positive")
+        if self.downsample_after is not None and self.downsample_after <= 0:
+            raise ValueError("downsample_after must be positive")
+        if self.max_bytes is not None and int(self.max_bytes) <= 0:
+            raise ValueError("max_bytes must be positive")
+        if self.degrade_factor < 1.0:
+            raise ValueError("degrade_factor must be >= 1.0")
+        if (self.max_age is not None and self.downsample_after is not None
+                and self.downsample_after >= self.max_age):
+            raise ValueError("downsample_after must be < max_age")
+
+    @property
+    def bounded(self) -> bool:
+        return self.max_age is not None or self.max_bytes is not None
+
+
 #: fixed per-record overhead (header + length prefixes), mirroring the
 #: binary wire format closely enough for budget arithmetic
 _RECORD_OVERHEAD = 16
@@ -107,6 +167,18 @@ def _msg_bytes(msg: ULMMessage) -> int:
     for name, value in msg.fields.items():
         size += _FIELD_OVERHEAD + len(name) + len(value)
     return size
+
+
+def _msg_value(msg: ULMMessage) -> Optional[float]:
+    """The numeric VALUE field, with :func:`summarize_period` semantics
+    (missing or non-numeric values contribute count but no mean)."""
+    raw = msg.fields.get("VALUE")
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None
 
 
 def _intersect_sorted(a: list, b: list) -> list:
@@ -127,32 +199,259 @@ def _intersect_sorted(a: list, b: list) -> list:
     return out
 
 
+# -- rollup rows: [count, value_sum, value_count, value_min, value_max] -----
+
+def _roll_add(table: dict, key: str, value: Optional[float]) -> None:
+    row = table.get(key)
+    if row is None:
+        table[key] = row = [0, 0.0, 0, float("inf"), float("-inf")]
+    row[0] += 1
+    if value is not None:
+        row[1] += value
+        row[2] += 1
+        if value < row[3]:
+            row[3] = value
+        if value > row[4]:
+            row[4] = value
+
+
+def _roll_merge(dst: dict, src: dict) -> None:
+    for key, s in src.items():
+        row = dst.get(key)
+        if row is None:
+            dst[key] = [s[0], s[1], s[2], s[3], s[4]]
+        else:
+            row[0] += s[0]
+            row[1] += s[1]
+            row[2] += s[2]
+            if s[3] < row[3]:
+                row[3] = s[3]
+            if s[4] > row[4]:
+                row[4] = s[4]
+
+
+class _Segment:
+    """One sealed, immutable slab of the log.
+
+    Messages are stored in ``(date, arrival id)`` order with parallel
+    date/id arrays, positional posting lists per host / event name, a
+    rollup table, per-host rollup tables, and per-event prefix sums
+    (``sumidx``) so an arbitrary sub-window summarizes in O(events ×
+    log n) without touching raw messages.  ``checksum`` models on-disk
+    integrity: :meth:`verify` fails after :meth:`tear` until
+    :meth:`mend` recomputes it; ``trusted`` is the verified-once
+    watermark (cleared by tear, restored by mend or a passing verify)
+    that keeps repeat catalog scans from re-hashing every segment.  Segment handles never leave the owning
+    archive (analysis rule RES002) — external code sees
+    :meth:`EventArchive.catalog` descriptor dicts.
+    """
+
+    __slots__ = ("seq", "messages", "dates", "ids", "by_host", "by_event",
+                 "t_min", "t_max", "id_lo", "id_hi", "bytes", "count",
+                 "rollups", "host_rollups", "sumidx", "checksum",
+                 "downsampled", "trusted")
+
+    def _fingerprint(self) -> int:
+        return hash((self.seq, self.count, self.id_lo, self.id_hi,
+                     self.t_min, self.t_max, self.bytes))
+
+    def verify(self) -> bool:
+        return self.checksum == self._fingerprint()
+
+    def tear(self) -> None:
+        self.checksum ^= 0x5F
+        # integrity unknown until the next read touches the extent
+        self.trusted = False
+
+    def mend(self) -> None:
+        self.checksum = self._fingerprint()
+        self.trusted = True
+
+    def downsample(self) -> None:
+        """Drop raw storage; keep spans, counts, and rollups."""
+        self.messages = None
+        self.dates = None
+        self.ids = None
+        self.by_host = None
+        self.by_event = None
+        self.sumidx = None
+        self.downsampled = True
+        # rollup-only footprint: a header plus one row per (host,) event
+        rows = len(self.rollups) + sum(len(t) for t in
+                                       self.host_rollups.values())
+        self.bytes = 64 + 48 * rows
+        self.mend()
+
+    # -- window reads -------------------------------------------------------
+
+    def _window(self, t0: float, t1: float,
+                end_exclusive: bool) -> tuple[int, int]:
+        dates = self.dates
+        lo = bisect_left(dates, t0) if t0 != float("-inf") else 0
+        if t1 == float("inf"):
+            return lo, len(dates)
+        hi = bisect_left(dates, t1) if end_exclusive \
+            else bisect_right(dates, t1)
+        return lo, hi
+
+    def iter_window(self, q: ArchiveQuery, *, end_exclusive: bool = False):
+        """Yield matching ``(date, arrival_id, msg)`` in (date, id) order."""
+        if self.messages is None:
+            return  # rollup-only: no raw events to serve
+        lo, hi = self._window(q.t0, q.t1, end_exclusive)
+        if lo >= hi:
+            return
+        lvl = q.lvl
+        messages, dates, ids = self.messages, self.dates, self.ids
+        pos_lists = []
+        if q.event is not None:
+            positions = self.by_event.get(q.event)
+            if positions is None:
+                return
+            pos_lists.append(positions)
+        if q.host is not None:
+            positions = self.by_host.get(q.host)
+            if positions is None:
+                return
+            pos_lists.append(positions)
+        if not pos_lists:
+            for pos in range(lo, hi):
+                msg = messages[pos]
+                if lvl is None or msg.lvl == lvl:
+                    yield dates[pos], ids[pos], msg
+            return
+        pos_lists.sort(key=len)
+        if hi - lo <= len(pos_lists[0]):
+            host, event = q.host, q.event
+            for pos in range(lo, hi):
+                msg = messages[pos]
+                if host is not None and msg.host != host:
+                    continue
+                if event is not None and msg.event != event:
+                    continue
+                if lvl is None or msg.lvl == lvl:
+                    yield dates[pos], ids[pos], msg
+            return
+        candidate = pos_lists[0]
+        for other in pos_lists[1:]:
+            candidate = _intersect_sorted(candidate, other)
+        a = bisect_left(candidate, lo)
+        b = bisect_left(candidate, hi)
+        for pos in candidate[a:b]:
+            msg = messages[pos]
+            if lvl is None or msg.lvl == lvl:
+                yield dates[pos], ids[pos], msg
+
+    def window_rollup(self, t0: float, t1: float) -> dict:
+        """Exact count/sum rollup of the half-open sub-window [t0, t1).
+
+        Served from the per-event prefix sums — O(#events × log) for
+        counts and sums, plus a slice scan of the bare value array for
+        min/max — so a summary that clips this segment never touches
+        raw messages.
+        """
+        lo, hi = self._window(t0, t1, True)
+        out: dict = {}
+        if lo >= hi:
+            return out
+        if lo == 0 and hi == self.count:
+            return self.rollups
+        inf = float("inf")
+        for key, (positions, psum, pcnt, vals) in self.sumidx.items():
+            i = bisect_left(positions, lo)
+            j = bisect_left(positions, hi)
+            if i == j:
+                continue
+            present = [v for v in vals[i:j] if v is not None]
+            out[key] = [j - i, psum[j] - psum[i], pcnt[j] - pcnt[i],
+                        min(present) if present else inf,
+                        max(present) if present else -inf]
+        return out
+
+
+def _build_segment(seq: int, messages: list, dates: list,
+                   ids: list) -> _Segment:
+    """Seal (date, id)-ordered parallel arrays into a segment."""
+    seg = _Segment()
+    seg.seq = seq
+    seg.messages = messages
+    seg.dates = dates
+    seg.ids = ids
+    seg.count = len(messages)
+    seg.t_min = dates[0]
+    seg.t_max = dates[-1]
+    seg.id_lo = min(ids)
+    seg.id_hi = max(ids)
+    seg.downsampled = False
+    by_host: dict = {}
+    by_event: dict = {}
+    rollups: dict = {}
+    host_rollups: dict = {}
+    sumidx: dict = {}
+    nbytes = 0
+    for pos, msg in enumerate(messages):
+        nbytes += _msg_bytes(msg)
+        by_host.setdefault(msg.host, []).append(pos)
+        if msg.event:
+            by_event.setdefault(msg.event, []).append(pos)
+        key = msg.event or "?"
+        value = _msg_value(msg)
+        _roll_add(rollups, key, value)
+        _roll_add(host_rollups.setdefault(msg.host, {}), key, value)
+        entry = sumidx.get(key)
+        if entry is None:
+            entry = sumidx[key] = ([], [0.0], [0], [])
+        entry[0].append(pos)
+        entry[1].append(entry[1][-1] + (value if value is not None else 0.0))
+        entry[2].append(entry[2][-1] + (1 if value is not None else 0))
+        entry[3].append(value)
+    seg.by_host = by_host
+    seg.by_event = by_event
+    seg.rollups = rollups
+    seg.host_rollups = host_rollups
+    seg.sumidx = sumidx
+    seg.bytes = nbytes
+    seg.mend()
+    return seg
+
+
 class EventArchive:
-    """Append-only archived event store, time-ordered with id indexes.
+    """Append-only archived event store: write head + sealed segments.
 
-    :attr:`messages` is maintained in ascending ``date`` order (stable
-    for equal dates: later arrivals sort after earlier ones).  Each
-    admitted message gets a monotonically increasing arrival id;
-    ``_by_host`` / ``_by_event`` map attribute values to ascending id
-    lists, and ``_pos_by_id`` locates a message from its id.  Time
-    windows resolve via bisect over the parallel ``_dates`` array.
+    The head keeps the seed archive's shape — time-ordered parallel
+    arrays, arrival-id posting lists, a pending buffer for late
+    arrivals merged in one amortized O(n) pass — and every
+    ``segment_events`` admissions it is sealed into an immutable
+    :class:`_Segment` and entered into the catalog (sorted by segment
+    start time; window queries binary-search it and touch only
+    overlapping segments).  ``segment_events=None`` disables sealing
+    and degenerates to the flat store.
 
-    Late (out-of-time-order) arrivals land in a pending buffer and are
-    merged in one O(n) pass — on the next read, or when the buffer
-    outgrows ``len/8`` — so ingest stays amortized O(1) even under
-    sustained cross-host clock skew, where an eager per-message insert
-    would be quadratic.
+    Queries stream in global ``(date, arrival id)`` order: segments
+    whose spans don't overlap simply chain; overlapping ones (late
+    arrivals across a seal boundary) heap-merge, so results are
+    bit-identical to the flat-list oracle.  ``retention=`` bounds the
+    store (see :class:`RetentionPolicy` / :class:`ArchiveCompactor`);
+    every retirement/downsample/shed advances :attr:`loss_floor`.
     """
 
     def __init__(self, name: str = "archive0",
-                 policy: Optional[SamplingPolicy] = None):
+                 policy: Optional[SamplingPolicy] = None, *,
+                 segment_events: Optional[int] = _DEFAULT_SEGMENT_EVENTS,
+                 retention: Optional[RetentionPolicy] = None):
         self.name = name
         self.policy = policy if policy is not None else SamplingPolicy()
+        if segment_events is not None and segment_events <= 0:
+            segment_events = None
+        self.segment_events = segment_events
+        self.retention = retention
         self.rejected = 0
         #: number of out-of-order arrivals (merged in lazily)
         self.reordered = 0
         #: number of pending-buffer merge passes performed
         self.merges = 0
+        #: total successful appends ever (the accounting identity base)
+        self.admitted = 0
         # -- storage budget (disk-full degradation) ----------------------
         #: byte ceiling, or None for unbounded.  Hitting it flips the
         #: archive into read-only degraded mode: the oldest retention is
@@ -160,28 +459,72 @@ class EventArchive:
         #: is refused (and counted) until the budget is lifted.
         self.byte_budget: Optional[int] = None
         self.degraded = False
+        #: why the archive is degraded: "disk_full" (byte budget) or
+        #: "compaction_backlog" (retention pressure outran the compactor)
+        self.degraded_reason: Optional[str] = None
         #: messages shed from the front to fit the budget
         self.shed = 0
         #: appends refused while degraded (never silent loss)
         self.dropped_degraded = 0
-        self._bytes_stored = 0
-        self._bytes_current = False  # lazily accounted: only with a budget
+        #: watermark: committed events dated <= loss_floor may have been
+        #: retired/downsampled/shed by policy — loss below it is
+        #: accounted, loss above it is an invariant violation
+        self.loss_floor = float("-inf")
+        # -- segment bookkeeping -----------------------------------------
+        self.sealed_segments = 0
+        self.segments_retired = 0
+        self.events_retired = 0
+        self.segments_downsampled = 0
+        self.events_downsampled = 0
+        self.segments_merged = 0
+        self.segments_quarantined = 0
+        self.segments_reinstated = 0
+        self.segments_torn = 0
+        self.compaction_passes = 0
+        #: summaries served from pre-aggregated rollups vs raw scans
+        self.summary_rollup_hits = 0
+        self.summary_raw_scanned = 0
+        #: partial windows over rollup-only segments approximated with
+        #: the whole segment's rollup (visible, never silent)
+        self.summary_rollup_clipped = 0
+        # -- storage fault surface ----------------------------------------
+        #: compaction stall mode injected by faults (None = healthy)
+        self._stall_mode: Optional[str] = None
+        #: simulated disk latency multiplier (compaction cadence)
+        self.io_latency_factor = 1.0
+        #: back-reference set by :meth:`start_compaction`
+        self.compactor: Optional["ArchiveCompactor"] = None
+        self._bytes_stored = 0      # head bytes (when accounting is on)
+        self._seg_bytes = 0         # sealed bytes (always current)
+        self._bytes_current = bool(retention is not None
+                                   and retention.max_bytes is not None)
         self._messages: list[ULMMessage] = []
         self._dates: list[float] = []      # parallel to _messages
         self._ids: list[int] = []          # parallel to _messages (arrival id)
         self._pending: list[tuple[ULMMessage, int]] = []  # late arrivals
         self._next_id = 0
+        self._head_id_lo = 0               # first arrival id in this head
         self._pos_by_id: dict[int, int] = {}
         self._by_host: dict[str, list[int]] = {}
         self._by_event: dict[str, list[int]] = {}
-        self._t_min: Optional[float] = None
+        self._segments: list[_Segment] = []     # catalog, sorted by t_min
+        self._seg_tmins: list[float] = []       # parallel bisect keys
+        self._prefix_tmax: list[float] = []     # running max of t_max
+        self._quarantined: list[_Segment] = []
+        self._sealed_raw_count = 0
+        self._rollup_tree: list[list] = []      # levels of (t0, t1, rollups)
+        self._tree_dirty = False
+        self._next_seq = 0
+        self._t_min: Optional[float] = None     # ingested span: never shrinks
         self._t_max: Optional[float] = None
 
     @property
     def messages(self) -> list[ULMMessage]:
         """Archived messages in time order (late arrivals merged in)."""
         self._merge_pending()
-        return self._messages
+        if not self._segments:
+            return self._messages
+        return list(self.iter_query())
 
     # -- ingest ---------------------------------------------------------------
 
@@ -196,16 +539,20 @@ class EventArchive:
             return False
         if self.byte_budget is not None:
             size = _msg_bytes(msg)
-            if self._bytes_stored + size > self.byte_budget:
+            if self._bytes_stored + self._seg_bytes + size > self.byte_budget:
                 # disk full: go read-only, shed the oldest retention so
                 # the freshest window keeps serving reads under budget
                 self.degraded = True
+                self.degraded_reason = "disk_full"
                 self.dropped_degraded += 1
-                self._shed_to(self.byte_budget)
+                self._shed_bytes_to(self.byte_budget)
                 return False
             self._bytes_stored += size
+        elif self._bytes_current:
+            self._bytes_stored += _msg_bytes(msg)
         arrival_id = self._next_id
         self._next_id += 1
+        self.admitted += 1
         date = msg.date
         if not self._dates or date >= self._dates[-1]:
             # the common (monotonic) case: O(1) append
@@ -225,6 +572,18 @@ class EventArchive:
             self._t_min = date
         if self._t_max is None or date > self._t_max:
             self._t_max = date
+        if self.segment_events is not None and \
+                len(self._messages) + len(self._pending) >= self.segment_events:
+            self._seal_head()
+        ret = self.retention
+        if (ret is not None and ret.max_bytes is not None
+                and not self.degraded
+                and self._bytes_stored + self._seg_bytes
+                > ret.max_bytes * ret.degrade_factor):
+            # ingest outran the compactor by the whole slack budget:
+            # stop growing, loudly, until compaction catches up
+            self.degraded = True
+            self.degraded_reason = "compaction_backlog"
         return True
 
     def extend(self, messages: Iterable[ULMMessage]) -> int:
@@ -267,58 +626,242 @@ class EventArchive:
         self._messages, self._dates, self._ids = merged_m, merged_d, merged_i
         self._pos_by_id = {aid: pos for pos, aid in enumerate(merged_i)}
 
+    # -- sealing & the catalog -------------------------------------------------
+
+    def checkpoint(self) -> bool:
+        """Seal the current head (if non-empty) into a segment now.
+
+        Sealing otherwise happens automatically every ``segment_events``
+        admissions; tests and benchmarks use this to get a fully sealed
+        store at a deterministic point.
+        """
+        return self._seal_head() is not None
+
+    def _seal_head(self) -> Optional[_Segment]:
+        self._merge_pending()
+        if not self._messages:
+            return None
+        seg = _build_segment(self._next_seq, self._messages, self._dates,
+                             self._ids)
+        self._next_seq += 1
+        self.sealed_segments += 1
+        self._sealed_raw_count += seg.count
+        self._seg_bytes += seg.bytes
+        self._bytes_stored = 0
+        self._messages = []
+        self._dates = []
+        self._ids = []
+        self._pos_by_id = {}
+        self._by_host = {}
+        self._by_event = {}
+        self._head_id_lo = self._next_id
+        self._catalog_insert(seg)
+        return seg
+
+    def _catalog_insert(self, seg: _Segment) -> None:
+        pos = bisect_right(self._seg_tmins, seg.t_min)
+        self._segments.insert(pos, seg)
+        self._seg_tmins.insert(pos, seg.t_min)
+        self._rebuild_prefix()
+        self._tree_dirty = True
+
+    def _rebuild_prefix(self) -> None:
+        running = float("-inf")
+        prefix = []
+        for seg in self._segments:
+            if seg.t_max > running:
+                running = seg.t_max
+            prefix.append(running)
+        self._prefix_tmax = prefix
+
+    def _catalog_remove(self, seg: _Segment) -> None:
+        idx = self._segments.index(seg)
+        del self._segments[idx]
+        del self._seg_tmins[idx]
+        self._rebuild_prefix()
+        self._tree_dirty = True
+
+    def catalog(self) -> list[dict]:
+        """Descriptor dicts for every sealed segment (public view).
+
+        Segment handles themselves never escape the archive (analysis
+        rule RES002 flags code that reaches for them) — reads go through
+        :meth:`query` / :meth:`summarize_window`, and this descriptor
+        list is the introspection surface.
+        """
+        out = []
+        for seg in self._segments:
+            out.append(self._describe(seg, quarantined=False))
+        for seg in self._quarantined:
+            out.append(self._describe(seg, quarantined=True))
+        return out
+
+    @staticmethod
+    def _describe(seg: _Segment, *, quarantined: bool) -> dict:
+        hosts = seg.by_host if seg.by_host is not None else seg.host_rollups
+        return {"seq": seg.seq, "t_min": seg.t_min, "t_max": seg.t_max,
+                "events": seg.count, "bytes": seg.bytes,
+                "hosts": len(hosts), "downsampled": seg.downsampled,
+                "quarantined": quarantined}
+
+    # -- quarantine (torn segments) ---------------------------------------------
+
+    def tear_segment(self, index: int = 0) -> bool:
+        """Corrupt one sealed segment (fault injection: torn write /
+        media error).  Detection is lazy — the next query that touches
+        the segment quarantines it."""
+        if not self._segments:
+            return False
+        self._segments[index % len(self._segments)].tear()
+        self.segments_torn += 1
+        return True
+
+    def _quarantine(self, seg: _Segment) -> None:
+        self._catalog_remove(seg)
+        self._quarantined.append(seg)
+        self.segments_quarantined += 1
+        if not seg.downsampled:
+            self._sealed_raw_count -= seg.count
+
+    def mend_segments(self) -> int:
+        """Repair every torn segment (restore fault / operator fsck).
+
+        Quarantined segments are mended and reinstated into the catalog;
+        torn-but-undetected segments are mended in place.  Returns the
+        number of segments repaired.
+        """
+        repaired = 0
+        for seg in self._segments:
+            if not seg.verify():
+                seg.mend()
+                repaired += 1
+        quarantined, self._quarantined = self._quarantined, []
+        for seg in quarantined:
+            seg.mend()
+            self._catalog_insert(seg)
+            if not seg.downsampled:
+                self._sealed_raw_count += seg.count
+            self.segments_reinstated += 1
+            repaired += 1
+        return repaired
+
+    def quarantined_spans(self) -> list[tuple[float, float]]:
+        """Time spans currently hidden by quarantined segments.
+
+        Replay/catch-up layers must not advance their floor past the
+        start of a hole — events inside it reappear on mend.
+        """
+        return [(seg.t_min, seg.t_max) for seg in self._quarantined]
+
+    # -- storage fault surface ---------------------------------------------------
+
+    @property
+    def compaction_stalled(self) -> bool:
+        return self._stall_mode is not None
+
+    def stall_compaction(self, mode: str = "wedge") -> None:
+        """Wedge compaction (fault injection).  ``mode="wedge"`` pins the
+        stall until :meth:`clear_compaction_stall` (supervision restarts
+        the worker, visibly, but a fresh worker hits the same wedge);
+        ``mode="kill"`` kills the compactor process once — supervision
+        alone recovers it."""
+        if mode not in ("wedge", "kill"):
+            raise ValueError(f"unknown stall mode {mode!r}")
+        if mode == "kill":
+            if self.compactor is not None:
+                self.compactor.kill_worker()
+            return
+        self._stall_mode = mode
+
+    def clear_compaction_stall(self) -> None:
+        self._stall_mode = None
+
+    def set_io_latency(self, factor: Optional[float]) -> None:
+        """Scale compaction cadence (slow-disk fault); ``None``/1 heals."""
+        factor = 1.0 if factor is None else float(factor)
+        if factor <= 0:
+            raise ValueError("io latency factor must be positive")
+        self.io_latency_factor = factor
+
     # -- storage budget (disk-full degradation) --------------------------------
 
     @property
     def bytes_stored(self) -> int:
-        """Estimated stored bytes (0 until a budget forces accounting)."""
-        return self._bytes_stored if self._bytes_current else 0
+        """Estimated stored bytes (0 until budgets force accounting)."""
+        if not self._bytes_current:
+            return 0
+        return self._bytes_stored + self._seg_bytes
 
     def set_byte_budget(self, budget: Optional[int]) -> None:
         """Cap (or uncap, with ``None``) the archive's storage bytes.
 
-        Setting ``None`` lifts the cap and heals degraded mode — the
-        archive accepts appends again.  Setting a budget the current
-        contents already exceed sheds down to it and degrades
+        Setting ``None`` lifts the cap and heals disk-full degraded mode
+        — the archive accepts appends again.  Setting a budget the
+        current contents already exceed sheds down to it and degrades
         immediately.
         """
         if budget is None:
             self.byte_budget = None
-            self.degraded = False
-            self._bytes_current = False  # unbudgeted appends skip accounting
+            if self.degraded_reason in (None, "disk_full"):
+                self.degraded = False
+                self.degraded_reason = None
+            if not (self.retention is not None
+                    and self.retention.max_bytes is not None):
+                self._bytes_current = False  # unbudgeted appends skip accounting
             return
         budget = int(budget)
         if budget <= 0:
             raise ValueError(f"byte budget must be positive, got {budget}")
         self.byte_budget = budget
-        if not self._bytes_current:
-            self._merge_pending()
-            self._bytes_stored = sum(map(_msg_bytes, self._messages))
-            self._bytes_current = True
-        if self._bytes_stored > budget:
+        self._ensure_bytes_current()
+        if self._bytes_stored + self._seg_bytes > budget:
             self.degraded = True
-            self._shed_to(budget)
-        elif self.degraded:
+            self.degraded_reason = "disk_full"
+            self._shed_bytes_to(budget)
+        elif self.degraded and self.degraded_reason == "disk_full":
             # budget raised above usage: that heals too
             self.degraded = False
+            self.degraded_reason = None
 
-    def _shed_to(self, target: int) -> None:
-        """Drop the oldest messages until the store fits ``target``.
+    def _ensure_bytes_current(self) -> None:
+        if self._bytes_current:
+            return
+        self._merge_pending()
+        self._bytes_stored = sum(map(_msg_bytes, self._messages))
+        self._bytes_current = True  # segment bytes are always current
 
-        Retention shedding keeps the freshest window readable; every
-        dropped message is counted in :attr:`shed`.  Rare (fault-path
-        only), so a full index rebuild is acceptable.
+    def _shed_bytes_to(self, target: int) -> None:
+        """Drop the oldest storage until the store fits ``target``.
+
+        Whole cold segments retire first, then the head front-sheds
+        message-granular.  Every dropped message is counted in
+        :attr:`shed` and the loss floor advances — rare (fault-path
+        only), so index rebuilds are acceptable.
         """
         self._merge_pending()
+        while self._segments and \
+                self._bytes_stored + self._seg_bytes > target:
+            seg = self._segments[0]
+            self._catalog_remove(seg)
+            self._seg_bytes -= seg.bytes
+            if not seg.downsampled:
+                self._sealed_raw_count -= seg.count
+                self.shed += seg.count
+            if seg.t_max > self.loss_floor:
+                self.loss_floor = seg.t_max
+        if self._bytes_stored + self._seg_bytes <= target:
+            return
         messages, dates, ids = self._messages, self._dates, self._ids
         cut = 0
         n = len(messages)
-        while cut < n and self._bytes_stored > target:
+        while cut < n and self._bytes_stored + self._seg_bytes > target:
             self._bytes_stored -= _msg_bytes(messages[cut])
             cut += 1
         if cut == 0:
             return
         self.shed += cut
+        if dates[cut - 1] > self.loss_floor:
+            self.loss_floor = dates[cut - 1]
         self._messages = messages[cut:]
         self._dates = dates[cut:]
         self._ids = ids[cut:]
@@ -331,15 +874,134 @@ class EventArchive:
                     index[key] = pruned
                 else:
                     del index[key]
-        self._t_min = self._dates[0] if self._dates else None
-        if not self._dates:
-            self._t_max = None
+
+    # -- retention & compaction --------------------------------------------------
+
+    def compact_once(self) -> dict:
+        """One compaction pass: enforce retention, merge runt segments,
+        refresh the rollup tree, heal backlog degradation.
+
+        Retention ages are measured against the newest *ingested* date
+        (deterministic; independent of host clock offsets).  Returns a
+        report — including the raw messages each loss path dropped, so
+        oracles/tests can mirror the archive's state exactly.
+        """
+        report = {"stalled": False, "retired": [], "downsampled": [],
+                  "retired_rollups": [], "merged": 0, "healed": False}
+        if self._stall_mode is not None:
+            report["stalled"] = True
+            return report
+        self._merge_pending()
+        ret = self.retention
+        now = self._t_max
+        if ret is not None and now is not None:
+            if ret.max_age is not None:
+                cutoff = now - ret.max_age
+                for seg in [s for s in self._segments if s.t_max < cutoff]:
+                    if seg.downsampled:
+                        # rollup-only retirement: report the summary
+                        # rows, there are no raw messages left to list
+                        report["retired_rollups"].append(seg.rollups)
+                    else:
+                        report["retired"].extend(seg.messages)
+                    self._retire(seg)
+            if ret.downsample_after is not None:
+                cutoff = now - ret.downsample_after
+                for seg in self._segments:
+                    if not seg.downsampled and seg.t_max < cutoff \
+                            and seg.verify():
+                        report["downsampled"].extend(seg.messages)
+                        self._downsample(seg)
+            if ret.max_bytes is not None:
+                self._ensure_bytes_current()
+                while self._segments and \
+                        self._bytes_stored + self._seg_bytes > ret.max_bytes:
+                    seg = self._segments[0]
+                    if seg.downsampled:
+                        report["retired_rollups"].append(seg.rollups)
+                    else:
+                        report["retired"].extend(seg.messages)
+                    self._retire(seg)
+        report["merged"] = self._merge_small_segments()
+        if self._tree_dirty:
+            self._rebuild_tree()
+        if self.degraded and self.degraded_reason == "compaction_backlog":
+            if (ret is None or ret.max_bytes is None
+                    or self._bytes_stored + self._seg_bytes <= ret.max_bytes):
+                self.degraded = False
+                self.degraded_reason = None
+                report["healed"] = True
+        self.compaction_passes += 1
+        return report
+
+    def _retire(self, seg: _Segment) -> None:
+        self._catalog_remove(seg)
+        self._seg_bytes -= seg.bytes
+        if not seg.downsampled:
+            self._sealed_raw_count -= seg.count
+            self.events_retired += seg.count
+        self.segments_retired += 1
+        if seg.t_max > self.loss_floor:
+            self.loss_floor = seg.t_max
+
+    def _downsample(self, seg: _Segment) -> None:
+        self._seg_bytes -= seg.bytes
+        self._sealed_raw_count -= seg.count
+        self.events_downsampled += seg.count
+        self.segments_downsampled += 1
+        if seg.t_max > self.loss_floor:
+            self.loss_floor = seg.t_max
+        seg.downsample()
+        self._seg_bytes += seg.bytes
+
+    def _merge_small_segments(self) -> int:
+        """Merge adjacent runt segments (small seals accumulate under
+        churny ingest) back up to the nominal segment size."""
+        limit = self.segment_events or _DEFAULT_SEGMENT_EVENTS
+        small = max(1, limit // 2)
+        merged = 0
+        i = 0
+        while i + 1 < len(self._segments):
+            a, b = self._segments[i], self._segments[i + 1]
+            if (a.messages is None or b.messages is None
+                    or a.count + b.count > limit
+                    or (a.count >= small and b.count >= small)
+                    or not a.verify() or not b.verify()):
+                i += 1
+                continue
+            self._merge_pair(i)
+            merged += 1
+            # stay at i: the merged segment may absorb the next runt too
+        self.segments_merged += merged
+        return merged
+
+    def _merge_pair(self, i: int) -> None:
+        a, b = self._segments[i], self._segments[i + 1]
+        messages: list = []
+        dates: list = []
+        ids: list = []
+        for date, aid, msg in _heap_merge(
+                zip(a.dates, a.ids, a.messages),
+                zip(b.dates, b.ids, b.messages)):
+            messages.append(msg)
+            dates.append(date)
+            ids.append(aid)
+        merged = _build_segment(min(a.seq, b.seq), messages, dates, ids)
+        self._seg_bytes += merged.bytes - a.bytes - b.bytes
+        # catalog order is by t_min: merged.t_min == a.t_min, so the
+        # merged segment takes a's slot and b's slot vanishes
+        self._segments[i] = merged
+        self._seg_tmins[i] = merged.t_min
+        del self._segments[i + 1]
+        del self._seg_tmins[i + 1]
+        self._rebuild_prefix()
+        self._tree_dirty = True
 
     # -- query ----------------------------------------------------------------
 
     def _window(self, t0: float, t1: float, *,
                 end_exclusive: bool = False) -> tuple[int, int]:
-        """Positions [lo, hi) of the time window via binary search."""
+        """Head positions [lo, hi) of the time window via binary search."""
         lo = bisect_left(self._dates, t0) if t0 != float("-inf") else 0
         if t1 == float("inf"):
             return lo, len(self._dates)
@@ -347,57 +1009,50 @@ class EventArchive:
             else bisect_right(self._dates, t1)
         return lo, hi
 
-    def iter_query(self, query: Optional[ArchiveQuery] = None, *,
-                   end_exclusive: bool = False,
-                   **kwargs) -> Iterator[ULMMessage]:
-        """Stream matches in time order without materializing a list.
-
-        ``end_exclusive`` makes the window half-open ``[t0, t1)`` — the
-        period-summary convention — instead of the query's inclusive
-        ``[t0, t1]``.
-        """
-        q = query if query is not None else ArchiveQuery(**kwargs)
-        self._merge_pending()
+    def _head_iter(self, q: ArchiveQuery, *, end_exclusive: bool = False):
+        """Yield head matches as ``(date, arrival_id, msg)`` triples."""
         lo, hi = self._window(q.t0, q.t1, end_exclusive=end_exclusive)
         if lo >= hi:
             return
         lvl = q.lvl
-        messages = self._messages
+        messages, dates, ids = self._messages, self._dates, self._ids
         id_lists = []
         if q.event is not None:
-            ids = self._by_event.get(q.event)
-            if ids is None:
+            aids = self._by_event.get(q.event)
+            if aids is None:
                 return
-            id_lists.append(ids)
+            id_lists.append(aids)
         if q.host is not None:
-            ids = self._by_host.get(q.host)
-            if ids is None:
+            aids = self._by_host.get(q.host)
+            if aids is None:
                 return
-            id_lists.append(ids)
+            id_lists.append(aids)
         if not id_lists:
             # pure time window: the slice IS the answer (modulo lvl)
-            for msg in messages[lo:hi]:
+            for pos in range(lo, hi):
+                msg = messages[pos]
                 if lvl is None or msg.lvl == lvl:
-                    yield msg
+                    yield dates[pos], ids[pos], msg
             return
         id_lists.sort(key=len)
         if hi - lo <= len(id_lists[0]):
             # the window is the most selective access path: walk the
             # slice and check the equality constraints per message
             host, event = q.host, q.event
-            for msg in messages[lo:hi]:
+            for pos in range(lo, hi):
+                msg = messages[pos]
                 if host is not None and msg.host != host:
                     continue
                 if event is not None and msg.event != event:
                     continue
                 if lvl is None or msg.lvl == lvl:
-                    yield msg
+                    yield dates[pos], ids[pos], msg
             return
         # otherwise the equality indexes lead: they compose via sorted-id
         # intersection, and the window reduces to a position-range check
         candidate = id_lists[0]
-        for ids in id_lists[1:]:
-            candidate = _intersect_sorted(candidate, ids)
+        for aids in id_lists[1:]:
+            candidate = _intersect_sorted(candidate, aids)
         pos_by_id = self._pos_by_id
         if lo > 0 or hi < len(messages):
             positions = [p for p in map(pos_by_id.__getitem__, candidate)
@@ -408,34 +1063,398 @@ class EventArchive:
         for pos in positions:
             msg = messages[pos]
             if lvl is None or msg.lvl == lvl:
+                yield dates[pos], ids[pos], msg
+
+    def _candidates(self, t0: float, t1: float,
+                    end_exclusive: bool) -> list[_Segment]:
+        """Catalog segments overlapping the window, quarantining any
+        that fail verification on the way (lazy torn-segment detection:
+        corruption surfaces when a read touches the extent)."""
+        segs = self._segments
+        if not segs:
+            return []
+        start = bisect_left(self._prefix_tmax, t0) \
+            if t0 != float("-inf") else 0
+        out = []
+        torn = []
+        for i in range(start, len(segs)):
+            seg = segs[i]
+            if seg.t_min > t1 or (end_exclusive and seg.t_min >= t1):
+                break
+            if seg.t_max < t0:
+                continue
+            # verified-once watermark: re-hash only segments whose
+            # integrity is unknown (freshly torn/mended), so repeat
+            # scans over a large catalog stay O(1) per segment
+            if not seg.trusted:
+                if not seg.verify():
+                    torn.append(seg)
+                    continue
+                seg.trusted = True
+            out.append(seg)
+        for seg in torn:
+            self._quarantine(seg)
+        return out
+
+    def iter_query(self, query: Optional[ArchiveQuery] = None, *,
+                   end_exclusive: bool = False,
+                   **kwargs) -> Iterator[ULMMessage]:
+        """Stream matches in (date, arrival) order without materializing
+        a list.
+
+        ``end_exclusive`` makes the window half-open ``[t0, t1)`` — the
+        period-summary convention — instead of the query's inclusive
+        ``[t0, t1]``.
+        """
+        q = query if query is not None else ArchiveQuery(**kwargs)
+        self._merge_pending()
+        sources = []
+        for seg in self._candidates(q.t0, q.t1, end_exclusive):
+            sources.append((seg.seq, seg.t_min, seg.t_max, seg.id_lo,
+                            seg.id_hi,
+                            seg.iter_window(q, end_exclusive=end_exclusive)))
+        if self._dates:
+            sources.append((self._next_seq, self._dates[0], self._dates[-1],
+                            self._head_id_lo, self._next_id,
+                            self._head_iter(q, end_exclusive=end_exclusive)))
+        if not sources:
+            return
+        if len(sources) == 1:
+            for _, _, msg in sources[0][5]:
                 yield msg
+            return
+        sources.sort(key=lambda s: s[0])
+        chained = all(
+            a[2] < b[1] or (a[2] == b[1] and a[4] < b[3])
+            for a, b in zip(sources, sources[1:]))
+        if chained:
+            # seal order IS (date, id) order when spans don't overlap
+            for source in sources:
+                for _, _, msg in source[5]:
+                    yield msg
+            return
+        # overlapping spans (late arrivals across a seal boundary):
+        # merge on (date, arrival id) — ties impossible, so the raw
+        # triple comparison never reaches the message
+        for _, _, msg in _heap_merge(*(source[5] for source in sources)):
+            yield msg
 
     def query(self, query: Optional[ArchiveQuery] = None, **kwargs) -> list[ULMMessage]:
         """Historical search; returns matches in time order."""
         return list(self.iter_query(query, **kwargs))
 
-    # -- catalog --------------------------------------------------------------
+    # -- multi-resolution summaries ---------------------------------------------
+
+    def _rebuild_tree(self) -> None:
+        """Rebuild the rollup tree: level 0 is the catalog; each higher
+        node pre-merges ``_TREE_ARITY`` children's rollups and span."""
+        levels = []
+        current = [(seg.t_min, seg.t_max, seg.rollups)
+                   for seg in self._segments]
+        while len(current) > 1:
+            parents = []
+            for i in range(0, len(current), _TREE_ARITY):
+                chunk = current[i:i + _TREE_ARITY]
+                if len(chunk) == 1:
+                    parents.append(chunk[0])
+                    continue
+                rolls: dict = {}
+                for _, _, src in chunk:
+                    _roll_merge(rolls, src)
+                parents.append((min(c[0] for c in chunk),
+                                max(c[1] for c in chunk), rolls))
+            levels.append(parents)
+            current = parents
+        self._rollup_tree = levels
+        self._tree_dirty = False
+
+    def _summarize_node(self, level: int, index: int, t0: float, t1: float,
+                        out: dict) -> None:
+        """Recursive rollup-tree walk: merge fully-covered nodes, recurse
+        into boundary nodes, resolve leaf boundaries via prefix sums."""
+        if level < 0:
+            seg = self._segments[index]
+            if seg.t_max < t0 or seg.t_min >= t1:
+                return
+            if t0 <= seg.t_min and seg.t_max < t1:
+                _roll_merge(out, seg.rollups)
+                self.summary_rollup_hits += 1
+            elif seg.downsampled:
+                # raw is gone: approximate the clipped span with the
+                # whole segment's rollup, visibly
+                _roll_merge(out, seg.rollups)
+                self.summary_rollup_clipped += 1
+            else:
+                partial = seg.window_rollup(t0, t1)
+                if partial:
+                    _roll_merge(out, partial)
+                    self.summary_rollup_hits += 1
+            return
+        node_t0, node_t1, rolls = self._rollup_tree[level][index]
+        if node_t1 < t0 or node_t0 >= t1:
+            return
+        if t0 <= node_t0 and node_t1 < t1:
+            _roll_merge(out, rolls)
+            self.summary_rollup_hits += 1
+            return
+        child_count = len(self._rollup_tree[level - 1]) if level > 0 \
+            else len(self._segments)
+        base = index * _TREE_ARITY
+        for child in range(base, min(base + _TREE_ARITY, child_count)):
+            self._summarize_node(level - 1, child, t0, t1, out)
+
+    def summarize_window(self, t0: float, t1: float, *,
+                         host: Optional[str] = None) -> dict:
+        """Per-event ``(count, value_sum, value_count, min, max)`` over
+        the half-open window [t0, t1).
+
+        Served from the multi-resolution rollup tree: fully-covered
+        segment runs cost one pre-merged node each, boundary segments
+        resolve through per-event prefix sums, and only the unsealed
+        head is scanned raw — a month-scale summary costs about the same
+        as a minute-scale one.  ``host=`` filters via per-segment
+        host rollups (full segments) and raw scans (boundaries).
+        """
+        if t1 <= t0:
+            raise ValueError("need t1 > t0")
+        self._merge_pending()
+        out: dict = {}
+        # lazy torn detection first: a corrupted segment must not feed
+        # summaries, whether it would be read raw or via rollups
+        cands = self._candidates(t0, t1, True)
+        if host is None:
+            if self._tree_dirty:
+                self._rebuild_tree()
+            if self._rollup_tree:
+                top = len(self._rollup_tree) - 1
+                for index in range(len(self._rollup_tree[top])):
+                    self._summarize_node(top, index, t0, t1, out)
+            elif self._segments:
+                self._summarize_node(-1, 0, t0, t1, out)
+        else:
+            for seg in cands:
+                if t0 <= seg.t_min and seg.t_max < t1:
+                    rolls = seg.host_rollups.get(host)
+                    if rolls:
+                        _roll_merge(out, rolls)
+                        self.summary_rollup_hits += 1
+                elif seg.downsampled:
+                    rolls = seg.host_rollups.get(host)
+                    if rolls:
+                        _roll_merge(out, rolls)
+                        self.summary_rollup_clipped += 1
+                else:
+                    q = ArchiveQuery(t0=t0, t1=t1, host=host)
+                    for _, _, msg in seg.iter_window(q, end_exclusive=True):
+                        _roll_add(out, msg.event or "?", _msg_value(msg))
+                        self.summary_raw_scanned += 1
+        q = ArchiveQuery(t0=t0, t1=t1, host=host)
+        for _, _, msg in self._head_iter(q, end_exclusive=True):
+            _roll_add(out, msg.event or "?", _msg_value(msg))
+            self.summary_raw_scanned += 1
+        return {event: tuple(row) for event, row in out.items()}
+
+    # -- catalog counters -------------------------------------------------------
 
     def hosts(self) -> list[str]:
-        return sorted(self._by_host)
+        names = set(self._by_host)
+        for seg in self._segments:
+            names.update(seg.by_host if seg.by_host is not None
+                         else seg.host_rollups)
+        return sorted(names)
 
     def event_names(self) -> list[str]:
-        return sorted(self._by_event)
+        names = set(self._by_event)
+        for seg in self._segments:
+            if seg.by_event is not None:
+                names.update(seg.by_event)
+            else:
+                names.update(k for k in seg.rollups if k != "?")
+        return sorted(names)
 
     def time_span(self) -> tuple[float, float]:
-        if self._t_min is None:
+        """Span of *retained* storage (catalog + head).  The full
+        ingested span — which never shrinks under shed/retention — is in
+        ``stats()["ingested_span"]``."""
+        self._merge_pending()
+        lo = hi = None
+        if self._dates:
+            lo, hi = self._dates[0], self._dates[-1]
+        for seg in self._segments:
+            if lo is None or seg.t_min < lo:
+                lo = seg.t_min
+            if hi is None or seg.t_max > hi:
+                hi = seg.t_max
+        if lo is None:
             return (0.0, 0.0)
-        return (self._t_min, self._t_max)
+        return (lo, hi)
+
+    def __len__(self) -> int:
+        return len(self._messages) + len(self._pending) + \
+            self._sealed_raw_count
 
     def stats(self) -> dict:
         """Catalog counters for the archiver's directory entry."""
         t0, t1 = self.time_span()
+        ingested = (self._t_min, self._t_max) if self._t_min is not None \
+            else (0.0, 0.0)
+        quarantined_events = sum(
+            seg.count for seg in self._quarantined if not seg.downsampled)
         return {"count": len(self), "rejected": self.rejected,
-                "reordered": self.reordered, "hosts": len(self._by_host),
-                "events": len(self._by_event), "tstart": t0, "tend": t1,
-                "degraded": self.degraded, "byte_budget": self.byte_budget,
+                "reordered": self.reordered, "hosts": len(self.hosts()),
+                "events": len(self.event_names()), "tstart": t0, "tend": t1,
+                "degraded": self.degraded,
+                "degraded_reason": self.degraded_reason,
+                "byte_budget": self.byte_budget,
                 "bytes": self.bytes_stored, "shed": self.shed,
-                "dropped_degraded": self.dropped_degraded}
+                "dropped_degraded": self.dropped_degraded,
+                "ingested": self.admitted,
+                "ingested_span": ingested,
+                "retained_span": (t0, t1),
+                "loss_floor": self.loss_floor,
+                "segments": len(self._segments),
+                "sealed": self.sealed_segments,
+                "segments_retired": self.segments_retired,
+                "events_retired": self.events_retired,
+                "segments_downsampled": self.segments_downsampled,
+                "events_downsampled": self.events_downsampled,
+                "segments_merged": self.segments_merged,
+                "quarantined": len(self._quarantined),
+                "quarantined_events": quarantined_events,
+                "segments_reinstated": self.segments_reinstated,
+                "compaction_passes": self.compaction_passes,
+                "compaction_stalled": self.compaction_stalled,
+                "io_latency_factor": self.io_latency_factor,
+                "rollup_hits": self.summary_rollup_hits,
+                "raw_scanned": self.summary_raw_scanned,
+                "rollup_clipped": self.summary_rollup_clipped}
 
-    def __len__(self) -> int:
-        return len(self._messages) + len(self._pending)
+    # -- compaction wiring -------------------------------------------------------
+
+    def start_compaction(self, sim, **kwargs) -> "ArchiveCompactor":
+        """Attach and start a supervised compactor on ``sim``."""
+        compactor = ArchiveCompactor(sim, self, **kwargs)
+        self.compactor = compactor
+        compactor.start()
+        return compactor
+
+
+class ArchiveCompactor:
+    """Kernel-scheduled compaction worker with watchdog supervision.
+
+    Mirrors the :class:`~repro.core.manager.SensorManager` idiom: the
+    worker loop stamps ``last_beat`` each pass; a watchdog restarts it
+    when the process died or the beat went stale (exponential backoff
+    between attempts, reset on health).  A wedged archive
+    (``compaction_stall``) keeps the loop alive but beat-less, so the
+    watchdog restarts it visibly — and keeps doing so until the stall is
+    cleared, at which point the next pass catches up and heals any
+    backlog degradation.  ``slow_disk`` stretches the pass cadence via
+    the archive's ``io_latency_factor`` (the beat tolerance stretches
+    with it, so a slow disk is not misread as a dead worker).
+    """
+
+    def __init__(self, sim, archive: EventArchive, *,
+                 interval: float = 2.0,
+                 supervision_interval: Optional[float] = None,
+                 restart_backoff: float = 1.0,
+                 restart_backoff_max: float = 30.0):
+        if interval <= 0:
+            raise ValueError("compaction interval must be positive")
+        self.sim = sim
+        self.archive = archive
+        self.interval = float(interval)
+        self.supervision_interval = float(
+            supervision_interval if supervision_interval is not None
+            else 2.0 * interval)
+        self.restart_backoff = restart_backoff
+        self.restart_backoff_max = restart_backoff_max
+        #: watchdog restarts performed (crash-loop visibility)
+        self.restarts = 0
+        #: completed compaction passes
+        self.passes = 0
+        self.last_beat: Optional[float] = None
+        self.running = False
+        self._worker = None
+        self._watchdog = None
+        self._gen = 0
+        self._backoff_cur = restart_backoff
+        self._retry_at = float("-inf")
+
+    def start(self) -> "ArchiveCompactor":
+        if self.running:
+            return self
+        self.running = True
+        self.last_beat = self.sim.now
+        self._spawn_worker()
+        self._watchdog = self.sim.spawn(
+            self._supervise_loop(),
+            name=f"compactor-watchdog[{self.archive.name}]")
+        return self
+
+    def stop(self) -> None:
+        self.running = False
+        for proc in (self._worker, self._watchdog):
+            if proc is not None and proc.alive:
+                proc.kill()
+        self._worker = None
+        self._watchdog = None
+
+    def kill_worker(self) -> None:
+        """Kill the worker process (fault hook); supervision restarts it."""
+        if self._worker is not None and self._worker.alive:
+            self._worker.kill()
+
+    def _spawn_worker(self) -> None:
+        self._gen += 1
+        if self._worker is not None and self._worker.alive:
+            self._worker.kill()
+        self._worker = self.sim.spawn(
+            self._work_loop(self._gen),
+            name=f"compactor[{self.archive.name}]")
+        self.last_beat = self.sim.now  # restart grace
+
+    def _work_loop(self, token: int):
+        from ..simgrid.kernel import Timeout
+        while self.running and token == self._gen:
+            yield Timeout(self.interval * self.archive.io_latency_factor)
+            if not self.running or token != self._gen:
+                return
+            if self.archive.compaction_stalled:
+                continue  # wedged: alive but beat-less — supervision sees it
+            self.last_beat = self.sim.now
+            self.archive.compact_once()
+            self.passes += 1
+
+    def _worker_unhealthy(self) -> bool:
+        if self._worker is None or not self._worker.alive:
+            return True
+        beat = self.last_beat if self.last_beat is not None else 0.0
+        tolerance = max(3.0 * self.interval * self.archive.io_latency_factor,
+                        self.supervision_interval)
+        return (self.sim.now - beat) > tolerance
+
+    def _supervise_loop(self):
+        from ..simgrid.kernel import Timeout
+        while self.running:
+            yield Timeout(self.supervision_interval)
+            if not self.running:
+                return
+            if not self._worker_unhealthy():
+                self._backoff_cur = self.restart_backoff
+                self._retry_at = float("-inf")
+                continue
+            now = self.sim.now
+            if now < self._retry_at:
+                continue  # backing off after a recent failed restart
+            self._spawn_worker()
+            self.restarts += 1
+            self._retry_at = now + self._backoff_cur
+            self._backoff_cur = min(self.restart_backoff_max,
+                                    self._backoff_cur * 2.0)
+
+    def stats(self) -> dict:
+        return {"passes": self.passes, "restarts": self.restarts,
+                "last_beat": self.last_beat, "running": self.running,
+                "worker_alive": bool(self._worker is not None
+                                     and self._worker.alive)}

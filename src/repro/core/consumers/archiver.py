@@ -28,7 +28,8 @@ class ArchiverAgent(Consumer):
 
     def __init__(self, sim, *, archive: Optional[EventArchive] = None,
                  policy: Optional[SamplingPolicy] = None,
-                 publish_interval: float = 60.0, **kwargs):
+                 publish_interval: float = 60.0,
+                 compaction_interval: Optional[float] = None, **kwargs):
         super().__init__(sim, **kwargs)
         self.archive = archive if archive is not None else \
             EventArchive(name=f"{self.name}.store", policy=policy)
@@ -36,6 +37,12 @@ class ArchiverAgent(Consumer):
         self.archived = 0
         self._dirty = False
         self._publisher = None
+        #: supervised retention/compaction worker (opt-in; any archive
+        #: with a retention policy should run one)
+        self.compactor = None
+        if compaction_interval is not None:
+            self.compactor = self.archive.start_compaction(
+                sim, interval=compaction_interval)
 
     def subscribe_all(self, selection: Any = "(objectclass=sensor)",
                       **kwargs: Any) -> int:
@@ -75,7 +82,20 @@ class ArchiverAgent(Consumer):
                  # disk-full visibility: clients planning historical
                  # queries can see the archive is read-only/shedding
                  "degraded": "true" if stats["degraded"] else "false",
-                 "shed": stats["shed"]}
+                 "degraded_reason": stats["degraded_reason"] or "none",
+                 "shed": stats["shed"],
+                 # retention/quarantine visibility: replay windows may
+                 # have holes below the loss floor or inside quarantined
+                 # spans — consumers can see both before trusting them
+                 "segments": stats["segments"],
+                 "quarantined": stats["quarantined"],
+                 "retired": stats["events_retired"],
+                 "downsampled": stats["events_downsampled"],
+                 "loss_floor": f"{stats['loss_floor']:.6f}"
+                               if stats["loss_floor"] != float("-inf")
+                               else "none",
+                 "tstart_ingested": f"{stats['ingested_span'][0]:.6f}",
+                 "tend_ingested": f"{stats['ingested_span'][1]:.6f}"}
         try:
             self.directory.publish(self.catalog_dn(), attrs)
         except Exception:
@@ -94,4 +114,6 @@ class ArchiverAgent(Consumer):
         if self._publisher is not None and self._publisher.alive:
             self._publisher.kill()
             self._publisher = None
+        if self.compactor is not None:
+            self.compactor.stop()
         self.publish_catalog()

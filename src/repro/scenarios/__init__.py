@@ -14,7 +14,16 @@ fault schedule must preserve:
   tree equals the master's;
 * **bounded, accounted backpressure** — gateway outboxes never exceed
   their caps and every shed event lands in exactly one overflow-policy
-  bucket.
+  bucket;
+* **closed archive accounting** — every event the commit log admitted
+  is retained, shed, retired, downsampled, or quarantined (storage
+  faults and retention drop events, never lose count of them);
+* **rollup-vs-raw consistency** — summaries served from segment
+  rollups agree with a brute-force scan of the raw events.
+
+The loss invariant is *retention-scoped*: events at or below the
+archive's ``loss_floor`` (retired, downsampled, or shed by policy) are
+exempt — deliberate, accounted expiry is not loss.
 
 See ``docs/FAULTS.md`` for the fault model and how to write a scenario
 test; ``scripts/soak.py`` runs random plans in bulk and dumps failing
@@ -22,11 +31,13 @@ schedules to ``tests/scenarios/corpus/``.
 """
 
 from .runner import (Scenario, ScenarioResult, ScenarioRunner, SeqSensor,
-                     check_bounded_queues, check_directory_convergence,
-                     check_monotonic_streams, check_no_committed_loss,
+                     check_archive_accounting, check_bounded_queues,
+                     check_directory_convergence, check_monotonic_streams,
+                     check_no_committed_loss, check_rollup_consistency,
                      run_scenario)
 
 __all__ = ["Scenario", "ScenarioResult", "ScenarioRunner", "SeqSensor",
-           "check_bounded_queues", "check_directory_convergence",
-           "check_monotonic_streams", "check_no_committed_loss",
+           "check_archive_accounting", "check_bounded_queues",
+           "check_directory_convergence", "check_monotonic_streams",
+           "check_no_committed_loss", "check_rollup_consistency",
            "run_scenario"]

@@ -28,12 +28,14 @@ records, directory trees) so a determinism audit is one string compare.
 from __future__ import annotations
 
 import hashlib
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from ..core import JAMMDeployment
-from ..core.archive import EventArchive, SamplingPolicy
+from ..core.archive import (ArchiveQuery, EventArchive, RetentionPolicy,
+                            SamplingPolicy)
 from ..core.config import JAMMConfig
 from ..core.sensors.base import Sensor
 from ..core.sensors.registry import _REGISTRY, register_sensor
@@ -44,6 +46,7 @@ from ..ulm import serialize
 __all__ = ["Scenario", "ScenarioResult", "ScenarioRunner", "SeqSensor",
            "check_no_committed_loss", "check_monotonic_streams",
            "check_directory_convergence", "check_bounded_queues",
+           "check_archive_accounting", "check_rollup_consistency",
            "run_scenario"]
 
 #: base clock offset for scenario hosts, so negative skew injections can
@@ -102,6 +105,15 @@ class Scenario:
     #: run under the dynamic sanitizer (checks fire at teardown only,
     #: so digests are unaffected; tier-1 asserts bit-identity)
     sanitize: bool = True
+    #: commit-log storage shape: seal a segment every N events (None ->
+    #: flat, unsegmented store — the pre-retention seed behaviour)
+    archive_segment_events: Optional[int] = 64
+    #: retention policy for the commit log (all None -> keep everything)
+    archive_retention_age: Optional[float] = None
+    archive_retention_bytes: Optional[int] = None
+    archive_downsample_after: Optional[float] = None
+    #: supervised compactor cadence (None -> no compactor process)
+    compaction_interval: Optional[float] = 2.0
 
 
 @dataclass
@@ -111,6 +123,9 @@ class ScenarioResult:
     scenario: Scenario
     plan: FaultPlan
     committed: set = field(default_factory=set)       # {(stream, seq)}
+    #: (stream, seq) -> commit date, recorded at commit time — retention
+    #: may drop the event from the archive later, the record stays
+    committed_dates: dict = field(default_factory=dict)
     #: stream -> [(seq, channel)] in delivery order; channel is
     #: "live" or "replay"
     received: dict = field(default_factory=dict)
@@ -161,13 +176,24 @@ class ScenarioResult:
 
 
 def check_no_committed_loss(result: ScenarioResult) -> list[str]:
-    """Every committed (stream, seq) was delivered to the consumer."""
-    lost = sorted(result.committed - result.received_set)
+    """Every committed (stream, seq) *within retention* was delivered.
+
+    Retention scoping: events the archive itself retired, downsampled,
+    or shed lie at or below its ``loss_floor`` watermark — the system
+    deliberately let them go (and said so in its accounting), so their
+    non-delivery is policy, not loss.  Everything committed above the
+    floor must still reach the consumer.
+    """
+    floor = result.stats.get("archive", {}).get("loss_floor", float("-inf"))
+    lost = sorted(
+        key for key in result.committed - result.received_set
+        if result.committed_dates.get(key, float("inf")) > floor)
     if not lost:
         return []
     sample = ", ".join(f"{s}#{q}" for s, q in lost[:10])
-    return [f"committed-event loss: {len(lost)} committed events never "
-            f"reached the consumer (e.g. {sample})"]
+    return [f"committed-event loss: {len(lost)} committed events above "
+            f"the loss floor ({floor:.6f}) never reached the consumer "
+            f"(e.g. {sample})"]
 
 
 def check_monotonic_streams(result: ScenarioResult) -> list[str]:
@@ -231,8 +257,42 @@ def check_bounded_queues(result: ScenarioResult) -> list[str]:
     return problems
 
 
+def check_archive_accounting(result: ScenarioResult) -> list[str]:
+    """The commit log's event accounting identity closes: every admitted
+    event is retained, shed, retired, downsampled, or quarantined —
+    storage faults and retention may drop events, never lose count of
+    them."""
+    a = result.stats.get("archive", {})
+    if "ingested" not in a:
+        return []
+    accounted = (a.get("count", 0) + a.get("shed", 0)
+                 + a.get("events_retired", 0)
+                 + a.get("events_downsampled", 0)
+                 + a.get("quarantined_events", 0))
+    if a["ingested"] != accounted:
+        return [f"archive accounting leak: {a['ingested']} admitted but "
+                f"{accounted} accounted (count={a.get('count')} "
+                f"shed={a.get('shed')} retired={a.get('events_retired')} "
+                f"downsampled={a.get('events_downsampled')} "
+                f"quarantined={a.get('quarantined_events')})"]
+    return []
+
+
+def check_rollup_consistency(result: ScenarioResult) -> list[str]:
+    """Rollup-served summaries agree with a raw scan of the same window
+    (computed by :meth:`ScenarioRunner.collect` while the archive is
+    live)."""
+    check = result.stats.get("rollup_check")
+    if not check:
+        return []
+    return [f"rollup-vs-raw mismatch over window "
+            f"[{check['window'][0]:.6f}, {check['window'][1]:.6f}): {m}"
+            for m in check["mismatches"]]
+
+
 DEFAULT_CHECKERS = (check_no_committed_loss, check_monotonic_streams,
-                    check_directory_convergence, check_bounded_queues)
+                    check_directory_convergence, check_bounded_queues,
+                    check_archive_accounting, check_rollup_consistency)
 
 
 # ---------------------------------------------------------------------------
@@ -252,8 +312,11 @@ class ScenarioRunner:
         self.session = None
         self.commit_session = None
         self.archive: Optional[EventArchive] = None
+        self.compactor = None
         self.injector = None
         self._records: dict[str, list] = {}
+        #: (stream, seq) -> date at the moment of commit (archive admit)
+        self._committed: dict = {}
         #: deliveries with no usable SEQ (corrupt samples, summaries)
         self.malformed = 0
         self._perf: Optional[dict] = None
@@ -300,15 +363,27 @@ class ScenarioRunner:
         # reopens them once the gateway is back.  Same-host delivery is
         # an in-process callback, so the commit point is effectively
         # gateway ingest.
+        retention = None
+        if (sc.archive_retention_age is not None
+                or sc.archive_retention_bytes is not None):
+            retention = RetentionPolicy(
+                max_age=sc.archive_retention_age,
+                max_bytes=sc.archive_retention_bytes,
+                downsample_after=sc.archive_downsample_after)
         self.archive = EventArchive(
-            name="commit-log", policy=SamplingPolicy(normal_fraction=1.0))
-        # registered by name so disk_full fault events can find it
+            name="commit-log", policy=SamplingPolicy(normal_fraction=1.0),
+            segment_events=sc.archive_segment_events, retention=retention)
+        # registered by name so storage fault events (disk_full,
+        # compaction_stall, torn_segment, slow_disk) can find it
         world.register_archive(self.archive)
+        if sc.compaction_interval is not None:
+            self.compactor = self.archive.start_compaction(
+                world.sim, interval=sc.compaction_interval)
         commit_client = deployment.client(host=gw_host)
         self.commit_session = commit_client.session(name="commit-log")
         self.commit_session.subscribe_all(
             commit_client.sensors(type="seq"),
-            on_event=self.archive.append)
+            on_event=self._commit)
         self.commit_session.enable_auto_heal(
             check_interval=sc.heal_interval,
             backoff_max=sc.heal_backoff_max)
@@ -332,6 +407,17 @@ class ScenarioRunner:
             backoff_max=sc.heal_backoff_max,
             replay_slack=1.0)
         return self
+
+    def _commit(self, event: Any) -> None:
+        # the commit point: record the (stream, seq) -> date mapping at
+        # admit time, because retention may later drop the event from
+        # the archive — the loss invariant needs the date to scope
+        # itself to the loss floor
+        if self.archive.append(event):
+            seq = event.fields.get("SEQ")
+            if seq is not None:
+                self._committed.setdefault((event.prog, int(seq)),
+                                           event.date)
 
     def _record(self, event: Any) -> None:
         # corrupted samples and degrade summaries carry no SEQ; they are
@@ -389,6 +475,17 @@ class ScenarioRunner:
         for capped in list(self.injector._capped_archives):
             capped.set_byte_budget(None)
         self.injector._capped_archives.clear()
+        # ... including residual *storage* gray state: wedged
+        # compactors, torn segments, slow disks
+        for stalled in list(self.injector._stalled_archives):
+            stalled.clear_compaction_stall()
+        self.injector._stalled_archives.clear()
+        for torn in list(self.injector._torn_archives):
+            torn.mend_segments()
+        self.injector._torn_archives.clear()
+        for slowed in list(self.injector._slowed_archives):
+            slowed.set_io_latency(None)
+        self.injector._slowed_archives.clear()
         self.world.run(until=sc.horizon + sc.drain)
         # freeze the commit set (stop emission) and flush: in-flight
         # deliveries land and the healing sessions run their final
@@ -410,6 +507,11 @@ class ScenarioRunner:
             "events_per_s": events / wall if wall > 0 else 0.0,
             "sim_time": self.world.sim.now,
         }
+        # stop the compactor before the teardown audit — its worker and
+        # watchdog are meant to run forever, which is exactly what the
+        # leak check would (rightly) flag in anything else
+        if self.compactor is not None:
+            self.compactor.stop()
         # teardown audit: the run is over, so a violation here is a real
         # leak/staleness bug, not an in-flight transient
         self.world.sanitize_check()
@@ -417,15 +519,69 @@ class ScenarioRunner:
 
     # -- result collection ------------------------------------------------------
 
+    def _rollup_check(self) -> Optional[dict]:
+        """Compare rollup-served summaries against a raw scan.
+
+        The window starts just above the loss floor: everything newer is
+        raw-retained (downsampling/retirement advance the floor), so a
+        brute-force pass over ``iter_query`` is a complete oracle there.
+        """
+        archive = self.archive
+        summarize = getattr(archive, "summarize_window", None)
+        if summarize is None or len(archive) == 0:
+            return None
+        t0, t1 = archive.time_span()
+        floor = archive.loss_floor
+        lo = t0 if floor == float("-inf") else max(t0, floor + 1e-9)
+        hi = t1 + 1e-6  # summarize_window is end-exclusive
+        if hi <= lo:
+            return None
+        rolled = summarize(lo, hi)
+        counts: dict[str, int] = {}
+        sums: dict[str, float] = {}
+        vcounts: dict[str, int] = {}
+        for msg in archive.iter_query(ArchiveQuery(t0=lo, t1=hi),
+                                      end_exclusive=True):
+            event = msg.event or "?"
+            counts[event] = counts.get(event, 0) + 1
+            raw = msg.fields.get("VALUE")
+            if raw is not None:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    continue
+                sums[event] = sums.get(event, 0.0) + value
+                vcounts[event] = vcounts.get(event, 0) + 1
+        mismatches = []
+        for event in sorted(set(rolled) | set(counts)):
+            row = rolled.get(event)
+            if row is None:
+                mismatches.append(f"{event}: raw has {counts[event]} "
+                                  f"events, rollup has none")
+                continue
+            if row[0] != counts.get(event, 0):
+                mismatches.append(f"{event}: rollup count {row[0]} != raw "
+                                  f"count {counts.get(event, 0)}")
+            if row[2] != vcounts.get(event, 0):
+                mismatches.append(f"{event}: rollup value_count {row[2]} "
+                                  f"!= raw {vcounts.get(event, 0)}")
+            if not math.isclose(row[1], sums.get(event, 0.0),
+                                rel_tol=1e-9, abs_tol=1e-6):
+                mismatches.append(f"{event}: rollup value_sum {row[1]!r} "
+                                  f"!= raw {sums.get(event, 0.0)!r}")
+        return {"window": (lo, hi), "events": sum(counts.values()),
+                "mismatches": mismatches}
+
     def collect(self) -> ScenarioResult:
         archive = self.archive
-        committed = set()
+        committed_dates = dict(self._committed)
         chunks = []
         for msg in archive.messages:
             chunks.append(serialize(msg).encode())
             seq = msg.fields.get("SEQ")
             if seq is not None:
-                committed.add((msg.prog, int(seq)))
+                committed_dates.setdefault((msg.prog, int(seq)), msg.date)
+        committed = set(committed_dates)
         directory = self.deployment.directory
 
         def tree(server) -> dict:
@@ -443,6 +599,7 @@ class ScenarioRunner:
             scenario=self.scenario,
             plan=self.injector.plan,
             committed=committed,
+            committed_dates=committed_dates,
             received={k: list(v) for k, v in self._records.items()},
             received_set={(stream, seq)
                           for stream, recs in self._records.items()
@@ -465,6 +622,9 @@ class ScenarioRunner:
                     "messages_lost": self.world.transport.messages_lost,
                 },
                 "archive": self.archive.stats(),
+                "compactor": self.compactor.stats()
+                if self.compactor is not None else {},
+                "rollup_check": self._rollup_check(),
                 "replication": {
                     "deltas_lost": directory.master.replicator.deltas_lost,
                     "snapshots": directory.master.replicator.snapshots,

@@ -44,7 +44,12 @@ FAULT_KINDS = ("host_crash", "host_restart", "process_kill",
                "link_loss", "link_latency", "clock_skew",
                # gray failures: the component stays "up" but misbehaves
                "sensor_degrade", "asymmetric_partition",
-               "slow_consumer", "disk_full")
+               "slow_consumer", "disk_full",
+               # storage faults against segmented archives
+               "compaction_stall", "torn_segment", "slow_disk")
+
+#: how a compaction stall manifests (see FaultPlan.stall_compaction)
+COMPACTION_STALL_MODES = ("wedge", "kill")
 
 #: sample-corruption modes a degraded sensor can exhibit
 SENSOR_DEGRADE_MODES = ("corrupt", "partial", "stale")
@@ -223,6 +228,50 @@ class FaultPlan:
         """Lift an archive byte budget (params carry no budget)."""
         return self.add(FaultEvent(at, "disk_full", archive))
 
+    # -- storage faults (segmented archives) ----------------------------------
+
+    def stall_compaction(self, at: float, archive: str, *,
+                         mode: str = "wedge") -> "FaultPlan":
+        """Wedge an archive's compactor.  ``mode="wedge"`` pins the
+        stall — ingest continues, retention pressure eventually forces
+        ``compaction_backlog`` degraded mode, and supervision restarts
+        the (still-wedged) worker until :meth:`restore_compaction`;
+        ``mode="kill"`` kills the worker process once, so supervision
+        alone recovers it (no restore event needed)."""
+        if mode not in COMPACTION_STALL_MODES:
+            raise FaultError(f"unknown compaction stall mode {mode!r}")
+        return self.add(FaultEvent(at, "compaction_stall", archive,
+                                   {"mode": mode}))
+
+    def restore_compaction(self, at: float, archive: str) -> "FaultPlan":
+        """Clear a compaction stall (params carry no ``mode``)."""
+        return self.add(FaultEvent(at, "compaction_stall", archive))
+
+    def tear_segment(self, at: float, archive: str, *,
+                     index: int = 0) -> "FaultPlan":
+        """Corrupt one sealed segment (torn write / media error).  The
+        next query touching it quarantines it — the rest of the archive
+        keeps serving, and replay floors stall at the hole until
+        :meth:`mend_segments` (or ``heal``) reinstates it."""
+        return self.add(FaultEvent(at, "torn_segment", archive,
+                                   {"index": int(index)}))
+
+    def mend_segments(self, at: float, archive: str) -> "FaultPlan":
+        """Repair and reinstate every torn/quarantined segment."""
+        return self.add(FaultEvent(at, "torn_segment", archive))
+
+    def slow_disk(self, at: float, archive: str,
+                  factor: float) -> "FaultPlan":
+        """Stretch an archive's seal/compaction latency by ``factor``
+        (an I/O slowdown: compaction cadence, and the supervision beat
+        tolerance with it, scale up)."""
+        return self.add(FaultEvent(at, "slow_disk", archive,
+                                   {"factor": float(factor)}))
+
+    def restore_disk_speed(self, at: float, archive: str) -> "FaultPlan":
+        """Restore normal I/O latency (params carry no ``factor``)."""
+        return self.add(FaultEvent(at, "slow_disk", archive))
+
     # -- random generation ---------------------------------------------------
 
     @classmethod
@@ -250,7 +299,11 @@ class FaultPlan:
         timestamps are indistinguishable from ancient events to replay
         floors, so it stays a targeted-test-only mode); passing
         ``consumers``/``archives`` additionally enables
-        ``slow_consumer``/``disk_full`` against those names.
+        ``slow_consumer``/``disk_full`` against those names.  Archives
+        also draw the storage kinds — ``compaction_stall`` (wedge
+        mode), ``torn_segment``, and ``slow_disk`` — each paired with
+        its restore within the horizon, so storage faults are
+        always-recovering like everything else.
         """
         rng = random.Random(seed)
         host_names = sorted(set(hosts))
@@ -281,7 +334,8 @@ class FaultPlan:
         if consumer_names:
             kinds.append("slow_consumer")
         if archive_names:
-            kinds.append("disk_full")
+            kinds += ["disk_full", "compaction_stall", "torn_segment",
+                      "slow_disk"]
         for _ in range(max(0, int(n_steps))):
             at = round(rng.uniform(0.0, horizon * 0.8), 3)
             kind = rng.choice(kinds)
@@ -348,6 +402,19 @@ class FaultPlan:
                 plan.disk_full(at, archive,
                                budget_bytes=rng.randrange(8_000, 64_000))
                 plan.restore_disk(recover_at(at), archive)
+            elif kind == "compaction_stall":
+                archive = rng.choice(archive_names)
+                plan.stall_compaction(at, archive, mode="wedge")
+                plan.restore_compaction(recover_at(at), archive)
+            elif kind == "torn_segment":
+                archive = rng.choice(archive_names)
+                plan.tear_segment(at, archive, index=rng.randrange(0, 8))
+                plan.mend_segments(recover_at(at), archive)
+            elif kind == "slow_disk":
+                archive = rng.choice(archive_names)
+                plan.slow_disk(at, archive,
+                               round(rng.uniform(2.0, 20.0), 3))
+                plan.restore_disk_speed(recover_at(at), archive)
         # every random plan converges: restart stragglers, heal, settle
         for host in down_spans:
             plan.restart_host(horizon * 0.96, host)
@@ -413,6 +480,9 @@ class FaultInjector:
         self._degraded_sensors: dict[Any, None] = {}
         self._throttled_hosts: dict[str, None] = {}
         self._capped_archives: dict[Any, None] = {}
+        self._stalled_archives: dict[Any, None] = {}
+        self._torn_archives: dict[Any, None] = {}
+        self._slowed_archives: dict[Any, None] = {}
         self._armed = False
 
     # -- lookup ---------------------------------------------------------------
@@ -455,7 +525,8 @@ class FaultInjector:
                 if "|" not in event.target:
                     raise FaultError(
                         f"partition target needs 'a,b|c,d': {event.target!r}")
-            elif event.kind == "disk_full":
+            elif event.kind in ("disk_full", "compaction_stall",
+                                "torn_segment", "slow_disk"):
                 self._archive(event.target)
 
     # -- scheduling ------------------------------------------------------------
@@ -567,6 +638,15 @@ class FaultInjector:
         for archive in list(self._capped_archives):
             archive.set_byte_budget(None)
         self._capped_archives.clear()
+        for archive in list(self._stalled_archives):
+            archive.clear_compaction_stall()
+        self._stalled_archives.clear()
+        for archive in list(self._torn_archives):
+            archive.mend_segments()
+        self._torn_archives.clear()
+        for archive in list(self._slowed_archives):
+            archive.set_io_latency(None)
+        self._slowed_archives.clear()
 
     def _apply_link_down(self, event: FaultEvent) -> None:
         self._cut(self._link(event.target))
@@ -683,6 +763,38 @@ class FaultInjector:
         else:
             archive.set_byte_budget(int(budget))
             self._capped_archives[archive] = None
+
+    def _apply_compaction_stall(self, event: FaultEvent) -> None:
+        archive = self._archive(event.target)
+        mode = event.params.get("mode")
+        if mode is None:
+            archive.clear_compaction_stall()
+            self._stalled_archives.pop(archive, None)
+        elif mode == "kill":
+            # one-shot: supervision alone recovers, nothing to heal
+            archive.stall_compaction("kill")
+        else:
+            archive.stall_compaction("wedge")
+            self._stalled_archives[archive] = None
+
+    def _apply_torn_segment(self, event: FaultEvent) -> None:
+        archive = self._archive(event.target)
+        index = event.params.get("index")
+        if index is None:
+            archive.mend_segments()
+            self._torn_archives.pop(archive, None)
+        elif archive.tear_segment(int(index)):
+            self._torn_archives[archive] = None
+
+    def _apply_slow_disk(self, event: FaultEvent) -> None:
+        archive = self._archive(event.target)
+        factor = event.params.get("factor")
+        if factor is None:
+            archive.set_io_latency(None)
+            self._slowed_archives.pop(archive, None)
+        else:
+            archive.set_io_latency(float(factor))
+            self._slowed_archives[archive] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<FaultInjector plan={self.plan!r} "

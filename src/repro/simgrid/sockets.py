@@ -13,6 +13,7 @@ use the congestion-controlled :mod:`repro.simgrid.tcp` model.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import random
 from dataclasses import dataclass
@@ -78,7 +79,13 @@ class MessageTransport:  # repro: noqa[SLOT001] — one per world, not per event
         #: ``on_fail``), lost messages invoke NEITHER callback: the
         #: sender believes the send worked — the gray-failure case.
         self.messages_lost = 0
-        self._loss_rng = rng
+        #: loss draws are per flow, each stream seeded from this salt:
+        #: whether a given flow's Nth message dies depends only on that
+        #: flow's own history, never on how unrelated flows' sends
+        #: happened to interleave with it (timing changes elsewhere
+        #: must not reshuffle which messages a lossy link eats)
+        self._loss_salt = rng.getrandbits(64) if rng is not None else 1905
+        self._loss_rngs: dict[tuple[str, str, int], random.Random] = {}
         #: per-source-host message/byte counters — used to measure the
         #: monitoring load a host bears (paper §2.3 scalability claims)
         self.per_host_sent: dict[str, int] = {}
@@ -93,6 +100,14 @@ class MessageTransport:  # repro: noqa[SLOT001] — one per world, not per event
         #: kernel events scheduled for exactly that instant no longer
         #: interleave inside the burst)
         self._arrivals: dict[float, list] = {}
+        #: per-(src, dst, dst_port) in-order watermark: a send never
+        #: overtakes an earlier in-flight one on the same flow, even
+        #: when a path's latency drops between the two sends (TCP-like
+        #: per-connection ordering — live event streams must not
+        #: reorder).  Keyed per destination port so independent flows
+        #: between the same host pair (a bulk transfer vs a monitoring
+        #: stream) don't serialize behind each other.
+        self._flow_clock: dict[tuple[str, str, int], float] = {}
         #: delivery wakeups scheduled (vs messages_sent: batching ratio)
         self.delivery_wakeups = 0
 
@@ -137,9 +152,13 @@ class MessageTransport:  # repro: noqa[SLOT001] — one per world, not per event
         src.ports.record(src_port, bytes_out=size, packets_out=npackets)
         loss = path.loss_rate if src is not dst else 0.0
         if loss > 0.0:
-            rng = self._loss_rng
+            flow = (src.name, dst.name, dst_port)
+            rng = self._loss_rngs.get(flow)
             if rng is None:
-                rng = self._loss_rng = random.Random(1905)
+                digest = hashlib.sha256(
+                    f"{self._loss_salt}:{flow}".encode()).digest()
+                rng = self._loss_rngs[flow] = random.Random(
+                    int.from_bytes(digest[:8], "big"))
             if rng.random() < loss:
                 # the message dies in flight on the first lossy hop.
                 # The sender saw a successful send, so NEITHER callback
@@ -162,6 +181,11 @@ class MessageTransport:  # repro: noqa[SLOT001] — one per world, not per event
         delay = path.latency_s + (size * 8.0) / path.bottleneck_bps if path.links \
             else 1e-6
         when = self.sim.now + delay
+        flow = (src.name, dst.name, dst_port)
+        prev = self._flow_clock.get(flow)
+        if prev is not None and when < prev:
+            when = prev
+        self._flow_clock[flow] = when
         batch = self._arrivals.get(when)
         if batch is None:
             # first message due at this instant: schedule the one wakeup

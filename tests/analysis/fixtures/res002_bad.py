@@ -1,0 +1,18 @@
+"""RES002 fixture: sealed-segment internals reached from outside the
+archive."""
+
+from repro.core.archive import _Segment  # noqa: F401
+
+
+def snapshot_segments(archive):
+    # grabbing the private catalog list: these handles dangle as soon
+    # as the compactor retires or merges a segment
+    return list(archive._segments)
+
+
+def peek_quarantine(archive):
+    return [seg for seg in archive._quarantined]
+
+
+def force_roll(archive):
+    archive._seal_head()

@@ -1,0 +1,20 @@
+"""RES002 clean fixture: consume the archive through its public
+surface — catalog descriptors, stats, and the fault hooks."""
+
+
+def snapshot_segments(archive):
+    return archive.catalog()
+
+
+def peek_quarantine(archive):
+    return archive.quarantined_spans()
+
+
+def storage_health(archive):
+    stats = archive.stats()
+    return stats["sealed"], stats["quarantined"]
+
+
+def inject_and_mend(archive):
+    archive.tear_segment(0)
+    return archive.mend_segments()

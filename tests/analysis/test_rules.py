@@ -23,6 +23,7 @@ CASES = [
     ("DET005", "det005_bad.py", "det005_ok.py"),
     ("SIM001", "sim001_bad.py", "sim001_ok.py"),
     ("RES001", "res001_bad.py", "res001_ok.py"),
+    ("RES002", "res002_bad.py", "res002_ok.py"),
     ("API001", "api001_bad.py", "api001_ok.py"),
     ("SLOT001", "slot001_bad.py", "slot001_ok.py"),
 ]

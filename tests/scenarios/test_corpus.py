@@ -19,6 +19,11 @@ from repro.simgrid import FaultPlan
 CORPUS = sorted(pathlib.Path(__file__).parent.glob("corpus/*.json"))
 
 
+def _opt(params: dict, key: str, cast):
+    value = params.get(key)
+    return cast(value) if value is not None else None
+
+
 def _load(path: pathlib.Path) -> Scenario:
     doc = json.loads(path.read_text())
     params = doc.get("scenario", {})
@@ -27,7 +32,17 @@ def _load(path: pathlib.Path) -> Scenario:
                     plan=FaultPlan.from_dict(doc["plan"]),
                     horizon=float(params.get("horizon", 60.0)),
                     drain=float(params.get("drain", 20.0)),
-                    n_sensor_hosts=int(params.get("n_sensor_hosts", 3)))
+                    n_sensor_hosts=int(params.get("n_sensor_hosts", 3)),
+                    archive_segment_events=int(
+                        params.get("archive_segment_events", 64)),
+                    archive_retention_bytes=_opt(
+                        params, "archive_retention_bytes", int),
+                    archive_retention_age=_opt(
+                        params, "archive_retention_age", float),
+                    archive_downsample_after=_opt(
+                        params, "archive_downsample_after", float),
+                    compaction_interval=float(
+                        params.get("compaction_interval", 2.0)))
 
 
 @pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)

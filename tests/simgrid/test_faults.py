@@ -102,6 +102,39 @@ class TestFaultPlan:
             events = [e for e in plan if e.kind == kind]
             assert events[-1].params.get(param) is None
 
+    def test_storage_kinds_round_trip_json(self):
+        plan = (FaultPlan(seed=11)
+                .stall_compaction(1.0, "arch", mode="wedge")
+                .restore_compaction(2.0, "arch")   # params empty
+                .tear_segment(3.0, "arch", index=2)
+                .mend_segments(4.0, "arch")
+                .slow_disk(5.0, "arch", 8.5)
+                .restore_disk_speed(6.0, "arch"))
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.to_dict() == plan.to_dict()
+        restore = next(e for e in clone if e.kind == "compaction_stall"
+                       and e.at == 2.0)
+        assert "mode" not in restore.params
+
+    def test_stall_mode_validated(self):
+        with pytest.raises(FaultError):
+            FaultPlan().stall_compaction(1.0, "arch", mode="unplug")
+
+    def test_random_plans_include_and_recover_storage_kinds(self):
+        plan = FaultPlan.random(
+            13, hosts=["a1", "a2", "b1"], n_steps=600, horizon=60.0,
+            archives=["arch"])
+        kinds = {e.kind for e in plan}
+        assert {"compaction_stall", "torn_segment", "slow_disk"} <= kinds
+        # every storage fault's last event is its parameterless restore
+        for kind, param in (("compaction_stall", "mode"),
+                            ("torn_segment", "index"),
+                            ("slow_disk", "factor")):
+            events = [e for e in plan if e.kind == kind]
+            assert param in events[0].params
+            assert param not in events[-1].params
+            assert events[-1].at <= 60.0 * 0.95
+
     def test_random_plans_deterministic_per_seed(self):
         kwargs = dict(hosts=["a1", "a2", "b1"], n_steps=120, horizon=50.0,
                       consumers=["b1"], archives=["arch"])
@@ -235,6 +268,108 @@ class TestFaultInjector:
             world.inject(FaultPlan().slow_consumer(1.0, "nope", 2.0))
         with pytest.raises(FaultError):
             world.inject(FaultPlan().disk_full(1.0, "no-arch", 1000))
+        with pytest.raises(FaultError):
+            world.inject(FaultPlan().stall_compaction(1.0, "no-arch"))
+        with pytest.raises(FaultError):
+            world.inject(FaultPlan().tear_segment(1.0, "no-arch"))
+        with pytest.raises(FaultError):
+            world.inject(FaultPlan().slow_disk(1.0, "no-arch", 4.0))
+
+    @staticmethod
+    def _segmented_archive(world, n=40):
+        from repro.core.archive import EventArchive
+        from repro.ulm import ULMMessage
+
+        archive = EventArchive(name="arch", segment_events=8)
+        world.register_archive(archive)
+        for i in range(n):
+            archive.append(ULMMessage(date=0.1 + i * 1e-2, host="a1",
+                                      prog="s", event="E",
+                                      fields={"SEQ": i, "VALUE": i}))
+        return archive
+
+    def test_compaction_stall_wedges_until_restored(self):
+        world = two_site_world()
+        archive = self._segmented_archive(world)
+        compactor = archive.start_compaction(world.sim, interval=0.5)
+        world.inject(FaultPlan()
+                     .stall_compaction(1.0, "arch", mode="wedge")
+                     .restore_compaction(4.0, "arch"))
+        world.run(until=0.9)
+        passes_before = archive.compaction_passes
+        assert passes_before > 0
+        world.run(until=3.9)
+        assert archive.compaction_stalled
+        # wedged: supervision restarts are visible but don't help
+        assert archive.compaction_passes == passes_before
+        assert compactor.stats()["restarts"] >= 1
+        world.run(until=6.0)
+        assert not archive.compaction_stalled
+        assert archive.compaction_passes > passes_before  # caught up
+        compactor.stop()
+
+    def test_compaction_kill_recovers_via_supervision_alone(self):
+        world = two_site_world()
+        archive = self._segmented_archive(world)
+        compactor = archive.start_compaction(world.sim, interval=0.5)
+        # one-shot kill: no restore event in the plan at all
+        world.inject(FaultPlan().stall_compaction(1.0, "arch", mode="kill"))
+        world.run(until=1.1)
+        passes_killed = archive.compaction_passes
+        world.run(until=8.0)
+        assert archive.compaction_passes > passes_killed
+        assert compactor.stats()["restarts"] >= 1
+        assert not archive.compaction_stalled
+        compactor.stop()
+
+    def test_torn_segment_quarantines_then_mend_reinstates(self):
+        world = two_site_world()
+        archive = self._segmented_archive(world, n=40)
+        total = len(archive)
+        world.inject(FaultPlan()
+                     .tear_segment(1.0, "arch", index=0)
+                     .mend_segments(3.0, "arch"))
+        world.run(until=2.0)
+        # detection is lazy: the query notices, quarantines, and keeps
+        # serving every healthy segment
+        served = archive.query(event="E")
+        assert 0 < len(served) < total
+        assert archive.stats()["quarantined"] == 1
+        assert archive.quarantined_spans()
+        world.run(until=4.0)
+        assert archive.stats()["quarantined"] == 0
+        assert archive.stats()["segments_reinstated"] == 1
+        assert len(archive.query(event="E")) == total
+
+    def test_slow_disk_stretches_and_restores_io_latency(self):
+        world = two_site_world()
+        archive = self._segmented_archive(world)
+        world.inject(FaultPlan()
+                     .slow_disk(1.0, "arch", 6.0)
+                     .restore_disk_speed(3.0, "arch"))
+        world.run(until=2.0)
+        assert archive.io_latency_factor == pytest.approx(6.0)
+        world.run(until=4.0)
+        assert archive.io_latency_factor == pytest.approx(1.0)
+
+    def test_heal_clears_all_storage_gray_state(self):
+        world = two_site_world()
+        archive = self._segmented_archive(world, n=40)
+        total = len(archive)
+        world.inject(FaultPlan()
+                     .stall_compaction(1.0, "arch", mode="wedge")
+                     .tear_segment(1.0, "arch", index=1)
+                     .slow_disk(1.0, "arch", 9.0)
+                     .heal(3.0))
+        world.run(until=2.0)
+        archive.query(event="E")  # trip the lazy torn detection
+        assert archive.compaction_stalled
+        assert archive.stats()["quarantined"] == 1
+        world.run(until=4.0)
+        assert not archive.compaction_stalled
+        assert archive.io_latency_factor == pytest.approx(1.0)
+        assert archive.stats()["quarantined"] == 0
+        assert len(archive.query(event="E")) == total
 
     def test_sensor_degrade_applies_and_heal_clears(self):
         from repro.core import JAMMDeployment, JAMMConfig

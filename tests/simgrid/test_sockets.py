@@ -136,3 +136,71 @@ class TestPortTable:
         a.ports.record(8080, bytes_out=5)
         a.ports.activity(99)  # touched but no traffic
         assert a.ports.ports_with_traffic() == [21, 8080]
+
+
+class TestFlowOrdering:
+    """Per-flow FIFO: a send never overtakes an earlier one on the same
+    (src, dst, dst_port) flow, while independent flows stay decoupled."""
+
+    def test_latency_drop_does_not_reorder_a_flow(self):
+        world, a, b = pair()
+        got = []
+        b.ports.bind(5000, lambda msg, tr: got.append(msg.payload))
+        for link in world.network.links():
+            link.latency_s = 1.0
+        world.transport.send(a, b, 5000, "first")
+        for link in world.network.links():
+            link.latency_s = 0.001
+        world.transport.send(a, b, 5000, "second")
+        world.run()
+        assert got == ["first", "second"]
+
+    def test_smaller_message_does_not_overtake_on_same_flow(self):
+        world, a, b = pair()
+        got = []
+        b.ports.bind(5000, lambda msg, tr: got.append(msg.payload))
+        world.transport.send(a, b, 5000, "bulk", size_bytes=1_000_000)
+        world.transport.send(a, b, 5000, "tiny", size_bytes=10)
+        world.run()
+        assert got == ["bulk", "tiny"]
+
+    def test_independent_flows_do_not_serialize(self):
+        """A bulk transfer on one port must not delay another port's
+        traffic between the same host pair."""
+        world, a, b = pair()
+        got = []
+        b.ports.bind(5000, lambda msg, tr: got.append(msg.payload))
+        b.ports.bind(6000, lambda msg, tr: got.append(msg.payload))
+        world.transport.send(a, b, 5000, "bulk", size_bytes=1_000_000)
+        world.transport.send(a, b, 6000, "tiny", size_bytes=10)
+        world.run()
+        assert got == ["tiny", "bulk"]
+
+
+class TestPerFlowLoss:
+    def test_loss_draws_are_independent_of_other_flows(self):
+        """Which of a flow's messages a lossy link eats depends only on
+        that flow's own send history — interleaving traffic on another
+        flow must not reshuffle the draws (timing changes elsewhere
+        would otherwise move losses between unrelated streams)."""
+        def drive(interleave: bool) -> list:
+            world = GridWorld(seed=2)
+            a = world.add_host("a")
+            b = world.add_host("b")
+            world.lan([a, b], switch="sw")
+            for link in world.network.links():
+                link.loss_rate = 0.2
+            got = []
+            b.ports.bind(7000, lambda msg, tr: got.append(msg.payload))
+            b.ports.bind(8000, lambda msg, tr: None)
+            for i in range(100):
+                world.transport.send(a, b, 7000, i)
+                if interleave:
+                    world.transport.send(a, b, 8000, i)
+            world.run()
+            return got
+
+        alone = drive(interleave=False)
+        shared = drive(interleave=True)
+        assert 0 < len(alone) < 100  # the link did eat some
+        assert alone == shared
