@@ -53,6 +53,10 @@ def main(argv=None) -> int:
     parser.add_argument("--keep-passing-digests", action="store_true",
                         help="print each passing run's digest (for "
                              "cross-machine determinism spot checks)")
+    parser.add_argument("--storms", action="store_true",
+                        help="let random plans raise congestion storms "
+                             "(background traffic contending for the "
+                             "shared links)")
     storage = parser.add_argument_group(
         "storage", "commit-log shape: segments, retention, compaction")
     storage.add_argument("--segment-events", type=int, default=64,
@@ -88,7 +92,8 @@ def main(argv=None) -> int:
                             archive_retention_bytes=args.retention_bytes,
                             archive_retention_age=args.retention_age,
                             archive_downsample_after=args.downsample_after,
-                            compaction_interval=args.compaction_interval)
+                            compaction_interval=args.compaction_interval,
+                            storms=args.storms)
         result = run_scenario(scenario)
         perf = result.stats.get("perf") or {}
         total_events += perf.get("events", 0)
@@ -115,7 +120,8 @@ def main(argv=None) -> int:
                          "archive_retention_bytes": args.retention_bytes,
                          "archive_retention_age": args.retention_age,
                          "archive_downsample_after": args.downsample_after,
-                         "compaction_interval": args.compaction_interval},
+                         "compaction_interval": args.compaction_interval,
+                         "storms": args.storms},
             "plan": result.plan.to_dict(),
             "violations": result.violations,
         }, indent=2, sort_keys=True) + "\n")

@@ -27,6 +27,7 @@ from typing import Any, Optional, Sequence
 
 from ..simgrid.host import Host
 from ..simgrid.kernel import AllOf, EventFlag
+from ..simgrid.tcp import RequestFailed
 from ..simgrid.world import GridWorld
 
 __all__ = ["DPSSCluster", "DPSSSession", "DPSS_BASE_PORT", "BLOCK_SIZE"]
@@ -87,6 +88,11 @@ class DPSSSession:
         self.read_sizes: list[tuple[float, int]] = []
         self.reads_issued = 0
         self.bytes_read = 0
+        #: reads that completed short because a data socket died
+        self.partial_reads = 0
+        #: bytes actually delivered across all reads (== bytes_read
+        #: unless some reads came back partial)
+        self.bytes_delivered = 0
         self._residual = 0  # bytes sitting in the socket buffer
         self.flows = []
         for i, server in enumerate(self.servers):
@@ -149,11 +155,25 @@ class DPSSSession:
             flags.append(flow.request(share))
         done = EventFlag(self.sim, name=f"dpss-read{self.reads_issued}")
 
-        def finish(_values) -> None:
-            if self.netlogger is not None:
+        def finish(values) -> None:
+            # a stripe whose data socket died triggers its flag with a
+            # RequestFailed marker (not the flow): the read completed
+            # SHORT, and must be reported as the bytes that actually
+            # arrived — not logged as a full-size read (it was)
+            failures = [v for v in values if isinstance(v, RequestFailed)]
+            delivered = nbytes - sum(f.requested - f.delivered
+                                     for f in failures)
+            self.bytes_delivered += delivered
+            if failures:
+                self.partial_reads += 1
+                if self.netlogger is not None:
+                    self.netlogger.write("DPSS_END_READ", DPSS_SZ=delivered,
+                                         DPSS_REQ=nbytes, DPSS_PARTIAL=1,
+                                         DPSS_SESS=self.session_id)
+            elif self.netlogger is not None:
                 self.netlogger.write("DPSS_END_READ", DPSS_SZ=nbytes,
                                      DPSS_SESS=self.session_id)
-            done.trigger(nbytes)
+            done.trigger(delivered)
 
         gather = self.sim.spawn(self._gather(flags, finish),
                                 name=f"dpss-gather{self.reads_issued}")

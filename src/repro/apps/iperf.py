@@ -32,6 +32,9 @@ class IperfResult:
     per_stream_mbps: list
     retransmits: int
     timeouts: int
+    #: total queuing delay the streams saw at the bottleneck (congested
+    #: shared links show up here before they show up as loss)
+    queue_delay_s: float = 0.0
 
     @property
     def aggregate_mbps(self) -> float:
@@ -47,7 +50,8 @@ class IperfResult:
 def run_iperf(world: GridWorld, sources: Sequence[Host], sink: Host, *,
               n_streams: int, duration: float = 30.0,
               warmup: float = 2.0, rwnd_bytes: int = 1 << 20,
-              base_port: int = IPERF_PORT) -> IperfResult:
+              base_port: int = IPERF_PORT,
+              traffic_class: str = "bulk") -> IperfResult:
     """Run ``n_streams`` parallel streams from ``sources`` (round-robin)
     into ``sink`` and measure goodput over the post-warmup window.
 
@@ -63,7 +67,8 @@ def run_iperf(world: GridWorld, sources: Sequence[Host], sink: Host, *,
         src = sources[i % len(sources)]
         flow = world.tcp_flow(src, sink, dst_port=base_port + i,
                               rng_name=f"iperf:{t_start:.3f}:{i}",
-                              rwnd_bytes=rwnd_bytes)
+                              rwnd_bytes=rwnd_bytes,
+                              traffic_class=traffic_class)
         flow.run_for(duration)
         flows.append(flow)
     world.run(until=t_start + duration + 1.0)
@@ -75,4 +80,5 @@ def run_iperf(world: GridWorld, sources: Sequence[Host], sink: Host, *,
         duration=duration,
         per_stream_mbps=per_stream,
         retransmits=sum(f.stats.retransmits for f in flows),
-        timeouts=sum(f.stats.timeouts for f in flows))
+        timeouts=sum(f.stats.timeouts for f in flows),
+        queue_delay_s=sum(f.stats.queue_delay_s for f in flows))

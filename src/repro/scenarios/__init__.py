@@ -30,14 +30,15 @@ test; ``scripts/soak.py`` runs random plans in bulk and dumps failing
 schedules to ``tests/scenarios/corpus/``.
 """
 
+from .netaware import NetAwareResult, run_netaware_scenario
 from .runner import (Scenario, ScenarioResult, ScenarioRunner, SeqSensor,
                      check_archive_accounting, check_bounded_queues,
                      check_directory_convergence, check_monotonic_streams,
                      check_no_committed_loss, check_rollup_consistency,
                      run_scenario)
 
-__all__ = ["Scenario", "ScenarioResult", "ScenarioRunner", "SeqSensor",
-           "check_archive_accounting", "check_bounded_queues",
+__all__ = ["NetAwareResult", "Scenario", "ScenarioResult", "ScenarioRunner",
+           "SeqSensor", "check_archive_accounting", "check_bounded_queues",
            "check_directory_convergence", "check_monotonic_streams",
            "check_no_committed_loss", "check_rollup_consistency",
-           "run_scenario"]
+           "run_netaware_scenario", "run_scenario"]

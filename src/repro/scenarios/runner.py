@@ -99,6 +99,9 @@ class Scenario:
     #: extra fault targets protected from random crashes (the consumer
     #: host always is — the invariants read its records)
     protect: tuple = ()
+    #: let the random plan raise congestion storms (background-traffic
+    #: bursts between host pairs that contend for the shared links)
+    storms: bool = False
     #: consumer-session backpressure knobs (None -> spec defaults)
     outbox_limit: Optional[int] = None
     overflow_policy: Optional[str] = None
@@ -443,7 +446,8 @@ class ScenarioRunner:
             sc.seed, hosts=hosts, links=links, n_steps=sc.random_steps,
             horizon=sc.horizon,
             consumers=("consumer.siteB",), archives=("commit-log",),
-            protect=set(sc.protect) | {"consumer.siteB"})
+            protect=set(sc.protect) | {"consumer.siteB"},
+            storms=tuple(sorted(self.world.hosts)) if sc.storms else ())
 
     def run(self) -> ScenarioResult:
         if self.world is None:
@@ -486,6 +490,9 @@ class ScenarioRunner:
         for slowed in list(self.injector._slowed_archives):
             slowed.set_io_latency(None)
         self.injector._slowed_archives.clear()
+        # ... and any congestion storm still blowing at the horizon
+        self.injector._stop_storms()
+        self.world.stop_traffic()
         self.world.run(until=sc.horizon + sc.drain)
         # freeze the commit set (stop emission) and flush: in-flight
         # deliveries land and the healing sessions run their final
@@ -620,6 +627,14 @@ class ScenarioRunner:
                 "transport": {
                     "messages_sent": self.world.transport.messages_sent,
                     "messages_lost": self.world.transport.messages_lost,
+                    "messages_lost_congestion":
+                        self.world.transport.messages_lost_congestion,
+                    "queue_delay_s": self.world.transport.queue_delay_s,
+                    "class_bytes": dict(self.world.transport.class_bytes),
+                },
+                "links": {
+                    link.name: link.queue_stats()
+                    for link in self.world.network.links()
                 },
                 "archive": self.archive.stats(),
                 "compactor": self.compactor.stats()

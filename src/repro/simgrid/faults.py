@@ -46,13 +46,18 @@ FAULT_KINDS = ("host_crash", "host_restart", "process_kill",
                "sensor_degrade", "asymmetric_partition",
                "slow_consumer", "disk_full",
                # storage faults against segmented archives
-               "compaction_stall", "torn_segment", "slow_disk")
+               "compaction_stall", "torn_segment", "slow_disk",
+               # background cross-traffic (shared-link congestion)
+               "congestion_storm", "calm_traffic")
 
 #: how a compaction stall manifests (see FaultPlan.stall_compaction)
 COMPACTION_STALL_MODES = ("wedge", "kill")
 
 #: sample-corruption modes a degraded sensor can exhibit
 SENSOR_DEGRADE_MODES = ("corrupt", "partial", "stale")
+
+#: storm traffic shapes (mirrors repro.simgrid.traffic.TRAFFIC_KINDS)
+TRAFFIC_STORM_KINDS = ("constant", "onoff")
 
 
 class FaultError(RuntimeError):
@@ -272,6 +277,34 @@ class FaultPlan:
         """Restore normal I/O latency (params carry no ``factor``)."""
         return self.add(FaultEvent(at, "slow_disk", archive))
 
+    # -- congestion (background cross-traffic) --------------------------------
+
+    def congestion_storm(self, at: float, src: str, dst: str, *,
+                         rate_bps: float, kind: str = "constant",
+                         packet_bytes: int = 8192, on_s: float = 0.5,
+                         off_s: float = 0.5, seed: int = 0) -> "FaultPlan":
+        """Start seeded background traffic from ``src`` to ``dst``
+        (:mod:`repro.simgrid.traffic`), congesting every shared link on
+        the path: queue backlogs grow, monitoring/bulk traffic sees
+        queuing delay, and overflow becomes drops AIMD reacts to.
+        Stopped by :meth:`calm_traffic` (or ``heal``).  A second storm
+        on the same ``src->dst`` pair replaces the first."""
+        return self.add(FaultEvent(at, "congestion_storm",
+                                   f"{src}|{dst}",
+                                   {"rate_bps": float(rate_bps),
+                                    "kind": kind,
+                                    "packet_bytes": int(packet_bytes),
+                                    "on_s": float(on_s),
+                                    "off_s": float(off_s),
+                                    "seed": int(seed)}))
+
+    def calm_traffic(self, at: float, src: str = "",
+                     dst: str = "") -> "FaultPlan":
+        """Stop injector-started background traffic — the ``src->dst``
+        storm when named, every storm when called with no names."""
+        target = f"{src}|{dst}" if (src or dst) else ""
+        return self.add(FaultEvent(at, "calm_traffic", target))
+
     # -- random generation ---------------------------------------------------
 
     @classmethod
@@ -281,7 +314,8 @@ class FaultPlan:
                protect: Iterable[str] = (),
                max_down_fraction: float = 0.67,
                consumers: Iterable[str] = (),
-               archives: Iterable[str] = ()) -> "FaultPlan":
+               archives: Iterable[str] = (),
+               storms: Iterable[str] = ()) -> "FaultPlan":
         """A deterministic random schedule of ``n_steps`` events.
 
         The draw depends only on ``seed`` and the *sorted* host/link
@@ -304,12 +338,18 @@ class FaultPlan:
         mode), ``torn_segment``, and ``slow_disk`` — each paired with
         its restore within the horizon, so storage faults are
         always-recovering like everything else.
+
+        Passing two or more ``storms`` host names enables
+        ``congestion_storm`` events between random distinct pairs of
+        those hosts, each paired with a targeted ``calm_traffic``
+        within the horizon (always-recovering congestion).
         """
         rng = random.Random(seed)
         host_names = sorted(set(hosts))
         link_names = sorted(set(links))
         consumer_names = sorted(set(consumers))
         archive_names = sorted(set(archives))
+        storm_names = sorted(set(storms))
         protected = set(protect)
         crashable = [h for h in host_names if h not in protected]
         plan = cls(seed=seed)
@@ -336,6 +376,8 @@ class FaultPlan:
         if archive_names:
             kinds += ["disk_full", "compaction_stall", "torn_segment",
                       "slow_disk"]
+        if len(storm_names) >= 2:
+            kinds.append("congestion_storm")
         for _ in range(max(0, int(n_steps))):
             at = round(rng.uniform(0.0, horizon * 0.8), 3)
             kind = rng.choice(kinds)
@@ -415,6 +457,16 @@ class FaultPlan:
                 plan.slow_disk(at, archive,
                                round(rng.uniform(2.0, 20.0), 3))
                 plan.restore_disk_speed(recover_at(at), archive)
+            elif kind == "congestion_storm":
+                src = rng.choice(storm_names)
+                dst = rng.choice([h for h in storm_names if h != src])
+                shape = rng.choice(list(TRAFFIC_STORM_KINDS))
+                plan.congestion_storm(
+                    at, src, dst,
+                    rate_bps=round(rng.uniform(100e6, 900e6), 0),
+                    kind=shape,
+                    seed=rng.randrange(2**31))
+                plan.calm_traffic(recover_at(at), src, dst)
         # every random plan converges: restart stragglers, heal, settle
         for host in down_spans:
             plan.restart_host(horizon * 0.96, host)
@@ -483,6 +535,8 @@ class FaultInjector:
         self._stalled_archives: dict[Any, None] = {}
         self._torn_archives: dict[Any, None] = {}
         self._slowed_archives: dict[Any, None] = {}
+        #: "src|dst" -> running TrafficGenerator (congestion storms)
+        self._storms: dict[str, Any] = {}
         self._armed = False
 
     # -- lookup ---------------------------------------------------------------
@@ -528,6 +582,17 @@ class FaultInjector:
             elif event.kind in ("disk_full", "compaction_stall",
                                 "torn_segment", "slow_disk"):
                 self._archive(event.target)
+            elif event.kind == "congestion_storm":
+                if "|" not in event.target:
+                    raise FaultError(
+                        f"storm target needs 'src|dst': {event.target!r}")
+                src, _, dst = event.target.partition("|")
+                self._host(src)
+                self._host(dst)
+            elif event.kind == "calm_traffic" and event.target:
+                if "|" not in event.target:
+                    raise FaultError(
+                        f"calm target needs 'src|dst': {event.target!r}")
 
     # -- scheduling ------------------------------------------------------------
 
@@ -647,6 +712,7 @@ class FaultInjector:
         for archive in list(self._slowed_archives):
             archive.set_io_latency(None)
         self._slowed_archives.clear()
+        self._stop_storms()
 
     def _apply_link_down(self, event: FaultEvent) -> None:
         self._cut(self._link(event.target))
@@ -795,6 +861,37 @@ class FaultInjector:
         else:
             archive.set_io_latency(float(factor))
             self._slowed_archives[archive] = None
+
+    # -- congestion storms -------------------------------------------------------
+
+    def _stop_storms(self, target: str = "") -> None:
+        for key in sorted(self._storms):
+            if target and key != target:
+                continue
+            self._storms.pop(key).stop()
+
+    def _apply_congestion_storm(self, event: FaultEvent) -> None:
+        """Start (or replace) a background-traffic generator between the
+        target host pair.  The injector owns the generator's lifecycle:
+        ``calm_traffic`` and ``heal`` stop it."""
+        from .traffic import TrafficGenerator, TrafficSpec
+        src, _, dst = event.target.partition("|")
+        old = self._storms.pop(event.target, None)
+        if old is not None:
+            old.stop()
+        p = event.params
+        spec = TrafficSpec(src=src, dst=dst,
+                           rate_bps=float(p["rate_bps"]),
+                           kind=p.get("kind", "constant"),
+                           packet_bytes=int(p.get("packet_bytes", 8192)),
+                           on_s=float(p.get("on_s", 0.5)),
+                           off_s=float(p.get("off_s", 0.5)),
+                           seed=int(p.get("seed", 0)))
+        self._storms[event.target] = TrafficGenerator(
+            self.world, spec).start()
+
+    def _apply_calm_traffic(self, event: FaultEvent) -> None:
+        self._stop_storms(event.target)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<FaultInjector plan={self.plan!r} "

@@ -214,7 +214,9 @@ class Host:
         #: arbitrary per-host services (sensor manager, gateway, ...) by name
         self.services: dict[str, Any] = {}
         #: host-level TCP stack counters sampled by netstat-style sensors
-        self.tcp_counters: dict[str, int] = {"retransmits": 0, "window_changes": 0}
+        self.tcp_counters: dict[str, int] = {"retransmits": 0,
+                                             "window_changes": 0,
+                                             "congestion_drops": 0}
         #: synthetic block-I/O counters bumped by apps, for iostat sensors
         self.io_counters: dict[str, int] = {"reads": 0, "writes": 0,
                                             "read_bytes": 0, "write_bytes": 0}

@@ -21,7 +21,13 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 __all__ = ["NetNode", "RouterNode", "SwitchNode", "Link", "Network",
-           "NoRouteError", "InterfaceCounters", "Path"]
+           "NoRouteError", "InterfaceCounters", "Path", "TRAFFIC_CLASSES"]
+
+#: traffic classes every transport send is tagged with (rotorsim-style
+#: flow tagging): control-plane/monitoring messages, bulk data, and
+#: injected background cross-traffic.  Links account carried bytes per
+#: class so scenarios can see *who* filled a congested queue.
+TRAFFIC_CLASSES = ("monitoring", "bulk", "background")
 
 
 class NoRouteError(RuntimeError):
@@ -96,16 +102,35 @@ class SwitchNode(NetNode):
 
 
 class Link:
-    """A bidirectional link with bandwidth, latency, and loss rate."""
+    """A bidirectional link with bandwidth, latency, loss rate, and a
+    per-direction FIFO output queue.
+
+    The queue makes the link a genuinely *shared* resource: every
+    transport (control-plane messages, TCP rounds, background traffic)
+    enqueues its bytes behind whatever is already draining at line rate,
+    sees the backlog as queuing delay, and loses what overflows
+    ``queue_bytes`` — the congestion signal the paper's monitoring path
+    exists to observe (§6, §7).
+    """
+
+    #: default queue depth, in seconds of line rate (a quarter-second of
+    #: buffering — generous router-class queues, so an uncongested flow
+    #: never drops but a storm builds visible delay before loss)
+    QUEUE_SECONDS = 0.25
+    #: width of the utilization accounting window, seconds
+    UTIL_WINDOW_S = 1.0
 
     def __init__(self, a: NetNode, b: NetNode, *, bandwidth_bps: float,
-                 latency_s: float, loss_rate: float = 0.0, name: str = ""):
+                 latency_s: float, loss_rate: float = 0.0, name: str = "",
+                 queue_bytes: Optional[float] = None):
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive")
         if latency_s < 0:
             raise ValueError("latency must be non-negative")
         if not (0.0 <= loss_rate <= 1.0):
             raise ValueError("loss rate must be in [0, 1]")
+        if queue_bytes is not None and queue_bytes <= 0:
+            raise ValueError("queue depth must be positive")
         self.a = a
         self.b = b
         self.bandwidth_bps = float(bandwidth_bps)
@@ -117,6 +142,27 @@ class Link:
         self._loss = [float(loss_rate), float(loss_rate)]
         self.name = name or f"{a.name}--{b.name}"
         self.up = True
+        #: queue depth in bytes (per direction)
+        self.queue_bytes = (float(queue_bytes) if queue_bytes is not None
+                            else self.QUEUE_SECONDS * self.bandwidth_bps / 8.0)
+        # -- per-direction queue state, [toward b, toward a] like _loss.
+        # The queue is virtual: we track only the time the transmitter
+        # is busy until, so the idle fast path is a compare + add.
+        self._q_busy_until = [0.0, 0.0]
+        #: overflow events (an enqueue that lost bytes) per direction
+        self.queue_drops = [0, 0]
+        #: bytes lost to queue overflow per direction
+        self.queue_dropped_bytes = [0, 0]
+        #: worst backlog ever seen at enqueue time, seconds, per direction
+        self.queue_peak_s = [0.0, 0.0]
+        #: cumulative queuing delay charged to accepted traffic, seconds
+        self.queue_delay_total_s = [0.0, 0.0]
+        # sliding-window byte-rate accounting (utilization observable)
+        self._win_start = [0.0, 0.0]
+        self._win_bytes = [0, 0]
+        self._win_rate_bps = [0.0, 0.0]
+        #: carried bytes per traffic class (both directions combined)
+        self.class_bytes: dict[str, int] = {}
         a.links.append(self)
         b.links.append(self)
 
@@ -169,6 +215,104 @@ class Link:
 
     def set_up(self, up: bool) -> None:
         self.up = up
+
+    # -- shared FIFO queue ---------------------------------------------------
+
+    def queue_backlog_s(self, toward: NetNode, now: float) -> float:
+        """Seconds of traffic queued ahead of a new arrival heading
+        ``toward`` the given endpoint at time ``now``."""
+        busy = self._q_busy_until[self._dir_index(toward)]
+        return busy - now if busy > now else 0.0
+
+    def queue_offer(self, src: NetNode, nbytes: int, now: float,
+                    traffic_class: Optional[str] = None,
+                    *, atomic: bool = False) -> tuple[int, float]:
+        """Offer ``nbytes`` for transmission from ``src`` toward the
+        other endpoint.  Returns ``(accepted_bytes, queue_delay_s)``.
+
+        Accepted bytes join the per-direction FIFO behind the current
+        backlog and drain at line rate; the caller adds the returned
+        delay to its delivery time.  Bytes beyond the free queue space
+        overflow — with ``atomic=True`` (whole datagrams) an overflow
+        rejects the entire offer, otherwise the head that fits is
+        accepted and the tail is the caller's loss to model.
+        """
+        d = self._dir_index(self.other(src))
+        rate = self.bandwidth_bps / 8.0    # bytes/s drain rate
+        busy = self._q_busy_until[d]
+        if busy <= now:
+            # idle fast path: empty queue, nothing can overflow
+            delay = 0.0
+            accepted = nbytes
+            self._q_busy_until[d] = now + nbytes / rate
+        else:
+            delay = busy - now
+            free = self.queue_bytes - delay * rate
+            if nbytes <= free:
+                accepted = nbytes
+            elif atomic:
+                accepted = 0
+            else:
+                accepted = int(free) if free > 0 else 0
+            dropped = nbytes - accepted
+            if dropped:
+                self.queue_drops[d] += 1
+                self.queue_dropped_bytes[d] += dropped
+            if accepted:
+                self._q_busy_until[d] = busy + accepted / rate
+                self.queue_delay_total_s[d] += delay
+            if delay > self.queue_peak_s[d]:
+                self.queue_peak_s[d] = delay
+        if accepted:
+            # sliding-window utilization accounting (carried bytes only)
+            if now - self._win_start[d] >= self.UTIL_WINDOW_S:
+                elapsed = now - self._win_start[d]
+                self._win_rate_bps[d] = self._win_bytes[d] * 8.0 / elapsed
+                self._win_start[d] = now
+                self._win_bytes[d] = accepted
+            else:
+                self._win_bytes[d] += accepted
+            if traffic_class is not None:
+                self.class_bytes[traffic_class] = \
+                    self.class_bytes.get(traffic_class, 0) + accepted
+        return accepted, delay
+
+    def queue_put(self, src: NetNode, nbytes: int, now: float,
+                  traffic_class: Optional[str] = None) -> float:
+        """Atomic enqueue for a whole datagram: returns the queuing
+        delay, or ``-1.0`` when the message overflowed (caller drops the
+        message whole — partial datagrams don't exist)."""
+        accepted, delay = self.queue_offer(src, nbytes, now, traffic_class,
+                                           atomic=True)
+        return delay if accepted else -1.0
+
+    def utilization(self, toward: NetNode, now: float) -> float:
+        """Fraction of line rate carried toward ``toward`` over the
+        current sliding window (what an SNMP poller would compute from
+        octet deltas)."""
+        d = self._dir_index(toward)
+        elapsed = now - self._win_start[d]
+        if elapsed >= self.UTIL_WINDOW_S:
+            rate = self._win_bytes[d] * 8.0 / elapsed
+        else:
+            # partial window: never *under*-report a hot link just
+            # because the window recently rolled — blend with the last
+            # completed window's rate
+            rate = max(self._win_rate_bps[d],
+                       self._win_bytes[d] * 8.0 / self.UTIL_WINDOW_S)
+        util = rate / self.bandwidth_bps
+        return util if util < 1.0 else 1.0
+
+    def queue_stats(self) -> dict:
+        """Snapshot of the queue observables (both directions)."""
+        return {
+            "queue_bytes": self.queue_bytes,
+            "drops": tuple(self.queue_drops),
+            "dropped_bytes": tuple(self.queue_dropped_bytes),
+            "peak_backlog_s": tuple(self.queue_peak_s),
+            "delay_total_s": tuple(self.queue_delay_total_s),
+            "class_bytes": dict(self.class_bytes),
+        }
 
     def record_transit(self, src: NetNode, nbytes: int, npackets: int = 1,
                        *, errors: int = 0, crc: int = 0) -> None:
@@ -275,11 +419,13 @@ class Network:
         return self.add_node(SwitchNode(name))  # type: ignore[return-value]
 
     def link(self, a: NetNode | str, b: NetNode | str, *, bandwidth_bps: float,
-             latency_s: float, loss_rate: float = 0.0, name: str = "") -> Link:
+             latency_s: float, loss_rate: float = 0.0, name: str = "",
+             queue_bytes: Optional[float] = None) -> Link:
         node_a = self.node(a) if isinstance(a, str) else a
         node_b = self.node(b) if isinstance(b, str) else b
         lk = Link(node_a, node_b, bandwidth_bps=bandwidth_bps,
-                  latency_s=latency_s, loss_rate=loss_rate, name=name)
+                  latency_s=latency_s, loss_rate=loss_rate, name=name,
+                  queue_bytes=queue_bytes)
         self._links.append(lk)
         self._invalidate()
         return lk

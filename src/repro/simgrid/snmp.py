@@ -78,6 +78,31 @@ class SNMPAgent:
             out[oid] = supplier()
         return out
 
+    def interface_walk(self, link_name: str, *,
+                       community: str = "public") -> dict:
+        """Counters for ONE interface (by link name), plus the queue
+        observables a real device's per-port MIB would carry: outbound
+        queue backlog/drops toward the far end and the line-rate
+        utilization over the accounting window.  This is what a path
+        monitor polls to localize congestion to a specific link
+        (aggregate :meth:`walk` totals can't tell which port hurts)."""
+        if community != self.community:
+            raise PermissionError(f"bad community string for {self.node.name}")
+        for link in self.node.links:
+            if link.name == link_name:
+                break
+        else:
+            raise KeyError(
+                f"no interface {link_name!r} on {self.node.name}")
+        out = dict(self.node.interface(link).as_dict())
+        far = link.other(self.node)
+        now = self.sim.now
+        out["ifSpeed"] = link.bandwidth_bps
+        out["ifOutQBacklogS"] = link.queue_backlog_s(far, now)
+        out["ifOutQDrops"] = link.queue_drops[link._dir_index(far)]
+        out["ifOutUtilization"] = link.utilization(far, now)
+        return out
+
 
 class SNMPManager:
     """The manager side: query agents, optionally over the network.
@@ -120,6 +145,15 @@ class SNMPManager:
         if agent is None:
             raise KeyError(f"unknown SNMP device {device!r}")
         return agent.walk(community=community)
+
+    def interface_walk(self, device: str, link_name: str, *,
+                       community: str = "public") -> dict:
+        """Per-interface walk (see :meth:`SNMPAgent.interface_walk`)."""
+        self.queries += 1
+        agent = self._agents.get(device)
+        if agent is None:
+            raise KeyError(f"unknown SNMP device {device!r}")
+        return agent.interface_walk(link_name, community=community)
 
     def get_async(self, device: str, oid: str, *, community: str = "public",
                   rtt: float = 2e-3) -> EventFlag:

@@ -79,6 +79,14 @@ class MessageTransport:  # repro: noqa[SLOT001] — one per world, not per event
         #: ``on_fail``), lost messages invoke NEITHER callback: the
         #: sender believes the send worked — the gray-failure case.
         self.messages_lost = 0
+        #: messages silently lost to link-queue overflow (congestion).
+        #: Same gray semantics as ``messages_lost``: neither callback
+        #: fires — a router dropping a datagram tells nobody.
+        self.messages_lost_congestion = 0
+        #: cumulative queuing delay experienced by delivered messages
+        self.queue_delay_s = 0.0
+        #: bytes offered to the network per traffic class
+        self.class_bytes: dict[str, int] = {}
         #: loss draws are per flow, each stream seeded from this salt:
         #: whether a given flow's Nth message dies depends only on that
         #: flow's own history, never on how unrelated flows' sends
@@ -108,6 +116,12 @@ class MessageTransport:  # repro: noqa[SLOT001] — one per world, not per event
         #: between the same host pair (a bulk transfer vs a monitoring
         #: stream) don't serialize behind each other.
         self._flow_clock: dict[tuple[str, str, int], float] = {}
+        #: messages_sent count at which the next watermark sweep runs.
+        #: Entries whose watermark has passed order nothing (no message
+        #: of that flow is still in flight), so they are dropped; the
+        #: sweep is amortized so flow-state stays bounded over a soak
+        #: without a per-send scan.
+        self._prune_at = 256
         #: delivery wakeups scheduled (vs messages_sent: batching ratio)
         self.delivery_wakeups = 0
 
@@ -115,13 +129,22 @@ class MessageTransport:  # repro: noqa[SLOT001] — one per world, not per event
 
     def send(self, src: Host, dst: Host, dst_port: int, payload: Any, *,
              size_bytes: int = 256, src_port: Optional[int] = None,
+             traffic_class: str = "monitoring",
              on_fail: Optional[Callable[[Exception], None]] = None,
-             on_delivered: Optional[Callable[["Message"], None]] = None) -> Optional[Message]:
+             on_delivered: Optional[Callable[["Message"], None]] = None,
+             oneshot: bool = False) -> Optional[Message]:
         """Send a message; returns it (delivery is scheduled) or None if
         undeliverable and ``on_fail`` was given.  ``on_delivered`` fires
         when the message reaches a live listener — the success signal
         failure detectors (e.g. the gateway's dead-consumer reaper) pair
-        with ``on_fail`` to count *consecutive* failures."""
+        with ``on_fail`` to count *consecutive* failures.
+
+        ``traffic_class`` tags the bytes for per-class link accounting
+        (see :data:`repro.simgrid.network.TRAFFIC_CLASSES`); control
+        traffic defaults to ``"monitoring"``.  ``oneshot`` marks a flow
+        that carries exactly one message ever (RPC reply ports): such
+        flows skip the per-flow ordering watermark and share a per-host-
+        pair loss stream instead of minting permanent per-port state."""
         size = size_bytes + self.HEADER_BYTES
         if src_port is None:
             src_port = next(self._ephemeral)
@@ -149,10 +172,12 @@ class MessageTransport:  # repro: noqa[SLOT001] — one per world, not per event
         self.bytes_sent += size
         self.per_host_sent[src.name] = self.per_host_sent.get(src.name, 0) + 1
         self.per_host_bytes[src.name] = self.per_host_bytes.get(src.name, 0) + size
+        self.class_bytes[traffic_class] = \
+            self.class_bytes.get(traffic_class, 0) + size
         src.ports.record(src_port, bytes_out=size, packets_out=npackets)
         loss = path.loss_rate if src is not dst else 0.0
         if loss > 0.0:
-            flow = (src.name, dst.name, dst_port)
+            flow = (src.name, dst.name, -1 if oneshot else dst_port)
             rng = self._loss_rngs.get(flow)
             if rng is None:
                 digest = hashlib.sha256(
@@ -173,19 +198,42 @@ class MessageTransport:  # repro: noqa[SLOT001] — one per world, not per event
                         break
                 self.messages_lost += 1
                 return msg
-        # account the delivered traffic
+        # shared-link queues + delivered-traffic accounting.  Each hop's
+        # output queue is charged at send time (single-timestamp
+        # approximation); backlog ahead of this message becomes extra
+        # delivery delay, and a full queue eats the datagram whole.
+        qdelay = 0.0
         if src is not dst:
+            now = self.sim.now
             for node, link in zip(path.nodes[:-1], path.links):
+                d = link.queue_put(node, size, now, traffic_class)
+                if d < 0.0:
+                    # queue overflow: congestion drop at this hop.
+                    # Silent like link loss — the sender saw a
+                    # successful send, neither callback fires; only the
+                    # discard counters (which the monitoring path
+                    # polls) notice.
+                    link.other(node).interface(link).discards += npackets
+                    self.messages_lost_congestion += 1
+                    return msg
+                qdelay += d
                 link.record_transit(node, size, npackets)
+            self.queue_delay_s += qdelay
         dst.ports.record(dst_port, bytes_in=size, packets_in=npackets)
-        delay = path.latency_s + (size * 8.0) / path.bottleneck_bps if path.links \
-            else 1e-6
+        delay = (path.latency_s + (size * 8.0) / path.bottleneck_bps + qdelay) \
+            if path.links else 1e-6
         when = self.sim.now + delay
-        flow = (src.name, dst.name, dst_port)
-        prev = self._flow_clock.get(flow)
-        if prev is not None and when < prev:
-            when = prev
-        self._flow_clock[flow] = when
+        if not oneshot:
+            # one-shot flows carry exactly one message ever: there is
+            # nothing to order, so they never touch the watermark dict
+            # (each reply port would otherwise leak one entry)
+            flow = (src.name, dst.name, dst_port)
+            prev = self._flow_clock.get(flow)
+            if prev is not None and when < prev:
+                when = prev
+            self._flow_clock[flow] = when
+        if self.messages_sent >= self._prune_at:
+            self._prune_flow_state()
         batch = self._arrivals.get(when)
         if batch is None:
             # first message due at this instant: schedule the one wakeup
@@ -194,6 +242,21 @@ class MessageTransport:  # repro: noqa[SLOT001] — one per world, not per event
             self.sim.call_at(when, self._deliver_batch, when)
         batch.append((msg, on_fail, on_delivered))
         return msg
+
+    def _prune_flow_state(self) -> None:
+        """Drop ordering watermarks that have passed: once a flow's
+        watermark is behind ``now`` no in-flight message can be
+        overtaken, so the entry orders nothing.  Loss RNGs are *not*
+        pruned — dropping one would restart that flow's loss stream —
+        but they are bounded by construction: non-oneshot flows key on
+        long-lived service ports, oneshot replies share one per-host-
+        pair stream."""
+        now = self.sim.now
+        stale = [flow for flow, when in self._flow_clock.items() if when <= now]
+        for flow in stale:
+            del self._flow_clock[flow]
+        # next sweep after ~one live set's worth of sends (amortized O(1))
+        self._prune_at = self.messages_sent + max(256, 4 * len(self._flow_clock))
 
     def _deliver_batch(self, when: float) -> None:
         # pop before delivering: a handler may send a message that lands
@@ -264,7 +327,11 @@ class MessageTransport:  # repro: noqa[SLOT001] — one per world, not per event
         return done
 
     def reply(self, original: Message, payload: Any, *, size_bytes: int = 256) -> None:
-        """Reply to an RPC message (sends back to its source port)."""
+        """Reply to an RPC message (sends back to its source port).
+
+        Reply ports are minted fresh per request, so the reply is sent
+        ``oneshot``: no per-port watermark or loss-RNG entry is created
+        (each would be permanent — the flow-state leak)."""
         self.send(original.dst_host, original.src_host, original.src_port,
-                  payload, size_bytes=size_bytes,
+                  payload, size_bytes=size_bytes, oneshot=True,
                   on_fail=lambda exc: None)

@@ -34,7 +34,30 @@ from typing import Callable, Optional
 from .host import Host
 from .kernel import EventFlag, Simulator, Timeout, WaitEvent
 
-__all__ = ["TCPFlow", "TokenBucket", "poisson_draw", "TCPStats"]
+__all__ = ["TCPFlow", "TokenBucket", "poisson_draw", "TCPStats",
+           "RequestFailed"]
+
+
+class RequestFailed:
+    """Error marker a persistent request's flag triggers with when the
+    connection closes before the request is fully delivered.
+
+    Success triggers with the :class:`TCPFlow` itself, so callers
+    distinguish the two by type — a failed read must not be mistaken
+    for a complete one (it was: DPSS logged full-size ``DPSS_END_READ``
+    events for reads that died mid-flight).
+    """
+
+    __slots__ = ("flow", "requested", "delivered")
+
+    def __init__(self, flow: "TCPFlow", requested: int, delivered: int):
+        self.flow = flow
+        self.requested = requested
+        self.delivered = delivered
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<RequestFailed {self.flow.name} "
+                f"{self.delivered}/{self.requested}B>")
 
 
 def poisson_draw(rng, lam: float) -> int:
@@ -61,9 +84,23 @@ class TokenBucket:
     def __init__(self, sim: Simulator, rate_bps: float, *, burst_s: float = 0.1):
         self.sim = sim
         self.rate_bps = rate_bps
+        self.burst_s = burst_s
         self.capacity = rate_bps * burst_s / 8.0  # bytes
         self._tokens = self.capacity
         self._last = sim.now
+
+    def set_rate(self, rate_bps: float) -> None:
+        """Rescale to a new rate, carrying the current fill *fraction*.
+
+        A rate change must not manufacture tokens: rebuilding a full
+        bucket at the instant of a fault-injected degradation used to
+        hand every flow a free line-rate burst exactly when the link
+        got slower."""
+        self._refill()
+        frac = self._tokens / self.capacity if self.capacity > 0 else 0.0
+        self.rate_bps = rate_bps
+        self.capacity = rate_bps * self.burst_s / 8.0
+        self._tokens = self.capacity * frac
 
     def _refill(self) -> None:
         now = self.sim.now
@@ -82,20 +119,26 @@ class TokenBucket:
 
 def _link_bucket(sim: Simulator, link) -> TokenBucket:
     bucket = getattr(link, "_bucket", None)
-    if bucket is None or bucket.rate_bps != link.bandwidth_bps:
+    if bucket is None:
         bucket = TokenBucket(sim, link.bandwidth_bps)
         link._bucket = bucket
+    elif bucket.rate_bps != link.bandwidth_bps:
+        # rescale in place (fault-injected degradation): the fill
+        # fraction carries over, so no free burst at the fault instant
+        bucket.set_rate(link.bandwidth_bps)
     return bucket
 
 
 def _nic_bucket(sim: Simulator, host: Host) -> TokenBucket:
     bucket = getattr(host.nic, "_bucket", None)
-    # rebuild on a rate change (fault-injected NIC degradation), exactly
+    # rescale on a rate change (fault-injected NIC degradation), exactly
     # like _link_bucket — a stale bucket would keep granting at the old
     # rx_bandwidth_bps forever
-    if bucket is None or bucket.rate_bps != host.nic.rx_bandwidth_bps:
+    if bucket is None:
         bucket = TokenBucket(sim, host.nic.rx_bandwidth_bps)
         host.nic._bucket = bucket
+    elif bucket.rate_bps != host.nic.rx_bandwidth_bps:
+        bucket.set_rate(host.nic.rx_bandwidth_bps)
     return bucket
 
 
@@ -109,6 +152,11 @@ class TCPStats:
         self.retransmits = 0
         self.timeouts = 0
         self.rounds = 0
+        #: cumulative queuing delay experienced at the bottleneck link
+        self.queue_delay_s = 0.0
+        #: packets lost to bottleneck queue overflow (subset of
+        #: ``packets_lost``)
+        self.queue_drops = 0
         #: (time, cumulative bytes_acked) samples, one per round
         self.progress: list[tuple[float, int]] = []
         #: (time, cwnd_packets) samples on every change
@@ -156,6 +204,7 @@ class TCPFlow:
                  dst_port: int, src_port: Optional[int] = None,
                  mss: int = 1460, rwnd_bytes: int = 1 << 20,
                  rng=None, burst_loss_prob: float = 0.0,
+                 traffic_class: str = "bulk",
                  name: str = ""):
         self.sim = sim
         self.network = network
@@ -168,6 +217,7 @@ class TCPFlow:
         self.rwnd_pkts = max(1, rwnd_bytes // mss)
         self.rng = rng
         self.burst_loss_prob = burst_loss_prob
+        self.traffic_class = traffic_class
         self.name = (name or
                      f"tcp{sim.serial('tcpflow')}:{src.name}->{dst.name}:{dst_port}")
 
@@ -191,6 +241,7 @@ class TCPFlow:
         self._request_flag = EventFlag(sim, name=f"{self.name}.requests",
                                        reusable=True)
         self._current_request: Optional[EventFlag] = None
+        self._current_nbytes = 0    # size of the request being served
 
     # -- observer hooks (the tcpdump-style sensor attaches here) -------------
 
@@ -259,7 +310,8 @@ class TCPFlow:
 
     # -- engine ---------------------------------------------------------------
 
-    def _round_trip(self) -> float:
+    def _round_trip(self) -> tuple:
+        """Resolve the current route; returns ``(rtt_s, path)``."""
         path = self.network.route(self.src.node, self.dst.node)
         return max(1e-4, path.rtt_s), path
 
@@ -302,11 +354,13 @@ class TCPFlow:
             if self._current_request is not None:
                 self._current_request.trigger(self)
                 self._current_request = None
+                self._current_nbytes = 0
                 self._target_bytes = None
             if self._requests:
                 nbytes, flag = self._requests.popleft()
                 self._target_bytes = stats.bytes_acked + nbytes
                 self._current_request = flag
+                self._current_nbytes = nbytes
                 continue
             if not self._persistent:
                 return False  # stopped and drained
@@ -345,6 +399,7 @@ class TCPFlow:
 
                 # --- congestion: bottleneck link + receiver NIC buckets ----
                 granted = float(send_bytes)
+                bottleneck = None
                 if path.links:
                     bottleneck = min(path.links, key=lambda l: l.bandwidth_bps)
                     granted = _link_bucket(self.sim, bottleneck).grant(granted)
@@ -354,6 +409,27 @@ class TCPFlow:
                 # a small number of queue-overflow drops signal congestion.
                 excess = send_pkts - granted_pkts
                 congestion_lost = min(excess, 3) if excess > 0 else 0
+
+                # --- shared bottleneck FIFO: this round's burst queues
+                # behind cross traffic.  Backlog shows up as extra RTT;
+                # what overflows the queue is loss AIMD will react to.
+                qdelay = 0.0
+                if bottleneck is not None and granted_pkts > 0:
+                    bnode = path.nodes[path.links.index(bottleneck)]
+                    accepted, qdelay = bottleneck.queue_offer(
+                        bnode, granted_pkts * self.mss, self.sim.now,
+                        self.traffic_class)
+                    queue_lost = granted_pkts - accepted // self.mss
+                    if queue_lost > 0:
+                        granted_pkts -= queue_lost
+                        congestion_lost += queue_lost
+                        stats.queue_drops += queue_lost
+                        self.src.tcp_counters["congestion_drops"] += queue_lost
+                        bottleneck.other(bnode).interface(bottleneck) \
+                            .discards += queue_lost
+                if qdelay > 0.0:
+                    stats.queue_delay_s += qdelay
+                rtt += qdelay
 
                 if granted_pkts == 0 and send_pkts > 0:
                     # receiver/link saturated this instant: stall one round,
@@ -436,14 +512,21 @@ class TCPFlow:
     def _teardown(self) -> None:
         self.active = False
         self.nic_rate = 0.0
-        # a closed connection fails its outstanding requests
+        # a closed connection FAILS its outstanding requests: the flag
+        # triggers with a RequestFailed marker (success triggers with
+        # the flow itself), so callers can tell a dead read from a
+        # complete one and see how many bytes actually arrived
         if self._current_request is not None and not self._current_request.triggered:
-            self._current_request.trigger(self)
+            short = (self._target_bytes - self.stats.bytes_acked
+                     if self._target_bytes is not None else self._current_nbytes)
+            self._current_request.trigger(RequestFailed(
+                self, self._current_nbytes,
+                max(0, self._current_nbytes - short)))
             self._current_request = None
         while self._requests:
-            _, flag = self._requests.popleft()
+            nbytes, flag = self._requests.popleft()
             if not flag.triggered:
-                flag.trigger(self)
+                flag.trigger(RequestFailed(self, nbytes, 0))
         self.dst.nic.unregister_rx_flow(self)
         total_pps = sum(getattr(f, "nic_rate", 0.0)
                         for f in self.dst.nic._active_rx_flows)

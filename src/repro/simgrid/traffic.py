@@ -1,0 +1,187 @@
+"""Seeded background-traffic generators.
+
+The paper's congestion pathologies (§6, §7) only appear when links
+carry *cross traffic*: someone else's bytes filling the queues the
+monitoring path observes.  This module provides deterministic
+background sources — a constant-rate stream and an on/off burst source
+— that push datagrams through the control-plane transport tagged with
+the ``"background"`` traffic class, so link queues, utilization
+windows, and drop counters move exactly as they would under real load.
+
+Specs are plain data (:class:`TrafficSpec` round-trips through JSON,
+like fault plans), and every generator draws jitter from a named world
+RNG stream, so a storm replays bit-identically from its seed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, asdict
+from typing import Any, Optional
+
+from .kernel import Timeout
+from .network import TRAFFIC_CLASSES
+
+__all__ = ["TrafficSpec", "TrafficGenerator", "TRAFFIC_PORT",
+           "TRAFFIC_KINDS"]
+
+#: well-known sink port (the "discard" service): generators bind a
+#: no-op listener here so their datagrams terminate cleanly
+TRAFFIC_PORT = 9
+
+#: generator shapes
+TRAFFIC_KINDS = ("constant", "onoff")
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """One background source, as plain data.
+
+    ``kind`` is ``"constant"`` (packets evenly spaced at ``rate_bps``)
+    or ``"onoff"`` (bursts of ``on_s`` at ``rate_bps``, silent for
+    ``off_s`` — the classic exponential-ish on/off cross-traffic
+    shape).  ``jitter`` (0..1) spreads each inter-packet gap uniformly
+    by ±``jitter``/2, drawn from a seeded stream.
+    """
+
+    src: str
+    dst: str
+    rate_bps: float
+    kind: str = "constant"
+    packet_bytes: int = 8192
+    start: float = 0.0
+    duration: Optional[float] = None
+    on_s: float = 0.5
+    off_s: float = 0.5
+    jitter: float = 0.0
+    seed: int = 0
+    traffic_class: str = "background"
+    port: int = TRAFFIC_PORT
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRAFFIC_KINDS:
+            raise ValueError(f"unknown traffic kind {self.kind!r}")
+        if self.rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        if self.packet_bytes <= 0:
+            raise ValueError("packet_bytes must be positive")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError("jitter must be in [0, 1]")
+        if self.kind == "onoff" and (self.on_s <= 0 or self.off_s < 0):
+            raise ValueError("onoff needs on_s > 0 and off_s >= 0")
+        if self.traffic_class not in TRAFFIC_CLASSES:
+            raise ValueError(f"unknown traffic class {self.traffic_class!r}")
+
+    # -- serialization (mirrors FaultPlan's JSON discipline) ----------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrafficSpec":
+        return cls(**data)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrafficSpec":
+        return cls.from_dict(json.loads(text))
+
+
+class TrafficGenerator:
+    """Runs one :class:`TrafficSpec` against a world.
+
+    The generator sends fire-and-forget datagrams on the transport (a
+    failed send — src host down, no route — is counted and tolerated:
+    background traffic does not crash when the world degrades, it
+    resumes when the path does).  :meth:`stop` is idempotent and
+    detaches the kernel process.
+    """
+
+    def __init__(self, world: Any, spec: TrafficSpec):
+        self.world = world
+        self.spec = spec
+        self.rng = world.rng.stream(
+            f"traffic:{spec.src}->{spec.dst}:{spec.seed}")
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.send_failures = 0
+        self.running = False
+        self._proc = None
+        self._bound_sink = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "TrafficGenerator":
+        if self.running:
+            return self
+        self.running = True
+        dst = self.world.hosts[self.spec.dst]
+        if dst.ports.listener(self.spec.port) is None:
+            dst.ports.bind(self.spec.port, lambda msg, tr: None)
+            self._bound_sink = True
+        self._proc = self.world.sim.spawn(
+            self._run(), name=f"traffic:{self.spec.src}->{self.spec.dst}")
+        return self
+
+    def stop(self) -> None:
+        if not self.running:
+            return
+        self.running = False
+        if self._proc is not None and self._proc.alive:
+            self._proc.kill()
+        self._proc = None
+        if self._bound_sink:
+            self.world.hosts[self.spec.dst].ports.unbind(self.spec.port)
+            self._bound_sink = False
+
+    # -- engine -------------------------------------------------------------
+
+    def _interval(self) -> float:
+        gap = self.spec.packet_bytes * 8.0 / self.spec.rate_bps
+        if self.spec.jitter > 0.0:
+            gap *= 1.0 + self.spec.jitter * (self.rng.random() - 0.5)
+        return gap
+
+    def _send_one(self) -> None:
+        spec = self.spec
+        src = self.world.hosts[spec.src]
+        dst = self.world.hosts[spec.dst]
+        transport = self.world.transport
+        payload_bytes = max(1, spec.packet_bytes - transport.HEADER_BYTES)
+        msg = transport.send(
+            src, dst, spec.port, None, size_bytes=payload_bytes,
+            traffic_class=spec.traffic_class,
+            on_fail=lambda exc: None)
+        if msg is None:
+            self.send_failures += 1
+        else:
+            self.packets_sent += 1
+            self.bytes_sent += spec.packet_bytes
+
+    def _run(self):
+        spec = self.spec
+        sim = self.world.sim
+        if spec.start > sim.now:
+            yield Timeout(spec.start - sim.now)
+        t_end = (sim.now + spec.duration
+                 if spec.duration is not None else None)
+        while self.running and (t_end is None or sim.now < t_end):
+            if spec.kind == "onoff":
+                burst_end = sim.now + spec.on_s
+                while self.running and sim.now < burst_end and \
+                        (t_end is None or sim.now < t_end):
+                    self._send_one()
+                    yield Timeout(self._interval())
+                if spec.off_s > 0:
+                    yield Timeout(spec.off_s)
+            else:
+                self._send_one()
+                yield Timeout(self._interval())
+        self.running = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<TrafficGenerator {self.spec.src}->{self.spec.dst} "
+                f"{self.spec.rate_bps/1e6:.0f}Mbps "
+                f"sent={self.packets_sent}>")

@@ -51,6 +51,8 @@ class GridWorld:
         #: named archives (e.g. a scenario's commit log) registered so
         #: fault plans can target them by name (``disk_full``)
         self.archives: dict[str, object] = {}
+        #: background-traffic generators started via :meth:`start_traffic`
+        self.traffic: list = []
 
     # -- hosts & topology ---------------------------------------------------
 
@@ -147,6 +149,23 @@ class GridWorld:
             if watcher is not None:
                 watcher.attach(flow)
         return flow
+
+    def start_traffic(self, spec) -> "TrafficGenerator":
+        """Start a background-traffic generator from a
+        :class:`~repro.simgrid.traffic.TrafficSpec` (or a dict of its
+        fields).  The generator is tracked on :attr:`traffic`."""
+        from .traffic import TrafficGenerator, TrafficSpec
+        if isinstance(spec, dict):
+            spec = TrafficSpec.from_dict(spec)
+        gen = TrafficGenerator(self, spec).start()
+        self.traffic.append(gen)
+        return gen
+
+    def stop_traffic(self) -> None:
+        """Stop every tracked background-traffic generator."""
+        for gen in self.traffic:
+            gen.stop()
+        self.traffic.clear()
 
     # -- archives ----------------------------------------------------------------
 

@@ -218,3 +218,42 @@ class TestNetworkAware:
             elapsed = stats.progress[-1][0] - stats.progress[0][0]
             results[tuned] = 50_000_000 * 8 / elapsed / 1e6
         assert results[True] > 5 * results[False]
+
+
+class TestDPSSPartialReads:
+    def test_dead_socket_surfaces_partial_read(self):
+        """A data socket dying mid-read completes the read SHORT: the
+        session reports the bytes that actually arrived instead of
+        logging a full-size read that never happened."""
+        from repro.netlogger import NetLogger
+        world, hosts = topology()
+        log = NetLogger("dpss-client", host=hosts["client"])
+        dest = log.open("file:")
+        cluster = DPSSCluster(world, hosts["servers"])
+        session = cluster.open_session(hosts["client"], n_servers=2,
+                                       netlogger=log)
+        nbytes = 8 << 20
+        flag = session.read(nbytes)
+        world.sim.call_at(0.5, session.flows[1].stop)
+        world.run(until=90.0)
+        assert flag.triggered
+        delivered = flag.value
+        assert 0 < delivered < nbytes
+        assert session.partial_reads == 1
+        assert session.bytes_delivered == delivered
+        assert session.bytes_read == nbytes
+        end = [m for m in dest.messages if m.event == "DPSS_END_READ"]
+        assert end and end[-1].fields["DPSS.PARTIAL"] == "1"
+        assert end[-1].fields["DPSS.SZ"] == str(delivered)
+        session.close()
+
+    def test_healthy_session_has_no_partials(self):
+        world, hosts = topology()
+        cluster = DPSSCluster(world, hosts["servers"])
+        session = cluster.open_session(hosts["client"], n_servers=4)
+        flag = session.read(1 << 20)
+        world.run(until=30.0)
+        assert flag.triggered and flag.value == 1 << 20
+        assert session.partial_reads == 0
+        assert session.bytes_delivered == 1 << 20
+        session.close()

@@ -155,3 +155,97 @@ class TestValidationAndCounters:
         assert [s.name for s in net.switches()] == ["s1"]
         with pytest.raises(ValueError):
             net.router("s1")
+
+
+def queue_link(bandwidth_bps=8e6, queue_bytes=250_000):
+    """An 8 Mb/s link moves 1e6 bytes/s — round numbers for delay math."""
+    net = Network()
+    a, b = net.node("a"), net.node("b")
+    link = net.link(a, b, bandwidth_bps=bandwidth_bps, latency_s=1e-3,
+                    queue_bytes=queue_bytes)
+    return net, (a, b), link
+
+
+class TestLinkQueue:
+    def test_idle_fast_path_is_free(self):
+        _net, (a, _b), link = queue_link()
+        accepted, delay = link.queue_offer(a, 100_000, 0.0)
+        assert (accepted, delay) == (100_000, 0.0)
+
+    def test_backlog_becomes_queuing_delay(self):
+        _net, (a, _b), link = queue_link()
+        link.queue_offer(a, 100_000, 0.0)          # 0.1 s of serialization
+        accepted, delay = link.queue_offer(a, 50_000, 0.0)
+        assert accepted == 50_000
+        assert delay == pytest.approx(0.1)
+        # and the backlog is now 0.15 s worth of bytes
+        assert link.queue_backlog_s(link.other(a), 0.0) == pytest.approx(0.15)
+
+    def test_backlog_drains_with_time(self):
+        _net, (a, _b), link = queue_link()
+        link.queue_offer(a, 100_000, 0.0)
+        _accepted, delay = link.queue_offer(a, 1_000, 0.06)
+        assert delay == pytest.approx(0.04)
+        _accepted, delay = link.queue_offer(a, 1_000, 1.0)   # long drained
+        assert delay == 0.0
+
+    def test_atomic_overflow_drops_whole_datagram(self):
+        _net, (a, b), link = queue_link()
+        link.queue_offer(a, 1_000_000, 0.0)        # 1 s backlog >> 0.25 s cap
+        assert link.queue_put(a, 1_000, 0.0) == -1.0
+        toward = link._dir_index(b)
+        assert link.queue_drops[toward] == 1
+        assert link.queue_dropped_bytes[toward] == 1_000
+
+    def test_byte_granular_offer_accepts_what_fits(self):
+        _net, (a, _b), link = queue_link()
+        link.queue_offer(a, 200_000, 0.0)          # 50 KB of headroom left
+        accepted, _delay = link.queue_offer(a, 80_000, 0.0)
+        assert accepted == 50_000
+
+    def test_directions_queue_independently(self):
+        _net, (a, b), link = queue_link()
+        link.queue_offer(a, 1_000_000, 0.0)
+        accepted, delay = link.queue_offer(b, 10_000, 0.0)
+        assert (accepted, delay) == (10_000, 0.0)
+
+    def test_traffic_class_accounting(self):
+        _net, (a, _b), link = queue_link()
+        link.queue_offer(a, 1_000, 0.0, "monitoring")
+        link.queue_offer(a, 2_000, 0.0, "bulk")
+        link.queue_offer(a, 3_000, 0.0, "bulk")
+        assert link.class_bytes == {"monitoring": 1_000, "bulk": 5_000}
+
+    def test_utilization_tracks_offered_load(self):
+        _net, (a, b), link = queue_link()
+        toward = link.other(a)
+        for i in range(10):                        # 4 Mb over 1 s = 50%
+            link.queue_offer(a, 50_000, i * 0.1, "bulk")
+        util = link.utilization(toward, 1.0)
+        assert 0.3 < util <= 0.7
+        assert link.utilization(link.other(b), 1.0) == 0.0
+
+    def test_queue_stats_round_up(self):
+        _net, (a, _b), link = queue_link()
+        link.queue_offer(a, 100_000, 0.0)
+        link.queue_offer(a, 100_000, 0.0, "bulk")
+        link.queue_put(a, 1_000_000, 0.0)
+        stats = link.queue_stats()
+        assert stats["queue_bytes"] == 250_000
+        assert stats["drops"] == (1, 0)
+        assert stats["dropped_bytes"] == (1_000_000, 0)
+        assert stats["delay_total_s"][0] == pytest.approx(0.1)
+        assert stats["peak_backlog_s"][0] > 0.0
+        assert stats["class_bytes"] == {"bulk": 100_000}
+
+    def test_default_queue_sizes_from_bandwidth(self):
+        net = Network()
+        a, b = net.node("a"), net.node("b")
+        link = net.link(a, b, bandwidth_bps=622e6, latency_s=1e-3)
+        assert link.queue_bytes == pytest.approx(0.25 * 622e6 / 8.0)
+
+    def test_zero_queue_rejected(self):
+        net = Network()
+        a, b = net.node("a"), net.node("b")
+        with pytest.raises(ValueError):
+            net.link(a, b, bandwidth_bps=1e9, latency_s=1e-3, queue_bytes=0)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.simgrid import DeliveryError, GridWorld
+from repro.simgrid.kernel import WaitEvent
 
 
 def pair():
@@ -165,8 +166,29 @@ class TestFlowOrdering:
         assert got == ["bulk", "tiny"]
 
     def test_independent_flows_do_not_serialize(self):
-        """A bulk transfer on one port must not delay another port's
-        traffic between the same host pair."""
+        """Another port's ordering watermark must not clamp this flow.
+
+        A high-latency send to port 5000 leaves a far-future watermark;
+        when the latency drops, port 6000 traffic must arrive on the
+        fast path, not behind 5000's watermark.  (The two flows still
+        share link FIFO queues — wire contention is physical — so the
+        probe message is tiny and sent when the queue is idle.)"""
+        world, a, b = pair()
+        got = []
+        b.ports.bind(5000, lambda msg, tr: got.append(msg.payload))
+        b.ports.bind(6000, lambda msg, tr: got.append(msg.payload))
+        for link in world.network.links():
+            link.latency_s = 1.0
+        world.transport.send(a, b, 5000, "slow", size_bytes=10)
+        for link in world.network.links():
+            link.latency_s = 0.001
+        world.transport.send(a, b, 6000, "fast", size_bytes=10)
+        world.run()
+        assert got == ["fast", "slow"]
+
+    def test_shared_link_fifo_delays_cross_traffic(self):
+        """The wire itself is shared: a same-instant 1 MB datagram ahead
+        in the link queue delays an unrelated tiny message behind it."""
         world, a, b = pair()
         got = []
         b.ports.bind(5000, lambda msg, tr: got.append(msg.payload))
@@ -174,7 +196,8 @@ class TestFlowOrdering:
         world.transport.send(a, b, 5000, "bulk", size_bytes=1_000_000)
         world.transport.send(a, b, 6000, "tiny", size_bytes=10)
         world.run()
-        assert got == ["tiny", "bulk"]
+        assert got == ["bulk", "tiny"]
+        assert world.transport.queue_delay_s > 0.0
 
 
 class TestPerFlowLoss:
@@ -204,3 +227,47 @@ class TestPerFlowLoss:
         shared = drive(interleave=True)
         assert 0 < len(alone) < 100  # the link did eat some
         assert alone == shared
+
+
+class TestFlowStateBounds:
+    def test_rpc_churn_does_not_leak_flow_state(self):
+        """10k request/reply cycles: every reply lands on a fresh
+        ephemeral port, but reply flows are one-shot — neither the
+        per-flow watermark table nor the loss-RNG table may grow with
+        the number of RPCs issued."""
+        world, a, b = pair()
+        b.ports.bind(5000, lambda msg, tr: tr.reply(msg, "ok"))
+        answered = [0]
+
+        def churn():
+            for _ in range(10_000):
+                flag = world.transport.request(a, b, 5000, "ping")
+                yield WaitEvent(flag)
+                assert flag.value == "ok"
+                answered[0] += 1
+
+        world.sim.spawn(churn())
+        world.run()
+        assert answered[0] == 10_000
+        assert len(world.transport._flow_clock) <= 8
+        assert len(world.transport._loss_rngs) <= 8
+
+    def test_oneshot_skips_watermark_but_keeps_delivery(self):
+        world, a, b = pair()
+        got = []
+        b.ports.bind(6000, lambda msg, tr: got.append(msg.payload))
+        world.transport.send(a, b, 6000, "fire-and-forget", oneshot=True)
+        world.run()
+        assert got == ["fire-and-forget"]
+        assert (a.name, b.name, 6000) not in world.transport._flow_clock
+
+    def test_class_bytes_accounting(self):
+        world, a, b = pair()
+        b.ports.bind(6000, lambda msg, tr: None)
+        world.transport.send(a, b, 6000, "m", size_bytes=300)
+        world.transport.send(a, b, 6000, "b", size_bytes=700,
+                             traffic_class="bulk")
+        world.run()
+        # on-wire sizes include the 64-byte header
+        assert world.transport.class_bytes == {"monitoring": 364,
+                                               "bulk": 764}

@@ -246,3 +246,71 @@ class TestPoisson:
             mean = sum(draws) / len(draws)
             assert abs(mean - lam) < 0.15 * lam + 0.1
             assert all(d >= 0 for d in draws)
+
+
+class TestTokenBucketRateChange:
+    def test_set_rate_carries_fill_fraction(self):
+        from repro.simgrid.kernel import Simulator
+        from repro.simgrid.tcp import TokenBucket
+        sim = Simulator()
+        bucket = TokenBucket(sim, 8e6, burst_s=1.0)    # 1e6-byte capacity
+        bucket.grant(bucket.capacity / 2)              # half full
+        bucket.set_rate(4e6)
+        # half of the NEW capacity, not a free refill to full
+        assert bucket._tokens == pytest.approx(4e6 * 1.0 / 8.0 / 2)
+
+    def test_rate_drop_mid_flow_gives_no_burst(self):
+        """A link_rate fault must not hand in-flight flows a full
+        fresh burst at the fault instant — cwnd-limited flows would
+        see a spurious throughput spike."""
+        from repro.simgrid.kernel import Simulator
+        from repro.simgrid.tcp import TokenBucket
+        sim = Simulator()
+        bucket = TokenBucket(sim, 100e6, burst_s=0.25)
+        bucket.grant(bucket.capacity)                  # drained
+        bucket.set_rate(10e6)
+        assert bucket._tokens == 0.0
+        # tokens then accrue at the NEW rate (capped at new capacity)
+        sim.call_at(0.1, lambda: None)
+        sim.run()
+        assert bucket.grant(1e12) == pytest.approx(10e6 * 0.1 / 8.0,
+                                                   rel=0.01)
+
+
+class TestRequestFailure:
+    def test_stop_fails_requests_with_error_marker(self):
+        from repro.simgrid.tcp import RequestFailed
+        world, src, dst = wan_pair()
+        flow = world.tcp_flow(src, dst, dst_port=5001, rng_name="rf")
+        flow.open_persistent()
+        flag = flow.request(4 << 20)
+        world.sim.call_at(0.5, flow.stop)
+        world.run(until=2.0)
+        assert flag.triggered
+        failure = flag.value
+        assert isinstance(failure, RequestFailed)
+        assert failure.flow is flow
+        assert failure.requested == 4 << 20
+        assert 0 <= failure.delivered < 4 << 20
+
+    def test_queued_requests_fail_with_zero_delivered(self):
+        from repro.simgrid.tcp import RequestFailed
+        world, src, dst = wan_pair()
+        flow = world.tcp_flow(src, dst, dst_port=5001, rng_name="rf2")
+        flow.open_persistent()
+        first = flow.request(8 << 20)
+        second = flow.request(1 << 20)       # queued behind the first
+        world.sim.call_at(0.2, flow.stop)
+        world.run(until=2.0)
+        assert isinstance(first.value, RequestFailed)
+        assert isinstance(second.value, RequestFailed)
+        assert second.value.delivered == 0
+
+    def test_completed_request_still_returns_flow(self):
+        world, src, dst = wan_pair()
+        flow = world.tcp_flow(src, dst, dst_port=5001, rng_name="rf3")
+        flow.open_persistent()
+        flag = flow.request(64 << 10)
+        world.run(until=10.0)
+        assert flag.value is flow
+        flow.stop()

@@ -1,0 +1,175 @@
+"""Background-traffic generators and congestion-storm faults."""
+
+import json
+
+import pytest
+
+from repro.simgrid import FaultPlan, GridWorld
+from repro.simgrid.faults import FaultError
+from repro.simgrid.traffic import (TRAFFIC_KINDS, TRAFFIC_PORT,
+                                   TrafficGenerator, TrafficSpec)
+
+
+def two_sites(seed=5):
+    world = GridWorld(seed=seed)
+    a = world.add_host("a.siteA")
+    b = world.add_host("b.siteB")
+    world.lan([a], switch="swA")
+    world.lan([b], switch="swB")
+    world.wan_path("swA", "swB", routers=["r1"], latency_s=5e-3)
+    return world, a, b
+
+
+class TestTrafficSpec:
+    def test_json_round_trip(self):
+        spec = TrafficSpec(src="a", dst="b", rate_bps=100e6, kind="onoff",
+                           packet_bytes=4096, on_s=0.2, off_s=0.8,
+                           jitter=0.1, seed=7, traffic_class="background")
+        again = TrafficSpec.from_json(spec.to_json())
+        assert again == spec
+        # and the wire form is plain JSON
+        assert json.loads(spec.to_json())["kind"] == "onoff"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(src="a", dst="b", rate_bps=0)
+        with pytest.raises(ValueError):
+            TrafficSpec(src="a", dst="b", rate_bps=1e6, kind="sawtooth")
+        with pytest.raises(ValueError):
+            TrafficSpec(src="a", dst="b", rate_bps=1e6,
+                        traffic_class="vip")
+
+    def test_kinds_registry(self):
+        assert TRAFFIC_KINDS == ("constant", "onoff")
+
+
+class TestTrafficGenerator:
+    def test_constant_rate_hits_target(self):
+        world, a, b = two_sites()
+        spec = TrafficSpec(src=a.name, dst=b.name, rate_bps=8e6,
+                           packet_bytes=10_000)
+        gen = TrafficGenerator(world, spec).start()
+        world.run(until=2.0)
+        gen.stop()
+        # 8 Mb/s for 2 s = 2 MB, in 10 KB packets
+        assert gen.packets_sent == pytest.approx(200, abs=2)
+        assert gen.bytes_sent == pytest.approx(2_000_000, rel=0.02)
+
+    def test_seeded_replay_is_deterministic(self):
+        counts = []
+        for _ in range(2):
+            world, a, b = two_sites()
+            spec = TrafficSpec(src=a.name, dst=b.name, rate_bps=50e6,
+                               kind="onoff", jitter=0.3, seed=11)
+            gen = TrafficGenerator(world, spec).start()
+            world.run(until=3.0)
+            gen.stop()
+            counts.append((gen.packets_sent, gen.bytes_sent))
+        assert counts[0] == counts[1]
+
+    def test_onoff_sends_less_than_constant(self):
+        world, a, b = two_sites()
+        base = dict(src=a.name, dst=b.name, rate_bps=20e6)
+        gen_c = TrafficGenerator(world, TrafficSpec(**base)).start()
+        gen_o = TrafficGenerator(
+            world, TrafficSpec(kind="onoff", on_s=0.25, off_s=0.75,
+                               **base)).start()
+        world.run(until=4.0)
+        gen_c.stop()
+        gen_o.stop()
+        assert 0 < gen_o.packets_sent < gen_c.packets_sent
+        assert gen_o.packets_sent < 0.5 * gen_c.packets_sent
+
+    def test_world_start_stop_traffic(self):
+        world, a, b = two_sites()
+        gen = world.start_traffic({"src": a.name, "dst": b.name,
+                                   "rate_bps": 10e6})
+        assert world.traffic == [gen]
+        world.run(until=1.0)
+        assert gen.packets_sent > 0
+        world.stop_traffic()
+        assert world.traffic == []
+        sent = gen.packets_sent
+        world.run(until=2.0)
+        assert gen.packets_sent == sent
+
+    def test_traffic_survives_down_destination(self):
+        world, a, b = two_sites()
+        gen = world.start_traffic(TrafficSpec(src=a.name, dst=b.name,
+                                              rate_bps=10e6))
+        world.sim.call_at(0.5, lambda: b.crash())
+        world.run(until=1.5)
+        assert gen.send_failures > 0 or gen.packets_sent > 0
+        world.stop_traffic()
+
+
+class TestCongestionStormFault:
+    def test_storm_and_calm_round_trip_json(self):
+        plan = (FaultPlan(seed=1)
+                .congestion_storm(2.0, "a.siteA", "b.siteB",
+                                  rate_bps=400e6, kind="onoff", seed=9)
+                .calm_traffic(6.0, "a.siteA", "b.siteB"))
+        again = FaultPlan.from_json(plan.to_json())
+        kinds = [e.kind for e in again.events]
+        assert kinds == ["congestion_storm", "calm_traffic"]
+        assert again.events[0].params["rate_bps"] == 400e6
+
+    def test_injector_runs_and_stops_storm(self):
+        world, a, b = two_sites()
+        plan = (FaultPlan(seed=1)
+                .congestion_storm(1.0, a.name, b.name, rate_bps=100e6,
+                                  seed=3)
+                .calm_traffic(3.0, a.name, b.name))
+        injector = world.inject(plan)
+        world.run(until=2.0)
+        assert len(injector._storms) == 1
+        gen = next(iter(injector._storms.values()))
+        assert gen.packets_sent > 0
+        world.run(until=4.0)
+        assert injector._storms == {}
+        sent = gen.packets_sent
+        world.run(until=5.0)
+        assert gen.packets_sent == sent      # really stopped
+
+    def test_heal_stops_residual_storms(self):
+        world, a, b = two_sites()
+        plan = (FaultPlan(seed=1)
+                .congestion_storm(1.0, a.name, b.name, rate_bps=100e6)
+                .heal(2.0))
+        injector = world.inject(plan)
+        world.run(until=3.0)
+        assert injector._storms == {}
+
+    def test_storm_needs_known_hosts(self):
+        world, a, _b = two_sites()
+        plan = FaultPlan(seed=1).congestion_storm(1.0, a.name, "ghost",
+                                                  rate_bps=1e6)
+        with pytest.raises(FaultError):
+            world.inject(plan)
+
+    def test_random_plans_only_storm_when_asked(self):
+        hosts = ["a.siteA", "b.siteB", "c.siteA"]
+        plain = FaultPlan.random(33, hosts=hosts, n_steps=60)
+        assert not any(e.kind == "congestion_storm" for e in plain.events)
+        stormy = FaultPlan.random(33, hosts=hosts, n_steps=60,
+                                  storms=hosts)
+        storms = [e for e in stormy.events if e.kind == "congestion_storm"]
+        calms = [e for e in stormy.events if e.kind == "calm_traffic"]
+        assert storms, "expected at least one storm in 60 steps"
+        # always-recovering: every storm is followed by a matching calm
+        for storm in storms:
+            assert any(c.target == storm.target and c.at > storm.at
+                       for c in calms)
+
+    def test_storm_congests_shared_link(self):
+        world, a, b = two_sites()
+        world.start_traffic(TrafficSpec(src=a.name, dst=b.name,
+                                        rate_bps=800e6, packet_bytes=8192,
+                                        seed=2))
+        world.run(until=1.0)
+        wan = min(world.network.links(), key=lambda l: l.bandwidth_bps)
+        drops = sum(wan.queue_drops)
+        delay = sum(wan.queue_delay_total_s)
+        assert drops > 0 or delay > 0.0
+        assert world.transport.class_bytes.get("background", 0) > 0
+        world.stop_traffic()
