@@ -57,6 +57,11 @@ def main(argv=None) -> int:
                         help="let random plans raise congestion storms "
                              "(background traffic contending for the "
                              "shared links)")
+    parser.add_argument("--flaky", action="store_true",
+                        help="let random plans draw flaky_rpc events "
+                             "(transient sender-visible RPC failures "
+                             "against the directory and gateway — the "
+                             "retry-storm ingredient)")
     storage = parser.add_argument_group(
         "storage", "commit-log shape: segments, retention, compaction")
     storage.add_argument("--segment-events", type=int, default=64,
@@ -93,7 +98,7 @@ def main(argv=None) -> int:
                             archive_retention_age=args.retention_age,
                             archive_downsample_after=args.downsample_after,
                             compaction_interval=args.compaction_interval,
-                            storms=args.storms)
+                            storms=args.storms, flaky=args.flaky)
         result = run_scenario(scenario)
         perf = result.stats.get("perf") or {}
         total_events += perf.get("events", 0)
@@ -121,7 +126,7 @@ def main(argv=None) -> int:
                          "archive_retention_age": args.retention_age,
                          "archive_downsample_after": args.downsample_after,
                          "compaction_interval": args.compaction_interval,
-                         "storms": args.storms},
+                         "storms": args.storms, "flaky": args.flaky},
             "plan": result.plan.to_dict(),
             "violations": result.violations,
         }, indent=2, sort_keys=True) + "\n")

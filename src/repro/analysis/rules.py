@@ -633,6 +633,117 @@ class SegmentHandleEscapeRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# RES003 — bare retry loops outside the resilience layer
+# ---------------------------------------------------------------------------
+
+
+class UnboundedRetryRule(Rule):
+    code = "RES003"
+    title = "bare retry loop outside the resilience layer"
+    rationale = (
+        "Hand-rolled sleep-and-retry is the raw material of retry"
+        " storms (docs/FAULTS.md): every caller amplifies offered load"
+        " exactly when the service is least able to absorb it, and the"
+        " system goes metastable.  Retries belong to"
+        " repro.core.resilience — ResiliencePolicy.drive() or the"
+        " retry_ready/gate helpers — where attempts are bounded by a"
+        " deadline, spend a token-bucket budget, and trip a circuit"
+        " breaker.  Flagged shapes: a backoff sleep (yield Timeout /"
+        " time.sleep) inside an except handler, and a ``while True``"
+        " loop whose except handler just swallows the error and goes"
+        " around again."
+    )
+
+    def check(self, ctx, project):
+        if ctx.path_posix.endswith("repro/core/resilience.py"):
+            return
+        sleep_from_time = "sleep" in ctx.from_imports.get("time", ())
+        for node in self._walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._backoff_in_handler(node, sleep_from_time)
+            elif isinstance(node, ast.While) \
+                    and isinstance(node.test, ast.Constant) \
+                    and node.test.value is True:
+                yield from self._swallow_and_spin(node)
+
+    @classmethod
+    def _backoff_in_handler(cls, handler: ast.ExceptHandler,
+                            sleep_from_time: bool):
+        """Backoff delay issued from an error path: the inline retry."""
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Yield) \
+                    and isinstance(node.value, ast.Call) \
+                    and _call_name(node.value) == "Timeout":
+                yield (node.value.lineno, node.value.col_offset,
+                       "yield Timeout(...) inside an except handler is"
+                       " hand-rolled backoff — drive the retry through"
+                       " ResiliencePolicy (repro.core.resilience) so it"
+                       " is bounded, budgeted, and breaker-gated")
+            elif isinstance(node, ast.Call) \
+                    and cls._is_sleep(node, sleep_from_time):
+                yield (node.lineno, node.col_offset,
+                       "time.sleep(...) inside an except handler is"
+                       " hand-rolled backoff — drive the retry through"
+                       " ResiliencePolicy (repro.core.resilience)")
+
+    @staticmethod
+    def _is_sleep(node: ast.Call, sleep_from_time: bool) -> bool:
+        chain = _attr_chain(node.func)
+        if chain[-2:] == ("time", "sleep"):
+            return True
+        return sleep_from_time and chain == ("sleep",)
+
+    @classmethod
+    def _swallow_and_spin(cls, loop: ast.While):
+        """``while True`` whose except handler only swallows and loops:
+        an unbounded retry with no exit condition.  Only trys at the
+        loop's own level count — a ``continue`` inside a nested for/
+        while targets that inner loop, not the retry loop."""
+        for stmt in cls._loop_level(loop.body):
+            if not isinstance(stmt, ast.Try):
+                continue
+            for handler in stmt.handlers:
+                if cls._only_swallows(handler.body):
+                    yield (handler.lineno, handler.col_offset,
+                           "while True retry loop swallows the error and"
+                           " goes around again — bound it with"
+                           " ResiliencePolicy (max_attempts, retry"
+                           " budget, breaker) from repro.core.resilience")
+
+    @classmethod
+    def _loop_level(cls, body: list) -> Iterator[ast.stmt]:
+        """Statements whose ``continue`` would target the enclosing
+        loop: recurse through if/with/try arms, stop at nested loops
+        and function definitions."""
+        for stmt in body:
+            yield stmt
+            if isinstance(stmt, ast.If):
+                yield from cls._loop_level(stmt.body)
+                yield from cls._loop_level(stmt.orelse)
+            elif isinstance(stmt, ast.With):
+                yield from cls._loop_level(stmt.body)
+            elif isinstance(stmt, ast.Try):
+                yield from cls._loop_level(stmt.body)
+                yield from cls._loop_level(stmt.finalbody)
+
+    @staticmethod
+    def _only_swallows(body: list) -> bool:
+        """True when the handler neither re-raises nor exits the loop
+        and just goes around again: an explicit ``continue``, or a body
+        of nothing but ``pass``.  Any Raise/Return/Break escapes."""
+        saw_continue = False
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.Raise, ast.Return, ast.Break)):
+                    return False
+                if isinstance(node, ast.Continue):
+                    saw_continue = True
+        if saw_continue:
+            return True
+        return all(isinstance(s, ast.Pass) for s in body)
+
+
+# ---------------------------------------------------------------------------
 # API001 — deprecated stringly subscribe()
 # ---------------------------------------------------------------------------
 
@@ -754,6 +865,7 @@ RULES: tuple[Rule, ...] = (
     BlockingCallRule(),
     ResourceLeakRule(),
     SegmentHandleEscapeRule(),
+    UnboundedRetryRule(),
     LegacySubscribeRule(),
     HotPathSlotsRule(),
 )

@@ -34,6 +34,7 @@ from functools import lru_cache
 from typing import Any, Iterable, Iterator, Optional, Sequence, Union
 
 from ..core.consumers.base import Consumer, TeardownError
+from ..core.resilience import ResiliencePolicy
 from ..core.subscriptions import (SubscriptionHandle, SubscriptionSpec,
                                   sensor_key_for)
 
@@ -43,6 +44,10 @@ __all__ = ["MonitoringClient", "ClientSession", "SensorInfo",
 
 class ClientError(RuntimeError):
     pass
+
+
+#: resilience edge names (per-edge counters in ``resilience_stats()``)
+_EDGE_RESUBSCRIBE = "session.resubscribe"
 
 
 #: keyword -> directory attribute translation for fluent discovery
@@ -202,13 +207,18 @@ class MonitoringClient:
 
     def __init__(self, sim: Any, *, directory: Any,
                  resolve_gateway: Any, host: Any = None,
-                 principal: Any = None, suffix: str = "o=grid"):
+                 principal: Any = None, suffix: str = "o=grid",
+                 resilience: Any = None):
         self.sim = sim
         self.directory = directory
         self.resolve_gateway = resolve_gateway
         self.host = host
         self.principal = principal
         self.suffix = suffix
+        #: shared :class:`~repro.core.resilience.ResiliencePolicy` for
+        #: this client's RPC edges (sessions inherit it); None = each
+        #: session builds its own with default config
+        self.resilience = resilience
 
     # -- fluent discovery ------------------------------------------------------
 
@@ -314,13 +324,15 @@ class ClientSession:
         self._heal_enabled = False
         self._heal_archive: Any = None
         self._heal_interval = 2.0
-        self._heal_backoff_base = 1.0
-        self._heal_backoff_max = 30.0
         self._replay_slack = 1.0
         self._heal_proc = None
         self._trackers: list[_StreamTracker] = []
-        self._retry_at: dict[str, float] = {}
-        self._backoff: dict[str, float] = {}
+        #: one policy per session (shared with the client when it has
+        #: one): resubscribe backoff gates, gateway health, counters.
+        #: Records nothing until a failure happens — free when idle.
+        self._resilience = client.resilience if client.resilience is not None \
+            else ResiliencePolicy(client.sim,
+                                  name=f"session[{self._consumer.name}]")
         #: True while missed events are being replayed from the archive
         self.in_replay = False
         self.resubscribes = 0
@@ -391,6 +403,7 @@ class ClientSession:
                          check_interval: float = 2.0,
                          backoff_base: float = 1.0,
                          backoff_max: float = 30.0,
+                         jitter: float = 0.0,
                          replay_slack: float = 1.0) -> "ClientSession":
         """Keep this session's subscriptions alive across faults.
 
@@ -405,18 +418,24 @@ class ClientSession:
         margin); duplicate deliveries across the replay/live overlap
         are suppressed by message identity, so the combined stream is
         at-least-once with exact-duplicate suppression.  Failed
-        resubscribe attempts back off exponentially per stream.
+        resubscribe attempts back off exponentially per stream — the
+        backoff gates live on the session's
+        :class:`~repro.core.resilience.ResiliencePolicy` (``jitter``
+        spreads the delays when the policy carries a seeded RNG;
+        the default 0.0 keeps the historical base→×2→cap sequence).
 
         Returns self for chaining.  Costs the fault-free delivery path
         one admission check per event on healing sessions and nothing
         at all on sessions that never call this.
         """
+        from dataclasses import replace as _replace
         self._require_open()
         self._heal_enabled = True
         self._heal_archive = archive
         self._heal_interval = check_interval
-        self._heal_backoff_base = backoff_base
-        self._heal_backoff_max = backoff_max
+        self._resilience.config = _replace(
+            self._resilience.config, backoff_base=backoff_base,
+            backoff_max=backoff_max, jitter=jitter)
         self._replay_slack = replay_slack
         for handle in self.handles:
             if not handle.closed:
@@ -468,17 +487,14 @@ class ClientSession:
             if not handle.reaped or getattr(handle, "superseded", False):
                 continue
             key = handle.spec.sensor
-            if now < self._retry_at.get(key, 0.0):
+            if not self._resilience.retry_ready(_EDGE_RESUBSCRIBE, key,
+                                                now=now):
                 continue
             if self._resubscribe(handle):
                 healed += 1
-                self._backoff.pop(key, None)
-                self._retry_at.pop(key, None)
+                self._resilience.gate_success(_EDGE_RESUBSCRIBE, key, now=now)
             else:
-                backoff = self._backoff.get(key, self._heal_backoff_base)
-                self._retry_at[key] = now + backoff
-                self._backoff[key] = min(self._heal_backoff_max,
-                                         backoff * 2.0)
+                self._resilience.gate_failure(_EDGE_RESUBSCRIBE, key, now=now)
         # catch-up pass: even a live subscription can have lost events
         # (drops below the gateway's reap threshold leave it open), so
         # every pass also replays the archive window since the last one
@@ -524,16 +540,44 @@ class ClientSession:
         """Replace one reaped handle: directory re-lookup (with replica
         failover), fresh subscription, callback carry-over, archive
         replay.  Returns False when any step fails (the stream backs
-        off and the next pass retries)."""
+        off and the next pass retries).
+
+        When the directory offers several registrations for the key
+        (a sensor re-registered under another gateway after manager
+        failover), candidates are tried in endpoint-health order —
+        a gateway that recently failed resubscribes or reachability
+        checks ranks behind one with a clean record.  A single
+        candidate (the common case) behaves exactly as before."""
         key = dead.spec.sensor
         try:
-            info = self.client.find(key)
-            if info is None:
+            candidates = list(self.client.sensors(
+                filter_text=f"(sensorkey={key})"))
+            if not candidates:
+                info = self.client.find(key)
+                if info is None:
+                    return False
+                candidates = [info]
+            if len(candidates) > 1:
+                by_gateway = {("gateway", info.gateway_name): info
+                              for info in candidates}
+                ranked = self._resilience.rank_endpoints(list(by_gateway))
+                candidates = [by_gateway[k] for k in ranked]
+            replacement = None
+            for info in candidates:
+                gw_key = ("gateway", info.gateway_name)
+                try:
+                    gateway = self.client.gateway_for(info)
+                except ClientError:
+                    continue
+                if not self._gateway_reachable(gateway):
+                    self._resilience.fail(_EDGE_RESUBSCRIBE, gw_key)
+                    continue
+                respec = dead.spec.replace(delivery=None).clone()
+                replacement = self.subscribe(info, spec=respec)
+                self._resilience.succeed(_EDGE_RESUBSCRIBE, gw_key)
+                break
+            if replacement is None:
                 return False
-            if not self._gateway_reachable(self.client.gateway_for(info)):
-                return False
-            respec = dead.spec.replace(delivery=None).clone()
-            replacement = self.subscribe(info, spec=respec)
         except Exception:
             return False
         accept = self._consumer._accept
@@ -624,7 +668,17 @@ class ClientSession:
     # -- introspection -----------------------------------------------------------------
 
     def stats(self) -> list[dict]:
-        return [handle.stats() for handle in self.handles]
+        gates = self._resilience.gate_info(_EDGE_RESUBSCRIBE)
+        rows = []
+        for handle in self.handles:
+            row = handle.stats()
+            gate = gates.get(handle.spec.sensor)
+            if gate is not None:
+                # this stream is mid-backoff: surface when the healer
+                # will try again and how many attempts have failed
+                row["resilience"] = dict(gate)
+            rows.append(row)
+        return rows
 
     def heal_stats(self) -> dict:
         """Self-healing counters (zeros when auto-heal is off)."""
@@ -650,6 +704,21 @@ class ClientSession:
         return {"queued": queued, "dropped": dropped,
                 "handles_overflowing": overflowing,
                 "handles": len(self.handles)}
+
+    def resilience_stats(self) -> dict:
+        """Retry/breaker/budget posture for this session's RPC edges —
+        the :meth:`backpressure_stats` sibling for the control plane.
+        Per-edge counters (``retries``, ``retry_bytes``,
+        ``deadline_expired``, ``breaker_rejections``,
+        ``budget_exhausted``), breaker states, endpoint health, and the
+        retry-budget token bucket; the directory client's own policy
+        (when it carries a distinct one) is rolled up under
+        ``"directory"``."""
+        stats = self._resilience.stats()
+        dir_policy = getattr(self.client.directory, "resilience", None)
+        if dir_policy is not None and dir_policy is not self._resilience:
+            stats["directory"] = dir_policy.stats()
+        return stats
 
     # -- lifecycle ---------------------------------------------------------------------
 

@@ -26,11 +26,19 @@ class ArchiverAgent(Consumer):
     consumer_type = "archiver"
     handle_buffer_limit = 0  # events live in the archive
 
+    #: resilience-policy edge name for catalog publishes
+    PUBLISH_EDGE = "archiver.publish"
+
     def __init__(self, sim, *, archive: Optional[EventArchive] = None,
                  policy: Optional[SamplingPolicy] = None,
                  publish_interval: float = 60.0,
-                 compaction_interval: Optional[float] = None, **kwargs):
+                 compaction_interval: Optional[float] = None,
+                 resilience: Any = None, **kwargs):
         super().__init__(sim, **kwargs)
+        #: optional :class:`repro.core.resilience.ResiliencePolicy`:
+        #: catalog publishes are counted per edge and feed the shared
+        #: ("directory", "publish") health score
+        self.resilience = resilience
         self.archive = archive if archive is not None else \
             EventArchive(name=f"{self.name}.store", policy=policy)
         self.publish_interval = publish_interval
@@ -67,10 +75,11 @@ class ArchiverAgent(Consumer):
     def catalog_dn(self) -> str:
         return f"archive={self.archive.name},ou=archives,{self.suffix}"
 
-    def publish_catalog(self) -> None:
-        """Upsert the directory entry describing the archive contents."""
+    def publish_catalog(self) -> bool:
+        """Upsert the directory entry describing the archive contents.
+        Returns ``True`` when the publish reached the directory."""
         if self.directory is None:
-            return
+            return True
         stats = self.archive.stats()  # O(1): span/counters are incremental
         attrs = {"objectclass": "archive",
                  "events": self.archive.event_names() or ["none"],
@@ -96,18 +105,28 @@ class ArchiverAgent(Consumer):
                                else "none",
                  "tstart_ingested": f"{stats['ingested_span'][0]:.6f}",
                  "tend_ingested": f"{stats['ingested_span'][1]:.6f}"}
+        if self.resilience is not None:
+            self.resilience.edge(self.PUBLISH_EDGE)["attempts"] += 1
         try:
             self.directory.publish(self.catalog_dn(), attrs)
         except Exception:
-            pass  # catalog refresh retries next interval
+            if self.resilience is not None:
+                self.resilience.fail(self.PUBLISH_EDGE,
+                                     ("directory", "publish"))
+            return False  # catalog refresh retries next interval
+        if self.resilience is not None:
+            self.resilience.succeed(self.PUBLISH_EDGE,
+                                    ("directory", "publish"))
+        return True
 
     def _publish_loop(self):
         from ...simgrid.kernel import Timeout
         while True:
             yield Timeout(self.publish_interval)
             if self._dirty:
-                self._dirty = False
-                self.publish_catalog()
+                # keep the catalog dirty when the publish fails so the
+                # next tick retries it even if no new events arrive
+                self._dirty = not self.publish_catalog()
 
     def close(self) -> None:
         super().close()

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Optional
 
 from ...simgrid.kernel import EventFlag
+from ..resilience import ResiliencePolicy
 from .entry import DN, Entry
 from .server import (DirectoryError, DirectoryServer, LDAP_PORT, Referral,
                      SearchResult)
@@ -48,7 +49,8 @@ class DirectoryClient:
     def __init__(self, servers: Iterable[DirectoryServer], *,
                  host: Any = None, transport: Any = None,
                  principal: Any = None,
-                 all_servers: Optional[dict] = None):
+                 all_servers: Optional[dict] = None,
+                 resilience: Optional[ResiliencePolicy] = None):
         self.servers = list(servers)
         if not self.servers:
             raise ValueError("need at least one directory server")
@@ -60,16 +62,31 @@ class DirectoryClient:
         for server in self.servers:
             self.all_servers.setdefault(server.name, server)
         self.failovers = 0
+        #: optional :class:`ResiliencePolicy`: endpoint health ranks
+        #: master-vs-replica reads, and the networked path
+        #: (:meth:`search_resilient`) gets deadline/budget/breaker
+        #: protection.  In-process liveness (``server.up``) stays
+        #: authoritative — health only orders servers whose liveness
+        #: cannot be read directly, so an all-healthy list keeps its
+        #: configured order (digest-neutral when no faults happen).
+        self.resilience = resilience
 
     # -- server selection ---------------------------------------------------
 
     def _read_server(self) -> DirectoryServer:
-        for i, server in enumerate(self.servers):
-            if server.up:
-                if i > 0:
-                    self.failovers += 1
-                return server
-        raise DirectoryError("no directory server is up")
+        candidates = [s for s in self.servers if s.up]
+        if not candidates:
+            if self.resilience is not None:
+                self.resilience.edge("directory.read")["failures"] += 1
+            raise DirectoryError("no directory server is up")
+        chosen = candidates[0]
+        if self.resilience is not None and len(candidates) > 1:
+            by_key = {("ldap", s.name): s for s in candidates}
+            ranked = self.resilience.rank_endpoints(list(by_key))
+            chosen = by_key[ranked[0]]
+        if chosen is not self.servers[0]:
+            self.failovers += 1
+        return chosen
 
     def _write_server(self) -> DirectoryServer:
         for server in self.servers:
@@ -81,6 +98,8 @@ class DirectoryClient:
 
     def search(self, base: str, filter_text: str = "(objectclass=*)", *,
                scope: str = "sub", chase_referrals: bool = True) -> SearchResult:
+        if self.resilience is not None:
+            self.resilience.edge("directory.search")["attempts"] += 1
         server = self._read_server()
         result = server.search_now(base, filter_text, scope=scope,
                                    principal=self.principal)
@@ -118,6 +137,8 @@ class DirectoryClient:
 
     def persistent_search(self, base: str, filter_text: str, callback) -> int:
         """Register an LDAPv3-style persistent search on the read server."""
+        if self.resilience is not None:
+            self.resilience.edge("directory.psearch")["attempts"] += 1
         return self._read_server().persistent_search(base, filter_text,
                                                      callback=callback)
 
@@ -139,6 +160,47 @@ class DirectoryClient:
             {"op": "search", "base": base, "filter": filter_text,
              "scope": scope, "principal": self.principal},
             size_bytes=300, timeout=timeout)
+
+    def search_remote_at(self, server: DirectoryServer, base: str,
+                         filter_text: str = "(objectclass=*)", *,
+                         scope: str = "sub",
+                         timeout: float = 10.0) -> EventFlag:
+        """:meth:`search_remote` aimed at one specific server — the
+        building block endpoint-health failover drives."""
+        self._require_net()
+        return self.transport.request(
+            self.host, server.host, LDAP_PORT,
+            {"op": "search", "base": base, "filter": filter_text,
+             "scope": scope, "principal": self.principal},
+            size_bytes=300, timeout=timeout)
+
+    def search_resilient(self, base: str,
+                         filter_text: str = "(objectclass=*)", *,
+                         scope: str = "sub", timeout: Optional[float] = None,
+                         deadline: Any = None):
+        """Drive a networked search through the resilience policy.
+
+        A generator for ``yield from`` inside a simulation process:
+        candidate servers are tried in endpoint-health order under the
+        policy's deadline/backoff/budget/breaker rules, so a flaky or
+        partitioned master sheds load to the replica instead of being
+        hammered.  Returns the policy's ``(ok, value, key, attempts)``
+        tuple, where ``value`` is the response dict (or the last
+        exception on failure).
+        """
+        self._require_net()
+        if self.resilience is None:
+            raise DirectoryError("search_resilient needs a resilience policy")
+        by_key = {("ldap", s.name): s for s in self.servers}
+
+        def start(key, per_timeout):
+            return self.search_remote_at(by_key[key], base, filter_text,
+                                         scope=scope, timeout=per_timeout)
+
+        result = yield from self.resilience.drive(
+            "directory.search_remote", list(by_key), start,
+            size_bytes=300, timeout=timeout, deadline=deadline)
+        return result
 
     def write_remote(self, op: str, dn: str, payload: Optional[dict] = None,
                      *, timeout: float = 10.0) -> EventFlag:

@@ -43,6 +43,9 @@ class DirectoryReplicator:
     swallowed.
     """
 
+    #: edge name in the resilience policy's counters
+    EDGE = "directory.replicate"
+
     def __init__(self, master: DirectoryServer):
         self.master = master
         self.deltas_shipped = 0
@@ -52,6 +55,16 @@ class DirectoryReplicator:
         #: deltas lost to partitions / down hosts (each one forces a
         #: generation gap, which heals via snapshot once reachable)
         self.deltas_lost = 0
+        #: deltas never scheduled because the replica's circuit breaker
+        #: was open (the gap heals via snapshot / anti-entropy later)
+        self.deltas_skipped = 0
+        #: optional :class:`repro.core.resilience.ResiliencePolicy`.
+        #: When set, delivery outcomes feed per-replica breakers and
+        #: health, and :meth:`ship` stops hammering a replica whose
+        #: breaker is open instead of queueing doomed deltas.  The
+        #: anti-entropy monitor stays breaker-blind, so convergence
+        #: never depends on the policy.
+        self.resilience = None
 
     def reachable(self, replica: DirectoryServer) -> bool:
         """Can the master's host currently reach the replica's host?
@@ -77,7 +90,15 @@ class DirectoryReplicator:
         """Commit one write into the replication stream."""
         self.master.generation += 1
         generation = self.master.generation
+        policy = self.resilience
         for replica in self.master.replicas:
+            if policy is not None:
+                if not policy.breaker(("replica", replica.name)).allow(
+                        self.master.sim.now):
+                    policy.edge(self.EDGE)["breaker_rejections"] += 1
+                    self.deltas_skipped += 1
+                    continue
+                policy.edge(self.EDGE)["attempts"] += 1
             self.deltas_shipped += 1
             self.master.sim.call_in(self.master.replication_delay,
                                     self.deliver, replica, generation,
@@ -103,12 +124,14 @@ class DirectoryReplicator:
             self.stale_dropped += 1
             return
         if not replica.up:
+            self._note_outcome(replica, False)
             return  # the generation gap forces a snapshot after recovery
         if not self.reachable(replica):
             # partitioned mid-stream: the delta is lost on the wire.
             # The replica's generation now lags; the first delta that
             # arrives after the heal sees the gap and snapshot-resyncs.
             self.deltas_lost += 1
+            self._note_outcome(replica, False)
             return
         if replica.sync_source is not self:
             # the replica is synced to a different stream (a promotion
@@ -126,6 +149,7 @@ class DirectoryReplicator:
             return  # a snapshot already covered this write
         if generation > replica.applied_generation + 1:
             self.snapshot(replica)
+            self._note_outcome(replica, True)
             return
         try:
             if op == "add":
@@ -137,8 +161,21 @@ class DirectoryReplicator:
                 replica.delete_now(dn, _from_master=True)
             replica.applied_generation = generation
             self.deltas_applied += 1
+            self._note_outcome(replica, True)
         except DirectoryError:
             self.snapshot(replica)  # diverged tree: heal with a full sync
+            self._note_outcome(replica, True)
+
+    def _note_outcome(self, replica: DirectoryServer, ok: bool) -> None:
+        """Feed one delivery outcome into the per-replica breaker and
+        health score (no-op without a policy).  A snapshot resync counts
+        as success: the replica was reachable and converged."""
+        if self.resilience is None:
+            return
+        if ok:
+            self.resilience.succeed(self.EDGE, ("replica", replica.name))
+        else:
+            self.resilience.fail(self.EDGE, ("replica", replica.name))
 
 
 class ReplicatedDirectory:
@@ -162,7 +199,8 @@ class ReplicatedDirectory:
         return [self.master, *self.replicas]
 
     def client(self, *, host: Any = None, transport: Any = None,
-               principal: Any = None, prefer_replica: bool = False) -> DirectoryClient:
+               principal: Any = None, prefer_replica: bool = False,
+               resilience: Any = None) -> DirectoryClient:
         """A failover client.  ``prefer_replica`` orders a replica first
         for reads (load spreading); writes always reach the master."""
         order = self.servers
@@ -170,7 +208,8 @@ class ReplicatedDirectory:
             order = [*self.replicas, self.master]
         return DirectoryClient(order, host=host, transport=transport,
                                principal=principal,
-                               all_servers={s.name: s for s in self.servers})
+                               all_servers={s.name: s for s in self.servers},
+                               resilience=resilience)
 
     def fail_master(self) -> None:
         self.master.fail()
@@ -273,6 +312,10 @@ class ReplicatedDirectory:
                 self.replicas = [s for s in self.replicas if s is not replica]
                 old_master = self.master
                 self.master = replica
+                # the new master's shipping engine inherits the group's
+                # resilience policy (per-replica breakers carry over)
+                replica.replicator.resilience = \
+                    old_master.replicator.resilience
                 # the demoted master must stop shipping: its queued
                 # deltas carry generations from a dead stream
                 old_master.replicas = []
@@ -292,12 +335,15 @@ def deploy_replicated_directory(sim, *, hosts: Iterable[Any] = (),
                                 backend_factory=LDAPBackend,
                                 suffix: str = "o=grid",
                                 replication_delay: float = 0.05,
-                                authz: Any = None) -> ReplicatedDirectory:
+                                authz: Any = None,
+                                resilience: Any = None) -> ReplicatedDirectory:
     """Create a master + ``n_replicas`` group.
 
     When ``hosts`` are supplied (master first), servers bind the LDAP
     port on them and serve networked requests; otherwise they are
-    in-process only.
+    in-process only.  An optional ``resilience`` policy is installed on
+    every server's replicator so delta shipping gets per-replica
+    breakers/health (and survives promotions).
     """
     host_list = list(hosts)
 
@@ -314,4 +360,7 @@ def deploy_replicated_directory(sim, *, hosts: Iterable[Any] = (),
     replicas = [make(i + 1, True) for i in range(n_replicas)]
     for replica in replicas:
         master.add_replica(replica)
+    if resilience is not None:
+        for server in (master, *replicas):
+            server.replicator.resilience = resilience
     return ReplicatedDirectory(master, replicas)

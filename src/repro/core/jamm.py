@@ -26,6 +26,7 @@ from .directory import (DirectoryClient, LDAPBackend,
                         deploy_replicated_directory)
 from .gateway import EventGateway
 from .manager import SensorManager
+from .resilience import ResilienceConfig, ResiliencePolicy
 
 __all__ = ["JAMMDeployment"]
 
@@ -38,18 +39,60 @@ class JAMMDeployment:
                  directory_hosts: tuple = (),
                  backend_factory=LDAPBackend,
                  replication_delay: float = 0.05,
-                 authz: Any = None):
+                 authz: Any = None,
+                 resilience: Any = None):
         self.world = world
         self.sim = world.sim
         self.suffix = suffix
         self.authz = authz
+        #: :class:`repro.core.resilience.ResilienceConfig` applied to
+        #: every RPC edge, or ``None`` (components keep their built-in
+        #: defaults and no deployment-wide policies are created).
+        #: Accepts a config, a dict (JSON knob from the scenario
+        #: runner), or ``True`` for the defaults.
+        self.resilience_config = self._normalize_resilience(resilience)
+        #: name -> policy, so runners can roll resilience stats up
+        self.policies: dict[str, ResiliencePolicy] = {}
         self.directory = deploy_replicated_directory(
             world.sim, hosts=directory_hosts, transport=world.transport,
             n_replicas=n_directory_replicas, backend_factory=backend_factory,
-            suffix=suffix, replication_delay=replication_delay, authz=authz)
+            suffix=suffix, replication_delay=replication_delay, authz=authz,
+            resilience=self.make_policy("directory.replicate"))
         self.gateways: dict[str, EventGateway] = {}
         self.managers: dict[str, SensorManager] = {}
         self.consumers: list = []
+
+    # -- resilience -----------------------------------------------------------
+
+    @staticmethod
+    def _normalize_resilience(resilience: Any):
+        if resilience is None or isinstance(resilience, ResilienceConfig):
+            return resilience
+        if resilience is True:
+            return ResilienceConfig()
+        if isinstance(resilience, dict):
+            return ResilienceConfig.from_dict(resilience)
+        raise TypeError("resilience must be None/True/dict/ResilienceConfig")
+
+    def make_policy(self, name: str):
+        """One :class:`ResiliencePolicy` per client-ish thing, sharing
+        the deployment config but with independent budgets/breakers and
+        a world-seeded jitter RNG stream (deterministic per name).
+        Returns ``None`` when the deployment has no resilience config —
+        components then fall back to their own defaults."""
+        if self.resilience_config is None:
+            return None
+        policy = self.policies.get(name)
+        if policy is None:
+            policy = ResiliencePolicy(
+                self.sim, self.resilience_config,
+                rng=self.world.rng.stream(f"resilience:{name}"), name=name)
+            self.policies[name] = policy
+        return policy
+
+    def resilience_stats(self) -> dict:
+        return {name: policy.stats()
+                for name, policy in sorted(self.policies.items())}
 
     # -- directory ------------------------------------------------------------
 
@@ -63,10 +106,15 @@ class JAMMDeployment:
                                           master_grace=master_grace)
 
     def directory_client(self, *, host: Any = None, principal: Any = None,
-                         prefer_replica: bool = False) -> DirectoryClient:
+                         prefer_replica: bool = False,
+                         resilience: Any = "inherit") -> DirectoryClient:
+        if resilience == "inherit":
+            hostname = host.name if host is not None else "local"
+            resilience = self.make_policy(f"directory[{hostname}]")
         return self.directory.client(host=host, transport=self.world.transport,
                                      principal=principal,
-                                     prefer_replica=prefer_replica)
+                                     prefer_replica=prefer_replica,
+                                     resilience=resilience)
 
     # -- consumer-facing client facade ------------------------------------------
 
@@ -81,12 +129,16 @@ class JAMMDeployment:
         read-mostly consumers that can tolerate the replication delay.
         """
         from ..client import MonitoringClient  # lazy: avoids import cycle
+        hostname = host.name if host is not None else "local"
+        policy = self.make_policy(f"client[{hostname}]")
         return MonitoringClient(
             self.sim,
             directory=self.directory_client(host=host, principal=principal,
-                                            prefer_replica=prefer_replica),
+                                            prefer_replica=prefer_replica,
+                                            resilience=policy),
             resolve_gateway=self.resolve_gateway,
-            host=host, principal=principal, suffix=self.suffix)
+            host=host, principal=principal, suffix=self.suffix,
+            resilience=policy)
 
     # -- gateways ---------------------------------------------------------------
 
@@ -142,7 +194,8 @@ class JAMMDeployment:
             config=config, config_http=config_http,
             refresh_interval=refresh_interval,
             sensor_context=self.default_sensor_context(),
-            suffix=self.suffix)
+            suffix=self.suffix,
+            resilience=self.make_policy(f"manager[{host.name}]"))
         self.managers[host.name] = manager
         if start:
             manager.start()
@@ -201,6 +254,9 @@ class JAMMDeployment:
 
     def archiver(self, *, host: Any = None, principal: Any = None,
                  **kwargs) -> ArchiverAgent:
+        hostname = host.name if host is not None else "local"
+        kwargs.setdefault("resilience",
+                          self.make_policy(f"archiver[{hostname}]"))
         consumer = ArchiverAgent(self.sim,
                                  **self._consumer_kwargs(host, principal),
                                  **kwargs)

@@ -33,6 +33,7 @@ from ..ulm import serialize
 from .config import ConfigError, JAMMConfig
 from .gateway import EventGateway, INTAKE_PORT
 from .portmon import PortMonitorAgent
+from .resilience import ResilienceConfig, ResiliencePolicy
 from .sensors.registry import create_sensor
 
 __all__ = ["SensorManager", "ManagerError"]
@@ -40,6 +41,11 @@ __all__ = ["SensorManager", "ManagerError"]
 
 class ManagerError(RuntimeError):
     pass
+
+
+#: resilience edge names (per-edge counters in ``resilience.stats()``)
+_EDGE_RESTART = "manager.restart"
+_EDGE_PUBLISH = "manager.publish"
 
 
 class SensorManager:
@@ -54,7 +60,8 @@ class SensorManager:
                  suffix: str = "o=grid",
                  supervision_interval: Optional[float] = 5.0,
                  restart_backoff: float = 1.0,
-                 restart_backoff_max: float = 60.0):
+                 restart_backoff_max: float = 60.0,
+                 resilience: Optional[ResiliencePolicy] = None):
         self.sim = sim
         self.host = host
         self.gateway = gateway
@@ -84,8 +91,21 @@ class SensorManager:
         #: (lossy-but-alive sensors), not dead/silent loops
         self.quality_restarts = 0
         self._supervisor = None
-        self._backoff: dict[str, float] = {}
-        self._retry_at: dict[str, float] = {}
+        #: restart backoff gates + publish counters live on the policy
+        #: (``manager.restart`` / ``manager.publish`` edges); jitter
+        #: stays 0 unless the caller supplies a policy with its own
+        #: config, so the historical base→×2→cap sequence is preserved
+        self.resilience = resilience if resilience is not None else \
+            ResiliencePolicy(sim, ResilienceConfig(
+                backoff_base=restart_backoff,
+                backoff_max=restart_backoff_max),
+                name=f"manager[{host.name}]")
+        if resilience is not None:
+            # an injected policy's config wins over the constructor
+            # knobs (keeps check_sensors' live-edit sync from fighting
+            # a deployment-wide resilience config)
+            self.restart_backoff = self.resilience.config.backoff_base
+            self.restart_backoff_max = self.resilience.config.backoff_max
         #: sensors that were running when the host crashed
         self._resume_after_crash: list[str] = []
         host.register_service("sensor-manager", self)
@@ -300,6 +320,14 @@ class SensorManager:
         """
         restarted = 0
         now = self.sim.now
+        policy = self.resilience
+        cfg = policy.config
+        if (cfg.backoff_base != self.restart_backoff
+                or cfg.backoff_max != self.restart_backoff_max):
+            # the legacy knobs are public attributes; honor live edits
+            from dataclasses import replace
+            policy.config = replace(cfg, backoff_base=self.restart_backoff,
+                                    backoff_max=self.restart_backoff_max)
         for name in sorted(self.sensors):
             sensor = self.sensors[name]
             if not sensor.running:
@@ -307,10 +335,9 @@ class SensorManager:
             dead = self._sensor_dead(sensor)
             lossy = not dead and self._sensor_lossy(sensor)
             if not dead and not lossy:
-                self._backoff.pop(name, None)
-                self._retry_at.pop(name, None)
+                policy.clear_gate(_EDGE_RESTART, name)
                 continue
-            if now < self._retry_at.get(name, 0.0):
+            if not policy.retry_ready(_EDGE_RESTART, name, now=now):
                 continue  # backing off after a recent failed restart
             sensor.stop()
             sensor.start()
@@ -319,9 +346,10 @@ class SensorManager:
             if lossy:
                 self.quality_restarts += 1
             restarted += 1
-            backoff = self._backoff.get(name, self.restart_backoff)
-            self._retry_at[name] = now + backoff
-            self._backoff[name] = min(self.restart_backoff_max, backoff * 2.0)
+            # a restart is only proven good when the sensor is later
+            # seen healthy (the clear_gate above): until then it backs
+            # off like a failure — crash loops cannot hog the host
+            policy.gate_failure(_EDGE_RESTART, name, now=now)
             self._directory_publish(name, sensor, status="running")
         return restarted
 
@@ -340,8 +368,7 @@ class SensorManager:
             self.port_monitor.stop()
         for name in self._resume_after_crash:
             self.sensors[name].stop()
-        self._backoff.clear()
-        self._retry_at.clear()
+        self.resilience.reset_gates(_EDGE_RESTART)
 
     def on_host_up(self) -> None:
         """Host restart: resume the pre-crash sensor set, restart the
@@ -412,10 +439,16 @@ class SensorManager:
                  "gateway": self.gateway.name}
         if self.gateway.host is not None:
             attrs["gatewayhost"] = self.gateway.host.name
+        counters = self.resilience.edge(_EDGE_PUBLISH)
+        counters["attempts"] += 1
         try:
             self.directory.publish(self._sensor_dn(name), attrs)
         except Exception:
-            pass  # directory outage must not take sensors down (§2.2)
+            # directory outage must not take sensors down (§2.2) — but
+            # it must not be silent either: the failure lands in the
+            # publish edge counters and the directory's health record
+            counters["failures"] += 1
+            self.resilience.health(("directory", "publish")).record(False)
 
     def _directory_delete(self, name: str) -> None:
         if self.directory is None:

@@ -31,14 +31,18 @@ schedules to ``tests/scenarios/corpus/``.
 """
 
 from .netaware import NetAwareResult, run_netaware_scenario
+from .retrystorm import (ArmResult, RetryStormResult, RetryStormScenario,
+                         run_retrystorm)
 from .runner import (Scenario, ScenarioResult, ScenarioRunner, SeqSensor,
                      check_archive_accounting, check_bounded_queues,
                      check_directory_convergence, check_monotonic_streams,
                      check_no_committed_loss, check_rollup_consistency,
                      run_scenario)
 
-__all__ = ["NetAwareResult", "Scenario", "ScenarioResult", "ScenarioRunner",
-           "SeqSensor", "check_archive_accounting", "check_bounded_queues",
-           "check_directory_convergence", "check_monotonic_streams",
-           "check_no_committed_loss", "check_rollup_consistency",
-           "run_netaware_scenario", "run_scenario"]
+__all__ = ["ArmResult", "NetAwareResult", "RetryStormResult",
+           "RetryStormScenario", "Scenario", "ScenarioResult",
+           "ScenarioRunner", "SeqSensor", "check_archive_accounting",
+           "check_bounded_queues", "check_directory_convergence",
+           "check_monotonic_streams", "check_no_committed_loss",
+           "check_rollup_consistency", "run_netaware_scenario",
+           "run_retrystorm", "run_scenario"]

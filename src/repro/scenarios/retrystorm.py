@@ -1,0 +1,314 @@
+"""Retry-storm A/B scenario: unbudgeted retries melt down, budgeted ones shed.
+
+The metastable-failure experiment the resilience layer exists for.  Two
+identically-seeded worlds run the same workload — clients doing
+networked directory searches across a congested OC-12 while the master
+directory host turns flaky (``flaky_rpc``) — and differ only in their
+retry discipline:
+
+* the **naive** arm retries immediately, unbounded by budget, backoff,
+  or breaker, always against the master (the pre-resilience idiom).
+  Under loss its closed-loop clients spend almost all their wall-clock
+  inside retry chains: goodput collapses and most request bytes on the
+  wire are retry bytes;
+* the **budgeted** arm drives the same searches through a
+  :class:`~repro.core.resilience.ResiliencePolicy` — absolute
+  deadlines, full-jitter backoff, a retry budget, per-endpoint
+  breakers, and health-ranked endpoint selection — so after a few
+  master failures it sheds to the site-local replica and keeps serving.
+
+Both arms recover after the storm calms; the budgeted arm must keep at
+least ``min_goodput_ratio`` (2x) the naive arm's storm-window goodput.
+Everything is deterministic in ``seed`` (full-jitter RNG comes from the
+world's seeded stream), so the whole outcome has a stable digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..core.directory import DirectoryClient, deploy_replicated_directory
+from ..core.resilience import ResilienceConfig, ResiliencePolicy
+from ..simgrid import FaultPlan, GridWorld
+from ..simgrid.kernel import Timeout
+
+__all__ = ["RetryStormScenario", "ArmResult", "RetryStormResult",
+           "run_retrystorm"]
+
+#: bytes per search request / reply on the wire (the directory server's
+#: framing: 300-byte requests, 512-byte replies)
+REQUEST_BYTES = 300
+REPLY_BYTES = 512
+
+
+@dataclass
+class RetryStormScenario:
+    """Knobs for one two-arm retry-storm run."""
+
+    seed: int = 7
+    n_clients: int = 4
+    #: closed-loop think time between a client's searches
+    interval: float = 0.25
+    storm_start: float = 5.0
+    storm_end: float = 25.0
+    horizon: float = 40.0
+    drain: float = 10.0
+    #: settle time after calm before the "post" goodput window opens
+    settle: float = 4.0
+    #: transient-failure probability / added latency at the flaky master
+    flaky_rate: float = 0.9
+    flaky_latency: float = 0.05
+    #: background-traffic rate congesting the shared WAN (both ways)
+    storm_rate_bps: float = 500e6
+    #: per-attempt RPC timeout used by BOTH arms
+    op_timeout: float = 1.0
+    #: the naive arm's immediate-retry cap per operation (no backoff)
+    naive_max_attempts: int = 8
+    #: the budgeted arm's policy (None -> the tuned default below)
+    resilience: Optional[ResilienceConfig] = None
+
+    def policy_config(self) -> ResilienceConfig:
+        if self.resilience is not None:
+            return self.resilience
+        return ResilienceConfig(
+            max_attempts=4, backoff_base=0.2, backoff_factor=2.0,
+            backoff_max=2.0, jitter=1.0, op_timeout=self.op_timeout,
+            deadline=3.0, budget_ratio=0.5, budget_burst=5.0,
+            breaker_threshold=3, breaker_cooldown=2.0, breaker_probes=1,
+            health_alpha=0.3, slow_latency=0.5)
+
+
+@dataclass
+class ArmResult:
+    """What one arm observed (all counters are whole-run totals)."""
+
+    name: str
+    requests: int = 0
+    successes: int = 0
+    failures: int = 0
+    attempts: int = 0
+    retry_bytes: int = 0
+    request_bytes: int = 0
+    #: (start_time, ok, attempts) per operation, in issue order
+    records: list = field(default_factory=list)
+    #: window name -> successful operations per second of window
+    goodput: dict = field(default_factory=dict)
+    #: window name -> successes / requests issued in that window
+    success_rate: dict = field(default_factory=dict)
+    policy_stats: Optional[dict] = None
+
+    def retry_fraction(self) -> float:
+        """Share of request bytes on the wire that were retries."""
+        if self.request_bytes <= 0:
+            return 0.0
+        return self.retry_bytes / self.request_bytes
+
+
+@dataclass
+class RetryStormResult:
+    scenario: RetryStormScenario
+    naive: ArmResult
+    budgeted: ArmResult
+
+    def goodput_ratio(self) -> float:
+        """Budgeted-over-naive goodput during the storm window."""
+        naive = self.naive.goodput.get("storm", 0.0)
+        budgeted = self.budgeted.goodput.get("storm", 0.0)
+        if naive <= 0.0:
+            return float("inf") if budgeted > 0.0 else 1.0
+        return budgeted / naive
+
+    def digest(self) -> str:
+        """Stable hash of both arms' full operation records."""
+        h = hashlib.sha256()
+        for arm in (self.naive, self.budgeted):
+            h.update(arm.name.encode())
+            for start, ok, attempts in arm.records:
+                h.update(f"{start:.9f}:{int(ok)}:{attempts};".encode())
+        return h.hexdigest()
+
+    def check(self, *, min_goodput_ratio: float = 2.0,
+              min_recovery_rate: float = 0.9) -> "RetryStormResult":
+        """Assert the tentpole claims: the budgeted arm keeps >= 2x the
+        naive arm's storm goodput, the naive arm's storm wire bytes are
+        dominated by retries, and both arms fully recover after calm."""
+        problems = []
+        ratio = self.goodput_ratio()
+        if ratio < min_goodput_ratio:
+            problems.append(
+                f"budgeted/naive storm goodput ratio {ratio:.2f} < "
+                f"{min_goodput_ratio} (naive "
+                f"{self.naive.goodput.get('storm', 0.0):.3f}/s, budgeted "
+                f"{self.budgeted.goodput.get('storm', 0.0):.3f}/s)")
+        if self.naive.retry_fraction() < 0.5:
+            problems.append(
+                f"naive arm's retry bytes do not dominate its wire share "
+                f"({self.naive.retry_fraction():.2f} < 0.5) — not a storm")
+        for arm in (self.naive, self.budgeted):
+            post = arm.success_rate.get("post", 0.0)
+            if post < min_recovery_rate:
+                problems.append(
+                    f"{arm.name} arm did not recover after calm: post-storm "
+                    f"success rate {post:.2f} < {min_recovery_rate}")
+        if problems:
+            raise AssertionError(
+                "retry-storm claims violated (seed="
+                f"{self.scenario.seed}):\n" +
+                "\n".join(f"  - {p}" for p in problems))
+        return self
+
+
+class _Arm:
+    """One world + workload; ``budgeted`` selects the retry discipline."""
+
+    def __init__(self, scenario: RetryStormScenario, *, budgeted: bool):
+        self.scenario = scenario
+        self.budgeted = budgeted
+        self.result = ArmResult(name="budgeted" if budgeted else "naive")
+        sc = scenario
+        world = GridWorld(seed=sc.seed, strict=False)
+        self.world = world
+        dir_a = world.add_host("dir.siteA")
+        blast = world.add_host("blast.siteA")
+        self.client_hosts = [world.add_host(f"client{i}.siteB")
+                             for i in range(sc.n_clients)]
+        dir_b = world.add_host("dir.siteB")
+        sink = world.add_host("sink.siteB")
+        world.lan([dir_a, blast], switch="siteA-sw")
+        world.lan([*self.client_hosts, dir_b, sink], switch="siteB-sw")
+        world.wan_path("siteA-sw", "siteB-sw", routers=["wan-r1"],
+                       latency_s=10e-3)
+        self.directory = deploy_replicated_directory(
+            world.sim, hosts=(dir_a, dir_b), transport=world.transport,
+            n_replicas=1)
+        seeder = self.directory.client()
+        seeder.add("ou=sensors,o=grid", {"objectclass": "organizationalUnit"})
+        for i in range(4):
+            seeder.add(f"sensorkey=s{i},ou=sensors,o=grid",
+                       {"objectclass": "sensor", "sensorkey": f"s{i}"})
+        self.policies: list[ResiliencePolicy] = []
+        self.clients: list[DirectoryClient] = []
+        for i, host in enumerate(self.client_hosts):
+            policy = None
+            if budgeted:
+                policy = ResiliencePolicy(
+                    world.sim, sc.policy_config(),
+                    rng=world.rng.stream(f"resilience:client{i}"),
+                    name=f"client{i}")
+                self.policies.append(policy)
+            self.clients.append(self.directory.client(
+                host=host, transport=world.transport, resilience=policy))
+        plan = (FaultPlan(seed=sc.seed)
+                .congestion_storm(sc.storm_start, "blast.siteA",
+                                  "sink.siteB", rate_bps=sc.storm_rate_bps,
+                                  seed=sc.seed)
+                .congestion_storm(sc.storm_start, "sink.siteB",
+                                  "blast.siteA", rate_bps=sc.storm_rate_bps,
+                                  seed=sc.seed + 1)
+                .flaky_rpc(sc.storm_start, "dir.siteA", rate=sc.flaky_rate,
+                           latency_s=sc.flaky_latency, seed=sc.seed)
+                .calm_traffic(sc.storm_end)
+                .steady_rpc(sc.storm_end, "dir.siteA"))
+        self.plan = plan
+        self.injector = world.inject(plan)
+        for client in self.clients:
+            world.sim.spawn(self._client_loop(client),
+                            name=f"{self.result.name}-client")
+
+    # -- workload ----------------------------------------------------------
+
+    def _client_loop(self, client: DirectoryClient):
+        sc = self.scenario
+        sim = self.world.sim
+        while sim.now < sc.horizon:
+            yield Timeout(sc.interval)
+            if sim.now >= sc.horizon:
+                break
+            start = sim.now
+            if self.budgeted:
+                ok, attempts = yield from self._budgeted_search(client)
+            else:
+                ok, attempts = yield from self._naive_search(client)
+            self._record(start, ok, attempts)
+
+    def _naive_search(self, client: DirectoryClient):
+        """The pre-resilience idiom: hammer the master, retry instantly."""
+        sc = self.scenario
+        attempts = 0
+        while attempts < sc.naive_max_attempts:
+            attempts += 1
+            flag = client.search_remote("ou=sensors,o=grid",
+                                        "(objectclass=sensor)",
+                                        timeout=sc.op_timeout)
+            reply = yield flag
+            if isinstance(reply, Exception):
+                continue  # immediate unbudgeted retry — the meltdown
+            return bool(reply.get("ok")), attempts
+        return False, attempts
+
+    def _budgeted_search(self, client: DirectoryClient):
+        ok, value, _key, attempts = yield from client.search_resilient(
+            "ou=sensors,o=grid", "(objectclass=sensor)")
+        good = ok and isinstance(value, dict) and bool(value.get("ok"))
+        return good, max(attempts, 1)
+
+    def _record(self, start: float, ok: bool, attempts: int) -> None:
+        res = self.result
+        res.requests += 1
+        res.successes += int(ok)
+        res.failures += int(not ok)
+        res.attempts += attempts
+        res.request_bytes += attempts * REQUEST_BYTES
+        res.retry_bytes += max(0, attempts - 1) * REQUEST_BYTES
+        res.records.append((start, bool(ok), attempts))
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> ArmResult:
+        sc = self.scenario
+        self.world.run(until=sc.horizon + sc.drain)
+        self.world.stop_traffic()
+        self._windows()
+        if self.policies:
+            from ..core.resilience import merge_edge_counters
+            self.result.policy_stats = {
+                "totals": merge_edge_counters(
+                    p.stats() for p in self.policies),
+                "clients": [p.stats() for p in self.policies],
+            }
+            totals = self.result.policy_stats["totals"]
+            # the policy's own accounting is authoritative for the
+            # budgeted arm (budget/breaker rejections issue no bytes)
+            self.result.attempts = totals["attempts"]
+            self.result.retry_bytes = totals["retry_bytes"]
+            self.result.request_bytes = totals["attempts"] * REQUEST_BYTES
+        return self.result
+
+    def _windows(self) -> None:
+        sc = self.scenario
+        windows = {
+            "pre": (0.0, sc.storm_start),
+            "storm": (sc.storm_start, sc.storm_end),
+            "post": (sc.storm_end + sc.settle, sc.horizon),
+        }
+        for name, (lo, hi) in windows.items():
+            span = max(hi - lo, 1e-9)
+            issued = [r for r in self.result.records if lo <= r[0] < hi]
+            good = sum(1 for r in issued if r[1])
+            self.result.goodput[name] = good / span
+            self.result.success_rate[name] = (
+                good / len(issued) if issued else 0.0)
+
+
+def run_retrystorm(
+        scenario: Optional[RetryStormScenario] = None,
+        **kwargs: Any) -> RetryStormResult:
+    """Run both arms on identically-seeded worlds and compare."""
+    if scenario is None:
+        scenario = RetryStormScenario(**kwargs)
+    naive = _Arm(scenario, budgeted=False).run()
+    budgeted = _Arm(scenario, budgeted=True).run()
+    return RetryStormResult(scenario=scenario, naive=naive,
+                            budgeted=budgeted)

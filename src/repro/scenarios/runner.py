@@ -36,6 +36,7 @@ from typing import Any, Callable, Optional
 from ..core import JAMMDeployment
 from ..core.archive import (ArchiveQuery, EventArchive, RetentionPolicy,
                             SamplingPolicy)
+from ..core.resilience import merge_edge_counters
 from ..core.config import JAMMConfig
 from ..core.sensors.base import Sensor
 from ..core.sensors.registry import _REGISTRY, register_sensor
@@ -102,6 +103,13 @@ class Scenario:
     #: let the random plan raise congestion storms (background-traffic
     #: bursts between host pairs that contend for the shared links)
     storms: bool = False
+    #: let the random plan inject transient RPC faults (``flaky_rpc``)
+    #: at the gateway and directory hosts — the retry-storm ingredient
+    flaky: bool = False
+    #: deployment-wide resilience config: ``None`` keeps component
+    #: defaults; a dict (the JSON knob) / ``ResilienceConfig`` / ``True``
+    #: builds per-client policies via :meth:`JAMMDeployment.make_policy`
+    resilience: Any = None
     #: consumer-session backpressure knobs (None -> spec defaults)
     outbox_limit: Optional[int] = None
     overflow_policy: Optional[str] = None
@@ -346,7 +354,8 @@ class ScenarioRunner:
 
         deployment = JAMMDeployment(
             world, directory_hosts=(dir_a, dir_b), n_directory_replicas=1,
-            replication_delay=sc.replication_delay)
+            replication_delay=sc.replication_delay,
+            resilience=sc.resilience)
         self.deployment = deployment
         deployment.enable_self_healing(
             check_interval=sc.directory_heal_interval, master_grace=2)
@@ -447,7 +456,8 @@ class ScenarioRunner:
             horizon=sc.horizon,
             consumers=("consumer.siteB",), archives=("commit-log",),
             protect=set(sc.protect) | {"consumer.siteB"},
-            storms=tuple(sorted(self.world.hosts)) if sc.storms else ())
+            storms=tuple(sorted(self.world.hosts)) if sc.storms else (),
+            flaky=("dir.siteA", "gw.siteA") if sc.flaky else ())
 
     def run(self) -> ScenarioResult:
         if self.world is None:
@@ -579,6 +589,38 @@ class ScenarioRunner:
         return {"window": (lo, hi), "events": sum(counts.values()),
                 "mismatches": mismatches}
 
+    def _resilience_stats(self) -> dict:
+        """Roll every resilience policy in the world up into one block.
+
+        Policies can be shared (a deployment-wide config hands the same
+        object to a facade client and its directory client), so totals
+        are summed over the *deduplicated* set of policy objects."""
+        deployment = self.deployment
+        policies: list[Any] = []
+
+        def note(policy: Any) -> None:
+            if policy is not None \
+                    and not any(p is policy for p in policies):
+                policies.append(policy)
+
+        for session in (self.session, self.commit_session):
+            note(session._resilience)
+            note(getattr(session.client.directory, "resilience", None))
+        for manager in deployment.managers.values():
+            note(manager.resilience)
+            note(getattr(manager.directory, "resilience", None))
+        note(deployment.directory.master.replicator.resilience)
+        for policy in deployment.policies.values():
+            note(policy)
+        return {
+            "session": self.session.resilience_stats(),
+            "commit_session": self.commit_session.resilience_stats(),
+            "managers": {n: m.resilience.stats() for n, m in
+                         sorted(deployment.managers.items())},
+            "deployment": deployment.resilience_stats(),
+            "totals": merge_edge_counters(p.stats() for p in policies),
+        }
+
     def collect(self) -> ScenarioResult:
         archive = self.archive
         committed_dates = dict(self._committed)
@@ -623,12 +665,15 @@ class ScenarioRunner:
                 "quality_restarts": {n: m.quality_restarts for n, m in
                                      self.deployment.managers.items()},
                 "backpressure": self.session.backpressure_stats(),
+                "resilience": self._resilience_stats(),
                 "malformed": self.malformed,
                 "transport": {
                     "messages_sent": self.world.transport.messages_sent,
                     "messages_lost": self.world.transport.messages_lost,
                     "messages_lost_congestion":
                         self.world.transport.messages_lost_congestion,
+                    "messages_flaky_failed":
+                        self.world.transport.messages_flaky_failed,
                     "queue_delay_s": self.world.transport.queue_delay_s,
                     "class_bytes": dict(self.world.transport.class_bytes),
                 },

@@ -48,7 +48,9 @@ FAULT_KINDS = ("host_crash", "host_restart", "process_kill",
                # storage faults against segmented archives
                "compaction_stall", "torn_segment", "slow_disk",
                # background cross-traffic (shared-link congestion)
-               "congestion_storm", "calm_traffic")
+               "congestion_storm", "calm_traffic",
+               # transient RPC faults at the transport boundary
+               "flaky_rpc", "steady_rpc")
 
 #: how a compaction stall manifests (see FaultPlan.stall_compaction)
 COMPACTION_STALL_MODES = ("wedge", "kill")
@@ -305,6 +307,27 @@ class FaultPlan:
         target = f"{src}|{dst}" if (src or dst) else ""
         return self.add(FaultEvent(at, "calm_traffic", target))
 
+    # -- transient RPC faults -------------------------------------------------
+
+    def flaky_rpc(self, at: float, host: str, *, rate: float = 0.3,
+                  latency_s: float = 0.0, seed: int = 0) -> "FaultPlan":
+        """Make RPCs *to* ``host`` transiently fail (probability
+        ``rate`` per message, seeded) and/or arrive ``latency_s`` late
+        — an overloaded or crash-looping service endpoint.  Unlike the
+        silent gray-loss kinds, the failure is sender-visible (the
+        ``on_fail`` callback fires), which makes it the retryable
+        error class that amplifies into retry storms when callers
+        have no budget.  Restored by :meth:`steady_rpc` (or ``heal``)."""
+        return self.add(FaultEvent(at, "flaky_rpc", host,
+                                   {"rate": float(rate),
+                                    "latency_s": float(latency_s),
+                                    "seed": int(seed)}))
+
+    def steady_rpc(self, at: float, host: str = "") -> "FaultPlan":
+        """Steady the named host's RPC endpoint again — or every flaky
+        host when called with no name."""
+        return self.add(FaultEvent(at, "steady_rpc", host))
+
     # -- random generation ---------------------------------------------------
 
     @classmethod
@@ -315,7 +338,8 @@ class FaultPlan:
                max_down_fraction: float = 0.67,
                consumers: Iterable[str] = (),
                archives: Iterable[str] = (),
-               storms: Iterable[str] = ()) -> "FaultPlan":
+               storms: Iterable[str] = (),
+               flaky: Iterable[str] = ()) -> "FaultPlan":
         """A deterministic random schedule of ``n_steps`` events.
 
         The draw depends only on ``seed`` and the *sorted* host/link
@@ -343,6 +367,13 @@ class FaultPlan:
         ``congestion_storm`` events between random distinct pairs of
         those hosts, each paired with a targeted ``calm_traffic``
         within the horizon (always-recovering congestion).
+
+        Passing ``flaky`` host names (RPC *server* hosts: directory
+        servers, gateways) enables ``flaky_rpc`` events against them,
+        each paired with a targeted ``steady_rpc`` within the horizon
+        (always-recovering transient errors).  Both knobs gate their
+        kind behind the parameter so plans drawn without them replay
+        bit-identically to plans from before the kind existed.
         """
         rng = random.Random(seed)
         host_names = sorted(set(hosts))
@@ -378,6 +409,9 @@ class FaultPlan:
                       "slow_disk"]
         if len(storm_names) >= 2:
             kinds.append("congestion_storm")
+        flaky_names = sorted(set(flaky))
+        if flaky_names:
+            kinds.append("flaky_rpc")
         for _ in range(max(0, int(n_steps))):
             at = round(rng.uniform(0.0, horizon * 0.8), 3)
             kind = rng.choice(kinds)
@@ -467,6 +501,13 @@ class FaultPlan:
                     kind=shape,
                     seed=rng.randrange(2**31))
                 plan.calm_traffic(recover_at(at), src, dst)
+            elif kind == "flaky_rpc":
+                host = rng.choice(flaky_names)
+                plan.flaky_rpc(at, host,
+                               rate=round(rng.uniform(0.2, 0.8), 3),
+                               latency_s=round(rng.uniform(0.0, 0.5), 3),
+                               seed=rng.randrange(2**31))
+                plan.steady_rpc(recover_at(at), host)
         # every random plan converges: restart stragglers, heal, settle
         for host in down_spans:
             plan.restart_host(horizon * 0.96, host)
@@ -537,6 +578,8 @@ class FaultInjector:
         self._slowed_archives: dict[Any, None] = {}
         #: "src|dst" -> running TrafficGenerator (congestion storms)
         self._storms: dict[str, Any] = {}
+        #: host names whose RPC endpoint is transiently failing
+        self._flaky_hosts: dict[str, None] = {}
         self._armed = False
 
     # -- lookup ---------------------------------------------------------------
@@ -593,6 +636,13 @@ class FaultInjector:
                 if "|" not in event.target:
                     raise FaultError(
                         f"calm target needs 'src|dst': {event.target!r}")
+            elif event.kind == "flaky_rpc":
+                self._host(event.target)
+                rate = float(event.params.get("rate", 0.0))
+                if not 0.0 <= rate <= 1.0:
+                    raise FaultError(f"flaky_rpc rate {rate} not in [0, 1]")
+            elif event.kind == "steady_rpc" and event.target:
+                self._host(event.target)
 
     # -- scheduling ------------------------------------------------------------
 
@@ -713,6 +763,7 @@ class FaultInjector:
             archive.set_io_latency(None)
         self._slowed_archives.clear()
         self._stop_storms()
+        self._steady_all_rpc()
 
     def _apply_link_down(self, event: FaultEvent) -> None:
         self._cut(self._link(event.target))
@@ -892,6 +943,28 @@ class FaultInjector:
 
     def _apply_calm_traffic(self, event: FaultEvent) -> None:
         self._stop_storms(event.target)
+
+    # -- transient RPC faults ----------------------------------------------------
+
+    def _steady_all_rpc(self) -> None:
+        if self._flaky_hosts:
+            self.world.transport.clear_flaky_host()
+            self._flaky_hosts.clear()
+
+    def _apply_flaky_rpc(self, event: FaultEvent) -> None:
+        p = event.params
+        self.world.transport.set_flaky_host(
+            event.target, rate=float(p.get("rate", 0.3)),
+            latency_s=float(p.get("latency_s", 0.0)),
+            seed=int(p.get("seed", 0)))
+        self._flaky_hosts[event.target] = None
+
+    def _apply_steady_rpc(self, event: FaultEvent) -> None:
+        if event.target:
+            self.world.transport.clear_flaky_host(event.target)
+            self._flaky_hosts.pop(event.target, None)
+        else:
+            self._steady_all_rpc()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<FaultInjector plan={self.plan!r} "

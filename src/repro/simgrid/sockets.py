@@ -85,6 +85,15 @@ class MessageTransport:  # repro: noqa[SLOT001] — one per world, not per event
         self.messages_lost_congestion = 0
         #: cumulative queuing delay experienced by delivered messages
         self.queue_delay_s = 0.0
+        #: transient-RPC fault state (``flaky_rpc``): host name ->
+        #: {"rate", "latency_s", "rng"}.  Unlike the silent loss kinds,
+        #: a flaky failure is sender-VISIBLE — the request crossed the
+        #: wire (bytes charged to every hop) but the endpoint errored,
+        #: and ``on_fail`` fires after the one-way delay.  This is the
+        #: retryable failure class a resilience policy budgets.
+        self._flaky_hosts: dict[str, dict] = {}
+        self.messages_flaky_failed = 0
+        self.flaky_delay_s = 0.0
         #: bytes offered to the network per traffic class
         self.class_bytes: dict[str, int] = {}
         #: loss draws are per flow, each stream seeded from this salt:
@@ -124,6 +133,30 @@ class MessageTransport:  # repro: noqa[SLOT001] — one per world, not per event
         self._prune_at = 256
         #: delivery wakeups scheduled (vs messages_sent: batching ratio)
         self.delivery_wakeups = 0
+
+    # -- transient-RPC faults (flaky_rpc) -----------------------------------
+
+    def set_flaky_host(self, name: str, *, rate: float = 0.3,
+                       latency_s: float = 0.0, seed: int = 0) -> None:
+        """Make RPCs *to* ``name`` transiently fail/slow (``flaky_rpc``).
+
+        Each send toward the host draws from a dedicated RNG seeded
+        from ``(loss salt, host, seed)`` — whether a given message dies
+        depends only on this host's own arrival history, and the other
+        transport streams are unperturbed (seed-replay safe)."""
+        digest = hashlib.sha256(
+            f"flaky:{self._loss_salt}:{name}:{seed}".encode()).digest()
+        self._flaky_hosts[name] = {
+            "rate": float(rate), "latency_s": float(latency_s),
+            "rng": random.Random(int.from_bytes(digest[:8], "big"))}
+
+    def clear_flaky_host(self, name: str = "") -> None:
+        """Steady the named host again — or every flaky host when
+        called with no name (the ``heal`` path)."""
+        if name:
+            self._flaky_hosts.pop(name, None)
+        else:
+            self._flaky_hosts.clear()
 
     # -- raw send -----------------------------------------------------------
 
@@ -222,6 +255,27 @@ class MessageTransport:  # repro: noqa[SLOT001] — one per world, not per event
         dst.ports.record(dst_port, bytes_in=size, packets_in=npackets)
         delay = (path.latency_s + (size * 8.0) / path.bottleneck_bps + qdelay) \
             if path.links else 1e-6
+        if self._flaky_hosts:
+            flaky = self._flaky_hosts.get(dst.name)
+            if flaky is not None:
+                if flaky["latency_s"] > 0.0:
+                    # endpoint-side slowness (GC pause, overloaded
+                    # service thread): the message still arrives, late
+                    delay += flaky["latency_s"]
+                    self.flaky_delay_s += flaky["latency_s"]
+                if flaky["rate"] > 0.0 and flaky["rng"].random() < flaky["rate"]:
+                    # transient endpoint failure: bytes already crossed
+                    # (and congested) every hop, but the service errors
+                    # out.  Sender-visible after the one-way delay so
+                    # callers can retry — with on_fail=None there is
+                    # nobody to tell, and it degrades to a gray drop.
+                    self.messages_flaky_failed += 1
+                    if on_fail is not None:
+                        self.sim.call_at(
+                            self.sim.now + delay, on_fail,
+                            DeliveryError(
+                                f"transient rpc failure at {dst.name}"))
+                    return msg
         when = self.sim.now + delay
         if not oneshot:
             # one-shot flows carry exactly one message ever: there is

@@ -381,12 +381,16 @@ class TCPFlow:
                     break
                 try:
                     rtt, path = self._round_trip()
-                except Exception:  # NoRouteError: path down — RTO and retry
+                except Exception:  # repro: noqa[RES003] — TCP RTO *is* the policy
+                    # NoRouteError: path down.  The transport's own
+                    # exponential RTO + cwnd collapse bounds the retry
+                    # rate; application-level retries go through
+                    # repro.core.resilience instead.
                     stats.timeouts += 1
                     self._emit_retransmits(1)
                     self.ssthresh = max(2, self.cwnd // 2)
                     self._set_cwnd(1)
-                    yield Timeout(self.rto)
+                    yield Timeout(self.rto)  # repro: noqa[RES003] — bounded RTO wait
                     self.rto = min(self.RTO_MAX, self.rto * 2)
                     continue
                 send_pkts = min(self.cwnd, self.rwnd_pkts)

@@ -1,0 +1,34 @@
+"""RES003 fixture: hand-rolled retry loops that bypass the resilience
+layer — the raw material of retry storms."""
+
+import time
+
+from repro.simgrid import Timeout
+
+
+def inline_backoff(client):
+    # sleep-and-retry in the error path: unbudgeted, breaker-blind
+    delay = 1.0
+    for _attempt in range(8):
+        try:
+            return (yield client.search_remote("ou=sensors,o=grid", "*"))
+        except Exception:
+            yield Timeout(delay)
+            delay *= 2
+
+
+def blocking_backoff(fetch):
+    try:
+        return fetch()
+    except Exception:
+        time.sleep(0.5)
+        return fetch()
+
+
+def spin_forever(client):
+    # swallow-and-spin: no deadline, no budget, no exit
+    while True:
+        try:
+            return (yield client.search_remote("ou=sensors,o=grid", "*"))
+        except Exception:
+            continue

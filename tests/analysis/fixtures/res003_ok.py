@@ -1,0 +1,41 @@
+"""RES003 clean fixture: retries routed through the resilience layer,
+plus loop shapes the rule must not confuse with retries."""
+
+
+def policy_retry(policy, client, keys):
+    # the sanctioned path: bounded, budgeted, breaker-gated
+    def attempt(key):
+        return client.search_remote_at(key, "ou=sensors,o=grid", "*")
+
+    ok, value, key, attempts = yield from policy.drive(
+        "directory.search_remote", keys, attempt, size_bytes=300,
+        timeout=1.0, deadline=None)
+    return ok, value
+
+
+def escalates_after_failure(fetch):
+    # an except handler that re-raises is handling, not retrying
+    while True:
+        try:
+            return fetch()
+        except ValueError:
+            raise RuntimeError("gave up")
+
+
+def scans_candidates(network, group_a, group_b):
+    # a while-True whose except-continue targets the *inner* for loop
+    # (candidate scanning, not a retry of the failed operation)
+    while True:
+        path = None
+        for a in group_a:
+            for b in group_b:
+                try:
+                    path = network.route(a, b)
+                except Exception:
+                    continue
+                break
+            if path is not None:
+                break
+        if path is None:
+            return None
+        return path

@@ -411,3 +411,123 @@ class TestFaultInjector:
         assert sensor._proc.alive  # the supervisor restarted it
         assert sensor.restarts == 1
         assert manager.sensor_restarts == 1
+
+
+class TestFlakyRpc:
+    """Transient RPC faults at the transport boundary (flaky_rpc)."""
+
+    def test_flaky_kinds_round_trip_json(self):
+        plan = (FaultPlan(seed=21)
+                .flaky_rpc(1.0, "b1", rate=0.4, latency_s=0.2, seed=9)
+                .steady_rpc(2.0, "b1")
+                .steady_rpc(3.0))           # no host -> clears all
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone.to_dict() == plan.to_dict()
+        flaky = next(e for e in clone if e.kind == "flaky_rpc")
+        assert flaky.params == {"rate": 0.4, "latency_s": 0.2, "seed": 9}
+
+    def test_flaky_rate_validated(self):
+        world = two_site_world()
+        with pytest.raises(FaultError):
+            world.inject(FaultPlan().flaky_rpc(1.0, "b1", rate=1.5))
+        with pytest.raises(FaultError):
+            world.inject(FaultPlan().flaky_rpc(1.0, "nope", rate=0.5))
+
+    def test_random_plans_with_flaky_always_recover(self):
+        plan = FaultPlan.random(17, hosts=["a1", "a2", "b1"], n_steps=300,
+                                horizon=60.0, flaky=["a1", "b1"])
+        flaky = [e for e in plan if e.kind == "flaky_rpc"]
+        steady = [e for e in plan if e.kind == "steady_rpc"]
+        assert flaky, "flaky hosts given but no flaky_rpc drawn"
+        # always-recovering: every flaky host gets a steady_rpc at or
+        # after its last flaky_rpc, inside the horizon
+        for host in {e.target for e in flaky}:
+            last_flaky = max(e.at for e in flaky if e.target == host)
+            clears = [e.at for e in steady if e.target == host]
+            assert clears and max(clears) >= last_flaky
+            assert max(clears) <= 60.0
+
+    def test_flaky_gating_preserves_seed_replay(self):
+        """Plans generated WITHOUT the flaky parameter are bit-identical
+        to pre-flaky_rpc plans: the new kind is appended to the draw
+        list only when flaky hosts are supplied."""
+        kwargs = dict(hosts=["a1", "a2", "b1"], n_steps=150, horizon=50.0,
+                      consumers=["b1"], archives=["arch"])
+        base = FaultPlan.random(5, **kwargs)
+        assert "flaky_rpc" not in {e.kind for e in base}
+        assert base.to_dict() == FaultPlan.random(5, **kwargs).to_dict()
+        withflaky = FaultPlan.random(5, flaky=["a1"], **kwargs)
+        assert "flaky_rpc" in {e.kind for e in withflaky}
+
+    def test_injected_flaky_drops_then_steady_restores(self):
+        """End-to-end through a world: sends toward the flaky host fail
+        with seeded transient errors (sender-visible via on_fail), and
+        steady_rpc restores perfect delivery."""
+        world = two_site_world()
+        a1, b1 = world.host("a1"), world.host("b1")
+        got, errors = [], []
+        b1.ports.bind(7000, lambda m, t: got.append(m))
+        world.inject(FaultPlan(seed=3)
+                     .flaky_rpc(1.0, "b1", rate=0.6, seed=3)
+                     .steady_rpc(10.0, "b1"))
+
+        def sender():
+            from repro.simgrid.kernel import Timeout
+            for _ in range(40):
+                yield Timeout(0.2)
+                world.transport.send(a1, b1, 7000, "ping",
+                                     on_fail=errors.append)
+        world.sim.spawn(sender())
+        world.run(until=9.0)
+        mid_delivered, mid_failed = len(got), len(errors)
+        assert mid_failed > 0, "no transient failures at rate=0.6"
+        assert mid_delivered > 0, "flaky is not a blackhole"
+        assert world.transport.messages_flaky_failed == mid_failed
+        world.run(until=20.0)
+        # after steady_rpc every remaining send was delivered
+        assert len(errors) == mid_failed
+        assert len(got) + len(errors) == 40
+
+    def test_flaky_rpc_is_seed_deterministic(self):
+        def run_once():
+            world = two_site_world()
+            a1, b1 = world.host("a1"), world.host("b1")
+            got, errors = [], []
+            b1.ports.bind(7000, lambda m, t: got.append(m.payload))
+            world.inject(FaultPlan(seed=8).flaky_rpc(0.5, "b1", rate=0.5,
+                                                     seed=8))
+
+            def sender():
+                from repro.simgrid.kernel import Timeout
+                for i in range(30):
+                    yield Timeout(0.1)
+                    world.transport.send(a1, b1, 7000, i,
+                                         on_fail=lambda e, i=i:
+                                         errors.append(i))
+            world.sim.spawn(sender())
+            world.run(until=5.0)
+            return got, errors
+        first, second = run_once(), run_once()
+        assert first == second
+
+    def test_heal_clears_flaky_state(self):
+        world = two_site_world()
+        a1, b1 = world.host("a1"), world.host("b1")
+        errors = []
+        b1.ports.bind(7000, lambda m, t: None)
+        world.inject(FaultPlan(seed=2)
+                     .flaky_rpc(0.5, "b1", rate=1.0)
+                     .heal(2.0))
+
+        def sender():
+            from repro.simgrid.kernel import Timeout
+            for _ in range(10):
+                yield Timeout(0.3)
+                world.transport.send(a1, b1, 7000, "x",
+                                     on_fail=errors.append)
+        world.sim.spawn(sender())
+        world.run(until=2.0)
+        during = len(errors)
+        assert during > 0
+        world.run(until=6.0)
+        assert len(errors) == during  # heal turned flaky off
